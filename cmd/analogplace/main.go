@@ -1,0 +1,112 @@
+// Command analogplace places a benchmark circuit with a selectable
+// representation and prints the resulting layout statistics and module
+// coordinates.
+//
+// Usage:
+//
+//	analogplace [-method seqpair|bstar|hbstar|slicing|absolute|esf|rsf]
+//	            [-bench miller|folded|<table1-name>] [-seed N] [-v]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/anneal"
+	"repro/internal/circuits"
+	"repro/internal/core"
+	"repro/internal/render"
+)
+
+func main() {
+	method := flag.String("method", "hbstar", "placement method: seqpair, bstar, hbstar, tcg, slicing, absolute, esf, rsf")
+	bench := flag.String("bench", "miller", "benchmark: miller, folded, or a Table I name (miller_v2, comparator_v2, folded_casc, buffer, biasynth, lnamixbias)")
+	seed := flag.Int64("seed", 1, "random seed for stochastic methods")
+	verbose := flag.Bool("v", false, "print module coordinates")
+	svgPath := flag.String("svg", "", "write the placement as SVG to this file")
+	flag.Parse()
+
+	b, err := pickBench(*bench)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analogplace:", err)
+		os.Exit(1)
+	}
+	m, err := pickMethod(*method)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analogplace:", err)
+		os.Exit(1)
+	}
+	opt := anneal.Options{Seed: *seed, MovesPerStage: 150, MaxStages: 200, StallStages: 40}
+	res, err := core.PlaceBench(b, m, opt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "analogplace:", err)
+		os.Exit(1)
+	}
+	bb := res.Placement.BBox()
+	fmt.Printf("bench=%s method=%v modules=%d\n", b.Name, m, len(res.Placement))
+	fmt.Printf("bounding box: %dx%d  area usage: %.2f%%  legal: %v  runtime: %s\n",
+		bb.W, bb.H, 100*res.AreaUsage, res.Legal, res.Runtime.Round(1e6))
+	if len(res.Violations) > 0 {
+		fmt.Println("constraint violations:")
+		for _, v := range res.Violations {
+			fmt.Println("  -", v)
+		}
+	} else {
+		fmt.Println("constraints: all satisfied")
+	}
+	if *verbose {
+		names := res.Placement.Names()
+		sort.Strings(names)
+		for _, n := range names {
+			r := res.Placement[n]
+			fmt.Printf("  %-8s x=%-6d y=%-6d w=%-5d h=%-5d\n", n, r.X, r.Y, r.W, r.H)
+		}
+	}
+	if *svgPath != "" {
+		f, err := os.Create(*svgPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "analogplace:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := render.SVG(f, res.Placement, render.Options{}); err != nil {
+			fmt.Fprintln(os.Stderr, "analogplace:", err)
+			os.Exit(1)
+		}
+		fmt.Println("wrote", *svgPath)
+	}
+}
+
+func pickBench(name string) (*circuits.Bench, error) {
+	switch name {
+	case "miller":
+		return circuits.MillerOpAmp(), nil
+	case "folded":
+		return circuits.FoldedCascode(), nil
+	}
+	return circuits.TableIBench(name)
+}
+
+func pickMethod(name string) (core.Method, error) {
+	switch name {
+	case "seqpair":
+		return core.MethodSeqPair, nil
+	case "bstar":
+		return core.MethodBStar, nil
+	case "hbstar":
+		return core.MethodHBStar, nil
+	case "slicing":
+		return core.MethodSlicing, nil
+	case "absolute":
+		return core.MethodAbsolute, nil
+	case "tcg":
+		return core.MethodTCG, nil
+	case "esf":
+		return core.MethodDeterministicESF, nil
+	case "rsf":
+		return core.MethodDeterministicRSF, nil
+	}
+	return 0, fmt.Errorf("unknown method %q", name)
+}

@@ -1,0 +1,36 @@
+// Command fig8 prints the ESF and RSF shape-function staircases of a
+// Table I benchmark (Fig. 8 of the paper plots lnamixbias), one
+// "w h" pair per line, in a form ready for plotting.
+//
+// Usage:
+//
+//	fig8 [circuit]
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	name := "lnamixbias"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	esf, rsf, err := core.RunFig8(name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fig8:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("# %s shape functions (w h)\n", name)
+	fmt.Println("# ESF")
+	for _, s := range esf {
+		fmt.Printf("%d %d\n", s[0], s[1])
+	}
+	fmt.Println("# RSF")
+	for _, s := range rsf {
+		fmt.Printf("%d %d\n", s[0], s[1])
+	}
+}

@@ -1,0 +1,29 @@
+// Command lemma reports the Section II search-space reduction: the
+// number of symmetric-feasible sequence-pairs versus all sequence-
+// pairs for the paper's running example (n = 7, one symmetry group
+// with two pairs and two self-symmetric cells), verifying the Lemma's
+// bound by exact enumeration.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	n, groups := core.PaperLemmaExample()
+	rep, err := core.RunLemma(n, groups, true)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lemma:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("n = %d cells, %d symmetry group(s)\n", rep.N, len(rep.Groups))
+	fmt.Printf("total sequence-pairs (n!)^2 : %v\n", rep.Total)
+	fmt.Printf("Lemma bound on S-F codes    : %v\n", rep.Bound)
+	if rep.Enumerated {
+		fmt.Printf("exact S-F count (enumerated): %d\n", rep.Exact)
+	}
+	fmt.Printf("search-space reduction      : %.2f%% (paper: 99.86%%)\n", 100*rep.Reduction)
+}

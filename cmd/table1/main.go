@@ -1,0 +1,41 @@
+// Command table1 regenerates Table I of the paper: enhanced shape
+// functions (ESF) versus regular shape functions (RSF) on the six
+// benchmark circuits, reporting area usage, runtime, and the area
+// improvement.
+//
+// Usage:
+//
+//	table1 [circuit ...]
+//
+// With no arguments all six Table I circuits run.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+)
+
+func main() {
+	rows, err := core.RunTableI(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "table1:", err)
+		os.Exit(1)
+	}
+	fmt.Println("Table I — enhanced (ESF) vs regular (RSF) shape functions")
+	fmt.Printf("%-14s %5s | %-10s %10s | %-10s %10s | %s\n",
+		"circuit", "#mods", "ESF usage", "ESF time", "RSF usage", "RSF time", "improvement")
+	var sumImp float64
+	for _, r := range rows {
+		fmt.Printf("%-14s %5d | %9.2f%% %10s | %9.2f%% %10s | %.2f%%\n",
+			r.Name, r.Modules,
+			100*r.ESFUsage, r.ESFTime.Round(1e6),
+			100*r.RSFUsage, r.RSFTime.Round(1e6),
+			100*r.Improvement)
+		sumImp += r.Improvement
+	}
+	if len(rows) > 0 {
+		fmt.Printf("average improvement: %.2f%% (paper: 4.4%%)\n", 100*sumImp/float64(len(rows)))
+	}
+}

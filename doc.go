@@ -1,0 +1,31 @@
+// Package repro reproduces "Analog Layout Synthesis — Recent Advances
+// in Topological Approaches" (Graeb, Balasa, Castro-Lopez, Chang,
+// Fernandez, Lin, Strasser; DATE 2009) as a self-contained Go library.
+//
+// The paper surveys four topological approaches to analog layout
+// synthesis; this module implements all four from scratch, along with
+// every substrate they rest on:
+//
+//   - Section II — symmetric-feasible sequence-pairs: internal/seqpair
+//     (property (1), the search-space Lemma, O(n log log n) packing on
+//     the van Emde Boas queue of internal/veb, and a symmetric
+//     placement constructor), driven by internal/place.
+//   - Section III — hierarchical placement: internal/hbstar
+//     (HB*-trees with contour nodes) over internal/asf (ASF-B*-tree
+//     symmetry islands) and internal/bstar, with the constraint model
+//     of internal/constraint and automatic hierarchy detection in
+//     internal/hier.
+//   - Section IV — deterministic placement: internal/shapefn (shape
+//     functions, enhanced shape additions, hierarchically bounded
+//     enumeration) over internal/bstar enumeration; Table I runs on
+//     the benchmark generators of internal/circuits.
+//   - Section V — layout-aware sizing: internal/sizing over the
+//     device model (internal/mos), analytic performance evaluation
+//     (internal/perf), layout templates (internal/template) and
+//     parasitic extraction (internal/extract).
+//
+// internal/core ties everything together behind one API and hosts the
+// drivers that regenerate each table and figure; the benchmarks in
+// this package (bench_test.go) exercise them. See DESIGN.md for the
+// experiment index and EXPERIMENTS.md for measured results.
+package repro

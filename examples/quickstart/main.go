@@ -1,0 +1,47 @@
+// Quickstart: place the paper's Miller op amp (Fig. 6) with the
+// hierarchical HB*-tree placer and print the layout.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/anneal"
+	"repro/internal/circuits"
+	"repro/internal/core"
+)
+
+func main() {
+	// The benchmark ships with its published hierarchy: CORE = {DP,
+	// CM1, CM2}, plus output device N8 and compensation cap C.
+	bench := circuits.MillerOpAmp()
+	fmt.Printf("circuit %s: %d devices, hierarchy depth %d\n",
+		bench.Name, len(bench.Circuit.Devices), bench.Tree.Depth())
+
+	res, err := core.PlaceBench(bench, core.MethodHBStar, anneal.Options{
+		Seed:          1,
+		MovesPerStage: 150,
+		MaxStages:     200,
+		StallStages:   40,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bb := res.Placement.BBox()
+	fmt.Printf("placed in %s: %dx%d bounding box, area usage %.1f%%, legal=%v\n",
+		res.Runtime.Round(1e6), bb.W, bb.H, 100*res.AreaUsage, res.Legal)
+	for _, name := range res.Placement.Names() {
+		r := res.Placement[name]
+		fmt.Printf("  %-3s at (%4d,%4d) size %3dx%-3d\n", name, r.X, r.Y, r.W, r.H)
+	}
+	if len(res.Violations) == 0 {
+		fmt.Println("all layout constraints satisfied (DP and CM1 mirrored, CORE connected)")
+	} else {
+		for _, v := range res.Violations {
+			fmt.Println("violation:", v)
+		}
+	}
+}

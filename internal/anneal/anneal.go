@@ -1,0 +1,178 @@
+// Package anneal provides the stochastic optimization engines behind
+// the paper's "statistical solution approaches": a simulated-annealing
+// driver (Kirkpatrick et al. [12]), a mutation-based evolutionary
+// baseline, and the two-phase GA+SA combination of Zhang et al. [28].
+// The engines are representation-agnostic: placers supply a Solution
+// that can report its cost and produce a random neighbor.
+package anneal
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Solution is one point of a search space. Neighbor must return a new
+// Solution (not mutate the receiver), so the engines can keep the
+// incumbent and the best-so-far without explicit undo bookkeeping.
+type Solution interface {
+	// Cost is the objective to minimize.
+	Cost() float64
+	// Neighbor returns a random neighboring solution.
+	Neighbor(rng *rand.Rand) Solution
+}
+
+// Options configure a simulated-annealing run. The zero value is
+// usable: sensible defaults are filled in by Anneal.
+type Options struct {
+	// InitialTemp is the starting temperature. If 0 it is calibrated
+	// so the initial acceptance ratio of uphill moves is about 0.9,
+	// following standard practice.
+	InitialTemp float64
+	// Cooling is the geometric cooling factor per stage (0 < c < 1).
+	// Default 0.95.
+	Cooling float64
+	// MovesPerStage is the number of proposed moves per temperature
+	// stage. Default 100.
+	MovesPerStage int
+	// MinTemp stops the schedule. Default 1e-3 × InitialTemp.
+	MinTemp float64
+	// MaxStages bounds the number of temperature stages. Default 500.
+	MaxStages int
+	// StallStages stops the run after this many stages without
+	// improving the best cost. Default 50.
+	StallStages int
+	// Seed for the internal RNG (0 means a fixed default, keeping
+	// runs reproducible).
+	Seed int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.Cooling <= 0 || o.Cooling >= 1 {
+		o.Cooling = 0.95
+	}
+	if o.MovesPerStage <= 0 {
+		o.MovesPerStage = 100
+	}
+	if o.MaxStages <= 0 {
+		o.MaxStages = 500
+	}
+	if o.StallStages <= 0 {
+		o.StallStages = 50
+	}
+	return o
+}
+
+// Stats reports what a run did.
+type Stats struct {
+	Stages    int
+	Moves     int
+	Accepted  int
+	Improved  int // accepted moves that improved the incumbent
+	FinalTemp float64
+	BestCost  float64
+	InitCost  float64
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("stages=%d moves=%d accepted=%d improved=%d cost %.4g -> %.4g",
+		s.Stages, s.Moves, s.Accepted, s.Improved, s.InitCost, s.BestCost)
+}
+
+// Anneal runs simulated annealing from the initial solution and
+// returns the best solution found with run statistics.
+func Anneal(initial Solution, opt Options) (Solution, Stats) {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+
+	cur := initial
+	curCost := cur.Cost()
+	best, bestCost := cur, curCost
+	stats := Stats{InitCost: curCost}
+
+	temp := opt.InitialTemp
+	if temp <= 0 {
+		temp = calibrate(cur, rng)
+	}
+	minTemp := opt.MinTemp
+	if minTemp <= 0 {
+		minTemp = temp * 1e-3
+	}
+
+	stall := 0
+	for stage := 0; stage < opt.MaxStages && temp > minTemp && stall < opt.StallStages; stage++ {
+		stats.Stages++
+		improvedThisStage := false
+		for move := 0; move < opt.MovesPerStage; move++ {
+			stats.Moves++
+			next := cur.Neighbor(rng)
+			nextCost := next.Cost()
+			delta := nextCost - curCost
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+				stats.Accepted++
+				if delta < 0 {
+					stats.Improved++
+				}
+				cur, curCost = next, nextCost
+				if curCost < bestCost {
+					best, bestCost = cur, curCost
+					improvedThisStage = true
+				}
+			}
+		}
+		if improvedThisStage {
+			stall = 0
+		} else {
+			stall++
+		}
+		temp *= opt.Cooling
+		stats.FinalTemp = temp
+	}
+	stats.BestCost = bestCost
+	return best, stats
+}
+
+// calibrate estimates an initial temperature from a short random walk:
+// the mean uphill delta divided by ln(1/p₀) with p₀ = 0.9, so roughly
+// 90 % of uphill moves are initially accepted.
+func calibrate(s Solution, rng *rand.Rand) float64 {
+	const samples = 40
+	cur := s
+	curCost := cur.Cost()
+	var sum float64
+	var ups int
+	for i := 0; i < samples; i++ {
+		next := cur.Neighbor(rng)
+		nextCost := next.Cost()
+		if d := nextCost - curCost; d > 0 {
+			sum += d
+			ups++
+		}
+		cur, curCost = next, nextCost
+	}
+	if ups == 0 || sum == 0 {
+		return 1.0
+	}
+	return (sum / float64(ups)) / math.Log(1/0.9)
+}
+
+// Greedy runs pure hill-climbing (temperature zero): only improving
+// moves are accepted. Useful as an ablation baseline against Anneal.
+func Greedy(initial Solution, moves int, seed int64) (Solution, Stats) {
+	rng := rand.New(rand.NewSource(seed + 1))
+	cur := initial
+	curCost := cur.Cost()
+	stats := Stats{InitCost: curCost}
+	for i := 0; i < moves; i++ {
+		stats.Moves++
+		next := cur.Neighbor(rng)
+		if c := next.Cost(); c < curCost {
+			cur, curCost = next, c
+			stats.Accepted++
+			stats.Improved++
+		}
+	}
+	stats.BestCost = curCost
+	return cur, stats
+}

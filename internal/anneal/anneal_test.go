@@ -1,0 +1,113 @@
+package anneal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// quadratic is a toy search space: integers with cost (x - 37)², plus
+// a rugged term to give SA hills to climb.
+type quadratic struct {
+	x      int
+	rugged bool
+}
+
+func (q quadratic) Cost() float64 {
+	d := float64(q.x - 37)
+	c := d * d
+	if q.rugged {
+		c += 40 * math.Abs(math.Sin(float64(q.x)))
+	}
+	return c
+}
+
+func (q quadratic) Neighbor(rng *rand.Rand) Solution {
+	step := rng.Intn(7) - 3
+	return quadratic{q.x + step, q.rugged}
+}
+
+func TestAnnealFindsOptimum(t *testing.T) {
+	best, stats := Anneal(quadratic{x: 500}, Options{Seed: 1})
+	q := best.(quadratic)
+	if q.Cost() > 4 {
+		t.Fatalf("anneal ended at x=%d cost=%v, want near 37 (stats: %v)", q.x, q.Cost(), stats)
+	}
+	if stats.Moves == 0 || stats.Accepted == 0 {
+		t.Fatal("no moves recorded")
+	}
+	if stats.BestCost > stats.InitCost {
+		t.Fatal("best cost must not exceed initial cost")
+	}
+}
+
+func TestAnnealRuggedLandscape(t *testing.T) {
+	best, _ := Anneal(quadratic{x: 300, rugged: true}, Options{Seed: 2, MovesPerStage: 200})
+	q := best.(quadratic)
+	if math.Abs(float64(q.x-37)) > 10 {
+		t.Fatalf("rugged anneal ended at x=%d, want near 37", q.x)
+	}
+}
+
+func TestAnnealDeterministicWithSeed(t *testing.T) {
+	a, _ := Anneal(quadratic{x: 200}, Options{Seed: 7})
+	b, _ := Anneal(quadratic{x: 200}, Options{Seed: 7})
+	if a.(quadratic).x != b.(quadratic).x {
+		t.Fatal("same seed must give same result")
+	}
+}
+
+func TestAnnealRespectsMaxStages(t *testing.T) {
+	_, stats := Anneal(quadratic{x: 500}, Options{Seed: 1, MaxStages: 3, StallStages: 100})
+	if stats.Stages > 3 {
+		t.Fatalf("Stages = %d, want <= 3", stats.Stages)
+	}
+}
+
+func TestAnnealStallStops(t *testing.T) {
+	// Start at the optimum: no improvement is possible, so the run
+	// must stop after StallStages stages.
+	_, stats := Anneal(quadratic{x: 37}, Options{Seed: 1, StallStages: 5, MaxStages: 1000})
+	if stats.Stages > 60 {
+		t.Fatalf("Stages = %d, expected early stall stop", stats.Stages)
+	}
+}
+
+func TestGreedyOnlyImproves(t *testing.T) {
+	best, stats := Greedy(quadratic{x: 90}, 3000, 3)
+	q := best.(quadratic)
+	if q.Cost() > 4 {
+		t.Fatalf("greedy ended at x=%d, want near 37", q.x)
+	}
+	if stats.Accepted != stats.Improved {
+		t.Fatal("greedy must only accept improving moves")
+	}
+}
+
+func TestEvolveFindsOptimum(t *testing.T) {
+	best, stats := Evolve(quadratic{x: 400}, GAOptions{Seed: 5, Generations: 600, StallGenerations: 100})
+	q := best.(quadratic)
+	if q.Cost() > 9 {
+		t.Fatalf("evolve ended at x=%d cost=%v (stats %v)", q.x, q.Cost(), stats)
+	}
+}
+
+func TestTwoPhaseBeatsItsStart(t *testing.T) {
+	best, stats := TwoPhase(quadratic{x: 700, rugged: true},
+		GAOptions{Seed: 11, Generations: 30},
+		Options{Seed: 11, MovesPerStage: 100})
+	q := best.(quadratic)
+	if math.Abs(float64(q.x-37)) > 10 {
+		t.Fatalf("two-phase ended at x=%d, want near 37", q.x)
+	}
+	if stats.BestCost >= stats.InitCost {
+		t.Fatal("two-phase must improve on the initial cost")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Stages: 1, Moves: 2, Accepted: 1, BestCost: 3}
+	if s.String() == "" {
+		t.Fatal("empty stats string")
+	}
+}

@@ -1,0 +1,110 @@
+package anneal
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// GAOptions configure the evolutionary baseline.
+type GAOptions struct {
+	// Population size (μ). Default 20.
+	Population int
+	// Offspring per generation (λ). Default 40.
+	Offspring int
+	// Generations to run. Default 100.
+	Generations int
+	// StallGenerations stops early after this many generations
+	// without improvement. Default 20.
+	StallGenerations int
+	// Seed for the internal RNG.
+	Seed int64
+}
+
+func (o GAOptions) withDefaults() GAOptions {
+	if o.Population <= 0 {
+		o.Population = 20
+	}
+	if o.Offspring <= 0 {
+		o.Offspring = 40
+	}
+	if o.Generations <= 0 {
+		o.Generations = 100
+	}
+	if o.StallGenerations <= 0 {
+		o.StallGenerations = 20
+	}
+	return o
+}
+
+// scored pairs a solution with its cached cost.
+type scored struct {
+	s Solution
+	c float64
+}
+
+// Evolve runs a (μ+λ) mutation-based evolutionary search seeded from
+// the initial solution: each generation draws parents uniformly from
+// the population, produces offspring via Neighbor, and keeps the best
+// μ of parents plus offspring. It is the genetic-algorithm stand-in of
+// the two-phase approach [28]; with interface-level neighbors,
+// mutation is the only variation operator, which matches how
+// permutation encodings are typically mutated in analog placement.
+func Evolve(initial Solution, opt GAOptions) (Solution, Stats) {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	pop := make([]scored, 1, opt.Population)
+	pop[0] = scored{initial, initial.Cost()}
+	stats := Stats{InitCost: pop[0].c}
+	// Fill the initial population with mutants of the seed.
+	for len(pop) < opt.Population {
+		m := initial.Neighbor(rng)
+		pop = append(pop, scored{m, m.Cost()})
+		stats.Moves++
+	}
+	sortPop(pop)
+	best := pop[0]
+	stall := 0
+	for gen := 0; gen < opt.Generations && stall < opt.StallGenerations; gen++ {
+		stats.Stages++
+		for i := 0; i < opt.Offspring; i++ {
+			parent := pop[rng.Intn(len(pop))]
+			child := parent.s.Neighbor(rng)
+			pop = append(pop, scored{child, child.Cost()})
+			stats.Moves++
+		}
+		sortPop(pop)
+		pop = pop[:opt.Population]
+		if pop[0].c < best.c {
+			best = pop[0]
+			stats.Improved++
+			stall = 0
+		} else {
+			stall++
+		}
+	}
+	stats.BestCost = best.c
+	return best.s, stats
+}
+
+func sortPop(pop []scored) {
+	sort.SliceStable(pop, func(i, j int) bool { return pop[i].c < pop[j].c })
+}
+
+// TwoPhase runs the GA+SA combination reported in [28]: a coarse
+// evolutionary exploration followed by simulated-annealing refinement
+// of the evolved best, with the SA temperature calibrated on the
+// already-improved solution so the second phase fine-tunes rather than
+// re-randomizes.
+func TwoPhase(initial Solution, ga GAOptions, sa Options) (Solution, Stats) {
+	evolved, gaStats := Evolve(initial, ga)
+	refined, saStats := Anneal(evolved, sa)
+	return refined, Stats{
+		Stages:    gaStats.Stages + saStats.Stages,
+		Moves:     gaStats.Moves + saStats.Moves,
+		Accepted:  gaStats.Accepted + saStats.Accepted,
+		Improved:  gaStats.Improved + saStats.Improved,
+		FinalTemp: saStats.FinalTemp,
+		InitCost:  gaStats.InitCost,
+		BestCost:  saStats.BestCost,
+	}
+}

@@ -1,0 +1,263 @@
+// Package asf implements automatically symmetric-feasible B*-trees
+// (ASF-B*-trees, Lin/Lin [16]), which model the placement of one
+// symmetry group as a "symmetry island": a placement that is mirror-
+// symmetric about a vertical axis by construction, so that no
+// symmetric-feasibility check is ever needed during annealing.
+//
+// The tree packs only representatives of the group's right half:
+// each symmetric pair contributes its right member (full size), each
+// self-symmetric module contributes its right half (half width). The
+// representative tree is packed with the ordinary B*-tree contour; the
+// left half of the island is the exact mirror image. Self-symmetric
+// representatives must sit on the axis, which in B*-tree terms means
+// they form the chain of right children starting at the root (a right
+// child inherits its parent's x, and the root is at x = 0).
+package asf
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bstar"
+	"repro/internal/geom"
+)
+
+// Pair is one symmetric pair: left and right member names share
+// dimensions w × h.
+type Pair struct {
+	Left, Right string
+	W, H        int
+}
+
+// Self is one self-symmetric module; its width must be even.
+type Self struct {
+	Name string
+	W, H int
+}
+
+// Island is the ASF-B*-tree for one symmetry group.
+type Island struct {
+	pairs []Pair
+	selfs []Self
+	// reps is the representative B*-tree: module ids 0..len(selfs)-1
+	// are self representatives (in chain order), the rest are pair
+	// representatives (pair i at id len(selfs)+i).
+	reps *bstar.Tree
+}
+
+// New builds an island with a canonical initial tree: self
+// representatives chained as right children from the root, pair
+// representatives chained as left children below the last self (or
+// from the root when there are no selfs).
+func New(pairs []Pair, selfs []Self) (*Island, error) {
+	if len(pairs) == 0 && len(selfs) == 0 {
+		return nil, fmt.Errorf("asf: empty symmetry group")
+	}
+	for _, s := range selfs {
+		if s.W%2 != 0 {
+			return nil, fmt.Errorf("asf: self-symmetric module %q has odd width %d", s.Name, s.W)
+		}
+	}
+	for _, p := range pairs {
+		if p.W <= 0 || p.H <= 0 {
+			return nil, fmt.Errorf("asf: pair (%s,%s) has non-positive size", p.Left, p.Right)
+		}
+	}
+	isl := &Island{pairs: pairs, selfs: selfs}
+	isl.reps = bstar.New(isl.repDims())
+	t := isl.reps
+	n := t.N()
+	for i := 0; i < n; i++ {
+		t.Left[i], t.Right[i], t.Parent[i] = -1, -1, -1
+	}
+	ns := len(selfs)
+	if ns > 0 {
+		t.Root = 0
+		for i := 1; i < ns; i++ {
+			t.Right[i-1] = i
+			t.Parent[i] = i - 1
+		}
+		// Pair reps as a left chain under the first self.
+		prev := 0
+		for i := 0; i < len(pairs); i++ {
+			m := ns + i
+			t.Left[prev] = m
+			t.Parent[m] = prev
+			prev = m
+		}
+	} else {
+		t.Root = 0
+		for i := 1; i < len(pairs); i++ {
+			t.Left[i-1] = i
+			t.Parent[i] = i - 1
+		}
+	}
+	return isl, nil
+}
+
+// repDims returns widths and heights for the representative modules.
+func (isl *Island) repDims() ([]int, []int) {
+	n := len(isl.selfs) + len(isl.pairs)
+	w := make([]int, n)
+	h := make([]int, n)
+	for i, s := range isl.selfs {
+		w[i], h[i] = s.W/2, s.H
+	}
+	for i, p := range isl.pairs {
+		w[len(isl.selfs)+i], h[len(isl.selfs)+i] = p.W, p.H
+	}
+	return w, h
+}
+
+// Size returns the number of modules in the full island (2p + s).
+func (isl *Island) Size() int { return 2*len(isl.pairs) + len(isl.selfs) }
+
+// validChain reports whether all self representatives lie on the
+// right-child chain from the root (so they pack at x = 0).
+func (isl *Island) validChain() bool {
+	ns := len(isl.selfs)
+	if ns == 0 {
+		return true
+	}
+	onChain := map[int]bool{}
+	for m := isl.reps.Root; m != -1; m = isl.reps.Right[m] {
+		onChain[m] = true
+		if len(onChain) > isl.reps.N() {
+			return false
+		}
+	}
+	for i := 0; i < ns; i++ {
+		if !onChain[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Pack returns the symmetric placement of the island, mirrored about
+// the vertical axis at x = 0 (axis2 = 0 in doubled coordinates).
+// Right members and right halves pack at x ≥ 0; left members are
+// exact mirror images.
+func (isl *Island) Pack() (geom.Placement, error) {
+	if !isl.validChain() {
+		return nil, fmt.Errorf("asf: self-symmetric representatives left the axis chain")
+	}
+	x, y := isl.reps.Pack()
+	ns := len(isl.selfs)
+	pl := geom.Placement{}
+	for i, s := range isl.selfs {
+		if x[i] != 0 {
+			return nil, fmt.Errorf("asf: self representative %q packed at x=%d, want 0", s.Name, x[i])
+		}
+		// Full module centered on the axis.
+		pl[s.Name] = geom.NewRect(-s.W/2, y[i], s.W, s.H)
+	}
+	for i, p := range isl.pairs {
+		m := ns + i
+		w, h := p.W, p.H
+		if isl.reps.Rot[m] {
+			w, h = h, w
+		}
+		right := geom.NewRect(x[m], y[m], w, h)
+		pl[p.Right] = right
+		pl[p.Left] = right.MirrorX(0)
+	}
+	return pl, nil
+}
+
+// Perturb applies one random island-preserving move: rotate a pair
+// (both members), swap two pair representatives, move a pair
+// representative, or swap adjacent self representatives in the axis
+// chain. The island invariant (selfs on the axis chain) is preserved;
+// moves that would break it are retried.
+func (isl *Island) Perturb(rng *rand.Rand) {
+	ns, np := len(isl.selfs), len(isl.pairs)
+	t := isl.reps
+	for attempt := 0; attempt < 24; attempt++ {
+		backup := t.Clone()
+		switch op := rng.Intn(4); {
+		case op == 0 && np > 0: // rotate a pair rep
+			t.Rotate(ns + rng.Intn(np))
+		case op == 1 && np >= 2: // swap two pair reps
+			a := ns + rng.Intn(np)
+			b := ns + rng.Intn(np-1)
+			if b >= a {
+				b++
+			}
+			t.SwapNodes(a, b)
+		case op == 2 && np > 0: // move a pair rep
+			m := ns + rng.Intn(np)
+			t.Delete(m)
+			reattach(t, m, rng)
+		case op == 3 && ns >= 2: // swap two selfs in the chain
+			a := rng.Intn(ns)
+			b := rng.Intn(ns - 1)
+			if b >= a {
+				b++
+			}
+			// Equal-width selfs can swap ids freely; different widths
+			// still stay on the chain, so a node swap is safe.
+			t.SwapNodes(a, b)
+		default:
+			continue
+		}
+		if isl.validChain() {
+			return
+		}
+		// Restore and retry.
+		*t = *backup
+	}
+}
+
+// reattach inserts detached module m at a random free slot that keeps
+// the self chain intact: left-child slots anywhere, or the right slot
+// of the last chain node / of pair representatives.
+func reattach(t *bstar.Tree, m int, rng *rand.Rand) {
+	n := t.N()
+	type slot struct{ p, side int }
+	var slots []slot
+	for p := 0; p < n; p++ {
+		if p == m {
+			continue
+		}
+		if t.Left[p] == -1 {
+			slots = append(slots, slot{p, 0})
+		}
+		if t.Right[p] == -1 {
+			slots = append(slots, slot{p, 1})
+		}
+	}
+	if len(slots) == 0 {
+		// Tree was a single node: attach under it.
+		for p := 0; p < n; p++ {
+			if p != m {
+				t.InsertChild(p, m, 0)
+				return
+			}
+		}
+		return
+	}
+	s := slots[rng.Intn(len(slots))]
+	t.InsertChild(s.p, m, s.side)
+}
+
+// Clone returns a deep copy of the island.
+func (isl *Island) Clone() *Island {
+	return &Island{
+		pairs: append([]Pair(nil), isl.pairs...),
+		selfs: append([]Self(nil), isl.selfs...),
+		reps:  isl.reps.Clone(),
+	}
+}
+
+// Names returns all module names in the island.
+func (isl *Island) Names() []string {
+	var out []string
+	for _, p := range isl.pairs {
+		out = append(out, p.Left, p.Right)
+	}
+	for _, s := range isl.selfs {
+		out = append(out, s.Name)
+	}
+	return out
+}

@@ -1,0 +1,209 @@
+package asf
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/constraint"
+)
+
+func testIsland(t *testing.T) *Island {
+	t.Helper()
+	isl, err := New(
+		[]Pair{
+			{Left: "a", Right: "a'", W: 10, H: 8},
+			{Left: "b", Right: "b'", W: 6, H: 12},
+		},
+		[]Self{
+			{Name: "s1", W: 8, H: 6},
+			{Name: "s2", W: 4, H: 4},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return isl
+}
+
+func groupOf(isl *Island) constraint.SymmetryGroup {
+	g := constraint.SymmetryGroup{Name: "g", Vertical: true}
+	for _, p := range isl.pairs {
+		g.Pairs = append(g.Pairs, [2]string{p.Left, p.Right})
+	}
+	for _, s := range isl.selfs {
+		g.Selfs = append(g.Selfs, s.Name)
+	}
+	return g
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("empty group must fail")
+	}
+	if _, err := New(nil, []Self{{Name: "s", W: 7, H: 3}}); err == nil {
+		t.Fatal("odd self width must fail")
+	}
+	if _, err := New([]Pair{{Left: "a", Right: "b", W: 0, H: 3}}, nil); err == nil {
+		t.Fatal("zero pair width must fail")
+	}
+}
+
+func TestPackIsSymmetricByConstruction(t *testing.T) {
+	isl := testIsland(t)
+	pl, err := isl.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pl) != isl.Size() {
+		t.Fatalf("placement has %d modules, want %d", len(pl), isl.Size())
+	}
+	if !pl.Legal() {
+		t.Fatalf("island placement overlaps: %v", pl.Overlaps())
+	}
+	if err := groupOf(isl).Check(pl); err != nil {
+		t.Fatalf("island not symmetric: %v", err)
+	}
+	// The axis is at x=0: every self straddles it.
+	for _, s := range isl.selfs {
+		r := pl[s.Name]
+		if r.X != -s.W/2 {
+			t.Fatalf("self %q at x=%d, want %d", s.Name, r.X, -s.W/2)
+		}
+	}
+}
+
+// The defining ASF property: symmetry holds after every perturbation,
+// with no feasibility checking by the caller.
+func TestPerturbPreservesSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	isl := testIsland(t)
+	g := groupOf(isl)
+	for step := 0; step < 500; step++ {
+		isl.Perturb(rng)
+		pl, err := isl.Pack()
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		if !pl.Legal() {
+			t.Fatalf("step %d: overlaps %v", step, pl.Overlaps())
+		}
+		if err := g.Check(pl); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+	}
+}
+
+func TestPairsOnlyIsland(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	isl, err := New([]Pair{
+		{Left: "l1", Right: "r1", W: 5, H: 5},
+		{Left: "l2", Right: "r2", W: 7, H: 3},
+		{Left: "l3", Right: "r3", W: 3, H: 9},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := groupOf(isl)
+	for step := 0; step < 300; step++ {
+		isl.Perturb(rng)
+		pl, err := isl.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pl.Legal() || g.Check(pl) != nil {
+			t.Fatalf("step %d: invalid island", step)
+		}
+	}
+}
+
+func TestSelfsOnlyIsland(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	isl, err := New(nil, []Self{
+		{Name: "x", W: 10, H: 4},
+		{Name: "y", W: 6, H: 8},
+		{Name: "z", W: 2, H: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := groupOf(isl)
+	pl, err := isl.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Selfs stack on the axis.
+	if err := g.Check(pl); err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 200; step++ {
+		isl.Perturb(rng)
+		pl, err := isl.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pl.Legal() || g.Check(pl) != nil {
+			t.Fatalf("step %d: invalid selfs-only island", step)
+		}
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	isl := testIsland(t)
+	before, err := isl.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := isl.Clone()
+	for i := 0; i < 50; i++ {
+		cl.Perturb(rng)
+	}
+	after, err := isl.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range before {
+		if after[name] != r {
+			t.Fatal("perturbing a clone mutated the original")
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	isl := testIsland(t)
+	names := isl.Names()
+	if len(names) != 6 {
+		t.Fatalf("Names = %v, want 6 entries", names)
+	}
+}
+
+// Exploring many islands, the annealer must be able to reach a
+// compact square-ish arrangement; check the best area found over a
+// random walk is close to the module-area lower bound.
+func TestIslandReachesCompactPlacements(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	isl, err := New([]Pair{
+		{Left: "l1", Right: "r1", W: 4, H: 8},
+		{Left: "l2", Right: "r2", W: 4, H: 8},
+	}, []Self{{Name: "s", W: 8, H: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var modArea int64
+	pl, _ := isl.Pack()
+	modArea = pl.ModuleArea()
+	best := int64(1 << 62)
+	for step := 0; step < 2000; step++ {
+		isl.Perturb(rng)
+		p, err := isl.Pack()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a := p.Area(); a < best {
+			best = a
+		}
+	}
+	if float64(best) > 1.5*float64(modArea) {
+		t.Fatalf("best island area %d too far above module area %d", best, modArea)
+	}
+}

@@ -1,0 +1,402 @@
+package bstar
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestNewChain(t *testing.T) {
+	w := []int{10, 20, 30}
+	h := []int{5, 5, 5}
+	tr := New(w, h)
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x, y := tr.Pack()
+	// Chain of left children: a single row.
+	if x[0] != 0 || x[1] != 10 || x[2] != 30 {
+		t.Fatalf("x = %v, want [0 10 30]", x)
+	}
+	for i, yi := range y {
+		if yi != 0 {
+			t.Fatalf("y[%d] = %d, want 0", i, yi)
+		}
+	}
+	tw, th := tr.Span()
+	if tw != 60 || th != 5 {
+		t.Fatalf("span %dx%d, want 60x5", tw, th)
+	}
+}
+
+func TestEmptyAndSingle(t *testing.T) {
+	empty := New(nil, nil)
+	if err := empty.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tw, th := empty.Span(); tw != 0 || th != 0 {
+		t.Fatal("empty span must be zero")
+	}
+	one := New([]int{7}, []int{9})
+	x, y := one.Pack()
+	if x[0] != 0 || y[0] != 0 {
+		t.Fatal("single module must pack at origin")
+	}
+	if one.Area() != 63 {
+		t.Fatalf("Area = %d, want 63", one.Area())
+	}
+}
+
+func TestRightChildStacks(t *testing.T) {
+	// Root 0 with right child 1: same x, above.
+	tr := New([]int{10, 6}, []int{4, 8})
+	tr.Left[0] = none
+	tr.Parent[1] = 0
+	tr.Right[0] = 1
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x, y := tr.Pack()
+	if x[1] != 0 || y[1] != 4 {
+		t.Fatalf("right child at (%d,%d), want (0,4)", x[1], y[1])
+	}
+}
+
+func TestContourPacking(t *testing.T) {
+	// Root 0 (10x4), left child 1 (6x8) to its right, and 1's right
+	// child 2 (6x2) above 1. Then 0's right child 3 (20x3) above 0:
+	// its span [0,20) covers modules 1's column too, so it must rest
+	// on the tallest contour beneath.
+	w := []int{10, 6, 6, 20}
+	h := []int{4, 8, 2, 3}
+	tr := New(w, h)
+	for i := range w {
+		tr.Left[i], tr.Right[i], tr.Parent[i] = none, none, none
+	}
+	tr.Root = 0
+	tr.Left[0], tr.Parent[1] = 1, 0
+	tr.Right[1], tr.Parent[2] = 2, 1
+	tr.Right[0], tr.Parent[3] = 3, 0
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x, y := tr.Pack()
+	if x[1] != 10 || y[1] != 0 {
+		t.Fatalf("module 1 at (%d,%d), want (10,0)", x[1], y[1])
+	}
+	if x[2] != 10 || y[2] != 8 {
+		t.Fatalf("module 2 at (%d,%d), want (10,8)", x[2], y[2])
+	}
+	// Module 3 spans [0,20): contour is 10 high over [10,16) after
+	// module 2, so y = 10.
+	if x[3] != 0 || y[3] != 10 {
+		t.Fatalf("module 3 at (%d,%d), want (0,10)", x[3], y[3])
+	}
+}
+
+func TestRotate(t *testing.T) {
+	tr := New([]int{10}, []int{4})
+	tr.Rotate(0)
+	tw, th := tr.Span()
+	if tw != 4 || th != 10 {
+		t.Fatalf("rotated span %dx%d, want 4x10", tw, th)
+	}
+	tr.Rotate(0)
+	tw, th = tr.Span()
+	if tw != 10 || th != 4 {
+		t.Fatal("double rotation must restore dims")
+	}
+}
+
+// Packing must never overlap modules, for random trees and random
+// perturbation sequences.
+func TestPackLegalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(15)
+		w := make([]int, n)
+		h := make([]int, n)
+		names := make([]string, n)
+		for i := range w {
+			w[i] = 1 + rng.Intn(30)
+			h[i] = 1 + rng.Intn(30)
+			names[i] = string(rune('a' + i))
+		}
+		tr := NewRandom(w, h, rng)
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		for step := 0; step < 40; step++ {
+			tr.Perturb(rng)
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+			p, err := tr.Placement(names)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !p.Legal() {
+				t.Fatalf("trial %d step %d: overlaps %v", trial, step, p.Overlaps())
+			}
+		}
+	}
+}
+
+// Packed placements must be compacted: every module either touches the
+// left boundary or another module on its left, ditto for bottom.
+func TestPackingIsCompacted(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(10)
+		w := make([]int, n)
+		h := make([]int, n)
+		for i := range w {
+			w[i] = 1 + rng.Intn(20)
+			h[i] = 1 + rng.Intn(20)
+		}
+		tr := NewRandom(w, h, rng)
+		x, y := tr.Pack()
+		for m := 0; m < n; m++ {
+			if y[m] == 0 {
+				continue
+			}
+			wm, _ := tr.dims(m)
+			supported := false
+			for o := 0; o < n; o++ {
+				if o == m {
+					continue
+				}
+				wo, ho := tr.dims(o)
+				if y[o]+ho == y[m] && x[o] < x[m]+wm && x[m] < x[o]+wo {
+					supported = true
+					break
+				}
+			}
+			if !supported {
+				t.Fatalf("trial %d: module %d floats at y=%d", trial, m, y[m])
+			}
+		}
+	}
+}
+
+func TestSwapNodesAdjacent(t *testing.T) {
+	// Chain 0 -> 1 -> 2 (left children). Swap parent/child pairs.
+	tr := New([]int{1, 2, 3}, []int{1, 1, 1})
+	tr.SwapNodes(0, 1) // 0 is parent of 1
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root != 1 || tr.Left[1] != 0 || tr.Left[0] != 2 {
+		t.Fatalf("adjacent swap wrong: root=%d left[1]=%d left[0]=%d", tr.Root, tr.Left[1], tr.Left[0])
+	}
+	tr.SwapNodes(1, 0) // reverse, passing child first
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root != 0 {
+		t.Fatal("swap back must restore root")
+	}
+	tr.SwapNodes(2, 2) // self swap: no-op
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteInsert(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	w := []int{1, 2, 3, 4, 5}
+	h := []int{5, 4, 3, 2, 1}
+	tr := NewRandom(w, h, rng)
+	tr.Delete(2)
+	// 2 must be detached; remaining structure valid (checked by
+	// walking from root and counting 4 reachable).
+	if tr.Parent[2] != none || tr.Left[2] != none || tr.Right[2] != none {
+		t.Fatal("deleted module still linked")
+	}
+	count := 0
+	var walk func(m int)
+	walk = func(m int) {
+		if m == none {
+			return
+		}
+		count++
+		walk(tr.Left[m])
+		walk(tr.Right[m])
+	}
+	walk(tr.Root)
+	if count != 4 {
+		t.Fatalf("reachable after delete = %d, want 4", count)
+	}
+	tr.InsertChild(tr.Root, 2, 1-boolToInt(tr.Right[tr.Root] == none))
+	_ = tr
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func TestDeleteRoot(t *testing.T) {
+	tr := New([]int{1, 2}, []int{1, 1})
+	tr.Delete(0)
+	if tr.Root != 1 {
+		t.Fatalf("root after delete = %d, want 1", tr.Root)
+	}
+	if tr.Parent[0] != none || tr.Left[1] != none && tr.Left[1] == 0 {
+		t.Fatal("deleted root still linked")
+	}
+	tr2 := New([]int{1}, []int{1})
+	tr2.Delete(0)
+	if tr2.Root != none {
+		t.Fatal("deleting only module must empty the tree")
+	}
+}
+
+func TestCountPlacements(t *testing.T) {
+	cases := map[int]int64{
+		1: 1,
+		2: 4,        // 2! * Catalan(2)=2
+		3: 30,       // 6 * 5
+		8: 57657600, // the paper's Section IV figure
+	}
+	for n, want := range cases {
+		if got := CountPlacements(n).Int64(); got != want {
+			t.Errorf("CountPlacements(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// The enumerator must produce exactly n!·Catalan(n) distinct valid
+// trees.
+func TestEnumerateTreesCount(t *testing.T) {
+	for n := 1; n <= 5; n++ {
+		w := make([]int, n)
+		h := make([]int, n)
+		for i := range w {
+			w[i] = i + 1
+			h[i] = i + 2
+		}
+		seen := map[string]bool{}
+		EnumerateTrees(w, h, func(tr *Tree) bool {
+			if err := tr.Validate(); err != nil {
+				t.Fatalf("n=%d: invalid enumerated tree: %v", n, err)
+			}
+			key := treeKey(tr)
+			if seen[key] {
+				t.Fatalf("n=%d: duplicate tree %s", n, key)
+			}
+			seen[key] = true
+			return true
+		})
+		want := CountPlacements(n).Int64()
+		if int64(len(seen)) != want {
+			t.Fatalf("n=%d: enumerated %d trees, want %d", n, len(seen), want)
+		}
+	}
+}
+
+func treeKey(t *Tree) string {
+	buf := make([]byte, 0, 3*t.N())
+	var walk func(m int)
+	walk = func(m int) {
+		if m == none {
+			buf = append(buf, '.')
+			return
+		}
+		buf = append(buf, byte('0'+m))
+		walk(t.Left[m])
+		walk(t.Right[m])
+	}
+	walk(t.Root)
+	return string(buf)
+}
+
+func TestEnumerateTreesEarlyStop(t *testing.T) {
+	count := 0
+	EnumerateTrees([]int{1, 1, 1}, []int{1, 1, 1}, func(*Tree) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early stop after %d, want 7", count)
+	}
+}
+
+// For small instances, exhaustive enumeration must find a packing at
+// least as good as any single random tree (sanity of optimality via
+// enumeration, used by the deterministic placer of Section IV).
+func TestEnumerationFindsOptimum(t *testing.T) {
+	w := []int{10, 10, 5, 5}
+	h := []int{5, 5, 10, 10}
+	best := int64(1 << 62)
+	EnumerateTrees(w, h, func(tr *Tree) bool {
+		if a := tr.Area(); a < best {
+			best = a
+		}
+		return true
+	})
+	// Total module area is 200; a perfect 20x10 packing exists:
+	// [10x5 stacked twice] next to [5x10, 5x10].
+	if best != 200 {
+		t.Fatalf("best enumerated area = %d, want 200 (perfect packing)", best)
+	}
+}
+
+func TestValidateDetectsCorruption(t *testing.T) {
+	tr := New([]int{1, 2, 3}, []int{1, 1, 1})
+	tr.Parent[2] = 0 // inconsistent: 2 is left child of 1
+	if err := tr.Validate(); err == nil {
+		t.Fatal("corrupt parent link must fail validation")
+	}
+	tr2 := New([]int{1, 2}, []int{1, 1})
+	tr2.Left[1] = 0 // cycle
+	if err := tr2.Validate(); err == nil {
+		t.Fatal("cycle must fail validation")
+	}
+	tr3 := New([]int{1, 2}, []int{1, 1})
+	tr3.Root = 5
+	if err := tr3.Validate(); err == nil {
+		t.Fatal("out-of-range root must fail validation")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tr := NewRandom([]int{1, 2, 3}, []int{3, 2, 1}, rng)
+	cl := tr.Clone()
+	cl.Perturb(rng)
+	cl.Rot[0] = !cl.Rot[0]
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("original corrupted by clone mutation: %v", err)
+	}
+}
+
+func TestPlacementNamesMismatch(t *testing.T) {
+	tr := New([]int{1}, []int{1})
+	if _, err := tr.Placement(nil); err == nil {
+		t.Fatal("wrong name count must fail")
+	}
+}
+
+var sinkPlacement geom.Placement
+
+func BenchmarkPack50(b *testing.B)  { benchPackN(b, 50) }
+func BenchmarkPack500(b *testing.B) { benchPackN(b, 500) }
+
+func benchPackN(b *testing.B, n int) {
+	rng := rand.New(rand.NewSource(17))
+	w := make([]int, n)
+	h := make([]int, n)
+	for i := range w {
+		w[i] = 1 + rng.Intn(50)
+		h[i] = 1 + rng.Intn(50)
+	}
+	tr := NewRandom(w, h, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Pack()
+	}
+}

@@ -1,0 +1,102 @@
+package bstar
+
+// shape is one unlabeled binary tree shape.
+type shape struct {
+	left, right *shape
+}
+
+// shapeSize returns the node count of a shape.
+func shapeSize(s *shape) int {
+	if s == nil {
+		return 0
+	}
+	return 1 + shapeSize(s.left) + shapeSize(s.right)
+}
+
+// genShapes returns all binary tree shapes with n nodes (Catalan(n)
+// of them). Shapes share subtrees; treat them as read-only.
+func genShapes(n int) []*shape {
+	if n == 0 {
+		return []*shape{nil}
+	}
+	var out []*shape
+	for k := 0; k < n; k++ {
+		lefts := genShapes(k)
+		rights := genShapes(n - 1 - k)
+		for _, l := range lefts {
+			for _, r := range rights {
+				out = append(out, &shape{l, r})
+			}
+		}
+	}
+	return out
+}
+
+// EnumerateTrees invokes fn with every distinct B*-tree over the given
+// module dimensions: all Catalan(n) shapes times all n! label
+// assignments, n!·Catalan(n) trees total (57,657,600 for n = 8 — use
+// only for small n). Rotation flags stay false; callers wanting
+// orientations enumerate Rot masks themselves. The Tree passed to fn
+// is reused; fn must not retain it. Returning false stops the
+// enumeration.
+func EnumerateTrees(w, h []int, fn func(*Tree) bool) {
+	n := len(w)
+	t := New(w, h)
+	if n == 0 {
+		fn(t)
+		return
+	}
+	labels := make([]int, n)
+	for i := range labels {
+		labels[i] = i
+	}
+	shapes := genShapes(n)
+	var permute func(k int) bool
+	assign := func(s *shape) {
+		// Map labels to shape positions in pre-order; rebuild links.
+		for i := 0; i < n; i++ {
+			t.Left[i], t.Right[i], t.Parent[i] = none, none, none
+		}
+		idx := 0
+		var build func(s *shape) int
+		build = func(s *shape) int {
+			if s == nil {
+				return none
+			}
+			m := labels[idx]
+			idx++
+			if l := build(s.left); l != none {
+				t.Left[m] = l
+				t.Parent[l] = m
+			}
+			if r := build(s.right); r != none {
+				t.Right[m] = r
+				t.Parent[r] = m
+			}
+			return m
+		}
+		t.Root = build(s)
+	}
+	var current *shape
+	permute = func(k int) bool {
+		if k == n {
+			assign(current)
+			return fn(t)
+		}
+		for i := k; i < n; i++ {
+			labels[k], labels[i] = labels[i], labels[k]
+			ok := permute(k + 1)
+			labels[k], labels[i] = labels[i], labels[k]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	for _, s := range shapes {
+		current = s
+		if !permute(0) {
+			return
+		}
+	}
+}

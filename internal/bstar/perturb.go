@@ -1,0 +1,190 @@
+package bstar
+
+import "math/rand"
+
+// OpKind identifies a perturbation applied by Perturb.
+type OpKind int
+
+// The three classic B*-tree perturbations.
+const (
+	OpRotate OpKind = iota // swap a module's width and height
+	OpMove                 // delete a module and reinsert it elsewhere
+	OpSwap                 // exchange two modules' tree positions
+)
+
+// Rotate toggles the rotation flag of module m.
+func (t *Tree) Rotate(m int) { t.Rot[m] = !t.Rot[m] }
+
+// SwapNodes exchanges the tree positions of modules a and b, keeping
+// their dimensions attached to the module ids. Adjacent nodes
+// (parent/child) are handled.
+func (t *Tree) SwapNodes(a, b int) {
+	if a == b {
+		return
+	}
+	// If a is b's parent, swap so that a is always the child when
+	// adjacent.
+	if t.Parent[b] == a {
+		a, b = b, a
+	}
+	pa, pb := t.Parent[a], t.Parent[b]
+	la, ra := t.Left[a], t.Right[a]
+	lb, rb := t.Left[b], t.Right[b]
+
+	if pa == b {
+		// b is a's parent: after the swap, a becomes b's parent.
+		sideLeft := t.Left[b] == a
+		t.Parent[a] = pb
+		if pb != none {
+			if t.Left[pb] == b {
+				t.Left[pb] = a
+			} else {
+				t.Right[pb] = a
+			}
+		} else {
+			t.Root = a
+		}
+		t.Parent[b] = a
+		if sideLeft {
+			t.Left[a] = b
+			t.Right[a] = rb
+			if rb != none {
+				t.Parent[rb] = a
+			}
+		} else {
+			t.Right[a] = b
+			t.Left[a] = lb
+			if lb != none {
+				t.Parent[lb] = a
+			}
+		}
+		t.Left[b], t.Right[b] = la, ra
+		if la != none {
+			t.Parent[la] = b
+		}
+		if ra != none {
+			t.Parent[ra] = b
+		}
+		return
+	}
+
+	// Non-adjacent: exchange all links.
+	t.Parent[a], t.Parent[b] = pb, pa
+	if pa != none {
+		if t.Left[pa] == a {
+			t.Left[pa] = b
+		} else {
+			t.Right[pa] = b
+		}
+	} else {
+		t.Root = b
+	}
+	if pb != none {
+		if t.Left[pb] == b {
+			t.Left[pb] = a
+		} else {
+			t.Right[pb] = a
+		}
+	} else {
+		t.Root = a
+	}
+	t.Left[a], t.Right[a] = lb, rb
+	t.Left[b], t.Right[b] = la, ra
+	for _, c := range [2]int{la, ra} {
+		if c != none {
+			t.Parent[c] = b
+		}
+	}
+	for _, c := range [2]int{lb, rb} {
+		if c != none {
+			t.Parent[c] = a
+		}
+	}
+}
+
+// Delete removes module m from the tree structure (its dimensions
+// remain). Internal nodes are first rotated down to a leaf by swapping
+// with children, preferring the left child, so relative order is
+// largely preserved — the standard B*-tree deletion.
+func (t *Tree) Delete(m int) {
+	for t.Left[m] != none || t.Right[m] != none {
+		c := t.Left[m]
+		if c == none {
+			c = t.Right[m]
+		}
+		t.SwapNodes(m, c)
+	}
+	p := t.Parent[m]
+	if p == none {
+		t.Root = none
+	} else if t.Left[p] == m {
+		t.Left[p] = none
+	} else {
+		t.Right[p] = none
+	}
+	t.Parent[m] = none
+}
+
+// InsertChild attaches detached module m as the left (side 0) or right
+// (side 1) child of p. The slot must be free.
+func (t *Tree) InsertChild(p, m, side int) {
+	if side == 0 {
+		t.Left[p] = m
+	} else {
+		t.Right[p] = m
+	}
+	t.Parent[m] = p
+}
+
+// Move deletes module m and reinserts it at a random free child slot.
+func (t *Tree) Move(m int, rng *rand.Rand) {
+	n := t.N()
+	if n < 2 {
+		return
+	}
+	t.Delete(m)
+	for {
+		p := rng.Intn(n)
+		if p == m {
+			continue
+		}
+		free := make([]int, 0, 2)
+		if t.Left[p] == none {
+			free = append(free, 0)
+		}
+		if t.Right[p] == none {
+			free = append(free, 1)
+		}
+		if len(free) == 0 {
+			continue
+		}
+		t.InsertChild(p, m, free[rng.Intn(len(free))])
+		return
+	}
+}
+
+// Perturb applies one random perturbation and returns its kind.
+func (t *Tree) Perturb(rng *rand.Rand) OpKind {
+	n := t.N()
+	if n == 0 {
+		return OpRotate
+	}
+	op := OpKind(rng.Intn(3))
+	if n == 1 {
+		op = OpRotate
+	}
+	switch op {
+	case OpRotate:
+		t.Rotate(rng.Intn(n))
+	case OpMove:
+		t.Move(rng.Intn(n), rng)
+	case OpSwap:
+		a := rng.Intn(n)
+		b := rng.Intn(n - 1)
+		if b >= a {
+			b++
+		}
+		t.SwapNodes(a, b)
+	}
+	return op
+}

@@ -1,0 +1,101 @@
+package constraint
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// InterdigitationPattern returns the classic two-device common-centroid
+// unit pattern of Fig. 3(a) for nA units of device A and nB units of
+// device B arranged in the given number of rows. The returned matrix
+// holds 'A' and 'B' labels row by row (row 0 at the bottom); the
+// pattern is point-symmetric about the array center, which guarantees
+// the common-centroid property for equal-size units.
+//
+// It returns an error when the units cannot fill the rows evenly or
+// when a point-symmetric arrangement is impossible (odd counts with an
+// odd grid).
+func InterdigitationPattern(nA, nB, rows int) ([][]byte, error) {
+	total := nA + nB
+	if rows <= 0 || total == 0 || total%rows != 0 {
+		return nil, fmt.Errorf("constraint: %d units do not fill %d rows", total, rows)
+	}
+	cols := total / rows
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = make([]byte, cols)
+	}
+	// Fill half the cells (plus the center cell when the grid is odd)
+	// greedily alternating A/B, then mirror through the center. Each
+	// placed pair (cell, point-mirror) consumes two units of one
+	// device, so odd unit counts only work if the grid has a center
+	// cell available for the device with the odd count.
+	remA, remB := nA, nB
+	cells := rows * cols
+	half := cells / 2
+	// Center cell (odd grid): must take a device with an odd count.
+	if cells%2 == 1 {
+		r, c := rows/2, cols/2
+		switch {
+		case remA%2 == 1:
+			grid[r][c] = 'A'
+			remA--
+		case remB%2 == 1:
+			grid[r][c] = 'B'
+			remB--
+		default:
+			return nil, fmt.Errorf("constraint: odd grid needs a device with an odd unit count")
+		}
+	}
+	if remA%2 != 0 || remB%2 != 0 {
+		return nil, fmt.Errorf("constraint: unit counts %d/%d cannot be point-symmetric on %dx%d",
+			nA, nB, rows, cols)
+	}
+	// Walk the first half of the cells in row-major order, alternating
+	// to interdigitate.
+	useA := true
+	for i := 0; i < half; i++ {
+		r, c := i/cols, i%cols
+		mr, mc := rows-1-r, cols-1-c
+		var lab byte
+		switch {
+		case remA >= 2 && (useA || remB < 2):
+			lab = 'A'
+			remA -= 2
+		case remB >= 2:
+			lab = 'B'
+			remB -= 2
+		default:
+			return nil, fmt.Errorf("constraint: ran out of units")
+		}
+		useA = !useA
+		grid[r][c] = lab
+		grid[mr][mc] = lab
+	}
+	return grid, nil
+}
+
+// PatternPlacement converts a label grid (as from
+// InterdigitationPattern) into a placement of equal-size unit modules
+// (unitW x unitH), naming units <owner><index> with 1-based indices in
+// row-major order, e.g. A1, B1, B2, A2... It also returns the
+// CommonCentroid constraint describing the group.
+func PatternPlacement(grid [][]byte, unitW, unitH int) (geom.Placement, CommonCentroid) {
+	p := geom.Placement{}
+	cc := CommonCentroid{Name: "cc", Units: map[string][]string{}}
+	counts := map[byte]int{}
+	for r, row := range grid {
+		for c, lab := range row {
+			if lab == 0 {
+				continue
+			}
+			counts[lab]++
+			name := fmt.Sprintf("%c%d", lab, counts[lab])
+			p[name] = geom.NewRect(c*unitW, r*unitH, unitW, unitH)
+			owner := string(lab)
+			cc.Units[owner] = append(cc.Units[owner], name)
+		}
+	}
+	return p, cc
+}

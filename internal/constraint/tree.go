@@ -1,0 +1,305 @@
+package constraint
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// Kind labels the constraint attached to one node of a layout design
+// hierarchy (Fig. 2 of the paper).
+type Kind int
+
+// Constraint kinds for hierarchy nodes.
+const (
+	KindNone           Kind = iota // plain grouping, no constraint
+	KindSymmetry                   // (hierarchical) symmetry
+	KindCommonCentroid             // common-centroid
+	KindProximity                  // (hierarchical) proximity
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindSymmetry:
+		return "symmetry"
+	case KindCommonCentroid:
+		return "common-centroid"
+	case KindProximity:
+		return "proximity"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Node is one sub-circuit of a layout design hierarchy. Leaves carry
+// device names; inner nodes carry child sub-circuits. A node's
+// constraint may reference both its direct devices and its children
+// (hierarchical symmetry: "a sub-circuit with the hierarchical symmetry
+// constraint may contain some devices together with other sub-circuits").
+type Node struct {
+	Name     string
+	Kind     Kind
+	Devices  []string // devices directly owned by this sub-circuit
+	Children []*Node  // nested sub-circuits
+
+	// Symmetry payload (Kind == KindSymmetry). Pair and self entries
+	// name either direct devices or children of this node; naming a
+	// child means the whole sub-circuit participates as one object.
+	SymPairs [][2]string
+	SymSelfs []string
+
+	// Common-centroid payload (Kind == KindCommonCentroid).
+	Units map[string][]string
+}
+
+// Child returns the named child node, or nil.
+func (n *Node) Child(name string) *Node {
+	for _, c := range n.Children {
+		if c.Name == name {
+			return c
+		}
+	}
+	return nil
+}
+
+// Leaves returns every device name in the subtree rooted at n, in a
+// deterministic (sorted) order.
+func (n *Node) Leaves() []string {
+	var out []string
+	var walk func(m *Node)
+	walk = func(m *Node) {
+		out = append(out, m.Devices...)
+		for _, c := range m.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	sort.Strings(out)
+	return out
+}
+
+// CountNodes returns the number of nodes in the subtree (including n).
+func (n *Node) CountNodes() int {
+	total := 1
+	for _, c := range n.Children {
+		total += c.CountNodes()
+	}
+	return total
+}
+
+// Depth returns the height of the subtree (a leaf-only node has depth 1).
+func (n *Node) Depth() int {
+	d := 0
+	for _, c := range n.Children {
+		if cd := c.Depth(); cd > d {
+			d = cd
+		}
+	}
+	return d + 1
+}
+
+// Validate checks the subtree: unique device ownership, constraint
+// payloads referencing existing devices/children, and per-kind sanity.
+func (n *Node) Validate() error {
+	seen := map[string]string{}
+	var walk func(m *Node) error
+	walk = func(m *Node) error {
+		for _, d := range m.Devices {
+			if prev, ok := seen[d]; ok {
+				return fmt.Errorf("constraint: device %q owned by nodes %q and %q", d, prev, m.Name)
+			}
+			seen[d] = m.Name
+		}
+		local := map[string]bool{}
+		for _, d := range m.Devices {
+			local[d] = true
+		}
+		for _, c := range m.Children {
+			if local[c.Name] {
+				return fmt.Errorf("constraint: node %q has device and child both named %q", m.Name, c.Name)
+			}
+			local[c.Name] = true
+		}
+		switch m.Kind {
+		case KindSymmetry:
+			if len(m.SymPairs) == 0 && len(m.SymSelfs) == 0 {
+				return fmt.Errorf("constraint: symmetry node %q has no pairs or selfs", m.Name)
+			}
+			for _, p := range m.SymPairs {
+				if !local[p[0]] || !local[p[1]] {
+					return fmt.Errorf("constraint: symmetry node %q references unknown member (%s,%s)",
+						m.Name, p[0], p[1])
+				}
+			}
+			for _, s := range m.SymSelfs {
+				if !local[s] {
+					return fmt.Errorf("constraint: symmetry node %q references unknown member %s", m.Name, s)
+				}
+			}
+		case KindCommonCentroid:
+			if len(m.Units) < 2 {
+				return fmt.Errorf("constraint: common-centroid node %q needs >= 2 owners", m.Name)
+			}
+			for o, units := range m.Units {
+				if len(units) == 0 {
+					return fmt.Errorf("constraint: common-centroid node %q: owner %q empty", m.Name, o)
+				}
+				for _, u := range units {
+					if !local[u] {
+						return fmt.Errorf("constraint: common-centroid node %q: unknown unit %q", m.Name, u)
+					}
+				}
+			}
+		}
+		for _, c := range m.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return walk(n)
+}
+
+// memberRect resolves a symmetry member of node n — either a direct
+// device or a child sub-circuit — to a rectangle in the placement: the
+// device rectangle, or the bounding box of the child's leaves.
+func (n *Node) memberRect(name string, p geom.Placement) (geom.Rect, []string, error) {
+	if c := n.Child(name); c != nil {
+		leaves := c.Leaves()
+		sub := geom.Placement{}
+		for _, l := range leaves {
+			r, ok := p[l]
+			if !ok {
+				return geom.Rect{}, nil, fmt.Errorf("constraint: device %q of sub-circuit %q missing", l, name)
+			}
+			sub[l] = r
+		}
+		return sub.BBox(), leaves, nil
+	}
+	r, ok := p[name]
+	if !ok {
+		return geom.Rect{}, nil, fmt.Errorf("constraint: device %q missing from placement", name)
+	}
+	return r, []string{name}, nil
+}
+
+// Check validates the placement against every constraint in the
+// subtree. Hierarchical symmetry is checked strictly: paired
+// sub-circuits must be exact mirror images device-by-device, matching
+// the symmetry-island placements of Fig. 4.
+func (n *Node) Check(p geom.Placement) error {
+	switch n.Kind {
+	case KindSymmetry:
+		if err := n.checkSymmetry(p); err != nil {
+			return err
+		}
+	case KindCommonCentroid:
+		cc := CommonCentroid{Name: n.Name, Units: n.Units}
+		if err := cc.Check(p); err != nil {
+			return err
+		}
+	case KindProximity:
+		members := append([]string{}, n.Devices...)
+		for _, c := range n.Children {
+			members = append(members, c.Leaves()...)
+		}
+		pr := Proximity{Name: n.Name, Members: members}
+		if err := pr.Check(p); err != nil {
+			return err
+		}
+	}
+	for _, c := range n.Children {
+		if err := c.Check(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (n *Node) checkSymmetry(p geom.Placement) error {
+	// Derive the axis from the first pair or self member (bounding
+	// boxes for sub-circuit members), then verify every member.
+	axis2, ok := n.symmetryAxis2(p)
+	if !ok {
+		return fmt.Errorf("constraint: symmetry node %q: cannot derive axis", n.Name)
+	}
+	for _, pr := range n.SymPairs {
+		ra, la, err := n.memberRect(pr[0], p)
+		if err != nil {
+			return err
+		}
+		rb, lb, err := n.memberRect(pr[1], p)
+		if err != nil {
+			return err
+		}
+		if !geom.SymmetricPairAboutX(ra, rb, axis2) {
+			return fmt.Errorf("constraint: symmetry node %q: pair (%s,%s) outlines not mirrored",
+				n.Name, pr[0], pr[1])
+		}
+		// Sub-circuit pairs must mirror device-by-device. The two leaf
+		// lists correspond by construction order; we instead check
+		// set-wise: every mirrored rectangle of A must appear in B.
+		if len(la) > 1 || len(lb) > 1 {
+			if err := mirroredSetEqual(p, la, lb, axis2); err != nil {
+				return fmt.Errorf("constraint: symmetry node %q pair (%s,%s): %v",
+					n.Name, pr[0], pr[1], err)
+			}
+		}
+	}
+	for _, s := range n.SymSelfs {
+		r, leaves, err := n.memberRect(s, p)
+		if err != nil {
+			return err
+		}
+		if !geom.SelfSymmetricAboutX(r, axis2) {
+			return fmt.Errorf("constraint: symmetry node %q: self member %q off axis", n.Name, s)
+		}
+		// A self-symmetric sub-circuit must itself be mirror-symmetric.
+		if len(leaves) > 1 {
+			if err := mirroredSetEqual(p, leaves, leaves, axis2); err != nil {
+				return fmt.Errorf("constraint: symmetry node %q self member %q: %v", n.Name, s, err)
+			}
+		}
+	}
+	return nil
+}
+
+func (n *Node) symmetryAxis2(p geom.Placement) (int, bool) {
+	for _, pr := range n.SymPairs {
+		ra, _, errA := n.memberRect(pr[0], p)
+		rb, _, errB := n.memberRect(pr[1], p)
+		if errA != nil || errB != nil {
+			return 0, false
+		}
+		return (ra.CenterX2() + rb.CenterX2()) / 2, true
+	}
+	for _, s := range n.SymSelfs {
+		r, _, err := n.memberRect(s, p)
+		if err != nil {
+			return 0, false
+		}
+		return r.CenterX2(), true
+	}
+	return 0, false
+}
+
+// mirroredSetEqual checks that mirroring every rectangle of la about
+// the axis yields exactly the multiset of rectangles of lb.
+func mirroredSetEqual(p geom.Placement, la, lb []string, axis2 int) error {
+	count := map[geom.Rect]int{}
+	for _, b := range lb {
+		count[p[b]]++
+	}
+	for _, a := range la {
+		m := p[a].MirrorX(axis2)
+		if count[m] == 0 {
+			return fmt.Errorf("mirror of %q (%v) has no counterpart", a, m)
+		}
+		count[m]--
+	}
+	return nil
+}

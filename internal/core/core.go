@@ -1,0 +1,197 @@
+// Package core is the top of the library: a unified analog placement
+// API over the four topological approaches the paper surveys, plus
+// drivers that regenerate every table and figure of the evaluation
+// (see DESIGN.md for the experiment index).
+//
+// The four approaches, selected by Method:
+//
+//   - MethodSeqPair — Section II: simulated annealing over
+//     symmetric-feasible sequence-pairs with symmetric packing.
+//   - MethodHBStar — Section III: hierarchical placement with
+//     HB*-trees and ASF-B*-tree symmetry islands.
+//   - MethodDeterministicESF / MethodDeterministicRSF — Section IV:
+//     deterministic hierarchically bounded enumeration with enhanced /
+//     regular shape functions.
+//   - Baselines: MethodBStar (flat B*-tree), MethodTCG (transitive
+//     closure graphs [15]), MethodSlicing (normalized Polish
+//     expressions), MethodAbsolute (absolute coordinates with overlap
+//     penalty).
+//
+// Section V's layout-aware sizing flow is driven through RunFig10.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/anneal"
+	"repro/internal/circuits"
+	"repro/internal/geom"
+	"repro/internal/hbstar"
+	"repro/internal/place"
+	"repro/internal/shapefn"
+	"repro/internal/sizing"
+)
+
+// Method selects a placement engine.
+type Method int
+
+// Placement methods.
+const (
+	MethodSeqPair Method = iota
+	MethodBStar
+	MethodHBStar
+	MethodSlicing
+	MethodAbsolute
+	MethodTCG
+	MethodDeterministicESF
+	MethodDeterministicRSF
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodSeqPair:
+		return "seqpair"
+	case MethodBStar:
+		return "bstar"
+	case MethodHBStar:
+		return "hbstar"
+	case MethodSlicing:
+		return "slicing"
+	case MethodAbsolute:
+		return "absolute"
+	case MethodTCG:
+		return "tcg"
+	case MethodDeterministicESF:
+		return "esf"
+	case MethodDeterministicRSF:
+		return "rsf"
+	}
+	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// PlaceResult is the outcome of PlaceBench.
+type PlaceResult struct {
+	Method     Method
+	Placement  geom.Placement
+	Legal      bool
+	AreaUsage  float64 // bounding-box area / module area (Table I metric)
+	Violations []error // constraint violations, if any
+	Runtime    time.Duration
+}
+
+// PlaceBench places a benchmark circuit with the selected method.
+// Stochastic methods honor opt; the deterministic methods ignore it.
+func PlaceBench(b *circuits.Bench, m Method, opt anneal.Options) (*PlaceResult, error) {
+	start := time.Now()
+	var pl geom.Placement
+	var violations []error
+
+	switch m {
+	case MethodSeqPair, MethodBStar, MethodSlicing, MethodAbsolute, MethodTCG:
+		prob, err := place.FromBench(b)
+		if err != nil {
+			return nil, err
+		}
+		var res *place.Result
+		switch m {
+		case MethodSeqPair:
+			res, err = place.SeqPair(prob, opt)
+		case MethodBStar:
+			prob.Groups = nil // plain B*-tree ignores symmetry
+			res, err = place.BStar(prob, opt)
+		case MethodSlicing:
+			prob.Groups = nil
+			res, err = place.Slicing(prob, opt)
+		case MethodAbsolute:
+			prob.Groups = nil
+			res, err = place.Absolute(prob, opt)
+		case MethodTCG:
+			prob.Groups = nil
+			res, err = place.TCG(prob, opt)
+		}
+		if err != nil {
+			return nil, err
+		}
+		pl = res.Placement
+		if m == MethodSeqPair {
+			violations = prob.ConstraintSet().Violations(pl)
+		}
+	case MethodHBStar:
+		res, err := hbstar.Place(&hbstar.Problem{Bench: b, WireWeight: 0.5}, opt)
+		if err != nil {
+			return nil, err
+		}
+		pl = res.Placement
+		violations = res.Violations
+	case MethodDeterministicESF, MethodDeterministicRSF:
+		res, err := deterministic(b, m == MethodDeterministicESF)
+		if err != nil {
+			return nil, err
+		}
+		pl = res.Placement
+	default:
+		return nil, fmt.Errorf("core: unknown method %v", m)
+	}
+
+	return &PlaceResult{
+		Method:     m,
+		Placement:  pl,
+		Legal:      pl.Legal(),
+		AreaUsage:  pl.AreaUsage(),
+		Violations: violations,
+		Runtime:    time.Since(start),
+	}, nil
+}
+
+// deterministic runs the Section IV placer on a benchmark.
+func deterministic(b *circuits.Bench, enhanced bool) (*shapefn.Result, error) {
+	p, err := shapefn.NewPlacer(b.Tree, benchDims(b), enhanced)
+	if err != nil {
+		return nil, err
+	}
+	return p.Place(b.Tree)
+}
+
+func benchDims(b *circuits.Bench) func(string) (int, int, error) {
+	return func(name string) (int, int, error) {
+		d := b.Circuit.Device(name)
+		if d == nil {
+			return 0, 0, fmt.Errorf("core: unknown device %q", name)
+		}
+		if d.FW <= 0 || d.FH <= 0 {
+			return 0, 0, fmt.Errorf("core: device %q has no footprint", name)
+		}
+		return d.FW, d.FH, nil
+	}
+}
+
+// Fig10Result bundles the two sizing runs of the Fig. 10 experiment.
+type Fig10Result struct {
+	Nominal, Aware *sizing.Result
+}
+
+// RunFig10 executes the layout-aware sizing experiment: a nominal
+// (schematic-only) sizing and a layout-aware sizing of the same
+// folded-cascode OTA against the same specification.
+func RunFig10(opt anneal.Options) (*Fig10Result, error) {
+	nominal, err := sizing.Run(sizing.Problem{
+		Spec: sizing.Fig10Spec(),
+		Mode: sizing.Nominal,
+		Base: sizing.DefaultBase(),
+	}, opt)
+	if err != nil {
+		return nil, err
+	}
+	aware, err := sizing.Run(sizing.Problem{
+		Spec:      sizing.Fig10Spec(),
+		Mode:      sizing.LayoutAware,
+		MaxAspect: 1.3,
+		Base:      sizing.DefaultBase(),
+	}, opt)
+	if err != nil {
+		return nil, err
+	}
+	return &Fig10Result{Nominal: nominal, Aware: aware}, nil
+}

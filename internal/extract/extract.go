@@ -1,0 +1,83 @@
+// Package extract computes layout-induced parasitics from a generated
+// template instance — the "extraction within sizing" step of Section V
+// the paper shows to be cheap enough to keep inside the optimization
+// loop (≈17 % of total sizing time in the original experiments).
+//
+// Wire capacitance and resistance are per-length estimates on the
+// routed net lengths the template reports; device junction and gate
+// capacitances are computed by the device model itself (package mos)
+// and enter the evaluation through package perf.
+package extract
+
+import (
+	"repro/internal/perf"
+	"repro/internal/template"
+)
+
+// Per-micrometer wire parasitics of a generic metal-2 class layer.
+const (
+	CwPerUM = 0.20e-15 // F/µm
+	RwPerUM = 0.08     // Ω/µm
+)
+
+// WireCap returns the capacitance of a wire of the given length.
+func WireCap(lengthUM float64) float64 { return CwPerUM * lengthUM }
+
+// WireRes returns the resistance of a wire of the given length.
+func WireRes(lengthUM float64) float64 { return RwPerUM * lengthUM }
+
+// NetCaps returns the wire capacitance of every routed net.
+func NetCaps(inst *template.Instance) map[string]float64 {
+	out := make(map[string]float64, len(inst.NetLengthUM))
+	for net, l := range inst.NetLengthUM {
+		out[net] = WireCap(l)
+	}
+	return out
+}
+
+// FoldedCascode maps the extracted wire capacitances of a folded-
+// cascode template instance onto the evaluator's critical nodes: the
+// average output net feeds COut, the average folding net feeds CFold.
+func FoldedCascode(inst *template.Instance) perf.Parasitics {
+	caps := NetCaps(inst)
+	return perf.Parasitics{
+		COut:  (caps["out_p"] + caps["out_n"]) / 2,
+		CFold: (caps["fold_p"] + caps["fold_n"]) / 2,
+	}
+}
+
+// typicalNetLengthUM is the fixed per-net length the estimator assumes
+// instead of reading the layout.
+const typicalNetLengthUM = 40
+
+// Estimate returns layout-independent "typical length" parasitics —
+// the estimation-instead-of-extraction shortcut the paper's last
+// conclusion warns about: it saves almost no CPU time here while its
+// error grows with how far the actual layout strays from typical
+// (sprawling unfolded layouts have much longer nets than 40 µm). Use
+// EstimationError to quantify the gap against a real extraction.
+func Estimate() perf.Parasitics {
+	return perf.Parasitics{
+		COut:  WireCap(typicalNetLengthUM),
+		CFold: WireCap(typicalNetLengthUM),
+	}
+}
+
+// EstimationError returns the relative error of the fixed estimate
+// against the actual extraction of an instance, per node, as
+// |est − ext| / ext.
+func EstimationError(inst *template.Instance) (errOut, errFold float64) {
+	est := Estimate()
+	ext := FoldedCascode(inst)
+	rel := func(e, x float64) float64 {
+		if x == 0 {
+			return 0
+		}
+		d := e - x
+		if d < 0 {
+			d = -d
+		}
+		return d / x
+	}
+	return rel(est.COut, ext.COut), rel(est.CFold, ext.CFold)
+}

@@ -1,0 +1,105 @@
+package extract
+
+import (
+	"testing"
+
+	"repro/internal/mos"
+	"repro/internal/perf"
+	"repro/internal/template"
+)
+
+func instance(t *testing.T, folds int) *template.Instance {
+	t.Helper()
+	n, p := mos.NTech(), mos.PTech()
+	d := perf.FoldedCascode{
+		In:    mos.Device{Tech: n, W: 120, L: 0.7, Folds: folds},
+		Tail:  mos.Device{Tech: n, W: 60, L: 1.4, Folds: folds},
+		Src:   mos.Device{Tech: p, W: 160, L: 1.4, Folds: folds},
+		CasP:  mos.Device{Tech: p, W: 120, L: 0.7, Folds: folds},
+		CasN:  mos.Device{Tech: n, W: 60, L: 0.7, Folds: folds},
+		Mir:   mos.Device{Tech: n, W: 80, L: 1.4, Folds: folds},
+		ITail: 200e-6, VDD: 3.3, CL: 2e-12,
+	}
+	tmpl, foot := template.ForFoldedCascode(d)
+	inst, err := tmpl.Generate(foot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inst
+}
+
+func TestWireParasitics(t *testing.T) {
+	if WireCap(100) != 100*CwPerUM {
+		t.Fatal("WireCap wrong")
+	}
+	if WireRes(100) != 100*RwPerUM {
+		t.Fatal("WireRes wrong")
+	}
+}
+
+func TestNetCaps(t *testing.T) {
+	inst := instance(t, 4)
+	caps := NetCaps(inst)
+	if len(caps) == 0 {
+		t.Fatal("no net caps extracted")
+	}
+	for net, c := range caps {
+		if c <= 0 {
+			t.Fatalf("net %s has non-positive cap", net)
+		}
+		if c != WireCap(inst.NetLengthUM[net]) {
+			t.Fatalf("net %s cap inconsistent with length", net)
+		}
+	}
+}
+
+func TestFoldedCascodeParasitics(t *testing.T) {
+	inst := instance(t, 4)
+	par := FoldedCascode(inst)
+	if par.COut <= 0 || par.CFold <= 0 {
+		t.Fatalf("parasitics must be positive: %+v", par)
+	}
+	if par.IgnoreJunctions {
+		t.Fatal("extracted parasitics must include junctions")
+	}
+	// Plausible magnitude: tens of fF for a ~100 µm layout.
+	if par.COut > 1e-12 || par.CFold > 1e-12 {
+		t.Fatalf("parasitics implausibly large: %+v", par)
+	}
+}
+
+// The compact (folded) layout must have smaller wire parasitics than
+// the sprawling unfolded one — the geometric-electrical coupling the
+// layout-aware flow exploits.
+func TestUnfoldedLayoutHasLargerParasitics(t *testing.T) {
+	folded := FoldedCascode(instance(t, 8))
+	unfolded := FoldedCascode(instance(t, 1))
+	if unfolded.CFold <= folded.CFold {
+		t.Fatalf("unfolded CFold %g should exceed folded %g", unfolded.CFold, folded.CFold)
+	}
+}
+
+// The paper's final conclusion: estimation instead of extraction
+// "incurs accuracy errors while attaining only a very small CPU time
+// improvement". The fixed estimate drifts far from truth exactly when
+// it matters — on sprawling unfolded layouts with long nets.
+func TestEstimationErrorGrowsWithSprawl(t *testing.T) {
+	_, foldErr := EstimationError(instance(t, 8))
+	_, foldErrUnfolded := EstimationError(instance(t, 1))
+	if foldErrUnfolded <= foldErr {
+		t.Fatalf("unfolded estimation error %.2f should exceed folded %.2f",
+			foldErrUnfolded, foldErr)
+	}
+	if foldErrUnfolded < 0.5 {
+		t.Fatalf("unfolded estimation error %.2f suspiciously small", foldErrUnfolded)
+	}
+}
+
+func TestEstimateIsLayoutIndependent(t *testing.T) {
+	if Estimate() != Estimate() {
+		t.Fatal("estimate must be constant")
+	}
+	if Estimate().COut <= 0 {
+		t.Fatal("estimate must be positive")
+	}
+}

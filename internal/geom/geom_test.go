@@ -1,0 +1,309 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRectEdges(t *testing.T) {
+	r := NewRect(2, 3, 10, 20)
+	if r.X2() != 12 || r.Y2() != 23 {
+		t.Fatalf("edges: got (%d,%d), want (12,23)", r.X2(), r.Y2())
+	}
+	if r.Area() != 200 {
+		t.Fatalf("area: got %d, want 200", r.Area())
+	}
+	if r.CenterX2() != 14 || r.CenterY2() != 26 {
+		t.Fatalf("center2: got (%d,%d), want (14,26)", r.CenterX2(), r.CenterY2())
+	}
+}
+
+func TestDegenerateRectArea(t *testing.T) {
+	for _, r := range []Rect{{0, 0, 0, 5}, {0, 0, 5, 0}, {0, 0, -1, 5}} {
+		if r.Area() != 0 {
+			t.Errorf("degenerate %v: area %d, want 0", r, r.Area())
+		}
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := NewRect(0, 0, 10, 10)
+	cases := []struct {
+		b    Rect
+		want bool
+	}{
+		{NewRect(5, 5, 10, 10), true},
+		{NewRect(10, 0, 5, 5), false},  // shares right edge
+		{NewRect(0, 10, 5, 5), false},  // shares top edge
+		{NewRect(10, 10, 5, 5), false}, // shares corner
+		{NewRect(-5, -5, 5, 5), false}, // shares lower-left corner
+		{NewRect(2, 2, 3, 3), true},    // contained
+		{NewRect(-5, 2, 30, 3), true},  // crosses
+	}
+	for _, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("Intersects(%v, %v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("Intersects(%v, %v) = %v, want %v (symmetry)", c.b, a, got, c.want)
+		}
+	}
+}
+
+func TestIntersection(t *testing.T) {
+	a := NewRect(0, 0, 10, 10)
+	b := NewRect(5, 5, 10, 10)
+	got, ok := a.Intersection(b)
+	if !ok || got != NewRect(5, 5, 5, 5) {
+		t.Fatalf("Intersection = %v,%v, want [5,5 5x5],true", got, ok)
+	}
+	if _, ok := a.Intersection(NewRect(10, 0, 5, 5)); ok {
+		t.Fatal("edge-sharing rectangles must not intersect")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	a := NewRect(0, 0, 5, 5)
+	b := NewRect(10, 10, 5, 5)
+	if got := a.Union(b); got != NewRect(0, 0, 15, 15) {
+		t.Fatalf("Union = %v, want [0,0 15x15]", got)
+	}
+	var zero Rect
+	if got := zero.Union(b); got != b {
+		t.Fatalf("zero.Union = %v, want %v", got, b)
+	}
+	if got := b.Union(zero); got != b {
+		t.Fatalf("Union(zero) = %v, want %v", got, b)
+	}
+}
+
+func TestContains(t *testing.T) {
+	a := NewRect(0, 0, 10, 10)
+	if !a.Contains(NewRect(2, 2, 3, 3)) {
+		t.Error("should contain interior rect")
+	}
+	if !a.Contains(a) {
+		t.Error("should contain itself")
+	}
+	if a.Contains(NewRect(5, 5, 10, 10)) {
+		t.Error("should not contain overflowing rect")
+	}
+}
+
+func TestMirrorX(t *testing.T) {
+	// Axis at x=10 (axis2 = 20). [2,?,4x?] -> right edge 6 -> image left
+	// edge 20-6 = 14.
+	r := NewRect(2, 5, 4, 7)
+	m := r.MirrorX(20)
+	if m != NewRect(14, 5, 4, 7) {
+		t.Fatalf("MirrorX = %v, want [14,5 4x7]", m)
+	}
+	if mm := m.MirrorX(20); mm != r {
+		t.Fatalf("double mirror = %v, want %v", mm, r)
+	}
+	if !SymmetricPairAboutX(r, m, 20) {
+		t.Fatal("rect and its mirror must be a symmetric pair")
+	}
+}
+
+func TestMirrorY(t *testing.T) {
+	r := NewRect(2, 5, 4, 7)
+	m := r.MirrorY(30)
+	if mm := m.MirrorY(30); mm != r {
+		t.Fatalf("double mirror = %v, want %v", mm, r)
+	}
+	if !SymmetricPairAboutY(r, m, 30) {
+		t.Fatal("rect and its y-mirror must be a symmetric pair")
+	}
+}
+
+// Property: mirroring twice about the same axis is the identity.
+func TestMirrorInvolutionProperty(t *testing.T) {
+	f := func(x, y int16, w, h uint8, axis int16) bool {
+		r := NewRect(int(x), int(y), int(w)+1, int(h)+1)
+		a2 := int(axis)
+		return r.MirrorX(a2).MirrorX(a2) == r && r.MirrorY(a2).MirrorY(a2) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: union always contains both operands; intersection (when it
+// exists) is contained in both.
+func TestUnionIntersectionProperty(t *testing.T) {
+	f := func(ax, ay, bx, by int16, aw, ah, bw, bh uint8) bool {
+		a := NewRect(int(ax), int(ay), int(aw)+1, int(ah)+1)
+		b := NewRect(int(bx), int(by), int(bw)+1, int(bh)+1)
+		u := a.Union(b)
+		if !u.Contains(a) || !u.Contains(b) {
+			return false
+		}
+		if in, ok := a.Intersection(b); ok {
+			if !a.Contains(in) || !b.Contains(in) {
+				return false
+			}
+			if !a.Intersects(b) {
+				return false
+			}
+		} else if a.Intersects(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPlacementBBoxAndArea(t *testing.T) {
+	p := Placement{
+		"A": NewRect(0, 0, 10, 10),
+		"B": NewRect(10, 0, 5, 20),
+	}
+	bb := p.BBox()
+	if bb != NewRect(0, 0, 15, 20) {
+		t.Fatalf("BBox = %v, want [0,0 15x20]", bb)
+	}
+	if p.Area() != 300 {
+		t.Fatalf("Area = %d, want 300", p.Area())
+	}
+	if p.ModuleArea() != 200 {
+		t.Fatalf("ModuleArea = %d, want 200", p.ModuleArea())
+	}
+	if got := p.AreaUsage(); got != 1.5 {
+		t.Fatalf("AreaUsage = %v, want 1.5", got)
+	}
+	if p.Deadspace() != 100 {
+		t.Fatalf("Deadspace = %d, want 100", p.Deadspace())
+	}
+}
+
+func TestPlacementOverlapsAndLegal(t *testing.T) {
+	p := Placement{
+		"A": NewRect(0, 0, 10, 10),
+		"B": NewRect(5, 5, 10, 10),
+		"C": NewRect(100, 100, 1, 1),
+	}
+	ov := p.Overlaps()
+	if len(ov) != 1 || ov[0] != [2]string{"A", "B"} {
+		t.Fatalf("Overlaps = %v, want [[A B]]", ov)
+	}
+	if p.Legal() {
+		t.Fatal("placement with overlap must not be legal")
+	}
+	delete(p, "B")
+	if !p.Legal() {
+		t.Fatal("placement without overlap must be legal")
+	}
+}
+
+func TestPlacementNormalize(t *testing.T) {
+	p := Placement{
+		"A": NewRect(-5, 7, 3, 3),
+		"B": NewRect(2, 9, 4, 4),
+	}
+	p.Normalize()
+	bb := p.BBox()
+	if bb.X != 0 || bb.Y != 0 {
+		t.Fatalf("normalized BBox corner = (%d,%d), want (0,0)", bb.X, bb.Y)
+	}
+	// Relative positions preserved.
+	if p["B"].X-p["A"].X != 7 || p["B"].Y-p["A"].Y != 2 {
+		t.Fatal("Normalize changed relative positions")
+	}
+}
+
+func TestPlacementClone(t *testing.T) {
+	p := Placement{"A": NewRect(0, 0, 1, 1)}
+	q := p.Clone()
+	q["A"] = NewRect(5, 5, 1, 1)
+	if p["A"].X != 0 {
+		t.Fatal("Clone must not share storage")
+	}
+}
+
+func TestAspectRatio(t *testing.T) {
+	p := Placement{"A": NewRect(0, 0, 10, 20)}
+	if got := p.AspectRatio(); got != 2.0 {
+		t.Fatalf("AspectRatio = %v, want 2", got)
+	}
+	var empty Placement
+	if got := empty.AspectRatio(); got != 0 {
+		t.Fatalf("empty AspectRatio = %v, want 0", got)
+	}
+}
+
+func TestHPWL(t *testing.T) {
+	p := Placement{
+		"A": NewRect(0, 0, 2, 2),  // center (1,1)
+		"B": NewRect(10, 0, 2, 2), // center (11,1)
+		"C": NewRect(0, 20, 2, 2), // center (1,21)
+	}
+	if got := HPWL(p, []string{"A", "B", "C"}); got != 30 {
+		t.Fatalf("HPWL = %d, want 30", got)
+	}
+	if got := HPWL(p, []string{"A"}); got != 0 {
+		t.Fatalf("single-pin HPWL = %d, want 0", got)
+	}
+	if got := HPWL(p, nil); got != 0 {
+		t.Fatalf("empty HPWL = %d, want 0", got)
+	}
+	// Unknown pins are skipped.
+	if got := HPWL(p, []string{"A", "Z"}); got != 0 {
+		t.Fatalf("HPWL with unknown pin = %d, want 0", got)
+	}
+}
+
+func TestSymmetryPredicates(t *testing.T) {
+	// Axis x = 10 (axis2 = 20).
+	a := NewRect(2, 0, 4, 6)  // centerX2 = 8
+	b := NewRect(14, 0, 4, 6) // centerX2 = 32; 8+32 = 40 = 2*20
+	if !SymmetricPairAboutX(a, b, 20) {
+		t.Fatal("a,b should be symmetric about x=10")
+	}
+	if SymmetricPairAboutX(a, b.Translate(0, 1), 20) {
+		t.Fatal("vertical offset must break x-symmetry")
+	}
+	if SymmetricPairAboutX(a, NewRect(14, 0, 5, 6), 20) {
+		t.Fatal("width mismatch must break symmetry")
+	}
+	c := NewRect(8, 3, 4, 4) // centerX2 = 20
+	if !SelfSymmetricAboutX(c, 20) {
+		t.Fatal("c should be self-symmetric about x=10")
+	}
+	if SelfSymmetricAboutX(c.Translate(1, 0), 20) {
+		t.Fatal("translated c must not be self-symmetric")
+	}
+}
+
+func TestPlacementNames(t *testing.T) {
+	p := Placement{"b": {}, "a": {}, "c": {}}
+	names := p.Names()
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Fatalf("Names = %v, want sorted [a b c]", names)
+	}
+}
+
+// Random legal placements generated on a diagonal must be detected as
+// legal; shifting one module onto another must be detected as illegal.
+func TestLegalRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		p := Placement{}
+		x := 0
+		for i := 0; i < 10; i++ {
+			w, h := 1+rng.Intn(20), 1+rng.Intn(20)
+			p[string(rune('a'+i))] = NewRect(x, 0, w, h)
+			x += w
+		}
+		if !p.Legal() {
+			t.Fatalf("trial %d: diagonal placement must be legal", trial)
+		}
+		p["a"] = p["b"] // stack two modules
+		if p.Legal() {
+			t.Fatalf("trial %d: stacked modules must be illegal", trial)
+		}
+	}
+}

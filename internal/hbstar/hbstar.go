@@ -1,0 +1,398 @@
+// Package hbstar implements hierarchical B*-trees (HB*-trees, Lin/Lin
+// [17]), the Section III representation for analog placement with
+// layout design hierarchy. Each sub-circuit of the hierarchy owns its
+// own tree: symmetry sub-circuits are ASF-B*-tree symmetry islands
+// (package asf), other sub-circuits are B*-trees whose nodes are
+// devices and hierarchy nodes. A hierarchy node stands for a whole
+// child sub-circuit; its top outline is carried as a list of skyline
+// segments — the paper's "contour nodes" — so that modules packed
+// later can nest into the notches of a non-rectangular sub-placement
+// instead of being pushed above its bounding box.
+//
+// Packing is recursive pre-order, exactly as the paper describes:
+// "once a hierarchy node is traversed, the nodes in the HB*-tree
+// linked by the hierarchy node will be traversed before traversing the
+// next node"; perturbation first selects one of the trees, then
+// applies an ordinary B*-tree (or island) perturbation to it.
+package hbstar
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asf"
+	"repro/internal/bstar"
+	"repro/internal/constraint"
+	"repro/internal/geom"
+)
+
+// seg is one skyline segment: height h over [x1, x2) relative to the
+// sub-placement origin. A hierarchy node's segments are its contour
+// nodes.
+type seg struct {
+	x1, x2, h int
+}
+
+// item is one entry of a sub-circuit's B*-tree: a device or a
+// hierarchy node referencing a child sub-circuit.
+type item struct {
+	dev   string // device name; "" for hierarchy nodes
+	w, h  int    // device dimensions (unused for hierarchy nodes)
+	child *Node
+}
+
+// Node is one sub-circuit with its tree.
+type Node struct {
+	name string
+	kind constraint.Kind
+
+	// Symmetry sub-circuits pack as an island.
+	island *asf.Island
+
+	// Other sub-circuits pack a B*-tree over items. The tree's W/H
+	// arrays are placeholders; item dimensions are resolved at pack
+	// time (children change shape every pack).
+	tree  *bstar.Tree
+	items []item
+}
+
+// Forest is the complete HB*-tree set of one design: the top tree plus
+// one tree per sub-circuit ("the number of the HB*-trees will be equal
+// to that of the sub-circuits plus the one modelling the top design").
+type Forest struct {
+	root *Node
+	all  []*Node // every Node, for uniform perturbation
+
+	// BBoxOutline disables the contour nodes: hierarchy nodes expose
+	// a flat bounding-box top instead of their skyline. Ablation knob
+	// for measuring what the paper's contour nodes buy.
+	BBoxOutline bool
+}
+
+// Build converts a constraint hierarchy into an HB*-tree forest. dims
+// resolves device footprints. Symmetry nodes must consist of device
+// pairs and selfs only (hierarchical symmetry over sub-circuits is
+// packed by mirroring and currently requires the pair members to be
+// leaf devices).
+func Build(root *constraint.Node, dims func(name string) (w, h int, err error)) (*Forest, error) {
+	f := &Forest{}
+	rn, err := f.build(root, dims)
+	if err != nil {
+		return nil, err
+	}
+	f.root = rn
+	return f, nil
+}
+
+func (f *Forest) build(cn *constraint.Node, dims func(string) (int, int, error)) (*Node, error) {
+	n := &Node{name: cn.Name, kind: cn.Kind}
+	if cn.Kind == constraint.KindSymmetry {
+		if len(cn.Children) > 0 {
+			return nil, fmt.Errorf("hbstar: symmetry node %q has sub-circuits; flatten hierarchical symmetry to device pairs first", cn.Name)
+		}
+		inGroup := map[string]bool{}
+		var pairs []asf.Pair
+		var selfs []asf.Self
+		for _, pr := range cn.SymPairs {
+			wl, hl, err := dims(pr[0])
+			if err != nil {
+				return nil, err
+			}
+			wr, hr, err := dims(pr[1])
+			if err != nil {
+				return nil, err
+			}
+			if wl != wr || hl != hr {
+				return nil, fmt.Errorf("hbstar: pair (%s,%s) has unequal dimensions", pr[0], pr[1])
+			}
+			pairs = append(pairs, asf.Pair{Left: pr[0], Right: pr[1], W: wl, H: hl})
+			inGroup[pr[0]], inGroup[pr[1]] = true, true
+		}
+		for _, s := range cn.SymSelfs {
+			w, h, err := dims(s)
+			if err != nil {
+				return nil, err
+			}
+			selfs = append(selfs, asf.Self{Name: s, W: w, H: h})
+			inGroup[s] = true
+		}
+		for _, d := range cn.Devices {
+			if !inGroup[d] {
+				return nil, fmt.Errorf("hbstar: device %q in symmetry node %q is not in any pair", d, cn.Name)
+			}
+		}
+		isl, err := asf.New(pairs, selfs)
+		if err != nil {
+			return nil, err
+		}
+		n.island = isl
+		f.all = append(f.all, n)
+		return n, nil
+	}
+
+	for _, d := range cn.Devices {
+		w, h, err := dims(d)
+		if err != nil {
+			return nil, err
+		}
+		n.items = append(n.items, item{dev: d, w: w, h: h})
+	}
+	for _, ch := range cn.Children {
+		sub, err := f.build(ch, dims)
+		if err != nil {
+			return nil, err
+		}
+		n.items = append(n.items, item{child: sub})
+	}
+	if len(n.items) == 0 {
+		return nil, fmt.Errorf("hbstar: empty sub-circuit %q", cn.Name)
+	}
+	// Placeholder dims; real extents come from items at pack time.
+	ws := make([]int, len(n.items))
+	hs := make([]int, len(n.items))
+	for i := range ws {
+		ws[i], hs[i] = 1, 1
+	}
+	n.tree = bstar.New(ws, hs)
+	f.all = append(f.all, n)
+	return n, nil
+}
+
+// packed is a packed sub-circuit: its placement (origin at (0,0)) and
+// top skyline.
+type packed struct {
+	pl      geom.Placement
+	width   int
+	profile []seg
+}
+
+// Pack packs the whole forest and returns the design placement.
+func (f *Forest) Pack() (geom.Placement, error) {
+	p, err := f.root.pack(f.BBoxOutline)
+	if err != nil {
+		return nil, err
+	}
+	return p.pl, nil
+}
+
+func (n *Node) pack(bboxOutline bool) (packed, error) {
+	if n.island != nil {
+		pl, err := n.island.Pack()
+		if err != nil {
+			return packed{}, err
+		}
+		pl.Normalize()
+		return finishPacked(pl), nil
+	}
+
+	// Pack children first.
+	sub := make([]packed, len(n.items))
+	for i, it := range n.items {
+		if it.child != nil {
+			p, err := it.child.pack(bboxOutline)
+			if err != nil {
+				return packed{}, err
+			}
+			sub[i] = p
+		}
+	}
+	width := func(i int) int {
+		it := n.items[i]
+		if it.child != nil {
+			return sub[i].width
+		}
+		if n.tree.Rot[i] {
+			return it.h
+		}
+		return it.w
+	}
+	profile := func(i, atY int) []seg {
+		it := n.items[i]
+		if it.child != nil {
+			if bboxOutline {
+				top := 0
+				for _, s := range sub[i].profile {
+					if s.h > top {
+						top = s.h
+					}
+				}
+				return []seg{{0, sub[i].width, atY + top}}
+			}
+			out := make([]seg, len(sub[i].profile))
+			for k, s := range sub[i].profile {
+				out[k] = seg{s.x1, s.x2, s.h + atY}
+			}
+			return out
+		}
+		h := it.h
+		if n.tree.Rot[i] {
+			h = it.w
+		}
+		return []seg{{0, width(i), atY + h}}
+	}
+
+	// Pre-order contour packing over the node's tree.
+	const inf = int(^uint(0) >> 1)
+	contour := []seg{{0, inf, 0}}
+	maxOver := func(x1, x2 int) int {
+		top := 0
+		for _, s := range contour {
+			if s.x2 <= x1 || s.x1 >= x2 {
+				continue
+			}
+			if s.h > top {
+				top = s.h
+			}
+		}
+		return top
+	}
+	update := func(x int, prof []seg) {
+		var out []seg
+		// prof segments are absolute heights over [x+s.x1, x+s.x2).
+		lo, hi := x+prof[0].x1, x+prof[len(prof)-1].x2
+		inserted := false
+		for _, s := range contour {
+			if s.x2 <= lo || s.x1 >= hi {
+				out = append(out, s)
+				continue
+			}
+			if s.x1 < lo {
+				out = append(out, seg{s.x1, lo, s.h})
+			}
+			if !inserted {
+				for _, p := range prof {
+					out = append(out, seg{x + p.x1, x + p.x2, p.h})
+				}
+				inserted = true
+			}
+			if s.x2 > hi {
+				out = append(out, seg{hi, s.x2, s.h})
+			}
+		}
+		if !inserted {
+			for _, p := range prof {
+				out = append(out, seg{x + p.x1, x + p.x2, p.h})
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i].x1 < out[j].x1 })
+		}
+		contour = mergeSegs(out)
+	}
+
+	xs := make([]int, len(n.items))
+	ys := make([]int, len(n.items))
+	type frame struct{ m, x int }
+	stack := []frame{{n.tree.Root, 0}}
+	for len(stack) > 0 {
+		fr := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		w := width(fr.m)
+		y := maxOver(fr.x, fr.x+w)
+		xs[fr.m], ys[fr.m] = fr.x, y
+		update(fr.x, profile(fr.m, y))
+		if r := n.tree.Right[fr.m]; r != -1 {
+			stack = append(stack, frame{r, fr.x})
+		}
+		if l := n.tree.Left[fr.m]; l != -1 {
+			stack = append(stack, frame{l, fr.x + w})
+		}
+	}
+
+	// Assemble the placement.
+	pl := geom.Placement{}
+	for i, it := range n.items {
+		if it.child != nil {
+			for name, r := range sub[i].pl {
+				pl[name] = r.Translate(xs[i], ys[i])
+			}
+			continue
+		}
+		w, h := it.w, it.h
+		if n.tree.Rot[i] {
+			w, h = h, w
+		}
+		pl[it.dev] = geom.NewRect(xs[i], ys[i], w, h)
+	}
+	pl.Normalize()
+	return finishPacked(pl), nil
+}
+
+// finishPacked computes width and skyline of a normalized placement.
+func finishPacked(pl geom.Placement) packed {
+	bb := pl.BBox()
+	return packed{pl: pl, width: bb.W, profile: skyline(pl)}
+}
+
+// skyline computes the top profile of a placement as merged segments
+// covering [bbox.X, bbox.X2) — zero-height gaps included so the parent
+// contour stays well-formed.
+func skyline(pl geom.Placement) []seg {
+	bb := pl.BBox()
+	// Collect x breakpoints.
+	xsSet := map[int]bool{bb.X: true, bb.X2(): true}
+	for _, r := range pl {
+		xsSet[r.X] = true
+		xsSet[r.X2()] = true
+	}
+	xs := make([]int, 0, len(xsSet))
+	for x := range xsSet {
+		xs = append(xs, x)
+	}
+	sort.Ints(xs)
+	var out []seg
+	for i := 0; i+1 < len(xs); i++ {
+		x1, x2 := xs[i], xs[i+1]
+		h := 0
+		for _, r := range pl {
+			if r.X < x2 && x1 < r.X2() && r.Y2() > h {
+				h = r.Y2()
+			}
+		}
+		out = append(out, seg{x1 - bb.X, x2 - bb.X, h - bb.Y})
+	}
+	return mergeSegs(out)
+}
+
+// mergeSegs coalesces adjacent segments of equal height.
+func mergeSegs(in []seg) []seg {
+	var out []seg
+	for _, s := range in {
+		if s.x1 >= s.x2 {
+			continue
+		}
+		if len(out) > 0 && out[len(out)-1].h == s.h && out[len(out)-1].x2 == s.x1 {
+			out[len(out)-1].x2 = s.x2
+		} else {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// TreeCount returns the number of HB*-trees in the forest (the paper:
+// number of sub-circuits plus one for the top design).
+func (f *Forest) TreeCount() int { return len(f.all) }
+
+// Clone deep-copies the forest.
+func (f *Forest) Clone() *Forest {
+	nf := &Forest{BBoxOutline: f.BBoxOutline}
+	nf.root = nf.cloneNode(f.root)
+	return nf
+}
+
+func (f *Forest) cloneNode(n *Node) *Node {
+	nn := &Node{name: n.name, kind: n.kind}
+	if n.island != nil {
+		nn.island = n.island.Clone()
+	} else {
+		nn.tree = n.tree.Clone()
+		nn.items = make([]item, len(n.items))
+		for i, it := range n.items {
+			nn.items[i] = it
+			if it.child != nil {
+				nn.items[i].child = f.cloneNode(it.child)
+			}
+		}
+	}
+	f.all = append(f.all, nn)
+	return nn
+}

@@ -1,0 +1,215 @@
+package hbstar
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/anneal"
+	"repro/internal/circuits"
+	"repro/internal/constraint"
+	"repro/internal/geom"
+)
+
+// Perturb selects one of the forest's HB*-trees uniformly and applies
+// one perturbation to it, exactly the paper's scheme ("one of the
+// HB*-trees should be selected first, and then any perturbation
+// operation for the B*-tree can be applied").
+func (f *Forest) Perturb(rng *rand.Rand) {
+	if len(f.all) == 0 {
+		return
+	}
+	n := f.all[rng.Intn(len(f.all))]
+	if n.island != nil {
+		n.island.Perturb(rng)
+		return
+	}
+	if n.tree.N() > 1 {
+		n.tree.Perturb(rng)
+	} else if n.tree.N() == 1 && len(n.items) == 1 && n.items[0].dev != "" {
+		n.tree.Rotate(0)
+	}
+}
+
+// Problem is a hierarchical placement instance.
+type Problem struct {
+	Bench *circuits.Bench
+	// WireWeight scales HPWL against area.
+	WireWeight float64
+	// ProximityPenalty is added per disconnected fragment of a
+	// proximity sub-circuit (scaled by average module area).
+	ProximityPenalty float64
+}
+
+// Result of a hierarchical placement run.
+type Result struct {
+	Placement geom.Placement
+	Cost      float64
+	Stats     anneal.Stats
+	// Violations lists remaining constraint violations (typically
+	// proximity connectivity when the penalty could not remove them;
+	// symmetry is satisfied by construction).
+	Violations []error
+}
+
+// solution adapts a Forest to the annealer.
+type solution struct {
+	prob   *Problem
+	forest *Forest
+	cost   float64
+}
+
+func (s *solution) evaluate() {
+	pl, err := s.forest.Pack()
+	if err != nil {
+		s.cost = math.Inf(1)
+		return
+	}
+	cost := float64(pl.Area())
+	if s.prob.WireWeight > 0 {
+		for _, devs := range s.prob.Bench.Nets {
+			cost += s.prob.WireWeight * float64(geom.HPWL(pl, devs))
+		}
+	}
+	if s.prob.ProximityPenalty > 0 {
+		avg := float64(pl.ModuleArea()) / float64(len(pl))
+		cost += s.prob.ProximityPenalty * avg * float64(proximityFragments(s.prob.Bench.Tree, pl))
+	}
+	s.cost = cost
+}
+
+// Cost implements anneal.Solution.
+func (s *solution) Cost() float64 { return s.cost }
+
+// Neighbor implements anneal.Solution.
+func (s *solution) Neighbor(rng *rand.Rand) anneal.Solution {
+	next := &solution{prob: s.prob, forest: s.forest.Clone()}
+	next.forest.Perturb(rng)
+	next.evaluate()
+	return next
+}
+
+// proximityFragments counts excess connected components over all
+// proximity sub-circuits (0 when every proximity group is connected).
+func proximityFragments(root *constraint.Node, pl geom.Placement) int {
+	total := 0
+	var walk func(n *constraint.Node)
+	walk = func(n *constraint.Node) {
+		if n.Kind == constraint.KindProximity {
+			members := append([]string{}, n.Devices...)
+			for _, c := range n.Children {
+				members = append(members, c.Leaves()...)
+			}
+			total += fragments(members, pl)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return total
+}
+
+// fragments returns the number of connected components minus one.
+func fragments(members []string, pl geom.Placement) int {
+	n := len(members)
+	if n <= 1 {
+		return 0
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if constraint.Touching(pl[members[i]], pl[members[j]]) {
+				ri, rj := find(i), find(j)
+				if ri != rj {
+					parent[ri] = rj
+				}
+			}
+		}
+	}
+	comps := 0
+	for i := range parent {
+		if find(i) == i {
+			comps++
+		}
+	}
+	return comps - 1
+}
+
+// Place runs the HB*-tree hierarchical placer on a benchmark.
+func Place(p *Problem, opt anneal.Options) (*Result, error) {
+	if p.Bench == nil || p.Bench.Tree == nil {
+		return nil, fmt.Errorf("hbstar: benchmark with hierarchy tree required")
+	}
+	if p.ProximityPenalty == 0 {
+		p.ProximityPenalty = 2
+	}
+	dims := func(name string) (int, int, error) {
+		d := p.Bench.Circuit.Device(name)
+		if d == nil {
+			return 0, 0, fmt.Errorf("hbstar: unknown device %q", name)
+		}
+		if d.FW <= 0 || d.FH <= 0 {
+			return 0, 0, fmt.Errorf("hbstar: device %q has no footprint", name)
+		}
+		return d.FW, d.FH, nil
+	}
+	forest, err := Build(p.Bench.Tree, dims)
+	if err != nil {
+		return nil, err
+	}
+	init := &solution{prob: p, forest: forest}
+	init.evaluate()
+	best, stats := anneal.Anneal(init, opt)
+	sol := best.(*solution)
+	pl, err := sol.forest.Pack()
+	if err != nil {
+		return nil, err
+	}
+	pl.Normalize()
+	res := &Result{Placement: pl, Cost: sol.cost, Stats: stats}
+	res.Violations = treeViolations(p.Bench.Tree, pl)
+	return res, nil
+}
+
+// treeViolations collects all constraint violations of the hierarchy
+// tree against a placement.
+func treeViolations(root *constraint.Node, pl geom.Placement) []error {
+	var out []error
+	var walk func(n *constraint.Node)
+	walk = func(n *constraint.Node) {
+		clone := *n
+		clone.Children = nil // check this node's own constraint only
+		switch n.Kind {
+		case constraint.KindSymmetry, constraint.KindCommonCentroid:
+			if err := clone.Check(pl); err != nil {
+				out = append(out, err)
+			}
+		case constraint.KindProximity:
+			members := append([]string{}, n.Devices...)
+			for _, c := range n.Children {
+				members = append(members, c.Leaves()...)
+			}
+			pr := constraint.Proximity{Name: n.Name, Members: members}
+			if err := pr.Check(pl); err != nil {
+				out = append(out, err)
+			}
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return out
+}

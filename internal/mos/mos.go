@@ -1,0 +1,166 @@
+// Package mos provides the square-law MOS transistor model used by the
+// layout-aware sizing flow of Section V: small-signal quantities
+// (transconductance, output resistance), operating-point relations,
+// and — crucially for the layout-aware experiments — the dependence of
+// junction capacitances and layout footprint on the number of folds
+// (fingers). Different foldings "change the junction capacitances of a
+// MOS transistor", which is exactly the coupling between geometric
+// variables and electrical performance the paper exploits.
+//
+// Units: lengths in micrometers, currents in amperes, capacitances in
+// farads, voltages in volts.
+package mos
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tech holds per-type technology parameters of a generic 0.35 µm-class
+// CMOS process (representative textbook values; the experiments only
+// rely on relative behaviour).
+type Tech struct {
+	KP     float64 // transconductance parameter µ·Cox, A/V²
+	VT     float64 // threshold voltage, V
+	Lambda float64 // channel-length modulation at L = 1 µm, 1/V
+	Cox    float64 // gate capacitance per area, F/µm²
+	CJ     float64 // junction capacitance per area, F/µm²
+	CJSW   float64 // junction sidewall capacitance per length, F/µm
+	LDiff  float64 // source/drain diffusion extent, µm
+}
+
+// NTech returns NMOS parameters.
+func NTech() Tech {
+	return Tech{
+		KP:     170e-6,
+		VT:     0.5,
+		Lambda: 0.06,
+		Cox:    4.6e-15,
+		CJ:     0.94e-15,
+		CJSW:   0.25e-15,
+		LDiff:  0.85,
+	}
+}
+
+// PTech returns PMOS parameters.
+func PTech() Tech {
+	return Tech{
+		KP:     58e-6,
+		VT:     0.55,
+		Lambda: 0.08,
+		Cox:    4.6e-15,
+		CJ:     1.1e-15,
+		CJSW:   0.32e-15,
+		LDiff:  0.85,
+	}
+}
+
+// Device is one sized transistor.
+type Device struct {
+	Tech  Tech
+	W, L  float64 // drawn width and length, µm
+	Folds int     // number of fingers (>= 1)
+}
+
+// Validate checks physical sanity.
+func (d Device) Validate() error {
+	if d.W <= 0 || d.L <= 0 {
+		return fmt.Errorf("mos: non-positive W or L")
+	}
+	if d.Folds < 1 {
+		return fmt.Errorf("mos: folds must be >= 1")
+	}
+	if d.W/float64(d.Folds) < 0.4 {
+		return fmt.Errorf("mos: finger width %.3g µm below minimum", d.W/float64(d.Folds))
+	}
+	return nil
+}
+
+// Beta returns KP·W/L.
+func (d Device) Beta() float64 { return d.Tech.KP * d.W / d.L }
+
+// Gm returns the saturation transconductance at drain current id:
+// gm = sqrt(2·KP·(W/L)·id).
+func (d Device) Gm(id float64) float64 {
+	if id <= 0 {
+		return 0
+	}
+	return math.Sqrt(2 * d.Beta() * id)
+}
+
+// Rout returns the small-signal output resistance 1/(λ_eff·id), where
+// λ_eff scales inversely with channel length.
+func (d Device) Rout(id float64) float64 {
+	if id <= 0 {
+		return math.Inf(1)
+	}
+	return d.L / (d.Tech.Lambda * id)
+}
+
+// VOV returns the overdrive voltage for drain current id.
+func (d Device) VOV(id float64) float64 {
+	if id <= 0 {
+		return 0
+	}
+	return math.Sqrt(2 * id / d.Beta())
+}
+
+// IDSat returns the saturation current at overdrive vov.
+func (d Device) IDSat(vov float64) float64 {
+	if vov <= 0 {
+		return 0
+	}
+	return 0.5 * d.Beta() * vov * vov
+}
+
+// GateCap returns the total gate capacitance Cox·W·L.
+func (d Device) GateCap() float64 { return d.Tech.Cox * d.W * d.L }
+
+// drainGeometry returns total drain diffusion area (µm²) and sidewall
+// perimeter (µm) as a function of folding. With nf fingers, drain
+// stripes are shared between adjacent fingers: ceil(nf/2) stripes of
+// width W/nf. Folding therefore shrinks the drain junction — the
+// classic layout lever on the parasitic pole.
+func (d Device) drainGeometry() (area, perim float64) {
+	nf := float64(d.Folds)
+	stripes := math.Ceil(nf / 2)
+	fw := d.W / nf
+	area = stripes * fw * d.Tech.LDiff
+	perim = stripes * 2 * (fw + d.Tech.LDiff)
+	return area, perim
+}
+
+// DrainCap returns the drain junction capacitance CJ·area + CJSW·perimeter.
+func (d Device) DrainCap() float64 {
+	a, p := d.drainGeometry()
+	return d.Tech.CJ*a + d.Tech.CJSW*p
+}
+
+// SourceCap returns the source junction capacitance; sources get the
+// remaining stripes (floor(nf/2) + 1).
+func (d Device) SourceCap() float64 {
+	nf := float64(d.Folds)
+	stripes := math.Floor(nf/2) + 1
+	fw := d.W / nf
+	area := stripes * fw * d.Tech.LDiff
+	perim := stripes * 2 * (fw + d.Tech.LDiff)
+	return d.Tech.CJ*area + d.Tech.CJSW*perim
+}
+
+// Footprint returns the layout extent of the folded device in µm:
+// width grows with the finger count (each finger is a gate stripe plus
+// shared diffusion), height is the finger width plus diffusion
+// overhead. Folding turns a wide, flat device into a compact block —
+// the geometric half of the layout-aware trade-off.
+func (d Device) Footprint() (w, h float64) {
+	nf := float64(d.Folds)
+	w = nf*d.L + (nf+1)*d.Tech.LDiff
+	h = d.W/nf + 2*d.Tech.LDiff
+	return w, h
+}
+
+// Area returns the footprint area in µm².
+func (d Device) Area() float64 {
+	w, h := d.Footprint()
+	return w * h
+}

@@ -1,0 +1,124 @@
+package mos
+
+import (
+	"math"
+	"testing"
+)
+
+func dev(w, l float64, folds int) Device {
+	return Device{Tech: NTech(), W: w, L: l, Folds: folds}
+}
+
+func TestValidate(t *testing.T) {
+	if err := dev(10, 1, 2).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev(0, 1, 1).Validate(); err == nil {
+		t.Fatal("zero width must fail")
+	}
+	if err := dev(10, 1, 0).Validate(); err == nil {
+		t.Fatal("zero folds must fail")
+	}
+	if err := dev(1, 1, 10).Validate(); err == nil {
+		t.Fatal("sub-minimum finger width must fail")
+	}
+}
+
+func TestSquareLawRelations(t *testing.T) {
+	d := dev(20, 1, 1)
+	id := 100e-6
+	gm := d.Gm(id)
+	// gm = sqrt(2*170e-6*20*100e-6) = sqrt(6.8e-7) ≈ 0.825 mA/V
+	want := math.Sqrt(2 * 170e-6 * 20 * 100e-6)
+	if math.Abs(gm-want) > 1e-9 {
+		t.Fatalf("Gm = %g, want %g", gm, want)
+	}
+	// Round trip: IDSat(VOV(id)) == id.
+	if got := d.IDSat(d.VOV(id)); math.Abs(got-id)/id > 1e-9 {
+		t.Fatalf("IDSat(VOV) = %g, want %g", got, id)
+	}
+	// Longer channel -> higher rout.
+	if dev(20, 2, 1).Rout(id) <= dev(20, 1, 1).Rout(id) {
+		t.Fatal("Rout must grow with L")
+	}
+	if !math.IsInf(d.Rout(0), 1) {
+		t.Fatal("Rout at zero current must be infinite")
+	}
+	if d.Gm(0) != 0 || d.VOV(0) != 0 || d.IDSat(0) != 0 {
+		t.Fatal("zero-current small-signal values must be zero")
+	}
+}
+
+func TestGmIncreasesWithWidth(t *testing.T) {
+	id := 50e-6
+	if dev(40, 1, 1).Gm(id) <= dev(10, 1, 1).Gm(id) {
+		t.Fatal("Gm must grow with W")
+	}
+}
+
+// Folding must shrink the drain junction capacitance: the layout-aware
+// lever of Section V.
+func TestFoldingShrinksDrainCap(t *testing.T) {
+	unfolded := dev(40, 1, 1)
+	folded := dev(40, 1, 4)
+	cu, cf := unfolded.DrainCap(), folded.DrainCap()
+	if cf >= cu {
+		t.Fatalf("folded drain cap %g must be below unfolded %g", cf, cu)
+	}
+	// The big win is sharing drain stripes (1 -> 2 folds roughly
+	// halves the area); any even folding stays well below unfolded.
+	if c2 := dev(40, 1, 2).DrainCap(); c2 > 0.7*cu {
+		t.Fatalf("2-fold drain cap %g not substantially below unfolded %g", c2, cu)
+	}
+	for nf := 2; nf <= 8; nf *= 2 {
+		if c := dev(40, 1, nf).DrainCap(); c >= cu {
+			t.Fatalf("drain cap at %d folds (%g) not below unfolded (%g)", nf, c, cu)
+		}
+	}
+}
+
+// Folding must square up the footprint: a 1-fold wide device is flat,
+// a multi-fold one is compact.
+func TestFoldingSquaresFootprint(t *testing.T) {
+	flat := dev(100, 1, 1)
+	fw, fh := flat.Footprint()
+	if fh <= fw {
+		t.Fatalf("unfolded 100 µm device should be tall: %gx%g", fw, fh)
+	}
+	sq := dev(100, 1, 10)
+	sw, sh := sq.Footprint()
+	ratioFlat := math.Max(fw/fh, fh/fw)
+	ratioSq := math.Max(sw/sh, sh/sw)
+	if ratioSq >= ratioFlat {
+		t.Fatalf("folding did not improve aspect ratio: %g vs %g", ratioSq, ratioFlat)
+	}
+}
+
+func TestGateCapIndependentOfFolds(t *testing.T) {
+	a := dev(40, 1, 1).GateCap()
+	b := dev(40, 1, 4).GateCap()
+	if math.Abs(a-b) > 1e-20 {
+		t.Fatal("gate cap must not depend on folding")
+	}
+}
+
+func TestSourceCapPositive(t *testing.T) {
+	if dev(40, 1, 3).SourceCap() <= 0 {
+		t.Fatal("source cap must be positive")
+	}
+}
+
+func TestAreaMatchesFootprint(t *testing.T) {
+	d := dev(40, 2, 4)
+	w, h := d.Footprint()
+	if math.Abs(d.Area()-w*h) > 1e-12 {
+		t.Fatal("Area != W*H")
+	}
+}
+
+func TestPTechDiffers(t *testing.T) {
+	n, p := NTech(), PTech()
+	if n.KP <= p.KP {
+		t.Fatal("NMOS KP must exceed PMOS KP")
+	}
+}

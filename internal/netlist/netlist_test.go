@@ -1,0 +1,215 @@
+package netlist
+
+import (
+	"strings"
+	"testing"
+)
+
+func mos(name string, t DeviceType, d, g, s, b string) *Device {
+	return &Device{
+		Name:  name,
+		Type:  t,
+		Ports: map[string]string{"D": d, "G": g, "S": s, "B": b},
+		Params: map[string]float64{
+			"w": 10, "l": 1,
+		},
+	}
+}
+
+func TestAddAndLookup(t *testing.T) {
+	c := NewCircuit("test")
+	if err := c.Add(mos("M1", NMOS, "out", "in", "gnd", "gnd")); err != nil {
+		t.Fatal(err)
+	}
+	if c.Device("M1") == nil {
+		t.Fatal("device M1 not found after Add")
+	}
+	if c.Device("M2") != nil {
+		t.Fatal("lookup of absent device must return nil")
+	}
+	if err := c.Add(mos("M1", NMOS, "a", "b", "c", "d")); err == nil {
+		t.Fatal("duplicate Add must fail")
+	}
+	if err := c.Add(&Device{}); err == nil {
+		t.Fatal("empty name must fail")
+	}
+}
+
+func TestNets(t *testing.T) {
+	c := NewCircuit("test")
+	c.MustAdd(mos("M1", NMOS, "out", "in", "gnd", "gnd"))
+	c.MustAdd(mos("M2", PMOS, "out", "in", "vdd", "vdd"))
+	nets := c.Nets()
+	if len(nets["out"]) != 2 {
+		t.Fatalf("net out has %d pins, want 2", len(nets["out"]))
+	}
+	if len(nets["in"]) != 2 {
+		t.Fatalf("net in has %d pins, want 2", len(nets["in"]))
+	}
+	// gnd carries M1's S and B.
+	if len(nets["gnd"]) != 2 {
+		t.Fatalf("net gnd has %d pins, want 2", len(nets["gnd"]))
+	}
+	names := c.NetNames()
+	want := []string{"gnd", "in", "out", "vdd"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("NetNames = %v, want %v", names, want)
+	}
+}
+
+func TestSignalNetsExcludesGlobals(t *testing.T) {
+	c := NewCircuit("test")
+	c.MustAdd(mos("M1", NMOS, "out", "in", "gnd", "gnd"))
+	c.MustAdd(mos("M2", PMOS, "out", "in", "vdd", "vdd"))
+	sig := c.SignalNets("vdd", "gnd")
+	if _, ok := sig["vdd"]; ok {
+		t.Fatal("global net vdd must be excluded")
+	}
+	if devs := sig["out"]; len(devs) != 2 {
+		t.Fatalf("signal net out = %v, want two devices", devs)
+	}
+	// Single-device nets are dropped.
+	c.MustAdd(&Device{Name: "C1", Type: Capacitor, Ports: map[string]string{"P": "lonely", "N": "gnd"}})
+	sig = c.SignalNets("vdd", "gnd")
+	if _, ok := sig["lonely"]; ok {
+		t.Fatal("single-device net must be dropped")
+	}
+}
+
+func TestConnectedDevices(t *testing.T) {
+	c := NewCircuit("test")
+	c.MustAdd(mos("M1", NMOS, "x", "in", "gnd", "gnd"))
+	c.MustAdd(mos("M2", NMOS, "x", "in2", "gnd", "gnd"))
+	c.MustAdd(mos("M3", NMOS, "y", "in3", "gnd", "gnd"))
+	adj := c.ConnectedDevices("gnd")
+	if !adj["M1"]["M2"] || !adj["M2"]["M1"] {
+		t.Fatal("M1 and M2 share net x and must be adjacent")
+	}
+	if adj["M1"]["M3"] {
+		t.Fatal("M1 and M3 share only the excluded global gnd")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	c := NewCircuit("test")
+	c.MustAdd(mos("M1", NMOS, "out", "in", "gnd", "gnd"))
+	if err := c.Validate(); err != nil {
+		t.Fatalf("valid circuit rejected: %v", err)
+	}
+	bad := NewCircuit("bad")
+	bad.MustAdd(&Device{Name: "M9", Type: NMOS, Ports: map[string]string{"D": "x"}})
+	if err := bad.Validate(); err == nil {
+		t.Fatal("MOS without G/S must fail validation")
+	}
+	noPorts := NewCircuit("np")
+	noPorts.MustAdd(&Device{Name: "B1", Type: Block})
+	if err := noPorts.Validate(); err == nil {
+		t.Fatal("device without ports must fail validation")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	c := NewCircuit("orig")
+	c.MustAdd(mos("M1", NMOS, "out", "in", "gnd", "gnd"))
+	cl := c.Clone()
+	cl.Device("M1").Ports["D"] = "changed"
+	cl.Device("M1").Params["w"] = 99
+	if c.Device("M1").Ports["D"] != "out" {
+		t.Fatal("Clone shares port storage")
+	}
+	if c.Device("M1").Params["w"] != 10 {
+		t.Fatal("Clone shares param storage")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	c := NewCircuit("rt")
+	m := mos("M1", PMOS, "out", "in", "vdd", "vdd")
+	m.FW, m.FH = 40, 20
+	c.MustAdd(m)
+	c.MustAdd(&Device{
+		Name:   "C1",
+		Type:   Capacitor,
+		Ports:  map[string]string{"P": "out", "N": "gnd"},
+		Params: map[string]float64{"c": 1e-12},
+	})
+
+	text := c.String()
+	got, err := ParseString(text)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", text, err)
+	}
+	if got.Name != "rt" {
+		t.Fatalf("Name = %q, want rt", got.Name)
+	}
+	gm := got.Device("M1")
+	if gm == nil || gm.Type != PMOS || gm.Ports["D"] != "out" || gm.FW != 40 || gm.FH != 20 {
+		t.Fatalf("M1 round-trip mismatch: %+v", gm)
+	}
+	gc := got.Device("C1")
+	if gc == nil || gc.Params["c"] != 1e-12 {
+		t.Fatalf("C1 round-trip mismatch: %+v", gc)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in string
+	}{
+		{"no header", "M1 nmos D=a G=b S=c\n.end\n"},
+		{"missing end", ".circuit x\nM1 nmos D=a G=b S=c\n"},
+		{"bad type", ".circuit x\nM1 frobnicator D=a\n.end\n"},
+		{"bad param", ".circuit x\nM1 nmos D=a G=b S=c w=abc\n.end\n"},
+		{"bad assignment", ".circuit x\nM1 nmos D\n.end\n"},
+		{"nested circuit", ".circuit x\n.circuit y\n.end\n"},
+		{"duplicate device", ".circuit x\nM1 nmos D=a G=b S=c\nM1 nmos D=a G=b S=c\n.end\n"},
+		{"empty input", ""},
+		{"bad footprint", ".circuit x\nM1 nmos D=a G=b S=c fw=zz\n.end\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseString(tc.in); err == nil {
+			t.Errorf("%s: Parse succeeded, want error", tc.name)
+		}
+	}
+}
+
+func TestParseSkipsComments(t *testing.T) {
+	in := `* a comment
+.circuit c
+// another comment
+M1 nmos D=a G=b S=c B=d
+
+.end
+`
+	c, err := ParseString(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Devices) != 1 {
+		t.Fatalf("got %d devices, want 1", len(c.Devices))
+	}
+}
+
+func TestDeviceParamDefault(t *testing.T) {
+	d := mos("M1", NMOS, "a", "b", "c", "d")
+	if d.Param("w", 0) != 10 {
+		t.Fatal("existing param not returned")
+	}
+	if d.Param("nf", 4) != 4 {
+		t.Fatal("default not returned for absent param")
+	}
+}
+
+func TestDeviceTypeString(t *testing.T) {
+	want := map[DeviceType]string{
+		NMOS: "nmos", PMOS: "pmos", Resistor: "res", Capacitor: "cap", Block: "block",
+	}
+	for ty, s := range want {
+		if ty.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(ty), ty.String(), s)
+		}
+	}
+	if DeviceType(99).String() != "DeviceType(99)" {
+		t.Error("unknown type string wrong")
+	}
+}

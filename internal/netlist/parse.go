@@ -1,0 +1,127 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a circuit in the SPICE-like line format produced by
+// (*Circuit).String:
+//
+//	.circuit <name>
+//	<dev> <type> <PORT>=<net> ... <param>=<value> ... [fw=<int> fh=<int>]
+//	* comment
+//	.end
+//
+// Port keys are upper-case single tokens (D, G, S, B, P, N, ...);
+// lower-case keys are numeric parameters. fw/fh set the layout
+// footprint. Blank lines and lines starting with '*' or '//' are
+// ignored.
+func Parse(r io.Reader) (*Circuit, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var c *Circuit
+	lineno := 0
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "*") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch {
+		case strings.EqualFold(fields[0], ".circuit"):
+			if c != nil {
+				return nil, fmt.Errorf("netlist: line %d: nested .circuit", lineno)
+			}
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("netlist: line %d: .circuit needs a name", lineno)
+			}
+			c = NewCircuit(fields[1])
+		case strings.EqualFold(fields[0], ".end"):
+			if c == nil {
+				return nil, fmt.Errorf("netlist: line %d: .end before .circuit", lineno)
+			}
+			return c, nil
+		default:
+			if c == nil {
+				return nil, fmt.Errorf("netlist: line %d: device before .circuit", lineno)
+			}
+			d, err := parseDevice(fields)
+			if err != nil {
+				return nil, fmt.Errorf("netlist: line %d: %v", lineno, err)
+			}
+			if err := c.Add(d); err != nil {
+				return nil, fmt.Errorf("netlist: line %d: %v", lineno, err)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if c == nil {
+		return nil, fmt.Errorf("netlist: no .circuit header found")
+	}
+	return nil, fmt.Errorf("netlist: missing .end")
+}
+
+// ParseString is Parse over a string.
+func ParseString(s string) (*Circuit, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func parseDevice(fields []string) (*Device, error) {
+	if len(fields) < 2 {
+		return nil, fmt.Errorf("device line needs name and type")
+	}
+	d := &Device{
+		Name:   fields[0],
+		Ports:  map[string]string{},
+		Params: map[string]float64{},
+	}
+	switch strings.ToLower(fields[1]) {
+	case "nmos":
+		d.Type = NMOS
+	case "pmos":
+		d.Type = PMOS
+	case "res":
+		d.Type = Resistor
+	case "cap":
+		d.Type = Capacitor
+	case "block":
+		d.Type = Block
+	default:
+		return nil, fmt.Errorf("unknown device type %q", fields[1])
+	}
+	for _, tok := range fields[2:] {
+		eq := strings.IndexByte(tok, '=')
+		if eq <= 0 {
+			return nil, fmt.Errorf("malformed assignment %q", tok)
+		}
+		key, val := tok[:eq], tok[eq+1:]
+		switch {
+		case key == "fw" || key == "fh":
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				return nil, fmt.Errorf("footprint %s=%q: %v", key, val, err)
+			}
+			if key == "fw" {
+				d.FW = n
+			} else {
+				d.FH = n
+			}
+		case key == strings.ToUpper(key): // port assignment
+			d.Ports[key] = val
+		default: // numeric parameter
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return nil, fmt.Errorf("parameter %s=%q: %v", key, val, err)
+			}
+			d.Params[key] = f
+		}
+	}
+	return d, nil
+}

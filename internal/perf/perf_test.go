@@ -1,0 +1,181 @@
+package perf
+
+import (
+	"testing"
+
+	"repro/internal/mos"
+)
+
+// referenceFC is a reasonable hand design of the folded cascode.
+func referenceFC() FoldedCascode {
+	n, p := mos.NTech(), mos.PTech()
+	return FoldedCascode{
+		In:   mos.Device{Tech: n, W: 120, L: 0.7, Folds: 6},
+		Tail: mos.Device{Tech: n, W: 60, L: 1.4, Folds: 4},
+		Src:  mos.Device{Tech: p, W: 160, L: 1.4, Folds: 8},
+		CasP: mos.Device{Tech: p, W: 120, L: 0.7, Folds: 6},
+		CasN: mos.Device{Tech: n, W: 60, L: 0.7, Folds: 4},
+		Mir:  mos.Device{Tech: n, W: 80, L: 1.4, Folds: 4},
+
+		ITail: 200e-6,
+		VDD:   3.3,
+		CL:    2e-12,
+	}
+}
+
+func TestFoldedCascodeNominal(t *testing.T) {
+	p, err := referenceFC().Evaluate(Parasitics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.OpOK {
+		t.Fatalf("operating point failed: %s", p.OpMsg)
+	}
+	if p.GainDB < 60 || p.GainDB > 110 {
+		t.Fatalf("gain %.1f dB outside plausible folded-cascode range", p.GainDB)
+	}
+	if p.GBW < 1e6 || p.GBW > 1e9 {
+		t.Fatalf("GBW %.3g Hz implausible", p.GBW)
+	}
+	if p.PM <= 0 || p.PM >= 90 {
+		t.Fatalf("PM %.1f° implausible", p.PM)
+	}
+	if p.SR <= 0 || p.Power <= 0 {
+		t.Fatal("SR/power must be positive")
+	}
+}
+
+// Layout parasitics must degrade performance monotonically: output cap
+// hits GBW and SR, folding-node cap hits phase margin.
+func TestParasiticsDegradePerformance(t *testing.T) {
+	d := referenceFC()
+	clean, err := d.Evaluate(Parasitics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := d.Evaluate(Parasitics{COut: 1e-12, CFold: 0.5e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.GBW >= clean.GBW {
+		t.Fatal("output parasitic must reduce GBW")
+	}
+	if loaded.SR >= clean.SR {
+		t.Fatal("output parasitic must reduce slew rate")
+	}
+	if loaded.PM >= clean.PM {
+		t.Fatal("folding-node parasitic must reduce phase margin")
+	}
+	if loaded.GainDB != clean.GainDB {
+		t.Fatal("capacitive parasitics must not change dc gain")
+	}
+}
+
+func TestSpecViolations(t *testing.T) {
+	d := referenceFC()
+	p, err := d.Evaluate(Parasitics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := Spec{MinGainDB: 50, MinGBW: 1e6, MinPM: 45, MinSR: 1e6}
+	if v := pass.Violations(p); len(v) != 0 {
+		t.Fatalf("reference design should pass relaxed spec: %v", v)
+	}
+	hard := Spec{MinGainDB: 150, MinGBW: 1e12, MinPM: 89.9, MinSR: 1e12, MaxPower: 1e-9}
+	if v := hard.Violations(p); len(v) != 5 {
+		t.Fatalf("impossible spec should violate all 5 entries, got %v", v)
+	}
+}
+
+func TestOperatingPointDetection(t *testing.T) {
+	d := referenceFC()
+	d.VDD = 1.0 // far too low for the stacks
+	p, err := d.Evaluate(Parasitics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.OpOK {
+		t.Fatal("1 V supply must fail the operating point")
+	}
+	spec := Spec{}
+	if v := spec.Violations(p); len(v) == 0 {
+		t.Fatal("operating-point failure must appear as a violation")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	d := referenceFC()
+	d.ITail = 0
+	if _, err := d.Evaluate(Parasitics{}); err == nil {
+		t.Fatal("zero tail current must fail")
+	}
+	d = referenceFC()
+	d.In.W = 0
+	if _, err := d.Evaluate(Parasitics{}); err == nil {
+		t.Fatal("zero width must fail")
+	}
+}
+
+func TestDeviceAreaPositive(t *testing.T) {
+	if referenceFC().DeviceArea() <= 0 {
+		t.Fatal("device area must be positive")
+	}
+}
+
+func TestWiderInputIncreasesGBW(t *testing.T) {
+	d := referenceFC()
+	base, _ := d.Evaluate(Parasitics{})
+	d.In.W *= 2
+	d.In.Folds *= 2
+	wide, _ := d.Evaluate(Parasitics{})
+	if wide.GBW <= base.GBW {
+		t.Fatal("wider input pair must raise GBW (same load)")
+	}
+}
+
+func referenceMiller() Miller {
+	n, p := mos.NTech(), mos.PTech()
+	return Miller{
+		In:   mos.Device{Tech: p, W: 40, L: 1, Folds: 2},
+		Load: mos.Device{Tech: n, W: 20, L: 2, Folds: 2},
+		Tail: mos.Device{Tech: p, W: 20, L: 2, Folds: 2},
+		Out:  mos.Device{Tech: n, W: 80, L: 1, Folds: 4},
+		OutP: mos.Device{Tech: p, W: 60, L: 2, Folds: 4},
+
+		ITail: 20e-6,
+		IOut:  100e-6,
+		VDD:   3.3,
+		CC:    2e-12,
+		CL:    5e-12,
+	}
+}
+
+func TestMillerNominal(t *testing.T) {
+	p, err := referenceMiller().Evaluate(Parasitics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.GainDB < 60 || p.GainDB > 120 {
+		t.Fatalf("Miller gain %.1f dB implausible", p.GainDB)
+	}
+	if p.PM <= 0 {
+		t.Fatalf("Miller PM %.1f° implausible", p.PM)
+	}
+}
+
+func TestMillerParasiticsDegrade(t *testing.T) {
+	d := referenceMiller()
+	clean, _ := d.Evaluate(Parasitics{})
+	dirty, _ := d.Evaluate(Parasitics{COut: 2e-12, CFold: 0.5e-12})
+	if dirty.PM >= clean.PM {
+		t.Fatal("parasitics must reduce Miller phase margin")
+	}
+}
+
+func TestMillerValidate(t *testing.T) {
+	d := referenceMiller()
+	d.CC = 0
+	if _, err := d.Evaluate(Parasitics{}); err == nil {
+		t.Fatal("zero compensation cap must fail")
+	}
+}

@@ -1,0 +1,178 @@
+package place
+
+import (
+	"math/rand"
+
+	"repro/internal/anneal"
+	"repro/internal/bstar"
+	"repro/internal/geom"
+)
+
+// btSolution wraps a B*-tree for the annealer.
+type btSolution struct {
+	prob *Problem
+	tree *bstar.Tree
+	cost float64
+}
+
+func (s *btSolution) evaluate() {
+	pl, err := s.tree.Placement(s.prob.Names)
+	if err != nil {
+		panic(err) // names/tree sizes are fixed by construction
+	}
+	s.cost = s.prob.Cost(pl)
+}
+
+// Cost implements anneal.Solution.
+func (s *btSolution) Cost() float64 { return s.cost }
+
+// Neighbor implements anneal.Solution using the classic B*-tree
+// perturbations (rotate, move, swap).
+func (s *btSolution) Neighbor(rng *rand.Rand) anneal.Solution {
+	next := &btSolution{prob: s.prob, tree: s.tree.Clone()}
+	next.tree.Perturb(rng)
+	next.evaluate()
+	return next
+}
+
+// BStar runs a plain B*-tree annealing placer. Symmetry groups are not
+// enforced (see package asf for symmetry islands and package hbstar
+// for hierarchical constraints); it serves as the unconstrained
+// topological baseline.
+func BStar(p *Problem, opt anneal.Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 11))
+	init := &btSolution{prob: p, tree: bstar.NewRandom(p.W, p.H, rng)}
+	init.evaluate()
+	best, stats := anneal.Anneal(init, opt)
+	sol := best.(*btSolution)
+	pl, err := sol.tree.Placement(p.Names)
+	if err != nil {
+		return nil, err
+	}
+	pl.Normalize()
+	return &Result{Placement: pl, Cost: sol.cost, Stats: stats}, nil
+}
+
+// absSolution is the absolute-coordinate baseline state: explicit
+// module positions that may overlap during the search, with overlap
+// penalized in the cost — the exploration style of ILAC/KOAN the paper
+// contrasts with topological representations.
+type absSolution struct {
+	prob    *Problem
+	x, y    []int
+	rot     []bool
+	span    int // translation range for moves
+	penalty float64
+	cost    float64
+}
+
+func (s *absSolution) placement() geom.Placement {
+	return s.prob.BuildPlacement(s.x, s.y, s.rot)
+}
+
+func (s *absSolution) evaluate() {
+	pl := s.placement()
+	cost := s.prob.Cost(pl)
+	var overlap int64
+	names := s.prob.Names
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			if in, ok := pl[names[i]].Intersection(pl[names[j]]); ok {
+				overlap += in.Area()
+			}
+		}
+	}
+	s.cost = cost + s.penalty*float64(overlap)
+}
+
+// Cost implements anneal.Solution.
+func (s *absSolution) Cost() float64 { return s.cost }
+
+// Neighbor implements anneal.Solution: translate, swap or rotate.
+func (s *absSolution) Neighbor(rng *rand.Rand) anneal.Solution {
+	next := &absSolution{
+		prob:    s.prob,
+		x:       append([]int(nil), s.x...),
+		y:       append([]int(nil), s.y...),
+		rot:     append([]bool(nil), s.rot...),
+		span:    s.span,
+		penalty: s.penalty,
+	}
+	n := s.prob.N()
+	switch rng.Intn(4) {
+	case 0, 1: // translate
+		m := rng.Intn(n)
+		next.x[m] += rng.Intn(2*s.span+1) - s.span
+		next.y[m] += rng.Intn(2*s.span+1) - s.span
+		if next.x[m] < 0 {
+			next.x[m] = 0
+		}
+		if next.y[m] < 0 {
+			next.y[m] = 0
+		}
+	case 2: // swap positions
+		if n >= 2 {
+			a, b := rng.Intn(n), rng.Intn(n-1)
+			if b >= a {
+				b++
+			}
+			next.x[a], next.x[b] = next.x[b], next.x[a]
+			next.y[a], next.y[b] = next.y[b], next.y[a]
+		}
+	case 3: // rotate
+		m := rng.Intn(n)
+		next.rot[m] = !next.rot[m]
+	}
+	next.evaluate()
+	return next
+}
+
+// Absolute runs the absolute-coordinate annealing baseline. The final
+// placement may contain residual overlaps (the method's known
+// weakness); callers should check Placement.Legal. The overlap penalty
+// is proportional to the average module area so it dominates the area
+// term.
+func Absolute(p *Problem, opt anneal.Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 13))
+	n := p.N()
+	// Initial spread: place modules on a loose grid.
+	side := 1
+	for side*side < n {
+		side++
+	}
+	maxDim := 1
+	for i := 0; i < n; i++ {
+		if p.W[i] > maxDim {
+			maxDim = p.W[i]
+		}
+		if p.H[i] > maxDim {
+			maxDim = p.H[i]
+		}
+	}
+	pitch := maxDim + 1
+	init := &absSolution{
+		prob:    p,
+		x:       make([]int, n),
+		y:       make([]int, n),
+		rot:     make([]bool, n),
+		span:    pitch,
+		penalty: 10,
+	}
+	order := rng.Perm(n)
+	for i, m := range order {
+		init.x[m] = (i % side) * pitch
+		init.y[m] = (i / side) * pitch
+	}
+	init.evaluate()
+	best, stats := anneal.Anneal(init, opt)
+	sol := best.(*absSolution)
+	pl := sol.placement()
+	pl.Normalize()
+	return &Result{Placement: pl, Cost: sol.cost, Stats: stats}, nil
+}

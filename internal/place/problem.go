@@ -1,0 +1,191 @@
+// Package place provides the device-level placers compared in the
+// paper: the absolute-coordinate simulated-annealing baseline in the
+// tradition of Jepsen/Gellat [11] (explores infeasible overlapping
+// configurations), the topological sequence-pair placer restricted to
+// symmetric-feasible codes (Section II, [13]), a B*-tree placer, and a
+// slicing-tree placer (normalized Polish expressions) representing the
+// slicing layout model the paper says degrades density for
+// heterogeneous analog cells.
+//
+// All placers optimize the same composite cost — bounding-box area
+// plus weighted half-perimeter wirelength — over the same Problem, so
+// the representation ablations of DESIGN.md compare like for like.
+package place
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/circuits"
+	"repro/internal/constraint"
+	"repro/internal/geom"
+	"repro/internal/seqpair"
+)
+
+// Problem is one placement instance over modules 0..n-1.
+type Problem struct {
+	Names []string
+	W, H  []int
+	// Groups are symmetry groups over module ids (vertical axes).
+	Groups []seqpair.Group
+	// Nets lists signal nets as module-id sets for wirelength.
+	Nets [][]int
+	// WireWeight scales HPWL against bounding-box area in the cost.
+	// Zero means area-only.
+	WireWeight float64
+}
+
+// N returns the module count.
+func (p *Problem) N() int { return len(p.Names) }
+
+// Validate checks the problem's internal consistency.
+func (p *Problem) Validate() error {
+	n := p.N()
+	if len(p.W) != n || len(p.H) != n {
+		return fmt.Errorf("place: dims length mismatch")
+	}
+	for i := 0; i < n; i++ {
+		if p.W[i] <= 0 || p.H[i] <= 0 {
+			return fmt.Errorf("place: module %d has non-positive size", i)
+		}
+	}
+	if err := seqpair.ValidateGroups(n, p.Groups); err != nil {
+		return err
+	}
+	for _, net := range p.Nets {
+		for _, m := range net {
+			if m < 0 || m >= n {
+				return fmt.Errorf("place: net references module %d out of range", m)
+			}
+		}
+	}
+	return nil
+}
+
+// ModuleArea returns the sum of module areas.
+func (p *Problem) ModuleArea() int64 {
+	var a int64
+	for i := range p.W {
+		a += int64(p.W[i]) * int64(p.H[i])
+	}
+	return a
+}
+
+// Cost evaluates a placement: bounding-box area plus weighted total
+// HPWL over all nets. Placements missing modules are heavily
+// penalized.
+func (p *Problem) Cost(pl geom.Placement) float64 {
+	if len(pl) < p.N() {
+		return math.Inf(1)
+	}
+	cost := float64(pl.Area())
+	if p.WireWeight > 0 {
+		wl := 0
+		for _, net := range p.Nets {
+			names := make([]string, len(net))
+			for i, m := range net {
+				names[i] = p.Names[m]
+			}
+			wl += geom.HPWL(pl, names)
+		}
+		cost += p.WireWeight * float64(wl)
+	}
+	return cost
+}
+
+// ConstraintSet converts the problem's symmetry groups to named
+// geometric constraints for validation.
+func (p *Problem) ConstraintSet() *constraint.Set {
+	s := &constraint.Set{}
+	for gi, g := range p.Groups {
+		cg := constraint.SymmetryGroup{
+			Name:     fmt.Sprintf("group%d", gi),
+			Vertical: true,
+		}
+		for _, pr := range g.Pairs {
+			cg.Pairs = append(cg.Pairs, [2]string{p.Names[pr[0]], p.Names[pr[1]]})
+		}
+		for _, s := range g.Selfs {
+			cg.Selfs = append(cg.Selfs, p.Names[s])
+		}
+		s.Symmetry = append(s.Symmetry, cg)
+	}
+	return s
+}
+
+// FromBench converts a benchmark circuit into a flat placement
+// problem: device footprints become modules, every symmetry node of
+// the hierarchy tree (device-level pairs and selfs) becomes a symmetry
+// group, and the bench's signal nets become wirelength nets.
+func FromBench(b *circuits.Bench) (*Problem, error) {
+	names, w, h := b.Modules()
+	id := map[string]int{}
+	for i, n := range names {
+		id[n] = i
+	}
+	p := &Problem{Names: names, W: w, H: h, WireWeight: 1}
+
+	var walk func(n *constraint.Node) error
+	walk = func(n *constraint.Node) error {
+		if n.Kind == constraint.KindSymmetry {
+			g := seqpair.Group{}
+			for _, pr := range n.SymPairs {
+				a, oka := id[pr[0]]
+				bb, okb := id[pr[1]]
+				if !oka || !okb {
+					// Pair references a sub-circuit, not a device:
+					// flat placers cannot express it; skip.
+					continue
+				}
+				g.Pairs = append(g.Pairs, [2]int{a, bb})
+			}
+			for _, s := range n.SymSelfs {
+				if m, ok := id[s]; ok {
+					g.Selfs = append(g.Selfs, m)
+				}
+			}
+			if g.Size() > 0 {
+				p.Groups = append(p.Groups, g)
+			}
+		}
+		for _, c := range n.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if b.Tree != nil {
+		if err := walk(b.Tree); err != nil {
+			return nil, err
+		}
+	}
+	for _, devs := range b.Nets {
+		var net []int
+		for _, d := range devs {
+			if m, ok := id[d]; ok {
+				net = append(net, m)
+			}
+		}
+		if len(net) >= 2 {
+			p.Nets = append(p.Nets, net)
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// BuildPlacement assembles a named placement from coordinates.
+func (p *Problem) BuildPlacement(x, y []int, rot []bool) geom.Placement {
+	pl := geom.Placement{}
+	for i := 0; i < p.N(); i++ {
+		w, h := p.W[i], p.H[i]
+		if rot != nil && rot[i] {
+			w, h = h, w
+		}
+		pl[p.Names[i]] = geom.NewRect(x[i], y[i], w, h)
+	}
+	return pl
+}

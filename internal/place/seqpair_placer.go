@@ -1,0 +1,192 @@
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/anneal"
+	"repro/internal/geom"
+	"repro/internal/seqpair"
+)
+
+// Result is the outcome of one placement run.
+type Result struct {
+	Placement geom.Placement
+	Cost      float64
+	Stats     anneal.Stats
+}
+
+// spSolution is a symmetric-feasible sequence-pair state for the
+// annealer. Rotations are applied pairwise so symmetric pairs stay
+// dimension-matched.
+type spSolution struct {
+	prob *Problem
+	sp   *seqpair.SP
+	rot  []bool
+	cost float64
+}
+
+func (s *spSolution) dims() (w, h []int) {
+	n := s.prob.N()
+	w = make([]int, n)
+	h = make([]int, n)
+	for i := 0; i < n; i++ {
+		if s.rot[i] {
+			w[i], h[i] = s.prob.H[i], s.prob.W[i]
+		} else {
+			w[i], h[i] = s.prob.W[i], s.prob.H[i]
+		}
+	}
+	return w, h
+}
+
+// placement packs the code. With symmetry groups the symmetric
+// constructor is used; codes it rejects (cross-group conflicts) get
+// infinite cost so the annealer treats the move as rejected.
+func (s *spSolution) placement() (geom.Placement, error) {
+	w, h := s.dims()
+	if len(s.prob.Groups) > 0 {
+		return s.sp.SymmetricPlacement(s.prob.Names, w, h, s.prob.Groups)
+	}
+	return s.sp.Placement(s.prob.Names, w, h)
+}
+
+func (s *spSolution) evaluate() {
+	pl, err := s.placement()
+	if err != nil {
+		s.cost = math.Inf(1)
+		return
+	}
+	s.cost = s.prob.Cost(pl)
+}
+
+// Cost implements anneal.Solution.
+func (s *spSolution) Cost() float64 { return s.cost }
+
+// Neighbor implements anneal.Solution: an S-F-preserving sequence move
+// or a pairwise rotation.
+func (s *spSolution) Neighbor(rng *rand.Rand) anneal.Solution {
+	next := &spSolution{
+		prob: s.prob,
+		sp:   s.sp.Clone(),
+		rot:  append([]bool(nil), s.rot...),
+	}
+	if rng.Intn(5) == 0 { // rotation move
+		m := rng.Intn(s.prob.N())
+		next.rot[m] = !next.rot[m]
+		// Rotate the symmetric counterpart too, keeping pair dims
+		// matched; self-symmetric modules need even height after
+		// rotation, which we cannot guarantee, so skip them.
+		for _, g := range s.prob.Groups {
+			if sym, ok := g.Sym(m); ok {
+				if sym == m {
+					next.rot[m] = s.rot[m] // revert: self-symmetric
+					break
+				}
+				next.rot[sym] = !next.rot[sym]
+				break
+			}
+		}
+	} else {
+		next.sp.PerturbSF(rng, s.prob.Groups)
+	}
+	next.evaluate()
+	return next
+}
+
+// SeqPair runs the Section II placer: simulated annealing restricted
+// to symmetric-feasible sequence-pairs, packed with the symmetric
+// constructor. The returned placement always satisfies the problem's
+// symmetry groups (validated against the geometric checker).
+func SeqPair(p *Problem, opt anneal.Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 7))
+	init := &spSolution{
+		prob: p,
+		sp:   seqpair.RandomSF(p.N(), p.Groups, rng),
+		rot:  make([]bool, p.N()),
+	}
+	init.evaluate()
+	// A random initial S-F code may still be cross-group infeasible;
+	// retry a few times.
+	for tries := 0; math.IsInf(init.cost, 1) && tries < 64; tries++ {
+		init.sp = seqpair.RandomSF(p.N(), p.Groups, rng)
+		init.evaluate()
+	}
+	if math.IsInf(init.cost, 1) {
+		return nil, fmt.Errorf("place: could not find a feasible initial symmetric-feasible code")
+	}
+	best, stats := anneal.Anneal(init, opt)
+	sol := best.(*spSolution)
+	pl, err := sol.placement()
+	if err != nil {
+		return nil, err
+	}
+	pl.Normalize()
+	if err := p.ConstraintSet().Check(pl); err != nil {
+		return nil, fmt.Errorf("place: internal error, result violates constraints: %v", err)
+	}
+	return &Result{Placement: pl, Cost: sol.cost, Stats: stats}, nil
+}
+
+// SeqPairUnconstrainedMoves is the ablation variant of SeqPair: moves
+// are arbitrary sequence-pair perturbations and non-S-F codes are
+// rejected by cost (the "rejection" strategy), instead of the move set
+// preserving property (1) by construction. Compare against SeqPair in
+// the BenchmarkSFMovesVsRejection ablation.
+func SeqPairUnconstrainedMoves(p *Problem, opt anneal.Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(opt.Seed + 7))
+	init := &spRejectSolution{spSolution{
+		prob: p,
+		sp:   seqpair.RandomSF(p.N(), p.Groups, rng),
+		rot:  make([]bool, p.N()),
+	}}
+	init.evaluate()
+	best, stats := anneal.Anneal(init, opt)
+	sol := best.(*spRejectSolution)
+	pl, err := sol.placement()
+	if err != nil {
+		return nil, err
+	}
+	pl.Normalize()
+	return &Result{Placement: pl, Cost: sol.cost, Stats: stats}, nil
+}
+
+// spRejectSolution perturbs without repairing and relies on the S-F
+// predicate to reject infeasible codes.
+type spRejectSolution struct {
+	spSolution
+}
+
+func (s *spRejectSolution) Neighbor(rng *rand.Rand) anneal.Solution {
+	next := &spRejectSolution{spSolution{
+		prob: s.prob,
+		sp:   s.sp.Clone(),
+		rot:  append([]bool(nil), s.rot...),
+	}}
+	// Arbitrary move: swap random positions in a random sequence.
+	n := s.prob.N()
+	if n >= 2 {
+		i, j := rng.Intn(n), rng.Intn(n-1)
+		if j >= i {
+			j++
+		}
+		if rng.Intn(2) == 0 {
+			next.sp.SwapAlpha(i, j)
+		} else {
+			next.sp.SwapBeta(i, j)
+		}
+	}
+	if !next.sp.SymmetricFeasible(s.prob.Groups) {
+		next.cost = math.Inf(1)
+		return next
+	}
+	next.evaluate()
+	return next
+}

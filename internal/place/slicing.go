@@ -1,0 +1,227 @@
+package place
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/anneal"
+	"repro/internal/geom"
+)
+
+// Slicing-tree placer over normalized Polish expressions (Wong/Liu
+// style), representing the slicing layout model of ILAC [24]. The
+// paper states slicing representations "limit the set of reachable
+// layout topologies, degrading the layout density especially when
+// cells are very different in size"; this placer exists to measure
+// exactly that against the non-slicing SP and B*-tree placers.
+
+// Operator tokens in a Polish expression; non-negative values are
+// module ids.
+const (
+	opH = -1 // horizontal cut: operands stacked vertically
+	opV = -2 // vertical cut: operands side by side
+)
+
+// polish is a normalized Polish expression in postfix form.
+type polish []int
+
+// validPolish checks the balloting property (every prefix has more
+// operands than operators), the operand/operator counts, and
+// normalization (no two adjacent identical operators).
+func validPolish(e polish, n int) bool {
+	operands, operators := 0, 0
+	for i, t := range e {
+		if t >= 0 {
+			operands++
+		} else {
+			if t != opH && t != opV {
+				return false
+			}
+			operators++
+			if i > 0 && e[i-1] == t {
+				return false // not normalized
+			}
+			if operators >= operands {
+				return false
+			}
+		}
+	}
+	return operands == n && operators == n-1
+}
+
+// slNode is one node of the decoded slicing tree.
+type slNode struct {
+	op          int // opH, opV, or module id for leaves
+	left, right *slNode
+	w, h        int
+}
+
+// decode builds the slicing tree and computes sizes bottom-up.
+func (s *slSolution) decode() (*slNode, error) {
+	var stack []*slNode
+	for _, t := range s.expr {
+		if t >= 0 {
+			w, h := s.prob.W[t], s.prob.H[t]
+			if s.rot[t] {
+				w, h = h, w
+			}
+			stack = append(stack, &slNode{op: t, w: w, h: h})
+			continue
+		}
+		if len(stack) < 2 {
+			return nil, fmt.Errorf("place: malformed polish expression")
+		}
+		r := stack[len(stack)-1]
+		l := stack[len(stack)-2]
+		stack = stack[:len(stack)-2]
+		nd := &slNode{op: t, left: l, right: r}
+		if t == opV {
+			nd.w = l.w + r.w
+			nd.h = max(l.h, r.h)
+		} else {
+			nd.w = max(l.w, r.w)
+			nd.h = l.h + r.h
+		}
+		stack = append(stack, nd)
+	}
+	if len(stack) != 1 {
+		return nil, fmt.Errorf("place: malformed polish expression")
+	}
+	return stack[0], nil
+}
+
+// slSolution is the annealer state for the slicing placer.
+type slSolution struct {
+	prob *Problem
+	expr polish
+	rot  []bool
+	cost float64
+}
+
+func (s *slSolution) placement() (geom.Placement, error) {
+	root, err := s.decode()
+	if err != nil {
+		return nil, err
+	}
+	pl := geom.Placement{}
+	var assign func(n *slNode, x, y int)
+	assign = func(n *slNode, x, y int) {
+		if n.op >= 0 {
+			pl[s.prob.Names[n.op]] = geom.NewRect(x, y, n.w, n.h)
+			return
+		}
+		assign(n.left, x, y)
+		if n.op == opV {
+			assign(n.right, x+n.left.w, y)
+		} else {
+			assign(n.right, x, y+n.left.h)
+		}
+	}
+	assign(root, 0, 0)
+	return pl, nil
+}
+
+func (s *slSolution) evaluate() {
+	pl, err := s.placement()
+	if err != nil {
+		s.cost = math.Inf(1)
+		return
+	}
+	s.cost = s.prob.Cost(pl)
+}
+
+// Cost implements anneal.Solution.
+func (s *slSolution) Cost() float64 { return s.cost }
+
+// Neighbor implements anneal.Solution with the classic Wong-Liu moves:
+// M1 swap adjacent operands, M2 complement an operator, M3 swap an
+// adjacent operand/operator pair, plus module rotation. Invalid
+// results are retried a bounded number of times.
+func (s *slSolution) Neighbor(rng *rand.Rand) anneal.Solution {
+	next := &slSolution{
+		prob: s.prob,
+		expr: append(polish(nil), s.expr...),
+		rot:  append([]bool(nil), s.rot...),
+	}
+	n := s.prob.N()
+	for attempt := 0; attempt < 16; attempt++ {
+		copy(next.expr, s.expr)
+		copy(next.rot, s.rot)
+		switch rng.Intn(4) {
+		case 0: // M1: swap two adjacent operands
+			ops := operandPositions(next.expr)
+			if len(ops) >= 2 {
+				i := rng.Intn(len(ops) - 1)
+				a, b := ops[i], ops[i+1]
+				next.expr[a], next.expr[b] = next.expr[b], next.expr[a]
+			}
+		case 1: // M2: complement one operator
+			var opPos []int
+			for i, t := range next.expr {
+				if t < 0 {
+					opPos = append(opPos, i)
+				}
+			}
+			if len(opPos) > 0 {
+				i := opPos[rng.Intn(len(opPos))]
+				if next.expr[i] == opH {
+					next.expr[i] = opV
+				} else {
+					next.expr[i] = opH
+				}
+			}
+		case 2: // M3: swap adjacent operand/operator
+			i := rng.Intn(len(next.expr) - 1)
+			next.expr[i], next.expr[i+1] = next.expr[i+1], next.expr[i]
+		case 3: // rotate a module
+			m := rng.Intn(n)
+			next.rot[m] = !next.rot[m]
+		}
+		if validPolish(next.expr, n) {
+			next.evaluate()
+			return next
+		}
+	}
+	// All attempts invalid: return an unchanged copy.
+	copy(next.expr, s.expr)
+	copy(next.rot, s.rot)
+	next.evaluate()
+	return next
+}
+
+func operandPositions(e polish) []int {
+	var out []int
+	for i, t := range e {
+		if t >= 0 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Slicing runs the slicing-tree annealing placer.
+func Slicing(p *Problem, opt anneal.Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := p.N()
+	if n == 0 {
+		return &Result{Placement: geom.Placement{}}, nil
+	}
+	// Initial expression: a single row m0 m1 V m2 V ...
+	expr := polish{0}
+	for i := 1; i < n; i++ {
+		expr = append(expr, i, opV)
+	}
+	init := &slSolution{prob: p, expr: expr, rot: make([]bool, n)}
+	init.evaluate()
+	best, stats := anneal.Anneal(init, opt)
+	sol := best.(*slSolution)
+	pl, err := sol.placement()
+	if err != nil {
+		return nil, err
+	}
+	pl.Normalize()
+	return &Result{Placement: pl, Cost: sol.cost, Stats: stats}, nil
+}

@@ -1,0 +1,76 @@
+package place
+
+import (
+	"math/rand"
+
+	"repro/internal/anneal"
+	"repro/internal/bstar"
+	"repro/internal/tcg"
+)
+
+// tcgSolution wraps a transitive closure graph for the annealer.
+type tcgSolution struct {
+	prob *Problem
+	g    *tcg.TCG
+	cost float64
+}
+
+func (s *tcgSolution) evaluate() {
+	pl, err := s.g.Placement(s.prob.Names)
+	if err != nil {
+		panic(err) // sizes fixed by construction
+	}
+	s.cost = s.prob.Cost(pl)
+}
+
+// Cost implements anneal.Solution.
+func (s *tcgSolution) Cost() float64 { return s.cost }
+
+// Neighbor implements anneal.Solution with the TCG perturbations
+// (rotate, swap, edge reversal, edge move).
+func (s *tcgSolution) Neighbor(rng *rand.Rand) anneal.Solution {
+	next := &tcgSolution{prob: s.prob, g: s.g.Clone()}
+	next.g.Perturb(rng)
+	next.evaluate()
+	return next
+}
+
+// TCG runs a transitive-closure-graph annealing placer — the third
+// non-slicing representation Section II names ([15]). Symmetry groups
+// are not enforced; it serves as a representation baseline alongside
+// BStar and Slicing.
+func TCG(p *Problem, opt anneal.Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	init := &tcgSolution{prob: p, g: tcg.New(p.W, p.H)}
+	init.evaluate()
+	best, stats := anneal.Anneal(init, opt)
+	sol := best.(*tcgSolution)
+	pl, err := sol.g.Placement(p.Names)
+	if err != nil {
+		return nil, err
+	}
+	pl.Normalize()
+	return &Result{Placement: pl, Cost: sol.cost, Stats: stats}, nil
+}
+
+// TwoPhaseBStar runs the GA+SA two-phase strategy of Zhang et al.
+// ([28]) over B*-trees: an evolutionary exploration followed by
+// annealing refinement.
+func TwoPhaseBStar(p *Problem, ga anneal.GAOptions, sa anneal.Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(sa.Seed + 17))
+	init := &btSolution{prob: p, tree: bstar.NewRandom(p.W, p.H, rng)}
+	init.evaluate()
+	best, stats := anneal.TwoPhase(init, ga, sa)
+	sol := best.(*btSolution)
+	pl, err := sol.tree.Placement(p.Names)
+	if err != nil {
+		return nil, err
+	}
+	pl.Normalize()
+	return &Result{Placement: pl, Cost: sol.cost, Stats: stats}, nil
+}

@@ -1,0 +1,91 @@
+// Package render draws placements (and optionally routed nets) as
+// standalone SVG documents, for inspecting the layouts the placers
+// produce. Colors are assigned per module deterministically; symmetry
+// axes can be overlaid as dashed lines.
+package render
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"sort"
+
+	"repro/internal/geom"
+	"repro/internal/route"
+)
+
+// Options configure a drawing.
+type Options struct {
+	// Scale multiplies placement units to SVG user units (default 4).
+	Scale float64
+	// Axes2 lists doubled x coordinates of symmetry axes to overlay.
+	Axes2 []int
+	// Paths are routed nets to draw over the modules.
+	Paths []route.Path
+	// Margin in placement units around the bounding box (default 2).
+	Margin int
+}
+
+// SVG writes the placement as an SVG document.
+func SVG(w io.Writer, p geom.Placement, opt Options) error {
+	scale := opt.Scale
+	if scale <= 0 {
+		scale = 4
+	}
+	margin := opt.Margin
+	if margin <= 0 {
+		margin = 2
+	}
+	bb := p.BBox()
+	x0, y0 := bb.X-margin, bb.Y-margin
+	width := float64(bb.W+2*margin) * scale
+	height := float64(bb.H+2*margin) * scale
+	// SVG y grows downward; flip so placement y grows upward.
+	toX := func(x int) float64 { return float64(x-x0) * scale }
+	toY := func(y int) float64 { return height - float64(y-y0)*scale }
+
+	if _, err := fmt.Fprintf(w,
+		`<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+
+	names := p.Names()
+	sort.Strings(names)
+	for _, name := range names {
+		r := p[name]
+		fmt.Fprintf(w,
+			`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="black" stroke-width="1"/>`+"\n",
+			toX(r.X), toY(r.Y2()), float64(r.W)*scale, float64(r.H)*scale, colorFor(name))
+		fmt.Fprintf(w,
+			`<text x="%.1f" y="%.1f" font-size="%.1f" text-anchor="middle" dominant-baseline="middle">%s</text>`+"\n",
+			toX(r.X)+float64(r.W)*scale/2, toY(r.Y)-float64(r.H)*scale/2, 3*scale, name)
+	}
+	for _, path := range opt.Paths {
+		for _, c := range path.Cells {
+			fmt.Fprintf(w,
+				`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.7"/>`+"\n",
+				toX(c.X), toY(c.Y+1), scale, scale, colorFor("net:"+path.Net))
+		}
+	}
+	for _, a2 := range opt.Axes2 {
+		x := (float64(a2)/2 - float64(x0)) * scale
+		fmt.Fprintf(w,
+			`<line x1="%.1f" y1="0" x2="%.1f" y2="%.0f" stroke="red" stroke-dasharray="4,3" stroke-width="1"/>`+"\n",
+			x, x, height)
+	}
+	_, err := fmt.Fprintln(w, `</svg>`)
+	return err
+}
+
+// colorFor assigns a deterministic pastel color per name.
+func colorFor(name string) string {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	v := h.Sum32()
+	r := 128 + (v>>16)&0x7f
+	g := 128 + (v>>8)&0x7f
+	b := 128 + v&0x7f
+	return fmt.Sprintf("#%02x%02x%02x", r, g, b)
+}

@@ -1,0 +1,61 @@
+package render
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/route"
+)
+
+func TestSVGContainsModules(t *testing.T) {
+	p := geom.Placement{
+		"A": geom.NewRect(0, 0, 10, 10),
+		"B": geom.NewRect(10, 0, 5, 20),
+	}
+	var b strings.Builder
+	if err := SVG(&b, p, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	for _, name := range []string{">A<", ">B<"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("module label %s missing", name)
+		}
+	}
+	// Two module rects plus background.
+	if strings.Count(out, "<rect") < 3 {
+		t.Fatal("missing rectangles")
+	}
+}
+
+func TestSVGWithAxisAndPaths(t *testing.T) {
+	p := geom.Placement{"A": geom.NewRect(0, 0, 4, 4)}
+	var b strings.Builder
+	err := SVG(&b, p, Options{
+		Axes2: []int{8},
+		Paths: []route.Path{{Net: "n", Cells: []geom.Point{{X: 1, Y: 1}, {X: 2, Y: 1}}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "stroke-dasharray") {
+		t.Fatal("axis line missing")
+	}
+	if strings.Count(out, "fill-opacity") != 2 {
+		t.Fatal("routed cells missing")
+	}
+}
+
+func TestColorDeterministic(t *testing.T) {
+	if colorFor("X") != colorFor("X") {
+		t.Fatal("color not deterministic")
+	}
+	if colorFor("X") == colorFor("Y") {
+		t.Fatal("distinct names should (almost surely) differ")
+	}
+}

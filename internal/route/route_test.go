@@ -1,0 +1,181 @@
+package route
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestRouteStraightLine(t *testing.T) {
+	g := NewGrid(20, 5)
+	path, err := g.Route("n", []geom.Point{{X: 0, Y: 2}, {X: 19, Y: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path.Length() != 20 {
+		t.Fatalf("length = %d, want 20 (shortest)", path.Length())
+	}
+	if !path.Connected([]geom.Point{{X: 0, Y: 2}, {X: 19, Y: 2}}) {
+		t.Fatal("path not connected to pins")
+	}
+}
+
+func TestRouteAroundObstacle(t *testing.T) {
+	g := NewGrid(21, 11)
+	g.Block(geom.NewRect(10, 0, 1, 10)) // wall with a gap at y=10
+	path, err := g.Route("n", []geom.Point{{X: 0, Y: 5}, {X: 20, Y: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Must detour over the wall: longer than the straight 21.
+	if path.Length() <= 21 {
+		t.Fatalf("length = %d, expected a detour", path.Length())
+	}
+	for _, c := range path.Cells {
+		if c.X == 10 && c.Y < 10 {
+			t.Fatalf("path crosses the wall at %v", c)
+		}
+	}
+}
+
+func TestRouteBlockedFails(t *testing.T) {
+	g := NewGrid(10, 10)
+	g.Block(geom.NewRect(5, 0, 1, 10)) // full wall
+	if _, err := g.Route("n", []geom.Point{{X: 0, Y: 5}, {X: 9, Y: 5}}); err == nil {
+		t.Fatal("routing through a full wall must fail")
+	}
+	if _, err := g.Route("n", []geom.Point{{X: 5, Y: 5}, {X: 0, Y: 0}}); err == nil {
+		t.Fatal("blocked pin must fail")
+	}
+	if _, err := g.Route("n", []geom.Point{{X: 0, Y: 0}}); err == nil {
+		t.Fatal("single-pin net must fail")
+	}
+}
+
+func TestRouteMultiPin(t *testing.T) {
+	g := NewGrid(20, 20)
+	pins := []geom.Point{{X: 0, Y: 0}, {X: 19, Y: 0}, {X: 10, Y: 19}}
+	path, err := g.Route("n", pins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !path.Connected(pins) {
+		t.Fatal("multi-pin net not connected")
+	}
+	// A Steiner-ish tree must be shorter than three separate routes.
+	if path.Length() > 60 {
+		t.Fatalf("length = %d, tree unexpectedly long", path.Length())
+	}
+}
+
+func TestNetsBecomeObstacles(t *testing.T) {
+	g := NewGrid(10, 3)
+	// First net occupies most of the middle row (x = 0..8).
+	if _, err := g.Route("a", []geom.Point{{X: 0, Y: 1}, {X: 8, Y: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	// Second net must detour around it through x=9 (single-layer
+	// model: routed nets are obstacles).
+	path, err := g.Route("b", []geom.Point{{X: 0, Y: 0}, {X: 0, Y: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range path.Cells {
+		if c.Y == 1 && c.X <= 8 {
+			t.Fatalf("net b shorts net a at %v", c)
+		}
+	}
+	if path.Length() < 21 {
+		t.Fatalf("length = %d, expected full detour via x=9", path.Length())
+	}
+}
+
+func TestFromPlacement(t *testing.T) {
+	p := geom.Placement{
+		"A": geom.NewRect(0, 0, 5, 5),
+		"B": geom.NewRect(10, 0, 5, 5),
+	}
+	g := FromPlacement(p, 2)
+	if g.W != 19 || g.H != 9 {
+		t.Fatalf("grid %dx%d, want 19x9", g.W, g.H)
+	}
+	// Module interiors are blocked (translated by margin).
+	if !g.Blocked(3, 3) {
+		t.Fatal("module cell not blocked")
+	}
+	if g.Blocked(8, 3) {
+		t.Fatal("gap between modules wrongly blocked")
+	}
+}
+
+func TestMirrorCellInvolution(t *testing.T) {
+	for axis2 := 5; axis2 < 30; axis2 += 3 {
+		for x := 0; x < 10; x++ {
+			c := geom.Point{X: x, Y: 7}
+			if MirrorCell(MirrorCell(c, axis2), axis2) != c {
+				t.Fatalf("mirror not an involution for axis2=%d x=%d", axis2, x)
+			}
+		}
+	}
+}
+
+// The headline property: a symmetric pair routes as exact mirrors with
+// identical lengths — matched wire parasitics.
+func TestRouteSymmetricPair(t *testing.T) {
+	// Symmetric world: two module pairs mirrored about x=10 (axis2=20).
+	g := NewGrid(20, 12)
+	g.Block(geom.NewRect(2, 4, 4, 4))  // left module
+	g.Block(geom.NewRect(14, 4, 4, 4)) // right module (mirror)
+	pinsA := []geom.Point{{X: 6, Y: 6}, {X: 9, Y: 0}}
+	pinsB := []geom.Point{{X: 13, Y: 6}, {X: 10, Y: 0}} // exact mirrors
+	pa, pb, err := g.RouteSymmetricPair("a", pinsA, "b", pinsB, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pa.Length() != pb.Length() {
+		t.Fatalf("pair lengths differ: %d vs %d", pa.Length(), pb.Length())
+	}
+	// Cells are exact mirrors.
+	mirrored := map[geom.Point]bool{}
+	for _, c := range pa.Cells {
+		mirrored[MirrorCell(c, 20)] = true
+	}
+	for _, c := range pb.Cells {
+		if !mirrored[c] {
+			t.Fatalf("cell %v of b is not a mirror of a", c)
+		}
+	}
+	if !pa.Connected(pinsA) || !pb.Connected(pinsB) {
+		t.Fatal("pair paths not connected")
+	}
+}
+
+func TestRouteSymmetricPairRejectsBadPins(t *testing.T) {
+	g := NewGrid(20, 10)
+	pinsA := []geom.Point{{X: 2, Y: 2}, {X: 5, Y: 5}}
+	pinsB := []geom.Point{{X: 2, Y: 2}, {X: 5, Y: 5}} // not mirrors
+	if _, _, err := g.RouteSymmetricPair("a", pinsA, "b", pinsB, 20); err == nil {
+		t.Fatal("non-mirrored pins must fail")
+	}
+	if _, _, err := g.RouteSymmetricPair("a", pinsA, "b", pinsB[:1], 20); err == nil {
+		t.Fatal("pin count mismatch must fail")
+	}
+}
+
+func TestRouteSymmetricPairBlockedMirror(t *testing.T) {
+	g := NewGrid(20, 10)
+	// Asymmetric obstacle sitting exactly on B's mirror column
+	// (x = 17 mirrors A's x = 2 about axis2 = 20): A routes straight,
+	// the mirrored path collides.
+	g.Block(geom.NewRect(16, 4, 3, 2))
+	pinsA := []geom.Point{{X: 2, Y: 2}, {X: 2, Y: 8}}
+	pinsB := []geom.Point{{X: 17, Y: 2}, {X: 17, Y: 8}}
+	_, _, err := g.RouteSymmetricPair("a", pinsA, "b", pinsB, 20)
+	if err == nil {
+		t.Fatal("blocked mirror must fail")
+	}
+	// Failure must leave the grid unchanged (pins still free).
+	if g.Blocked(2, 2) || g.Blocked(17, 2) {
+		t.Fatal("failed pair routing mutated the grid")
+	}
+}

@@ -1,0 +1,130 @@
+package seqpair
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+	"repro/internal/veb"
+)
+
+// PackNaive converts the sequence-pair into lower-left module
+// coordinates by the classic O(n²) longest-path evaluation of the
+// horizontal and vertical constraint graphs. It is the reference
+// implementation the fast packer is differential-tested against.
+// w and h give module dimensions indexed by module id.
+func (sp *SP) PackNaive(w, h []int) (x, y []int) {
+	n := sp.N()
+	x = make([]int, n)
+	y = make([]int, n)
+	// Horizontal: process in alpha order; a is left of b iff a
+	// precedes b in both sequences.
+	for ia := 0; ia < n; ia++ {
+		b := sp.Alpha[ia]
+		best := 0
+		for ja := 0; ja < ia; ja++ {
+			a := sp.Alpha[ja]
+			if sp.posB[a] < sp.posB[b] && x[a]+w[a] > best {
+				best = x[a] + w[a]
+			}
+		}
+		x[b] = best
+	}
+	// Vertical: process in reverse alpha order; a is below b iff a
+	// succeeds b in alpha and precedes it in beta.
+	for ia := n - 1; ia >= 0; ia-- {
+		b := sp.Alpha[ia]
+		best := 0
+		for ja := n - 1; ja > ia; ja-- {
+			a := sp.Alpha[ja]
+			if sp.posB[a] < sp.posB[b] && y[a]+h[a] > best {
+				best = y[a] + h[a]
+			}
+		}
+		y[b] = best
+	}
+	return x, y
+}
+
+// Pack converts the sequence-pair into lower-left module coordinates
+// using the weighted longest-common-subsequence formulation (Tang/Wong
+// FAST-SP [26]) with a van Emde Boas priority queue over beta
+// positions, giving O(n log log n) per evaluation — the complexity the
+// paper quotes for symmetric placement evaluation.
+func (sp *SP) Pack(w, h []int) (x, y []int) {
+	n := sp.N()
+	x = sp.packLCS(sp.Alpha, w, false)
+	y = sp.packLCS(sp.Alpha, h, true)
+	_ = n
+	return x, y
+}
+
+// packLCS computes one coordinate axis. For x it scans alpha forward;
+// for y (reverse=true) it scans alpha backward. In both cases the
+// "dominates" relation on already-scanned modules is "smaller beta
+// position", so a single predecessor query on a vEB tree keyed by beta
+// position yields the coordinate.
+func (sp *SP) packLCS(order []int, dim []int, reverse bool) []int {
+	n := len(order)
+	coord := make([]int, n)
+	if n == 0 {
+		return coord
+	}
+	t := veb.New(n)
+	vals := make([]int, n) // beta position -> running edge value
+	scan := func(m int) {
+		p := sp.posB[m]
+		c := 0
+		if pred := t.Predecessor(p); pred >= 0 {
+			c = vals[pred]
+		}
+		coord[m] = c
+		end := c + dim[m]
+		t.Insert(p)
+		vals[p] = end
+		// Remove dominated entries: larger keys with no larger value,
+		// so values stay strictly increasing in key.
+		for q := t.Successor(p); q >= 0 && vals[q] <= end; q = t.Successor(p) {
+			t.Delete(q)
+		}
+	}
+	if reverse {
+		for i := n - 1; i >= 0; i-- {
+			scan(order[i])
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			scan(order[i])
+		}
+	}
+	return coord
+}
+
+// Span returns the total width and height of a packing given the
+// coordinates and dimensions.
+func Span(x, y, w, h []int) (totalW, totalH int) {
+	for i := range x {
+		if x[i]+w[i] > totalW {
+			totalW = x[i] + w[i]
+		}
+		if y[i]+h[i] > totalH {
+			totalH = y[i] + h[i]
+		}
+	}
+	return totalW, totalH
+}
+
+// Placement packs the sequence-pair and returns a named placement.
+// names, w and h are indexed by module id and must all have length
+// sp.N().
+func (sp *SP) Placement(names []string, w, h []int) (geom.Placement, error) {
+	n := sp.N()
+	if len(names) != n || len(w) != n || len(h) != n {
+		return nil, fmt.Errorf("seqpair: names/w/h length mismatch with %d modules", n)
+	}
+	x, y := sp.Pack(w, h)
+	p := geom.Placement{}
+	for i := 0; i < n; i++ {
+		p[names[i]] = geom.NewRect(x[i], y[i], w[i], h[i])
+	}
+	return p, nil
+}

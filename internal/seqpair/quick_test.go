@@ -1,0 +1,154 @@
+package seqpair
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/constraint"
+)
+
+// spFromSeeds builds a reproducible random instance from fuzz inputs.
+func spFromSeeds(seed int64, nRaw uint8) (*SP, []int, []int, *rand.Rand) {
+	n := 1 + int(nRaw)%12
+	rng := rand.New(rand.NewSource(seed))
+	sp := New(n)
+	sp.Shuffle(rng)
+	w := make([]int, n)
+	h := make([]int, n)
+	for i := range w {
+		w[i] = 1 + rng.Intn(30)
+		h[i] = 1 + rng.Intn(30)
+	}
+	return sp, w, h, rng
+}
+
+// Property: packed placements never overlap and respect the relation
+// semantics (left-of implies disjoint x intervals, below implies
+// disjoint y intervals), for arbitrary codes and dimensions.
+func TestQuickPackSound(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		sp, w, h, _ := spFromSeeds(seed, nRaw)
+		n := sp.N()
+		x, y := sp.Pack(w, h)
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a == b {
+					continue
+				}
+				overlapX := x[a] < x[b]+w[b] && x[b] < x[a]+w[a]
+				overlapY := y[a] < y[b]+h[b] && y[b] < y[a]+h[a]
+				if overlapX && overlapY {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: RepairSF is a projection — it always lands in the S-F set
+// and is the identity on it.
+func TestQuickRepairProjection(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		sp, _, _, _ := spFromSeeds(seed, nRaw)
+		n := sp.N()
+		if n < 4 {
+			return true
+		}
+		groups := []Group{{Pairs: [][2]int{{0, 1}}, Selfs: []int{2}}}
+		sp.RepairSF(groups)
+		if !sp.SymmetricFeasible(groups) {
+			return false
+		}
+		before := sp.Clone()
+		sp.RepairSF(groups)
+		return sp.Equal(before)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the Lemma bound divides the total count exactly (the
+// quotient structure of the S-F subset), for arbitrary group shapes.
+func TestQuickLemmaDivides(t *testing.T) {
+	f := func(pRaw, sRaw, extraRaw uint8) bool {
+		p := int(pRaw) % 3
+		s := int(sRaw) % 3
+		extra := int(extraRaw) % 3
+		n := 2*p + s + extra
+		if n == 0 || 2*p+s == 0 {
+			return true
+		}
+		var g Group
+		id := 0
+		for i := 0; i < p; i++ {
+			g.Pairs = append(g.Pairs, [2]int{id, id + 1})
+			id += 2
+		}
+		for i := 0; i < s; i++ {
+			g.Selfs = append(g.Selfs, id)
+			id++
+		}
+		total := TotalSequencePairs(n)
+		bound := LemmaBound(n, []Group{g})
+		rem := total.Mod(total, bound)
+		return rem.Sign() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: symmetric packing, when it succeeds, always yields a legal
+// and geometrically symmetric placement — never a silently wrong one.
+func TestQuickSymmetricPackSoundOrRejected(t *testing.T) {
+	f := func(seed int64, nRaw uint8) bool {
+		sp, w, h, rng := spFromSeeds(seed, nRaw)
+		n := sp.N()
+		if n < 5 {
+			return true
+		}
+		groups := []Group{{Pairs: [][2]int{{0, 1}, {2, 3}}, Selfs: []int{4}}}
+		w[1], h[1] = w[0], h[0]
+		w[3], h[3] = w[2], h[2]
+		w[4] &^= 1
+		if w[4] == 0 {
+			w[4] = 2
+		}
+		sp.RepairSF(groups)
+		names := make([]string, n)
+		for i := range names {
+			names[i] = string(rune('a' + i))
+		}
+		pl, err := sp.SymmetricPlacement(names, w, h, groups)
+		if err != nil {
+			return true // rejection is allowed; wrong output is not
+		}
+		if !pl.Legal() {
+			return false
+		}
+		cg := toQuickGroup(groups[0], names)
+		_ = rng
+		return cg.Check(pl) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// toQuickGroup converts a module-id group to a named constraint group.
+func toQuickGroup(g Group, names []string) constraint.SymmetryGroup {
+	cg := constraint.SymmetryGroup{Name: "q", Vertical: true}
+	for _, p := range g.Pairs {
+		cg.Pairs = append(cg.Pairs, [2]string{names[p[0]], names[p[1]]})
+	}
+	for _, s := range g.Selfs {
+		cg.Selfs = append(cg.Selfs, names[s])
+	}
+	return cg
+}

@@ -1,0 +1,169 @@
+// Package seqpair implements the sequence-pair representation for
+// non-slicing placements (Murata et al. [22]) together with the
+// symmetric-feasibility machinery of Section II of the paper
+// (Krishnamoorthy/Maruvada/Balasa [13]):
+//
+//   - the symmetric-feasible (S-F) predicate, property (1) of the paper;
+//   - an S-F repair operator and an S-F-preserving move set, so that a
+//     simulated-annealing search explores only S-F codes;
+//   - packing of a sequence-pair into a placement, both by the naive
+//     O(n²) longest-path method and by an O(n log log n) weighted-LCS
+//     method built on a van Emde Boas priority queue ([26], FAST-SP);
+//   - construction of a geometrically symmetric placement from an S-F
+//     code (Fig. 1 of the paper);
+//   - exact counting and enumeration of S-F sequence-pairs (the Lemma).
+//
+// Modules are identified by dense integer ids 0..n-1; the caller keeps
+// the id→name mapping (see NewNamed for a convenience wrapper).
+package seqpair
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SP is a sequence-pair: two permutations of the module ids 0..n-1.
+// Alpha and Beta list module ids in sequence order. The inverse
+// permutations (module id → position) are maintained incrementally so
+// the S-F predicate and the packing relations are O(1) per query.
+type SP struct {
+	Alpha, Beta []int // sequence order -> module id
+	posA, posB  []int // module id -> position
+}
+
+// New returns the identity sequence-pair over n modules (both
+// sequences 0,1,...,n-1). New panics if n < 0.
+func New(n int) *SP {
+	if n < 0 {
+		panic("seqpair: negative module count")
+	}
+	sp := &SP{
+		Alpha: make([]int, n),
+		Beta:  make([]int, n),
+		posA:  make([]int, n),
+		posB:  make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		sp.Alpha[i], sp.Beta[i] = i, i
+		sp.posA[i], sp.posB[i] = i, i
+	}
+	return sp
+}
+
+// FromSequences builds an SP from explicit sequences. It returns an
+// error unless both are permutations of 0..n-1 of equal length.
+func FromSequences(alpha, beta []int) (*SP, error) {
+	n := len(alpha)
+	if len(beta) != n {
+		return nil, fmt.Errorf("seqpair: sequence lengths differ (%d vs %d)", n, len(beta))
+	}
+	sp := &SP{
+		Alpha: append([]int(nil), alpha...),
+		Beta:  append([]int(nil), beta...),
+		posA:  make([]int, n),
+		posB:  make([]int, n),
+	}
+	if err := sp.reindex(); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+func (sp *SP) reindex() error {
+	n := len(sp.Alpha)
+	seenA := make([]bool, n)
+	seenB := make([]bool, n)
+	for i := 0; i < n; i++ {
+		a, b := sp.Alpha[i], sp.Beta[i]
+		if a < 0 || a >= n || seenA[a] {
+			return fmt.Errorf("seqpair: alpha is not a permutation")
+		}
+		if b < 0 || b >= n || seenB[b] {
+			return fmt.Errorf("seqpair: beta is not a permutation")
+		}
+		seenA[a], seenB[b] = true, true
+		sp.posA[a], sp.posB[b] = i, i
+	}
+	return nil
+}
+
+// N returns the number of modules.
+func (sp *SP) N() int { return len(sp.Alpha) }
+
+// PosAlpha returns the position of module m in the alpha sequence
+// (α⁻¹ in the paper's notation).
+func (sp *SP) PosAlpha(m int) int { return sp.posA[m] }
+
+// PosBeta returns the position of module m in the beta sequence (β⁻¹).
+func (sp *SP) PosBeta(m int) int { return sp.posB[m] }
+
+// Clone returns a deep copy.
+func (sp *SP) Clone() *SP {
+	return &SP{
+		Alpha: append([]int(nil), sp.Alpha...),
+		Beta:  append([]int(nil), sp.Beta...),
+		posA:  append([]int(nil), sp.posA...),
+		posB:  append([]int(nil), sp.posB...),
+	}
+}
+
+// LeftOf reports whether module a is to the left of module b under the
+// standard sequence-pair semantics: a precedes b in both sequences.
+func (sp *SP) LeftOf(a, b int) bool {
+	return sp.posA[a] < sp.posA[b] && sp.posB[a] < sp.posB[b]
+}
+
+// Below reports whether module a is below module b: a succeeds b in
+// alpha but precedes it in beta.
+func (sp *SP) Below(a, b int) bool {
+	return sp.posA[a] > sp.posA[b] && sp.posB[a] < sp.posB[b]
+}
+
+// Shuffle randomizes both sequences using rng.
+func (sp *SP) Shuffle(rng *rand.Rand) {
+	n := sp.N()
+	rng.Shuffle(n, func(i, j int) { sp.Alpha[i], sp.Alpha[j] = sp.Alpha[j], sp.Alpha[i] })
+	rng.Shuffle(n, func(i, j int) { sp.Beta[i], sp.Beta[j] = sp.Beta[j], sp.Beta[i] })
+	for i := 0; i < n; i++ {
+		sp.posA[sp.Alpha[i]] = i
+		sp.posB[sp.Beta[i]] = i
+	}
+}
+
+// SwapAlpha exchanges the modules at alpha positions i and j.
+func (sp *SP) SwapAlpha(i, j int) {
+	sp.Alpha[i], sp.Alpha[j] = sp.Alpha[j], sp.Alpha[i]
+	sp.posA[sp.Alpha[i]] = i
+	sp.posA[sp.Alpha[j]] = j
+}
+
+// SwapBeta exchanges the modules at beta positions i and j.
+func (sp *SP) SwapBeta(i, j int) {
+	sp.Beta[i], sp.Beta[j] = sp.Beta[j], sp.Beta[i]
+	sp.posB[sp.Beta[i]] = i
+	sp.posB[sp.Beta[j]] = j
+}
+
+// SwapModulesAlpha exchanges two modules' positions in alpha.
+func (sp *SP) SwapModulesAlpha(a, b int) { sp.SwapAlpha(sp.posA[a], sp.posA[b]) }
+
+// SwapModulesBeta exchanges two modules' positions in beta.
+func (sp *SP) SwapModulesBeta(a, b int) { sp.SwapBeta(sp.posB[a], sp.posB[b]) }
+
+// Equal reports whether two sequence-pairs are identical.
+func (sp *SP) Equal(o *SP) bool {
+	if sp.N() != o.N() {
+		return false
+	}
+	for i := range sp.Alpha {
+		if sp.Alpha[i] != o.Alpha[i] || sp.Beta[i] != o.Beta[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the pair as (α; β) using module ids.
+func (sp *SP) String() string {
+	return fmt.Sprintf("(%v; %v)", sp.Alpha, sp.Beta)
+}

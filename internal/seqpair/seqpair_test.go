@@ -1,0 +1,684 @@
+package seqpair
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/constraint"
+)
+
+// fig1SP returns the paper's Fig. 1 sequence-pair
+// (EBAFCDG, EBCDFAG) with letters mapped A=0 .. G=6, and its symmetry
+// group γ = {(C,D), (B,G), A, F}.
+func fig1SP(t *testing.T) (*SP, Group) {
+	t.Helper()
+	// E B A F C D G / E B C D F A G
+	alpha := []int{4, 1, 0, 5, 2, 3, 6}
+	beta := []int{4, 1, 2, 3, 5, 0, 6}
+	sp, err := FromSequences(alpha, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := Group{Pairs: [][2]int{{2, 3}, {1, 6}}, Selfs: []int{0, 5}}
+	return sp, g
+}
+
+func TestNewIdentity(t *testing.T) {
+	sp := New(4)
+	for i := 0; i < 4; i++ {
+		if sp.Alpha[i] != i || sp.Beta[i] != i {
+			t.Fatalf("identity SP wrong at %d", i)
+		}
+		if sp.PosAlpha(i) != i || sp.PosBeta(i) != i {
+			t.Fatalf("identity positions wrong at %d", i)
+		}
+	}
+}
+
+func TestFromSequencesValidation(t *testing.T) {
+	if _, err := FromSequences([]int{0, 1}, []int{0}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	if _, err := FromSequences([]int{0, 0}, []int{0, 1}); err == nil {
+		t.Fatal("non-permutation alpha must fail")
+	}
+	if _, err := FromSequences([]int{0, 1}, []int{1, 1}); err == nil {
+		t.Fatal("non-permutation beta must fail")
+	}
+	if _, err := FromSequences([]int{0, 2}, []int{0, 1}); err == nil {
+		t.Fatal("out-of-range id must fail")
+	}
+}
+
+func TestRelations(t *testing.T) {
+	// alpha = [0,1], beta = [0,1]: 0 left of 1.
+	sp, _ := FromSequences([]int{0, 1}, []int{0, 1})
+	if !sp.LeftOf(0, 1) || sp.LeftOf(1, 0) || sp.Below(0, 1) || sp.Below(1, 0) {
+		t.Fatal("identity relations wrong")
+	}
+	// alpha = [1,0], beta = [0,1]: 0 below 1.
+	sp, _ = FromSequences([]int{1, 0}, []int{0, 1})
+	if !sp.Below(0, 1) || sp.LeftOf(0, 1) || sp.LeftOf(1, 0) {
+		t.Fatal("below relation wrong")
+	}
+}
+
+// Every distinct module pair is in exactly one of the four relations.
+func TestRelationTotality(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(8)
+		sp := New(n)
+		sp.Shuffle(rng)
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a == b {
+					continue
+				}
+				rel := 0
+				if sp.LeftOf(a, b) {
+					rel++
+				}
+				if sp.LeftOf(b, a) {
+					rel++
+				}
+				if sp.Below(a, b) {
+					rel++
+				}
+				if sp.Below(b, a) {
+					rel++
+				}
+				if rel != 1 {
+					t.Fatalf("modules %d,%d have %d relations, want 1 (%v)", a, b, rel, sp)
+				}
+			}
+		}
+	}
+}
+
+func TestSwapsMaintainIndex(t *testing.T) {
+	sp := New(5)
+	sp.SwapAlpha(0, 4)
+	if sp.PosAlpha(0) != 4 || sp.PosAlpha(4) != 0 {
+		t.Fatal("SwapAlpha index broken")
+	}
+	sp.SwapModulesBeta(1, 3)
+	if sp.PosBeta(1) != 3 || sp.PosBeta(3) != 1 {
+		t.Fatal("SwapModulesBeta index broken")
+	}
+	sp.SwapModulesAlpha(0, 4)
+	if sp.PosAlpha(0) != 0 {
+		t.Fatal("SwapModulesAlpha index broken")
+	}
+}
+
+// bruteSF checks property (1) literally, quantifying over all distinct
+// member pairs.
+func bruteSF(sp *SP, g Group) bool {
+	ms := g.Members()
+	for _, x := range ms {
+		for _, y := range ms {
+			if x == y {
+				continue
+			}
+			sx, _ := g.Sym(x)
+			sy, _ := g.Sym(y)
+			if (sp.PosAlpha(x) < sp.PosAlpha(y)) != (sp.PosBeta(sy) < sp.PosBeta(sx)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestFig1IsSymmetricFeasible(t *testing.T) {
+	sp, g := fig1SP(t)
+	if !sp.SymmetricFeasibleGroup(g) {
+		t.Fatal("Fig. 1 sequence-pair must satisfy property (1)")
+	}
+	if !bruteSF(sp, g) {
+		t.Fatal("Fig. 1 sequence-pair must satisfy brute-force property (1)")
+	}
+	// Breaking the pair order must violate the property: swap C and F
+	// in beta only.
+	sp.SwapModulesBeta(2, 5)
+	if sp.SymmetricFeasibleGroup(g) {
+		t.Fatal("perturbed pair must violate property (1)")
+	}
+}
+
+// The fast predicate must agree with the literal property (1) on random
+// codes.
+func TestSFPredicateDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := Group{Pairs: [][2]int{{0, 1}, {2, 3}}, Selfs: []int{4}}
+	agree, sfCount := 0, 0
+	for trial := 0; trial < 3000; trial++ {
+		sp := New(7)
+		sp.Shuffle(rng)
+		want := bruteSF(sp, g)
+		got := sp.SymmetricFeasibleGroup(g)
+		if got != want {
+			t.Fatalf("trial %d: predicate %v, brute force %v for %v", trial, got, want, sp)
+		}
+		agree++
+		if got {
+			sfCount++
+		}
+	}
+	if sfCount == 0 {
+		t.Fatal("no S-F codes among random samples; test is vacuous")
+	}
+}
+
+func TestRepairSF(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	groups := []Group{
+		{Pairs: [][2]int{{0, 1}, {2, 3}}, Selfs: []int{4}},
+		{Pairs: [][2]int{{5, 6}}},
+	}
+	for trial := 0; trial < 500; trial++ {
+		sp := New(9)
+		sp.Shuffle(rng)
+		sp.RepairSF(groups)
+		if !sp.SymmetricFeasible(groups) {
+			t.Fatalf("trial %d: repair did not produce S-F code: %v", trial, sp)
+		}
+		// Repair must be idempotent.
+		before := sp.Clone()
+		sp.RepairSF(groups)
+		if !sp.Equal(before) {
+			t.Fatalf("trial %d: repair not idempotent", trial)
+		}
+	}
+}
+
+func TestRepairPreservesAlphaAndNonMembers(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	groups := []Group{{Pairs: [][2]int{{0, 1}}}}
+	sp := New(5)
+	sp.Shuffle(rng)
+	alphaBefore := append([]int(nil), sp.Alpha...)
+	posBefore := map[int]int{2: sp.PosBeta(2), 3: sp.PosBeta(3), 4: sp.PosBeta(4)}
+	sp.RepairSF(groups)
+	for i := range alphaBefore {
+		if sp.Alpha[i] != alphaBefore[i] {
+			t.Fatal("repair must not touch alpha")
+		}
+	}
+	for m, p := range posBefore {
+		if sp.PosBeta(m) != p {
+			t.Fatalf("repair moved non-member %d", m)
+		}
+	}
+}
+
+func TestPerturbSFPreservesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	groups := []Group{
+		{Pairs: [][2]int{{0, 1}, {2, 3}}, Selfs: []int{4, 5}},
+	}
+	sp := RandomSF(10, groups, rng)
+	if !sp.SymmetricFeasible(groups) {
+		t.Fatal("RandomSF must be S-F")
+	}
+	for step := 0; step < 2000; step++ {
+		sp.PerturbSF(rng, groups)
+		if !sp.SymmetricFeasible(groups) {
+			t.Fatalf("step %d: move broke property (1): %v", step, sp)
+		}
+		if err := sp.reindex(); err != nil {
+			t.Fatalf("step %d: sequences corrupted: %v", step, err)
+		}
+	}
+}
+
+func TestPerturbSFSmallCases(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	// Only group members, no free modules.
+	groups := []Group{{Pairs: [][2]int{{0, 1}}}}
+	sp := RandomSF(2, groups, rng)
+	for i := 0; i < 100; i++ {
+		sp.PerturbSF(rng, groups)
+		if !sp.SymmetricFeasible(groups) {
+			t.Fatal("move broke property on all-member instance")
+		}
+	}
+	// Single module: no-op.
+	one := New(1)
+	one.PerturbSF(rng, nil)
+	// No groups at all.
+	free := New(5)
+	for i := 0; i < 100; i++ {
+		free.PerturbSF(rng, nil)
+		if err := free.reindex(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPackKnownSmall(t *testing.T) {
+	// Two modules side by side.
+	sp, _ := FromSequences([]int{0, 1}, []int{0, 1})
+	w := []int{10, 20}
+	h := []int{5, 8}
+	x, y := sp.Pack(w, h)
+	if x[0] != 0 || x[1] != 10 || y[0] != 0 || y[1] != 0 {
+		t.Fatalf("side-by-side packing wrong: x=%v y=%v", x, y)
+	}
+	// Two modules stacked (0 below 1).
+	sp, _ = FromSequences([]int{1, 0}, []int{0, 1})
+	x, y = sp.Pack(w, h)
+	if x[0] != 0 || x[1] != 0 || y[0] != 0 || y[1] != 5 {
+		t.Fatalf("stacked packing wrong: x=%v y=%v", x, y)
+	}
+	tw, th := Span(x, y, w, h)
+	if tw != 20 || th != 13 {
+		t.Fatalf("span = %dx%d, want 20x13", tw, th)
+	}
+}
+
+func TestPackFig1Legal(t *testing.T) {
+	sp, _ := fig1SP(t)
+	w := []int{8, 6, 5, 5, 20, 8, 6}
+	h := []int{6, 8, 7, 7, 5, 6, 8}
+	names := []string{"A", "B", "C", "D", "E", "F", "G"}
+	p, err := sp.Placement(names, w, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Legal() {
+		t.Fatalf("Fig. 1 packing overlaps: %v", p.Overlaps())
+	}
+}
+
+// The vEB-based packer must agree with the naive longest-path packer.
+func TestPackDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(20)
+		sp := New(n)
+		sp.Shuffle(rng)
+		w := make([]int, n)
+		h := make([]int, n)
+		for i := range w {
+			w[i] = 1 + rng.Intn(30)
+			h[i] = 1 + rng.Intn(30)
+		}
+		xn, yn := sp.PackNaive(w, h)
+		xf, yf := sp.Pack(w, h)
+		for i := 0; i < n; i++ {
+			if xn[i] != xf[i] || yn[i] != yf[i] {
+				t.Fatalf("trial %d: packer mismatch at module %d: naive (%d,%d) fast (%d,%d)\nsp=%v",
+					trial, i, xn[i], yn[i], xf[i], yf[i], sp)
+			}
+		}
+	}
+}
+
+// Packed placements are always legal (no overlaps) and respect the
+// sequence-pair relations.
+func TestPackLegalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 100; trial++ {
+		n := 2 + rng.Intn(15)
+		sp := New(n)
+		sp.Shuffle(rng)
+		w := make([]int, n)
+		h := make([]int, n)
+		names := make([]string, n)
+		for i := range w {
+			w[i] = 1 + rng.Intn(25)
+			h[i] = 1 + rng.Intn(25)
+			names[i] = string(rune('a' + i))
+		}
+		p, err := sp.Placement(names, w, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !p.Legal() {
+			t.Fatalf("trial %d: overlapping packing: %v", trial, p.Overlaps())
+		}
+		x, y := sp.Pack(w, h)
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if sp.LeftOf(a, b) && x[a]+w[a] > x[b] {
+					t.Fatalf("trial %d: left-of violated for %d,%d", trial, a, b)
+				}
+				if sp.Below(a, b) && y[a]+h[a] > y[b] {
+					t.Fatalf("trial %d: below violated for %d,%d", trial, a, b)
+				}
+			}
+		}
+	}
+}
+
+func TestPlacementArgValidation(t *testing.T) {
+	sp := New(3)
+	if _, err := sp.Placement([]string{"a"}, []int{1, 2, 3}, []int{1, 2, 3}); err == nil {
+		t.Fatal("short names must fail")
+	}
+	if _, err := sp.SymmetricPlacement([]string{"a", "b", "c"}, []int{1, 2}, []int{1, 2, 3}, nil); err == nil {
+		t.Fatal("short dims must fail")
+	}
+}
+
+func TestLemmaBoundPaperExample(t *testing.T) {
+	g := Group{Pairs: [][2]int{{2, 3}, {1, 6}}, Selfs: []int{0, 5}}
+	bound := LemmaBound(7, []Group{g})
+	if bound.Int64() != 35280 {
+		t.Fatalf("LemmaBound = %v, want 35280", bound)
+	}
+	total := TotalSequencePairs(7)
+	if total.Int64() != 25401600 {
+		t.Fatalf("TotalSequencePairs = %v, want 25401600", total)
+	}
+	reduction := 1 - float64(bound.Int64())/float64(total.Int64())
+	if reduction < 0.9985 || reduction > 0.9987 {
+		t.Fatalf("search-space reduction = %v, want ~99.86%%", reduction)
+	}
+}
+
+// Exhaustive verification of the Lemma for a small instance: the count
+// of S-F codes equals the formula exactly.
+func TestLemmaExhaustiveSmall(t *testing.T) {
+	g := Group{Pairs: [][2]int{{0, 1}}, Selfs: []int{2}}
+	groups := []Group{g}
+	sf, total := CountSF(5, groups)
+	if total != 14400 { // (5!)²
+		t.Fatalf("total = %d, want 14400", total)
+	}
+	want := LemmaBound(5, groups).Int64() // (5!)²/3! = 2400
+	if sf != want {
+		t.Fatalf("S-F count = %d, want %d", sf, want)
+	}
+	if fast := CountSFExact(5, groups); fast != want {
+		t.Fatalf("CountSFExact = %d, want %d", fast, want)
+	}
+}
+
+func TestLemmaTwoGroups(t *testing.T) {
+	groups := []Group{
+		{Pairs: [][2]int{{0, 1}}},
+		{Selfs: []int{2, 3}},
+	}
+	sf, _ := CountSF(4, groups)
+	want := LemmaBound(4, groups).Int64() // (4!)²/(2!·2!) = 144
+	if sf != want {
+		t.Fatalf("S-F count = %d, want %d", sf, want)
+	}
+	if fast := CountSFExact(4, groups); fast != want {
+		t.Fatalf("CountSFExact = %d, want %d", fast, want)
+	}
+}
+
+// Full paper-scale verification: n = 7 with the Fig. 1 group has
+// exactly 35,280 S-F codes among 25,401,600. Run only without -short.
+func TestLemmaPaperScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping 25.4M-code enumeration in -short mode")
+	}
+	g := Group{Pairs: [][2]int{{2, 3}, {1, 6}}, Selfs: []int{0, 5}}
+	count := CountSFExact(7, []Group{g})
+	if count != 35280 {
+		t.Fatalf("S-F count = %d, want 35280", count)
+	}
+}
+
+// Every enumerated S-F code must satisfy the predicate, and
+// enumeration must not produce duplicates.
+func TestEnumerateSFSound(t *testing.T) {
+	g := Group{Pairs: [][2]int{{0, 1}}, Selfs: []int{2}}
+	groups := []Group{g}
+	seen := map[string]bool{}
+	EnumerateSF(4, groups, func(sp *SP) bool {
+		if !sp.SymmetricFeasible(groups) {
+			t.Fatalf("enumerated non-S-F code %v", sp)
+		}
+		key := sp.String()
+		if seen[key] {
+			t.Fatalf("duplicate code %v", sp)
+		}
+		seen[key] = true
+		return true
+	})
+	want := LemmaBound(4, groups).Int64()
+	if int64(len(seen)) != want {
+		t.Fatalf("enumerated %d codes, want %d", len(seen), want)
+	}
+}
+
+func TestEnumerateSFEarlyStop(t *testing.T) {
+	count := 0
+	EnumerateSF(4, nil, func(*SP) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early stop after %d codes, want 10", count)
+	}
+}
+
+// toConstraintGroup converts a module-id group to a named constraint
+// group for geometric validation.
+func toConstraintGroup(g Group, names []string) constraint.SymmetryGroup {
+	cg := constraint.SymmetryGroup{Name: "g", Vertical: true}
+	for _, p := range g.Pairs {
+		cg.Pairs = append(cg.Pairs, [2]string{names[p[0]], names[p[1]]})
+	}
+	for _, s := range g.Selfs {
+		cg.Selfs = append(cg.Selfs, names[s])
+	}
+	return cg
+}
+
+// Fig. 1 end-to-end: the S-F code must yield a legal, geometrically
+// symmetric placement.
+func TestFig1SymmetricPlacement(t *testing.T) {
+	sp, g := fig1SP(t)
+	names := []string{"A", "B", "C", "D", "E", "F", "G"}
+	// Pair dims equal; self-symmetric A and F have even widths.
+	w := []int{8, 6, 5, 5, 20, 8, 6}
+	h := []int{6, 8, 7, 7, 5, 6, 8}
+	p, err := sp.SymmetricPlacement(names, w, h, []Group{g})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Legal() {
+		t.Fatalf("symmetric placement overlaps: %v", p.Overlaps())
+	}
+	cg := toConstraintGroup(g, names)
+	if err := cg.Check(p); err != nil {
+		t.Fatalf("symmetric placement violates symmetry: %v", err)
+	}
+}
+
+// Property: random S-F codes pack into legal placements satisfying the
+// symmetry constraint.
+func TestPackSymmetricProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	groups := []Group{
+		{Pairs: [][2]int{{0, 1}, {2, 3}}, Selfs: []int{4}},
+	}
+	names := []string{"p0", "p1", "q0", "q1", "s", "f1", "f2", "f3"}
+	for trial := 0; trial < 200; trial++ {
+		n := 8
+		sp := RandomSF(n, groups, rng)
+		w := make([]int, n)
+		h := make([]int, n)
+		for i := range w {
+			w[i] = 1 + rng.Intn(20)
+			h[i] = 1 + rng.Intn(20)
+		}
+		// Pairs share dims; selfs get even width.
+		w[1], h[1] = w[0], h[0]
+		w[3], h[3] = w[2], h[2]
+		w[4] = w[4] &^ 1
+		if w[4] == 0 {
+			w[4] = 2
+		}
+		p, err := sp.SymmetricPlacement(names, w, h, groups)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if !p.Legal() {
+			t.Fatalf("trial %d: overlaps %v\nsp=%v", trial, p.Overlaps(), sp)
+		}
+		cg := toConstraintGroup(groups[0], names)
+		if err := cg.Check(p); err != nil {
+			t.Fatalf("trial %d: %v\nsp=%v\nplacement=%v", trial, err, sp, p)
+		}
+	}
+}
+
+func TestPackSymmetricErrors(t *testing.T) {
+	groups := []Group{{Pairs: [][2]int{{0, 1}}}}
+	sp := New(2)
+	sp.RepairSF(groups)
+	// Unequal pair dims.
+	if _, _, err := sp.PackSymmetric([]int{3, 4}, []int{5, 5}, groups); err == nil {
+		t.Fatal("unequal pair widths must fail")
+	}
+	// Mixed self parity.
+	g2 := []Group{{Selfs: []int{0, 1}}}
+	if _, _, err := New(2).PackSymmetric([]int{3, 4}, []int{5, 5}, g2); err == nil {
+		t.Fatal("mixed self-symmetric width parity must fail")
+	}
+	// Invalid group.
+	bad := []Group{{Pairs: [][2]int{{0, 5}}}}
+	if _, _, err := New(2).PackSymmetric([]int{3, 3}, []int{5, 5}, bad); err == nil {
+		t.Fatal("out-of-range group member must fail")
+	}
+}
+
+// Exhaustive completeness check: every S-F code over a small instance
+// must pack into a legal, geometrically symmetric placement — property
+// (1) is a sufficient condition per the paper, so the constructor must
+// never fail on an S-F code.
+func TestPackSymmetricCompleteOnAllSFCodes(t *testing.T) {
+	groups := []Group{{Pairs: [][2]int{{0, 1}}, Selfs: []int{2}}}
+	names := []string{"a", "b", "s", "f1", "f2"}
+	w := []int{5, 5, 4, 7, 3}
+	h := []int{6, 6, 3, 2, 9}
+	cg := toConstraintGroup(groups[0], names)
+	count := 0
+	EnumerateSF(5, groups, func(sp *SP) bool {
+		count++
+		p, err := sp.SymmetricPlacement(names, w, h, groups)
+		if err != nil {
+			t.Fatalf("S-F code %v failed to pack: %v", sp, err)
+		}
+		if !p.Legal() {
+			t.Fatalf("S-F code %v packed with overlaps: %v", sp, p.Overlaps())
+		}
+		if err := cg.Check(p); err != nil {
+			t.Fatalf("S-F code %v not symmetric: %v", sp, err)
+		}
+		return true
+	})
+	want := LemmaBound(5, groups).Int64()
+	if int64(count) != want {
+		t.Fatalf("enumerated %d codes, want %d", count, want)
+	}
+}
+
+// With two independent groups, per-group property (1) is no longer
+// sufficient: cross-group vertical relations can demand y(a) ≥ y(a) +
+// h₁ + h₂ (e.g. group-1's left member below group-0's left member
+// while group-0's right member is below group-1's right member). The
+// constructor must detect those codes and reject them, and must still
+// succeed on the (majority of) feasible ones with correct geometry.
+func TestPackSymmetricTwoGroupsExhaustive(t *testing.T) {
+	groups := []Group{
+		{Pairs: [][2]int{{0, 1}}},
+		{Pairs: [][2]int{{2, 3}}},
+	}
+	names := []string{"a", "b", "c", "d", "f"}
+	w := []int{4, 4, 6, 6, 5}
+	h := []int{5, 5, 3, 3, 4}
+	cgs := []constraint.SymmetryGroup{
+		toConstraintGroup(groups[0], names),
+		toConstraintGroup(groups[1], names),
+	}
+	ok, rejected := 0, 0
+	EnumerateSF(5, groups, func(sp *SP) bool {
+		p, err := sp.SymmetricPlacement(names, w, h, groups)
+		if err != nil {
+			rejected++
+			return true
+		}
+		ok++
+		if !p.Legal() {
+			t.Fatalf("S-F code %v packed with overlaps: %v", sp, p.Overlaps())
+		}
+		for _, cg := range cgs {
+			if err := cg.Check(p); err != nil {
+				t.Fatalf("S-F code %v: %v", sp, err)
+			}
+		}
+		return true
+	})
+	if ok == 0 {
+		t.Fatal("no two-group code packed; constructor is broken")
+	}
+	if rejected == 0 {
+		t.Fatal("expected some cross-group-infeasible codes to be rejected")
+	}
+	if float64(ok)/float64(ok+rejected) < 0.5 {
+		t.Fatalf("only %d/%d codes packed; constructor too conservative", ok, ok+rejected)
+	}
+}
+
+func TestGroupValidate(t *testing.T) {
+	if err := (Group{Pairs: [][2]int{{0, 0}}}).Validate(3); err == nil {
+		t.Fatal("module paired with itself must fail")
+	}
+	if err := ValidateGroups(4, []Group{
+		{Pairs: [][2]int{{0, 1}}},
+		{Selfs: []int{1}},
+	}); err == nil {
+		t.Fatal("overlapping groups must fail")
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	sp := New(6)
+	sp.Shuffle(rng)
+	cl := sp.Clone()
+	if !sp.Equal(cl) {
+		t.Fatal("clone must be equal")
+	}
+	cl.SwapAlpha(0, 1)
+	if sp.Equal(cl) {
+		t.Fatal("modified clone must differ")
+	}
+	if sp.Equal(New(7)) {
+		t.Fatal("different sizes must differ")
+	}
+}
+
+func BenchmarkPackNaive100(b *testing.B)  { benchPack(b, 100, true) }
+func BenchmarkPackFast100(b *testing.B)   { benchPack(b, 100, false) }
+func BenchmarkPackNaive1000(b *testing.B) { benchPack(b, 1000, true) }
+func BenchmarkPackFast1000(b *testing.B)  { benchPack(b, 1000, false) }
+
+func benchPack(b *testing.B, n int, naive bool) {
+	rng := rand.New(rand.NewSource(41))
+	sp := New(n)
+	sp.Shuffle(rng)
+	w := make([]int, n)
+	h := make([]int, n)
+	for i := range w {
+		w[i] = 1 + rng.Intn(50)
+		h[i] = 1 + rng.Intn(50)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if naive {
+			sp.PackNaive(w, h)
+		} else {
+			sp.Pack(w, h)
+		}
+	}
+}

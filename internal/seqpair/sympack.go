@@ -1,0 +1,466 @@
+package seqpair
+
+import (
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// PackSymmetric converts a symmetric-feasible sequence-pair into a
+// geometrically symmetric placement: every symmetry group ends up
+// mirrored about its own vertical axis (Fig. 1 of the paper).
+//
+// Horizontal coordinates come from a small parametric longest-path
+// problem. Per group g there is an axis variable A_g (in doubled
+// coordinates) and per pair p a half-span r_p ≥ 0, so the doubled
+// centers are A_g − r_p (left member), A_g + r_p (right member) and
+// A_g (self-symmetric); free modules have their own center variables.
+// Every left-of relation of the sequence pair becomes an inequality.
+// Inequalities between members of one group reduce to constraints on
+// the half-spans alone (the axis cancels); the rest form a longest-path
+// system over {axes, free centers} whose edge weights depend linearly
+// on the half-spans. A positive cycle in that system (always through an
+// axis) is eliminated by raising a half-span that appears with negative
+// coefficient on the cycle — the algebraic witness that the pair must
+// straddle the cycle's material. For symmetric-feasible codes this
+// terminates with the most compact symmetric placement consistent with
+// the code; for infeasible codes it reports an error.
+//
+// Symmetric pair members must have identical dimensions, and all
+// self-symmetric modules of one group must have widths of equal parity
+// (otherwise no common integer axis exists).
+//
+// Property (1) guarantees feasibility for a single symmetry group. With
+// several groups, cross-group relations can make simultaneous mirror
+// symmetry impossible (e.g. group 1's left member below group 0's left
+// member while group 0's right member is below group 1's right member
+// forces y ≥ y + h₁ + h₂); such codes are detected and reported as
+// errors, and a stochastic placer should treat them as rejected moves.
+func (sp *SP) PackSymmetric(w, h []int, groups []Group) (x, y []int, err error) {
+	n := sp.N()
+	if err := ValidateGroups(n, groups); err != nil {
+		return nil, nil, err
+	}
+	cls, err := classify(sp, w, h, groups)
+	if err != nil {
+		return nil, nil, err
+	}
+	x, err = cls.solveX(sp, w)
+	if err != nil {
+		return nil, nil, err
+	}
+	y, err = cls.solveY(sp, h)
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, y, nil
+}
+
+// Module roles within the symmetric packing.
+const (
+	roleFree = iota
+	roleLeft
+	roleRight
+	roleSelf
+)
+
+// pairInfo is one symmetric pair with its half-span variable.
+type pairInfo struct {
+	g    int // group index
+	a, b int // left member, right member (by sequence-pair order)
+	r    int // half-span in doubled coordinates
+	par  int // required parity of r
+}
+
+// classifier holds the per-module decomposition of a symmetric packing
+// problem.
+type classifier struct {
+	role    []int
+	groupOf []int
+	pairOf  []int
+	pairs   []*pairInfo
+	parAxis []int // axis parity per group
+	nGroups int
+}
+
+func classify(sp *SP, w, h []int, groups []Group) (*classifier, error) {
+	n := sp.N()
+	c := &classifier{
+		role:    make([]int, n),
+		groupOf: make([]int, n),
+		pairOf:  make([]int, n),
+		parAxis: make([]int, len(groups)),
+		nGroups: len(groups),
+	}
+	for gi, g := range groups {
+		c.parAxis[gi] = -1
+		for _, s := range g.Selfs {
+			if c.parAxis[gi] == -1 {
+				c.parAxis[gi] = w[s] & 1
+			} else if c.parAxis[gi] != w[s]&1 {
+				return nil, fmt.Errorf("seqpair: self-symmetric modules of group %d have mixed width parity", gi)
+			}
+			c.role[s] = roleSelf
+			c.groupOf[s] = gi
+		}
+	}
+	for gi, g := range groups {
+		if c.parAxis[gi] == -1 {
+			c.parAxis[gi] = 0
+		}
+		for _, pr := range g.Pairs {
+			a, b := pr[0], pr[1]
+			if w[a] != w[b] || h[a] != h[b] {
+				return nil, fmt.Errorf("seqpair: symmetric pair (%d,%d) has unequal dimensions", a, b)
+			}
+			switch {
+			case sp.LeftOf(a, b):
+			case sp.LeftOf(b, a):
+				a, b = b, a
+			default:
+				return nil, fmt.Errorf("seqpair: pair (%d,%d) not horizontally related; code is not symmetric-feasible", a, b)
+			}
+			pv := &pairInfo{g: gi, a: a, b: b}
+			pv.par = (c.parAxis[gi] ^ (w[a] & 1)) & 1
+			pv.r = raiseParity(w[a], pv.par) // r ≥ w: members must not overlap
+			c.role[a], c.role[b] = roleLeft, roleRight
+			c.groupOf[a], c.groupOf[b] = gi, gi
+			c.pairOf[a], c.pairOf[b] = len(c.pairs), len(c.pairs)
+			c.pairs = append(c.pairs, pv)
+		}
+	}
+	return c, nil
+}
+
+func raiseParity(v, par int) int {
+	if v&1 != par {
+		v++
+	}
+	return v
+}
+
+// rRule is one constraint on half-spans derived from a left-of
+// relation between two members of the same group.
+type rRule struct {
+	kind int // 0: r_p ≥ c; 1: r_p ≥ r_q + c; 2: r_p ≥ c − r_q
+	p, q int
+	c    int
+}
+
+// edge is a parametric longest-path edge: val[to] ≥ val[from] + base
+// + Σ coef_p·r_p, with at most two half-span terms.
+type edge struct {
+	from, to int
+	base     int
+	rp       [2]int // pair indices, -1 = unused
+	rc       [2]int // coefficients ±1
+}
+
+func (e *edge) weight(pairs []*pairInfo) int {
+	w := e.base
+	for k := 0; k < 2; k++ {
+		if e.rp[k] >= 0 {
+			w += e.rc[k] * pairs[e.rp[k]].r
+		}
+	}
+	return w
+}
+
+// solveX computes the horizontal coordinates.
+func (c *classifier) solveX(sp *SP, w []int) ([]int, error) {
+	n := sp.N()
+	// Variable ids: 0..nGroups-1 are axes, then one per free module.
+	varOf := make([]int, n)
+	nv := c.nGroups
+	parity := make([]int, 0, c.nGroups+n)
+	parity = append(parity, c.parAxis...)
+	for m := 0; m < n; m++ {
+		if c.role[m] == roleFree {
+			varOf[m] = nv
+			parity = append(parity, w[m]&1)
+			nv++
+		} else {
+			varOf[m] = c.groupOf[m]
+		}
+	}
+	// offCoef: contribution of the module's pair half-span to its
+	// doubled center: center2(m) = val[varOf[m]] + offCoef(m)·r.
+	offCoef := func(m int) int {
+		switch c.role[m] {
+		case roleLeft:
+			return -1
+		case roleRight:
+			return 1
+		}
+		return 0
+	}
+
+	var rules []rRule
+	var edges []edge
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || !sp.LeftOf(i, j) {
+				continue
+			}
+			cost := w[i] + w[j]
+			if varOf[i] == varOf[j] && c.role[i] != roleFree {
+				// Same group: axis cancels; constrain half-spans.
+				ri, rj := c.role[i], c.role[j]
+				switch {
+				case ri == roleLeft && rj == roleLeft:
+					rules = append(rules, rRule{kind: 1, p: c.pairOf[i], q: c.pairOf[j], c: cost})
+				case ri == roleLeft && rj == roleRight && c.pairOf[i] == c.pairOf[j]:
+					// a left-of b of the same pair: 2r ≥ cost.
+					rules = append(rules, rRule{kind: 0, p: c.pairOf[i], c: (cost + 1) / 2})
+				case ri == roleLeft && rj == roleRight:
+					rules = append(rules, rRule{kind: 2, p: c.pairOf[j], q: c.pairOf[i], c: cost})
+				case ri == roleLeft && rj == roleSelf:
+					rules = append(rules, rRule{kind: 0, p: c.pairOf[i], c: cost})
+				case ri == roleRight && rj == roleRight:
+					rules = append(rules, rRule{kind: 1, p: c.pairOf[j], q: c.pairOf[i], c: cost})
+				case ri == roleSelf && rj == roleRight:
+					rules = append(rules, rRule{kind: 0, p: c.pairOf[j], c: cost})
+				default:
+					return nil, fmt.Errorf("seqpair: members %d,%d of one symmetry group cannot be ordered; code is not symmetric-feasible", i, j)
+				}
+				continue
+			}
+			e := edge{from: varOf[i], to: varOf[j], base: cost, rp: [2]int{-1, -1}}
+			k := 0
+			if ci := offCoef(i); ci != 0 {
+				e.rp[k], e.rc[k] = c.pairOf[i], ci
+				k++
+			}
+			if cj := offCoef(j); cj != 0 {
+				e.rp[k], e.rc[k] = c.pairOf[j], -cj
+				k++
+			}
+			edges = append(edges, e)
+		}
+	}
+
+	if err := c.propagateR(rules); err != nil {
+		return nil, err
+	}
+
+	// Lower bounds (x ≥ 0 ⇒ center2 ≥ width; for a left member the
+	// axis must clear r + w).
+	lower := func(vals []int) {
+		for m := 0; m < n; m++ {
+			v := varOf[m]
+			var lb int
+			switch c.role[m] {
+			case roleLeft:
+				lb = c.pairs[c.pairOf[m]].r + w[m]
+			case roleRight:
+				continue // implied by the left member's bound
+			default:
+				lb = w[m]
+			}
+			if lb = raiseParity(lb, parity[v]); vals[v] < lb {
+				vals[v] = lb
+			}
+		}
+	}
+
+	maxCycleFixes := 8*len(c.pairs) + 16
+	for fix := 0; ; fix++ {
+		if fix > maxCycleFixes {
+			return nil, fmt.Errorf("seqpair: symmetric x packing did not converge; code is not symmetric-feasible")
+		}
+		vals := make([]int, nv)
+		lower(vals)
+		pred := make([]int, nv) // last edge that raised each variable
+		for i := range pred {
+			pred[i] = -1
+		}
+		changedLast := -1
+		for round := 0; round <= nv; round++ {
+			changedLast = -1
+			for ei := range edges {
+				e := &edges[ei]
+				cand := raiseParity(vals[e.from]+e.weight(c.pairs), parity[e.to])
+				if cand > vals[e.to] {
+					vals[e.to] = cand
+					pred[e.to] = ei
+					changedLast = e.to
+				}
+			}
+			lower(vals)
+			if changedLast == -1 {
+				break
+			}
+		}
+		if changedLast == -1 {
+			// Converged: extract coordinates.
+			x := make([]int, n)
+			for m := 0; m < n; m++ {
+				c2 := vals[varOf[m]]
+				if co := offCoef(m); co != 0 {
+					c2 += co * c.pairs[c.pairOf[m]].r
+				}
+				if (c2-w[m])&1 != 0 {
+					return nil, fmt.Errorf("seqpair: internal parity error for module %d", m)
+				}
+				x[m] = (c2 - w[m]) / 2
+			}
+			return x, nil
+		}
+		// Positive cycle: walk predecessors nv steps to land on the
+		// cycle, then collect it.
+		v := changedLast
+		for i := 0; i < nv; i++ {
+			if pred[v] < 0 {
+				return nil, fmt.Errorf("seqpair: symmetric x packing diverged without a cycle witness; code is not symmetric-feasible")
+			}
+			v = edges[pred[v]].from
+		}
+		start := v
+		coef := map[int]int{}
+		gain := 0
+		for steps := 0; ; steps++ {
+			if pred[v] < 0 || steps > nv {
+				return nil, fmt.Errorf("seqpair: symmetric x packing diverged without a cycle witness; code is not symmetric-feasible")
+			}
+			e := &edges[pred[v]]
+			gain += e.weight(c.pairs)
+			for k := 0; k < 2; k++ {
+				if e.rp[k] >= 0 {
+					coef[e.rp[k]] += e.rc[k]
+				}
+			}
+			v = e.from
+			if v == start {
+				break
+			}
+		}
+		// Raise a half-span with negative net coefficient to kill the
+		// cycle's gain; if none exists the system is infeasible.
+		bestP, bestC := -1, 0
+		for p, k := range coef {
+			if k < bestC {
+				bestP, bestC = p, k
+			}
+		}
+		if bestP < 0 || gain <= 0 {
+			return nil, fmt.Errorf("seqpair: unbreakable positive cycle; code is not symmetric-feasible")
+		}
+		inc := (gain + (-bestC) - 1) / (-bestC)
+		pv := c.pairs[bestP]
+		pv.r = raiseParity(pv.r+inc, pv.par)
+		if err := c.propagateR(rules); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// propagateR settles the half-span constraint system by monotone
+// sweeps: lower bounds, differences (r_p ≥ r_q + c) and sums
+// (r_p ≥ c − r_q). A diverging difference chain means the code is not
+// symmetric-feasible.
+func (c *classifier) propagateR(rules []rRule) error {
+	maxSweeps := 2*len(c.pairs) + 8
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		changed := false
+		for _, ru := range rules {
+			pv := c.pairs[ru.p]
+			need := ru.c
+			switch ru.kind {
+			case 1:
+				need = c.pairs[ru.q].r + ru.c
+			case 2:
+				need = ru.c - c.pairs[ru.q].r
+			}
+			if need > pv.r {
+				pv.r = raiseParity(need, pv.par)
+				changed = true
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+	return fmt.Errorf("seqpair: half-span constraints diverge; code is not symmetric-feasible")
+}
+
+// solveY computes vertical coordinates: longest-path packing with
+// pair-equalizing lower bounds. Pair members are horizontally related,
+// so raising one member's y never feeds back into its twin; the loop
+// converges for every symmetric-feasible code.
+func (c *classifier) solveY(sp *SP, h []int) ([]int, error) {
+	n := sp.N()
+	lbY := make([]int, n)
+	maxIters := n + len(c.pairs) + 8
+	for iter := 0; iter < maxIters; iter++ {
+		y := sp.packWithLB(sp.Alpha, h, lbY, true)
+		changed := false
+		for _, pv := range c.pairs {
+			if y[pv.a] < y[pv.b] {
+				lbY[pv.a] = y[pv.b]
+				changed = true
+			} else if y[pv.b] < y[pv.a] {
+				lbY[pv.b] = y[pv.a]
+				changed = true
+			}
+		}
+		if !changed {
+			return y, nil
+		}
+	}
+	return nil, fmt.Errorf("seqpair: symmetric y packing did not converge; code is not symmetric-feasible")
+}
+
+// packWithLB is the O(n²) longest-path packing with per-module lower
+// bounds, used by the symmetric constructor's vertical pass.
+func (sp *SP) packWithLB(order []int, dim, lb []int, reverse bool) []int {
+	n := len(order)
+	coord := make([]int, n)
+	process := func(i int) {
+		b := order[i]
+		best := lb[b]
+		if reverse {
+			for j := n - 1; j > i; j-- {
+				a := order[j]
+				if sp.posB[a] < sp.posB[b] && coord[a]+dim[a] > best {
+					best = coord[a] + dim[a]
+				}
+			}
+		} else {
+			for j := 0; j < i; j++ {
+				a := order[j]
+				if sp.posB[a] < sp.posB[b] && coord[a]+dim[a] > best {
+					best = coord[a] + dim[a]
+				}
+			}
+		}
+		coord[b] = best
+	}
+	if reverse {
+		for i := n - 1; i >= 0; i-- {
+			process(i)
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			process(i)
+		}
+	}
+	return coord
+}
+
+// SymmetricPlacement packs symmetrically and returns a named
+// placement. names, w, h are indexed by module id.
+func (sp *SP) SymmetricPlacement(names []string, w, h []int, groups []Group) (geom.Placement, error) {
+	n := sp.N()
+	if len(names) != n || len(w) != n || len(h) != n {
+		return nil, fmt.Errorf("seqpair: names/w/h length mismatch with %d modules", n)
+	}
+	x, y, err := sp.PackSymmetric(w, h, groups)
+	if err != nil {
+		return nil, err
+	}
+	p := geom.Placement{}
+	for i := 0; i < n; i++ {
+		p[names[i]] = geom.NewRect(x[i], y[i], w[i], h[i])
+	}
+	return p, nil
+}

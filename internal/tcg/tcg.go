@@ -1,0 +1,424 @@
+// Package tcg implements the transitive closure graph representation
+// for non-slicing floorplans (Lin/Chang [15]), one of the topological
+// encodings Section II lists alongside sequence-pairs and B*-trees.
+//
+// A TCG is a pair of directed acyclic graphs over the modules: Ch
+// captures horizontal relations (an edge i→j means module i is left of
+// module j) and Cv vertical relations (i below j). Validity requires
+// that every module pair appears in exactly one of the graphs and that
+// both graphs equal their transitive closures. Packing is a longest
+// path computation: widths along Ch give x, heights along Cv give y.
+//
+// Perturbations follow the TCG paper: rotation, swap (exchange two
+// modules' nodes), reversal of a reduction edge, and moving a
+// reduction edge to the other graph — each maintaining the closure
+// invariants incrementally.
+package tcg
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/seqpair"
+)
+
+// TCG is a transitive closure graph pair over modules 0..n-1.
+type TCG struct {
+	n    int
+	W, H []int
+	// h[i][j]: i left of j; v[i][j]: i below j.
+	h, v [][]bool
+}
+
+// New returns the TCG of a single horizontal row (module i left of
+// every j > i), which is trivially closed and covering.
+func New(w, h []int) *TCG {
+	n := len(w)
+	if len(h) != n {
+		panic("tcg: dimension slices differ in length")
+	}
+	t := &TCG{
+		n: n,
+		W: append([]int(nil), w...),
+		H: append([]int(nil), h...),
+		h: newMatrix(n),
+		v: newMatrix(n),
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			t.h[i][j] = true
+		}
+	}
+	return t
+}
+
+func newMatrix(n int) [][]bool {
+	m := make([][]bool, n)
+	for i := range m {
+		m[i] = make([]bool, n)
+	}
+	return m
+}
+
+// FromSeqPair converts a sequence-pair into its TCG: left-of relations
+// become Ch edges, below relations become Cv edges. The result is
+// always a valid TCG (the two representations are equivalent).
+func FromSeqPair(sp *seqpair.SP, w, h []int) (*TCG, error) {
+	n := sp.N()
+	if len(w) != n || len(h) != n {
+		return nil, fmt.Errorf("tcg: dims length mismatch with %d modules", n)
+	}
+	t := New(w, h)
+	for i := range t.h {
+		for j := range t.h[i] {
+			t.h[i][j] = false
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if sp.LeftOf(i, j) {
+				t.h[i][j] = true
+			} else if sp.Below(i, j) {
+				t.v[i][j] = true
+			}
+		}
+	}
+	return t, nil
+}
+
+// N returns the module count.
+func (t *TCG) N() int { return t.n }
+
+// Clone returns a deep copy.
+func (t *TCG) Clone() *TCG {
+	c := &TCG{
+		n: t.n,
+		W: append([]int(nil), t.W...),
+		H: append([]int(nil), t.H...),
+		h: newMatrix(t.n),
+		v: newMatrix(t.n),
+	}
+	for i := 0; i < t.n; i++ {
+		copy(c.h[i], t.h[i])
+		copy(c.v[i], t.v[i])
+	}
+	return c
+}
+
+// LeftOf reports whether i is left of j.
+func (t *TCG) LeftOf(i, j int) bool { return t.h[i][j] }
+
+// Below reports whether i is below j.
+func (t *TCG) Below(i, j int) bool { return t.v[i][j] }
+
+// Validate checks the three TCG invariants: pair coverage (every
+// distinct pair related in exactly one graph and one direction),
+// acyclicity (implied by coverage and closure, checked anyway), and
+// transitive closure of both graphs.
+func (t *TCG) Validate() error {
+	for i := 0; i < t.n; i++ {
+		if t.h[i][i] || t.v[i][i] {
+			return fmt.Errorf("tcg: self-loop at module %d", i)
+		}
+		for j := 0; j < t.n; j++ {
+			if i == j {
+				continue
+			}
+			count := 0
+			for _, b := range [4]bool{t.h[i][j], t.h[j][i], t.v[i][j], t.v[j][i]} {
+				if b {
+					count++
+				}
+			}
+			if count != 1 {
+				return fmt.Errorf("tcg: pair (%d,%d) has %d relations, want 1", i, j, count)
+			}
+		}
+	}
+	for _, g := range [2][][]bool{t.h, t.v} {
+		for i := 0; i < t.n; i++ {
+			for j := 0; j < t.n; j++ {
+				if !g[i][j] {
+					continue
+				}
+				for k := 0; k < t.n; k++ {
+					if g[j][k] && !g[i][k] {
+						return fmt.Errorf("tcg: closure missing %d->%d (via %d)", i, k, j)
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Pack computes lower-left coordinates by longest path over Ch
+// (weights = widths) and Cv (weights = heights).
+func (t *TCG) Pack() (x, y []int) {
+	x = longestPath(t.h, t.W, t.n)
+	y = longestPath(t.v, t.H, t.n)
+	return x, y
+}
+
+// longestPath computes, for each node, the maximum weighted path of
+// predecessors. Since the graph is transitively closed, predecessors
+// can be relaxed directly in topological order.
+func longestPath(g [][]bool, w []int, n int) []int {
+	// Topological order by predecessor counts (the closure makes
+	// in-degree equal the number of all ancestors).
+	order := make([]int, n)
+	pred := make([]int, n)
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			if g[i][j] {
+				pred[j]++
+			}
+		}
+	}
+	idx := 0
+	seen := make([]bool, n)
+	for idx < n {
+		progress := false
+		for j := 0; j < n; j++ {
+			if !seen[j] && pred[j] == 0 {
+				order[idx] = j
+				idx++
+				seen[j] = true
+				for k := 0; k < n; k++ {
+					if g[j][k] {
+						pred[k]--
+					}
+				}
+				progress = true
+			}
+		}
+		if !progress {
+			// Cyclic (invalid TCG); return zeros rather than spin.
+			return make([]int, n)
+		}
+	}
+	coord := make([]int, n)
+	for _, j := range order {
+		for i := 0; i < n; i++ {
+			if g[i][j] && coord[i]+w[i] > coord[j] {
+				coord[j] = coord[i] + w[i]
+			}
+		}
+	}
+	return coord
+}
+
+// Placement packs and returns a named placement.
+func (t *TCG) Placement(names []string) (geom.Placement, error) {
+	if len(names) != t.n {
+		return nil, fmt.Errorf("tcg: %d names for %d modules", len(names), t.n)
+	}
+	x, y := t.Pack()
+	p := geom.Placement{}
+	for i := 0; i < t.n; i++ {
+		p[names[i]] = geom.NewRect(x[i], y[i], t.W[i], t.H[i])
+	}
+	return p, nil
+}
+
+// Span returns the packing's total width and height.
+func (t *TCG) Span() (int, int) {
+	x, y := t.Pack()
+	var tw, th int
+	for i := 0; i < t.n; i++ {
+		if x[i]+t.W[i] > tw {
+			tw = x[i] + t.W[i]
+		}
+		if y[i]+t.H[i] > th {
+			th = y[i] + t.H[i]
+		}
+	}
+	return tw, th
+}
+
+// isReduction reports whether edge i→j of g has no intermediate node
+// (i→k→j), i.e. it is in the transitive reduction.
+func isReduction(g [][]bool, i, j, n int) bool {
+	if !g[i][j] {
+		return false
+	}
+	for k := 0; k < n; k++ {
+		if g[i][k] && g[k][j] {
+			return false
+		}
+	}
+	return true
+}
+
+// Rotate swaps a module's width and height.
+func (t *TCG) Rotate(m int) { t.W[m], t.H[m] = t.H[m], t.W[m] }
+
+// Swap exchanges the graph nodes of modules a and b (their dimensions
+// stay attached to the ids), i.e. swaps rows and columns in both
+// matrices.
+func (t *TCG) Swap(a, b int) {
+	if a == b {
+		return
+	}
+	for _, g := range [2][][]bool{t.h, t.v} {
+		g[a], g[b] = g[b], g[a]
+		for i := 0; i < t.n; i++ {
+			g[i][a], g[i][b] = g[i][b], g[i][a]
+		}
+	}
+}
+
+// Reverse reverses the reduction edge i→j in the chosen graph
+// (horizontal true = Ch) and restores the closure: every predecessor
+// of j (plus j) gains an edge to every successor of i (plus i) in that
+// graph, with the corresponding relations removed from the other
+// graph. It returns an error if the edge is absent or not a reduction
+// edge.
+func (t *TCG) Reverse(i, j int, horizontal bool) error {
+	g, o := t.v, t.h
+	if horizontal {
+		g, o = t.h, t.v
+	}
+	if !isReduction(g, i, j, t.n) {
+		return fmt.Errorf("tcg: %d->%d is not a reduction edge", i, j)
+	}
+	g[i][j] = false
+	// Sources: j and its predecessors; sinks: i and its successors.
+	srcs := []int{j}
+	for a := 0; a < t.n; a++ {
+		if g[a][j] {
+			srcs = append(srcs, a)
+		}
+	}
+	dsts := []int{i}
+	for b := 0; b < t.n; b++ {
+		if g[i][b] {
+			dsts = append(dsts, b)
+		}
+	}
+	for _, a := range srcs {
+		for _, b := range dsts {
+			if a == b {
+				continue
+			}
+			if g[b][a] {
+				// Existing opposite relation stays (a is already
+				// after b); adding a->b would create a cycle, and
+				// closure does not require it because the b->a
+				// relation orders the pair.
+				continue
+			}
+			g[a][b] = true
+			o[a][b], o[b][a] = false, false
+		}
+	}
+	return nil
+}
+
+// Move transfers the reduction edge i→j from one graph to the other
+// (horizontal names the graph currently holding it) and restores the
+// closure of the receiving graph.
+func (t *TCG) Move(i, j int, horizontal bool) error {
+	g, o := t.v, t.h
+	if horizontal {
+		g, o = t.h, t.v
+	}
+	if !isReduction(g, i, j, t.n) {
+		return fmt.Errorf("tcg: %d->%d is not a reduction edge", i, j)
+	}
+	g[i][j] = false
+	o[i][j] = true
+	// Close the receiving graph: predecessors of i (plus i) must reach
+	// successors of j (plus j).
+	srcs := []int{i}
+	for a := 0; a < t.n; a++ {
+		if o[a][i] {
+			srcs = append(srcs, a)
+		}
+	}
+	dsts := []int{j}
+	for b := 0; b < t.n; b++ {
+		if o[j][b] {
+			dsts = append(dsts, b)
+		}
+	}
+	for _, a := range srcs {
+		for _, b := range dsts {
+			if a == b {
+				continue
+			}
+			if o[b][a] {
+				continue
+			}
+			o[a][b] = true
+			g[a][b], g[b][a] = false, false
+		}
+	}
+	return nil
+}
+
+// reductionEdges lists the transitive-reduction edges of one graph.
+func (t *TCG) reductionEdges(horizontal bool) [][2]int {
+	g := t.v
+	if horizontal {
+		g = t.h
+	}
+	var out [][2]int
+	for i := 0; i < t.n; i++ {
+		for j := 0; j < t.n; j++ {
+			if i != j && isReduction(g, i, j, t.n) {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// Perturb applies one random validity-preserving perturbation.
+// Rotation and swap always preserve validity; edge reversal and edge
+// move use incremental closure updates that cover the regular cases
+// and are verified afterwards — a move that would leave the graphs
+// inconsistent (the donor graph losing closure through a removed
+// relation) is rolled back, so the TCG stays valid unconditionally.
+func (t *TCG) Perturb(rng *rand.Rand) {
+	if t.n < 2 {
+		return
+	}
+	switch rng.Intn(4) {
+	case 0:
+		t.Rotate(rng.Intn(t.n))
+	case 1:
+		a := rng.Intn(t.n)
+		b := rng.Intn(t.n - 1)
+		if b >= a {
+			b++
+		}
+		t.Swap(a, b)
+	case 2, 3:
+		horizontal := rng.Intn(2) == 0
+		edges := t.reductionEdges(horizontal)
+		if len(edges) == 0 {
+			horizontal = !horizontal
+			edges = t.reductionEdges(horizontal)
+		}
+		if len(edges) == 0 {
+			return
+		}
+		e := edges[rng.Intn(len(edges))]
+		backup := t.Clone()
+		var err error
+		if rng.Intn(2) == 0 {
+			err = t.Reverse(e[0], e[1], horizontal)
+		} else {
+			err = t.Move(e[0], e[1], horizontal)
+		}
+		if err != nil || t.Validate() != nil {
+			t.h, t.v = backup.h, backup.v
+			t.W, t.H = backup.W, backup.H
+		}
+	}
+}

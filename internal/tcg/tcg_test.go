@@ -1,0 +1,224 @@
+package tcg
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/seqpair"
+)
+
+func TestNewRowIsValid(t *testing.T) {
+	tc := New([]int{10, 20, 30}, []int{5, 5, 5})
+	if err := tc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	x, y := tc.Pack()
+	if x[0] != 0 || x[1] != 10 || x[2] != 30 {
+		t.Fatalf("x = %v, want [0 10 30]", x)
+	}
+	for _, yi := range y {
+		if yi != 0 {
+			t.Fatal("row packing must have y = 0")
+		}
+	}
+	tw, th := tc.Span()
+	if tw != 60 || th != 5 {
+		t.Fatalf("span %dx%d, want 60x5", tw, th)
+	}
+}
+
+// The TCG of a sequence-pair must pack to exactly the same coordinates
+// as the sequence-pair's own longest-path packing (the two
+// representations encode the same relations).
+func TestFromSeqPairPacksIdentically(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.Intn(12)
+		sp := seqpair.New(n)
+		sp.Shuffle(rng)
+		w := make([]int, n)
+		h := make([]int, n)
+		for i := range w {
+			w[i] = 1 + rng.Intn(25)
+			h[i] = 1 + rng.Intn(25)
+		}
+		tc, err := FromSeqPair(sp, w, h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tc.Validate(); err != nil {
+			t.Fatalf("trial %d: TCG from SP invalid: %v\nsp=%v", trial, err, sp)
+		}
+		xs, ys := sp.Pack(w, h)
+		xt, yt := tc.Pack()
+		for i := 0; i < n; i++ {
+			if xs[i] != xt[i] || ys[i] != yt[i] {
+				t.Fatalf("trial %d: module %d at (%d,%d) in SP but (%d,%d) in TCG",
+					trial, i, xs[i], ys[i], xt[i], yt[i])
+			}
+		}
+	}
+}
+
+// Validity and packing legality must survive arbitrary perturbation
+// sequences — the core invariant of the representation.
+func TestPerturbPreservesValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 2 + rng.Intn(8)
+		w := make([]int, n)
+		h := make([]int, n)
+		names := make([]string, n)
+		for i := range w {
+			w[i] = 1 + rng.Intn(20)
+			h[i] = 1 + rng.Intn(20)
+			names[i] = string(rune('a' + i))
+		}
+		tc := New(w, h)
+		for step := 0; step < 120; step++ {
+			tc.Perturb(rng)
+			if err := tc.Validate(); err != nil {
+				t.Fatalf("trial %d step %d: %v", trial, step, err)
+			}
+			pl, err := tc.Placement(names)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !pl.Legal() {
+				t.Fatalf("trial %d step %d: overlaps %v", trial, step, pl.Overlaps())
+			}
+		}
+	}
+}
+
+func TestReverseSimple(t *testing.T) {
+	// Row 0->1->2; reverse reduction edge 0->1.
+	tc := New([]int{5, 5, 5}, []int{5, 5, 5})
+	if err := tc.Reverse(0, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !tc.LeftOf(1, 0) {
+		t.Fatal("reversal must flip the relation")
+	}
+	// Non-reduction edge 0->2 in the original row cannot be reversed.
+	tc2 := New([]int{5, 5, 5}, []int{5, 5, 5})
+	if err := tc2.Reverse(0, 2, true); err == nil {
+		t.Fatal("reversing a non-reduction edge must fail")
+	}
+	if err := tc2.Reverse(2, 0, true); err == nil {
+		t.Fatal("reversing an absent edge must fail")
+	}
+}
+
+func TestMoveSimple(t *testing.T) {
+	// Row of two: move 0->1 from Ch to Cv stacks them.
+	tc := New([]int{6, 8}, []int{3, 4})
+	if err := tc.Move(0, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := tc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !tc.Below(0, 1) {
+		t.Fatal("move must transfer the relation to Cv")
+	}
+	tw, th := tc.Span()
+	if tw != 8 || th != 7 {
+		t.Fatalf("span %dx%d, want 8x7", tw, th)
+	}
+}
+
+func TestSwapAndRotate(t *testing.T) {
+	tc := New([]int{4, 9}, []int{3, 2})
+	tc.Swap(0, 1)
+	if err := tc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !tc.LeftOf(1, 0) {
+		t.Fatal("swap must exchange graph positions")
+	}
+	tc.Rotate(0)
+	if tc.W[0] != 3 || tc.H[0] != 4 {
+		t.Fatal("rotate must swap dims")
+	}
+	tc.Swap(1, 1) // self swap is a no-op
+	if err := tc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateDetectsBreakage(t *testing.T) {
+	tc := New([]int{1, 2, 3}, []int{1, 1, 1})
+	tc.h[0][1] = false // pair (0,1) now unrelated
+	if err := tc.Validate(); err == nil {
+		t.Fatal("missing relation must fail validation")
+	}
+	tc2 := New([]int{1, 2, 3}, []int{1, 1, 1})
+	tc2.v[1][0] = true // double relation
+	if err := tc2.Validate(); err == nil {
+		t.Fatal("double relation must fail validation")
+	}
+	tc3 := New([]int{1, 2, 3}, []int{1, 1, 1})
+	tc3.h[0][2] = false
+	tc3.v[0][2] = true // 0 left of 1 left of 2 but 0 below 2: closure broken
+	if err := tc3.Validate(); err == nil {
+		t.Fatal("closure violation must fail validation")
+	}
+}
+
+// Random exploration must reach both stacked and side-by-side
+// arrangements (the representation spans non-slicing floorplans).
+func TestPerturbExploresArrangements(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	tc := New([]int{10, 10, 10}, []int{10, 10, 10})
+	seen := map[[2]int]bool{}
+	for step := 0; step < 400; step++ {
+		tc.Perturb(rng)
+		tw, th := tc.Span()
+		seen[[2]int{tw, th}] = true
+	}
+	if len(seen) < 3 {
+		t.Fatalf("explored only %d distinct spans", len(seen))
+	}
+	if !seen[[2]int{30, 10}] && !seen[[2]int{10, 30}] {
+		t.Fatal("never reached a full row or column")
+	}
+}
+
+func TestPlacementNamesMismatch(t *testing.T) {
+	tc := New([]int{1}, []int{1})
+	if _, err := tc.Placement(nil); err == nil {
+		t.Fatal("wrong name count must fail")
+	}
+}
+
+func TestFromSeqPairValidation(t *testing.T) {
+	sp := seqpair.New(3)
+	if _, err := FromSeqPair(sp, []int{1, 2}, []int{1, 2, 3}); err == nil {
+		t.Fatal("dims mismatch must fail")
+	}
+}
+
+func BenchmarkTCGPack(b *testing.B) {
+	rng := rand.New(rand.NewSource(13))
+	const n = 100
+	sp := seqpair.New(n)
+	sp.Shuffle(rng)
+	w := make([]int, n)
+	h := make([]int, n)
+	for i := range w {
+		w[i] = 1 + rng.Intn(50)
+		h[i] = 1 + rng.Intn(50)
+	}
+	tc, err := FromSeqPair(sp, w, h)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tc.Pack()
+	}
+}

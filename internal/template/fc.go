@@ -1,0 +1,60 @@
+package template
+
+import (
+	"repro/internal/perf"
+)
+
+// FoldedCascodeNames lists the instantiated device names of the
+// folded-cascode template: matched pairs expand to two instances.
+var FoldedCascodeNames = []string{
+	"in1", "in2", "tail",
+	"src1", "src2",
+	"casp1", "casp2",
+	"casn1", "casn2",
+	"mir1", "mir2",
+}
+
+// ForFoldedCascode builds the layout template of the fully-
+// differential folded-cascode OTA together with the per-instance
+// footprints derived from the design's device sizes and fold counts.
+// Rows mirror a typical production floorplan: NMOS mirror and tail at
+// the bottom, NMOS cascodes, the input pair, PMOS cascodes, and PMOS
+// sources on top, with symmetric pairs sharing a row.
+func ForFoldedCascode(d perf.FoldedCascode) (*Template, map[string][2]float64) {
+	t := &Template{
+		Rows: [][]string{
+			{"mir1", "tail", "mir2"},
+			{"casn1", "casn2"},
+			{"in1", "in2"},
+			{"casp1", "casp2"},
+			{"src1", "src2"},
+		},
+		Nets: map[string][]string{
+			"fold_p": {"in1", "src1", "casp1"},
+			"fold_n": {"in2", "src2", "casp2"},
+			"out_p":  {"casp1", "casn1"},
+			"out_n":  {"casp2", "casn2"},
+			"tail":   {"in1", "in2", "tail"},
+			"mirror": {"mir1", "mir2", "casn1", "casn2"},
+		},
+		SpacingUM: 1.5,
+		ChannelUM: 3,
+	}
+	foot := map[string][2]float64{}
+	put := func(name string, dev interface{ Footprint() (float64, float64) }) {
+		w, h := dev.Footprint()
+		foot[name] = [2]float64{w, h}
+	}
+	put("in1", d.In)
+	put("in2", d.In)
+	put("tail", d.Tail)
+	put("src1", d.Src)
+	put("src2", d.Src)
+	put("casp1", d.CasP)
+	put("casp2", d.CasP)
+	put("casn1", d.CasN)
+	put("casn2", d.CasN)
+	put("mir1", d.Mir)
+	put("mir2", d.Mir)
+	return t, foot
+}

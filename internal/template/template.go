@@ -1,0 +1,172 @@
+// Package template is the procedural layout-template engine of the
+// layout-aware sizing flow (Section V). The original work generates
+// layouts from Cadence PCELLs driven by SKILL; this package plays the
+// same role with the same contract: given device sizes and fold
+// counts, deterministically produce a full layout instance — placement
+// rows, overall width/height, routed net lengths — in microseconds, so
+// it can sit inside the sizing optimizer's inner loop ("layout
+// generation turnaround times ... considerably smaller than those of
+// optimization-based approaches").
+//
+// A template is a stack of device rows separated by routing channels.
+// Each row places its devices side by side, centered, which preserves
+// the matching symmetry of analog rows; nets are routed as horizontal
+// trunks in the nearest channel with vertical stubs to the device
+// centers, giving a deterministic wire length per net.
+package template
+
+import (
+	"fmt"
+	"math"
+)
+
+// RectUM is an axis-aligned rectangle in micrometers.
+type RectUM struct {
+	X, Y, W, H float64
+}
+
+// CenterX returns the x coordinate of the rectangle center.
+func (r RectUM) CenterX() float64 { return r.X + r.W/2 }
+
+// CenterY returns the y coordinate of the rectangle center.
+func (r RectUM) CenterY() float64 { return r.Y + r.H/2 }
+
+// Template describes a row-based analog layout.
+type Template struct {
+	// Rows lists device names bottom-up; a device appears exactly
+	// once.
+	Rows [][]string
+	// Nets maps net names to the devices they connect.
+	Nets map[string][]string
+	// SpacingUM separates devices within a row (default 1 µm).
+	SpacingUM float64
+	// ChannelUM is the routing channel height between rows (default
+	// 2 µm).
+	ChannelUM float64
+}
+
+// Instance is one generated layout.
+type Instance struct {
+	WidthUM, HeightUM float64
+	Cells             map[string]RectUM
+	// NetLengthUM is the routed length of each net in µm.
+	NetLengthUM map[string]float64
+	DeviceArea  float64 // sum of device footprints, µm²
+}
+
+// Area returns the bounding-box area in µm².
+func (i *Instance) Area() float64 { return i.WidthUM * i.HeightUM }
+
+// AspectRatio returns height / width.
+func (i *Instance) AspectRatio() float64 {
+	if i.WidthUM == 0 {
+		return 0
+	}
+	return i.HeightUM / i.WidthUM
+}
+
+// Deadspace returns bounding-box area minus device area.
+func (i *Instance) Deadspace() float64 { return i.Area() - i.DeviceArea }
+
+// Generate instantiates the template for the given device footprints
+// (width, height in µm).
+func (t *Template) Generate(foot map[string][2]float64) (*Instance, error) {
+	spacing := t.SpacingUM
+	if spacing <= 0 {
+		spacing = 1
+	}
+	channel := t.ChannelUM
+	if channel <= 0 {
+		channel = 2
+	}
+	seen := map[string]bool{}
+	inst := &Instance{Cells: map[string]RectUM{}, NetLengthUM: map[string]float64{}}
+
+	// First pass: row extents.
+	type rowGeom struct {
+		width, height float64
+	}
+	rows := make([]rowGeom, len(t.Rows))
+	for ri, row := range t.Rows {
+		if len(row) == 0 {
+			return nil, fmt.Errorf("template: row %d is empty", ri)
+		}
+		for _, d := range row {
+			f, ok := foot[d]
+			if !ok {
+				return nil, fmt.Errorf("template: no footprint for device %q", d)
+			}
+			if seen[d] {
+				return nil, fmt.Errorf("template: device %q in two rows", d)
+			}
+			seen[d] = true
+			rows[ri].width += f[0]
+			if f[1] > rows[ri].height {
+				rows[ri].height = f[1]
+			}
+			inst.DeviceArea += f[0] * f[1]
+		}
+		rows[ri].width += spacing * float64(len(row)-1)
+		if rows[ri].width > inst.WidthUM {
+			inst.WidthUM = rows[ri].width
+		}
+	}
+	// Second pass: place rows bottom-up, centered.
+	y := 0.0
+	rowMidY := make([]float64, len(t.Rows))
+	for ri, row := range t.Rows {
+		x := (inst.WidthUM - rows[ri].width) / 2
+		for _, d := range row {
+			f := foot[d]
+			inst.Cells[d] = RectUM{X: x, Y: y, W: f[0], H: f[1]}
+			x += f[0] + spacing
+		}
+		rowMidY[ri] = y + rows[ri].height
+		y += rows[ri].height
+		if ri != len(t.Rows)-1 {
+			y += channel
+		}
+	}
+	inst.HeightUM = y
+
+	// Route nets: horizontal trunk at the channel above the lowest
+	// connected row, vertical stubs from each device center.
+	rowOf := map[string]int{}
+	for ri, row := range t.Rows {
+		for _, d := range row {
+			rowOf[d] = ri
+		}
+	}
+	for net, devs := range t.Nets {
+		if len(devs) < 2 {
+			continue
+		}
+		minX, maxX := math.Inf(1), math.Inf(-1)
+		trunkRow, sameRow := len(t.Rows), true
+		for _, d := range devs {
+			c, ok := inst.Cells[d]
+			if !ok {
+				return nil, fmt.Errorf("template: net %q references unplaced device %q", net, d)
+			}
+			minX = math.Min(minX, c.CenterX())
+			maxX = math.Max(maxX, c.CenterX())
+			if rowOf[d] < trunkRow {
+				trunkRow = rowOf[d]
+			}
+			if rowOf[d] != rowOf[devs[0]] {
+				sameRow = false
+			}
+		}
+		length := maxX - minX
+		if !sameRow {
+			// Trunk in the channel above the lowest connected row,
+			// vertical stubs from each device center.
+			trunkY := rowMidY[trunkRow] + channel/2
+			for _, d := range devs {
+				length += math.Abs(inst.Cells[d].CenterY() - trunkY)
+			}
+		}
+		inst.NetLengthUM[net] = length
+	}
+	return inst, nil
+}

@@ -1,0 +1,180 @@
+package template
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/mos"
+	"repro/internal/perf"
+)
+
+func simpleTemplate() (*Template, map[string][2]float64) {
+	t := &Template{
+		Rows: [][]string{
+			{"a", "b"},
+			{"c"},
+		},
+		Nets: map[string][]string{
+			"n1": {"a", "c"},
+			"n2": {"a", "b"},
+		},
+		SpacingUM: 1,
+		ChannelUM: 2,
+	}
+	foot := map[string][2]float64{
+		"a": {10, 5},
+		"b": {6, 4},
+		"c": {8, 8},
+	}
+	return t, foot
+}
+
+func TestGenerateGeometry(t *testing.T) {
+	tmpl, foot := simpleTemplate()
+	inst, err := tmpl.Generate(foot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Row 0 width: 10 + 1 + 6 = 17; row 1: 8. Width = 17.
+	if math.Abs(inst.WidthUM-17) > 1e-9 {
+		t.Fatalf("width = %g, want 17", inst.WidthUM)
+	}
+	// Height: row0 (5) + channel (2) + row1 (8) = 15.
+	if math.Abs(inst.HeightUM-15) > 1e-9 {
+		t.Fatalf("height = %g, want 15", inst.HeightUM)
+	}
+	if math.Abs(inst.DeviceArea-(50+24+64)) > 1e-9 {
+		t.Fatalf("device area = %g, want 138", inst.DeviceArea)
+	}
+	if inst.Deadspace() <= 0 {
+		t.Fatal("row template must have positive deadspace")
+	}
+	// Rows are centered: row 1 (width 8) starts at (17-8)/2 = 4.5.
+	if math.Abs(inst.Cells["c"].X-4.5) > 1e-9 {
+		t.Fatalf("c.X = %g, want 4.5", inst.Cells["c"].X)
+	}
+	// No overlaps.
+	names := []string{"a", "b", "c"}
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			ra, rb := inst.Cells[names[i]], inst.Cells[names[j]]
+			if ra.X < rb.X+rb.W && rb.X < ra.X+ra.W && ra.Y < rb.Y+rb.H && rb.Y < ra.Y+ra.H {
+				t.Fatalf("cells %s and %s overlap", names[i], names[j])
+			}
+		}
+	}
+}
+
+func TestGenerateNetLengths(t *testing.T) {
+	tmpl, foot := simpleTemplate()
+	inst, err := tmpl.Generate(foot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for net := range tmpl.Nets {
+		if inst.NetLengthUM[net] <= 0 {
+			t.Fatalf("net %s has non-positive length", net)
+		}
+	}
+	// n1 spans two rows and must be longer than the intra-row n2.
+	if inst.NetLengthUM["n1"] <= inst.NetLengthUM["n2"] {
+		t.Fatalf("cross-row net %g should exceed intra-row net %g",
+			inst.NetLengthUM["n1"], inst.NetLengthUM["n2"])
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	tmpl, foot := simpleTemplate()
+	delete(foot, "b")
+	if _, err := tmpl.Generate(foot); err == nil {
+		t.Fatal("missing footprint must fail")
+	}
+	tmpl2, foot2 := simpleTemplate()
+	tmpl2.Rows = append(tmpl2.Rows, []string{"a"})
+	if _, err := tmpl2.Generate(foot2); err == nil {
+		t.Fatal("duplicate device must fail")
+	}
+	tmpl3, foot3 := simpleTemplate()
+	tmpl3.Rows = append(tmpl3.Rows, nil)
+	if _, err := tmpl3.Generate(foot3); err == nil {
+		t.Fatal("empty row must fail")
+	}
+	tmpl4, foot4 := simpleTemplate()
+	tmpl4.Nets["bad"] = []string{"a", "zz"}
+	if _, err := tmpl4.Generate(foot4); err == nil {
+		t.Fatal("net with unknown device must fail")
+	}
+}
+
+func fcDesign() perf.FoldedCascode {
+	n, p := mos.NTech(), mos.PTech()
+	return perf.FoldedCascode{
+		In:    mos.Device{Tech: n, W: 120, L: 0.7, Folds: 6},
+		Tail:  mos.Device{Tech: n, W: 60, L: 1.4, Folds: 4},
+		Src:   mos.Device{Tech: p, W: 160, L: 1.4, Folds: 8},
+		CasP:  mos.Device{Tech: p, W: 120, L: 0.7, Folds: 6},
+		CasN:  mos.Device{Tech: n, W: 60, L: 0.7, Folds: 4},
+		Mir:   mos.Device{Tech: n, W: 80, L: 1.4, Folds: 4},
+		ITail: 200e-6,
+		VDD:   3.3,
+		CL:    2e-12,
+	}
+}
+
+func TestFoldedCascodeTemplate(t *testing.T) {
+	d := fcDesign()
+	tmpl, foot := ForFoldedCascode(d)
+	if len(foot) != len(FoldedCascodeNames) {
+		t.Fatalf("footprints for %d devices, want %d", len(foot), len(FoldedCascodeNames))
+	}
+	inst, err := tmpl.Generate(foot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.WidthUM <= 0 || inst.HeightUM <= 0 {
+		t.Fatal("degenerate folded-cascode layout")
+	}
+	// Matched pairs sit in the same row at the same height.
+	for _, pair := range [][2]string{{"in1", "in2"}, {"src1", "src2"}, {"casp1", "casp2"}} {
+		a, b := inst.Cells[pair[0]], inst.Cells[pair[1]]
+		if a.Y != b.Y || a.H != b.H || a.W != b.W {
+			t.Fatalf("pair %v not matched in layout: %+v %+v", pair, a, b)
+		}
+	}
+	// Critical nets routed.
+	for _, net := range []string{"fold_p", "fold_n", "out_p", "out_n"} {
+		if inst.NetLengthUM[net] <= 0 {
+			t.Fatalf("net %s not routed", net)
+		}
+	}
+}
+
+// Folding must reduce the template's aspect-ratio pathology: unfolded
+// designs are far from square.
+func TestFoldingImprovesTemplateAspect(t *testing.T) {
+	d := fcDesign()
+	unfolded := d
+	for _, dev := range []*mos.Device{&unfolded.In, &unfolded.Tail, &unfolded.Src, &unfolded.CasP, &unfolded.CasN, &unfolded.Mir} {
+		dev.Folds = 1
+	}
+	tm1, f1 := ForFoldedCascode(unfolded)
+	i1, err := tm1.Generate(f1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm2, f2 := ForFoldedCascode(d)
+	i2, err := tm2.Generate(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := func(i *Instance) float64 {
+		a := i.AspectRatio()
+		if a < 1 {
+			a = 1 / a
+		}
+		return a
+	}
+	if ar(i2) >= ar(i1) {
+		t.Fatalf("folded aspect %g should beat unfolded %g", ar(i2), ar(i1))
+	}
+}

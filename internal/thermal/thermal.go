@@ -1,0 +1,80 @@
+// Package thermal models on-chip thermal gradients as superposed
+// point-ish heat sources, quantifying the temperature-difference
+// mismatch that Section II gives as a motivation for symmetric
+// placement: "since the symmetrically placed sensitive components are
+// equidistant from the radiating component(s), they see roughly
+// identical ambient temperatures and no temperature induced mismatch
+// results."
+//
+// The field of one source of power P at distance d is P/(1 + (d/σ)²),
+// a smooth radially-symmetric kernel whose iso-thermal lines are
+// circles around the source — sufficient for measuring placement-
+// induced mismatch, which only depends on the field's radial symmetry.
+package thermal
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// Source is one heat radiator.
+type Source struct {
+	X, Y  float64 // position (grid units; doubled-center convention not used here)
+	Power float64 // arbitrary power units
+}
+
+// Field is a superposition of sources.
+type Field struct {
+	Sources []Source
+	// Sigma is the decay length of each source (default 50 units).
+	Sigma float64
+}
+
+// SourceFromRect places a source at a module's center with the given
+// power.
+func SourceFromRect(r geom.Rect, power float64) Source {
+	return Source{
+		X:     float64(r.CenterX2()) / 2,
+		Y:     float64(r.CenterY2()) / 2,
+		Power: power,
+	}
+}
+
+// At returns the temperature rise at (x, y).
+func (f *Field) At(x, y float64) float64 {
+	sigma := f.Sigma
+	if sigma <= 0 {
+		sigma = 50
+	}
+	t := 0.0
+	for _, s := range f.Sources {
+		dx, dy := x-s.X, y-s.Y
+		d2 := (dx*dx + dy*dy) / (sigma * sigma)
+		t += s.Power / (1 + d2)
+	}
+	return t
+}
+
+// AtRect returns the temperature rise at a module's center.
+func (f *Field) AtRect(r geom.Rect) float64 {
+	return f.At(float64(r.CenterX2())/2, float64(r.CenterY2())/2)
+}
+
+// PairMismatch returns the absolute temperature difference seen by two
+// modules of a placement — the mismatch a matched pair suffers under
+// the gradient.
+func (f *Field) PairMismatch(p geom.Placement, a, b string) float64 {
+	return math.Abs(f.AtRect(p[a]) - f.AtRect(p[b]))
+}
+
+// MaxPairMismatch returns the worst mismatch over a set of pairs.
+func (f *Field) MaxPairMismatch(p geom.Placement, pairs [][2]string) float64 {
+	worst := 0.0
+	for _, pr := range pairs {
+		if m := f.PairMismatch(p, pr[0], pr[1]); m > worst {
+			worst = m
+		}
+	}
+	return worst
+}

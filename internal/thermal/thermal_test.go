@@ -1,0 +1,76 @@
+package thermal
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestFieldDecaysWithDistance(t *testing.T) {
+	f := &Field{Sources: []Source{{X: 0, Y: 0, Power: 10}}, Sigma: 10}
+	near := f.At(1, 0)
+	far := f.At(100, 0)
+	if near <= far {
+		t.Fatal("temperature must decay with distance")
+	}
+	if peak := f.At(0, 0); peak != 10 {
+		t.Fatalf("peak temperature = %g, want 10 (power)", peak)
+	}
+}
+
+func TestFieldSuperposes(t *testing.T) {
+	one := &Field{Sources: []Source{{X: 0, Y: 0, Power: 5}}}
+	two := &Field{Sources: []Source{{X: 0, Y: 0, Power: 5}, {X: 0, Y: 0, Power: 5}}}
+	if math.Abs(two.At(3, 4)-2*one.At(3, 4)) > 1e-12 {
+		t.Fatal("fields must superpose linearly")
+	}
+}
+
+// The paper's claim: a pair placed symmetrically about the radiator's
+// axis sees identical temperatures; an asymmetric pair does not.
+func TestSymmetricPlacementHasZeroMismatch(t *testing.T) {
+	// Radiator centered at x=50.
+	heater := geom.NewRect(45, 100, 10, 10)
+	f := &Field{Sources: []Source{SourceFromRect(heater, 100)}, Sigma: 30}
+
+	sym := geom.Placement{
+		"A": geom.NewRect(20, 0, 10, 10), // center (25, 5)
+		"B": geom.NewRect(70, 0, 10, 10), // center (75, 5): mirror about x=50
+	}
+	if m := f.PairMismatch(sym, "A", "B"); m > 1e-12 {
+		t.Fatalf("symmetric pair mismatch = %g, want 0", m)
+	}
+
+	asym := geom.Placement{
+		"A": geom.NewRect(20, 0, 10, 10),
+		"B": geom.NewRect(40, 0, 10, 10), // closer to the heater
+	}
+	if m := f.PairMismatch(asym, "A", "B"); m <= 0 {
+		t.Fatal("asymmetric pair must see a mismatch")
+	}
+}
+
+func TestMaxPairMismatch(t *testing.T) {
+	f := &Field{Sources: []Source{{X: 0, Y: 0, Power: 10}}, Sigma: 20}
+	p := geom.Placement{
+		"a1": geom.NewRect(10, 0, 2, 2),
+		"a2": geom.NewRect(-12, 0, 2, 2), // mirror of a1 about x=0
+		"b1": geom.NewRect(5, 0, 2, 2),
+		"b2": geom.NewRect(50, 0, 2, 2), // wildly asymmetric
+	}
+	worst := f.MaxPairMismatch(p, [][2]string{{"a1", "a2"}, {"b1", "b2"}})
+	if worst <= 0 {
+		t.Fatal("worst mismatch must be positive")
+	}
+	if worst != f.PairMismatch(p, "b1", "b2") {
+		t.Fatal("worst mismatch must come from the asymmetric pair")
+	}
+}
+
+func TestDefaultSigma(t *testing.T) {
+	f := &Field{Sources: []Source{{X: 0, Y: 0, Power: 1}}}
+	if f.At(50, 0) <= 0 {
+		t.Fatal("default sigma must give positive field")
+	}
+}

@@ -1,0 +1,254 @@
+// Package veb implements a van Emde Boas tree: an integer priority
+// queue over a bounded universe [0, U) supporting Insert, Delete,
+// Contains, Min, Max, Successor and Predecessor in O(log log U) time.
+//
+// The sequence-pair packing algorithm of Section II of the paper relies
+// on "an efficient model of priority queue [26] which entails a
+// complexity of O(G·n·log log n) for each code evaluation"; this package
+// is that priority queue. Keys are positions in a sequence (0..n-1), so
+// the universe is small and the recursive structure is allocated lazily.
+package veb
+
+// none is the sentinel for "no element".
+const none = -1
+
+// Tree is a van Emde Boas tree over the universe [0, u). The zero value
+// is not usable; construct with New.
+type Tree struct {
+	u        int // universe size (power of two, >= 2)
+	min, max int // cached extremes; min is not stored recursively
+	summary  *Tree
+	clusters []*Tree
+	lowBits  uint // log2 of cluster size
+	lowMask  int
+	n        int // number of stored keys
+}
+
+// New returns an empty tree able to store keys in [0, universe).
+// A universe below 2 is rounded up to 2.
+func New(universe int) *Tree {
+	u := 2
+	for u < universe {
+		u *= 2
+	}
+	return newSized(u)
+}
+
+func newSized(u int) *Tree {
+	t := &Tree{u: u, min: none, max: none}
+	if u > 2 {
+		// Split the bits of a key into high (cluster index) and low
+		// (position within cluster) halves.
+		bits := uint(0)
+		for 1<<bits < u {
+			bits++
+		}
+		t.lowBits = bits / 2
+		t.lowMask = 1<<t.lowBits - 1
+	}
+	return t
+}
+
+func (t *Tree) high(x int) int { return x >> t.lowBits }
+func (t *Tree) low(x int) int  { return x & t.lowMask }
+func (t *Tree) index(h, l int) int {
+	return h<<t.lowBits | l
+}
+
+// Len returns the number of keys stored.
+func (t *Tree) Len() int { return t.n }
+
+// Universe returns the (rounded) universe size.
+func (t *Tree) Universe() int { return t.u }
+
+// Min returns the smallest key, or -1 if the tree is empty.
+func (t *Tree) Min() int { return t.min }
+
+// Max returns the largest key, or -1 if the tree is empty.
+func (t *Tree) Max() int { return t.max }
+
+// Empty reports whether no keys are stored.
+func (t *Tree) Empty() bool { return t.min == none }
+
+// Contains reports whether x is stored in the tree.
+func (t *Tree) Contains(x int) bool {
+	if x < 0 || x >= t.u {
+		return false
+	}
+	for {
+		if x == t.min || x == t.max {
+			return true
+		}
+		if t.u == 2 || t.clusters == nil {
+			return false
+		}
+		c := t.clusters[t.high(x)]
+		if c == nil {
+			return false
+		}
+		x = t.low(x)
+		t = c
+	}
+}
+
+// Insert adds x to the tree. Inserting a key already present is a
+// no-op. Insert panics if x is outside [0, universe).
+func (t *Tree) Insert(x int) {
+	if x < 0 || x >= t.u {
+		panic("veb: key out of universe")
+	}
+	if t.Contains(x) {
+		return
+	}
+	t.n++
+	t.insert(x)
+}
+
+func (t *Tree) insert(x int) {
+	if t.min == none {
+		t.min, t.max = x, x
+		return
+	}
+	if x < t.min {
+		t.min, x = x, t.min // lazily push old min down
+	}
+	if t.u > 2 {
+		h, l := t.high(x), t.low(x)
+		if t.clusters == nil {
+			t.clusters = make([]*Tree, t.u>>t.lowBits)
+		}
+		if t.clusters[h] == nil {
+			t.clusters[h] = newSized(1 << t.lowBits)
+		}
+		if t.clusters[h].min == none {
+			if t.summary == nil {
+				t.summary = newSized(t.u >> t.lowBits)
+			}
+			t.summary.insert(h)
+		}
+		t.clusters[h].insert(l)
+	}
+	if x > t.max {
+		t.max = x
+	}
+}
+
+// Delete removes x from the tree. Deleting an absent key is a no-op.
+func (t *Tree) Delete(x int) {
+	if x < 0 || x >= t.u || !t.Contains(x) {
+		return
+	}
+	t.n--
+	t.delete(x)
+}
+
+func (t *Tree) delete(x int) {
+	if t.min == t.max {
+		t.min, t.max = none, none
+		return
+	}
+	if t.u == 2 {
+		if x == 0 {
+			t.min = 1
+		} else {
+			t.min = 0
+		}
+		t.max = t.min
+		return
+	}
+	if x == t.min {
+		// Pull the new min up from the first non-empty cluster.
+		first := t.summary.min
+		x = t.index(first, t.clusters[first].min)
+		t.min = x
+	}
+	h, l := t.high(x), t.low(x)
+	t.clusters[h].delete(l)
+	if t.clusters[h].min == none {
+		t.summary.delete(h)
+		t.clusters[h] = nil
+	}
+	if x == t.max {
+		if t.summary == nil || t.summary.min == none {
+			t.max = t.min
+		} else {
+			h := t.summary.max
+			t.max = t.index(h, t.clusters[h].max)
+		}
+	}
+}
+
+// Successor returns the smallest stored key strictly greater than x, or
+// -1 if none exists. x may be any integer (including negatives).
+func (t *Tree) Successor(x int) int {
+	if t.min != none && x < t.min {
+		return t.min
+	}
+	if t.min == none || x >= t.max {
+		return none
+	}
+	if t.u == 2 {
+		if x < 1 && t.max == 1 {
+			return 1
+		}
+		return none
+	}
+	h, l := t.high(x), t.low(x)
+	if x < 0 {
+		h, l = 0, -1
+	}
+	if h < len(t.clusters) && t.clusters[h] != nil && t.clusters[h].max != none && l < t.clusters[h].max {
+		return t.index(h, t.clusters[h].Successor(l))
+	}
+	nh := t.summary.Successor(h)
+	if nh == none {
+		return none
+	}
+	return t.index(nh, t.clusters[nh].min)
+}
+
+// Predecessor returns the largest stored key strictly less than x, or
+// -1 if none exists.
+func (t *Tree) Predecessor(x int) int {
+	if t.max != none && x > t.max {
+		return t.max
+	}
+	if t.min == none || x <= t.min {
+		return none
+	}
+	if t.u == 2 {
+		if x > 0 && t.min == 0 {
+			return 0
+		}
+		return none
+	}
+	h, l := t.high(x), t.low(x)
+	if x >= t.u {
+		h, l = len(t.clusters)-1, t.lowMask+1
+	}
+	if h < len(t.clusters) && t.clusters[h] != nil && t.clusters[h].min != none && l > t.clusters[h].min {
+		return t.index(h, t.clusters[h].Predecessor(l))
+	}
+	ph := none
+	if t.summary != nil {
+		ph = t.summary.Predecessor(h)
+	}
+	if ph == none {
+		// Only the lazily-stored min can precede x.
+		if x > t.min {
+			return t.min
+		}
+		return none
+	}
+	return t.index(ph, t.clusters[ph].max)
+}
+
+// Keys returns all stored keys in increasing order. Intended for tests
+// and debugging; O(n log log U).
+func (t *Tree) Keys() []int {
+	var out []int
+	for x := t.Min(); x != none; x = t.Successor(x) {
+		out = append(out, x)
+	}
+	return out
+}

@@ -1,0 +1,278 @@
+package veb
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEmptyTree(t *testing.T) {
+	v := New(16)
+	if !v.Empty() || v.Len() != 0 {
+		t.Fatal("new tree must be empty")
+	}
+	if v.Min() != -1 || v.Max() != -1 {
+		t.Fatal("empty tree extremes must be -1")
+	}
+	if v.Successor(3) != -1 || v.Predecessor(3) != -1 {
+		t.Fatal("empty tree has no successor/predecessor")
+	}
+	if v.Contains(0) {
+		t.Fatal("empty tree contains nothing")
+	}
+}
+
+func TestInsertContains(t *testing.T) {
+	v := New(64)
+	keys := []int{5, 1, 63, 0, 32, 33, 17}
+	for _, k := range keys {
+		v.Insert(k)
+	}
+	if v.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", v.Len(), len(keys))
+	}
+	for _, k := range keys {
+		if !v.Contains(k) {
+			t.Errorf("Contains(%d) = false, want true", k)
+		}
+	}
+	for _, k := range []int{2, 31, 62, 16} {
+		if v.Contains(k) {
+			t.Errorf("Contains(%d) = true, want false", k)
+		}
+	}
+	if v.Min() != 0 || v.Max() != 63 {
+		t.Fatalf("Min/Max = %d/%d, want 0/63", v.Min(), v.Max())
+	}
+}
+
+func TestInsertDuplicate(t *testing.T) {
+	v := New(8)
+	v.Insert(3)
+	v.Insert(3)
+	if v.Len() != 1 {
+		t.Fatalf("Len after duplicate insert = %d, want 1", v.Len())
+	}
+}
+
+func TestInsertOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Insert out of universe must panic")
+		}
+	}()
+	New(8).Insert(8)
+}
+
+func TestSuccessorPredecessorOrdered(t *testing.T) {
+	v := New(128)
+	keys := []int{3, 9, 27, 81, 100, 127}
+	for _, k := range keys {
+		v.Insert(k)
+	}
+	if got := v.Keys(); !equalInts(got, keys) {
+		t.Fatalf("Keys = %v, want %v", got, keys)
+	}
+	// Walk backwards via Predecessor.
+	var back []int
+	for x := v.Max(); x != -1; x = v.Predecessor(x) {
+		back = append(back, x)
+	}
+	for i, j := 0, len(back)-1; i < j; i, j = i+1, j-1 {
+		back[i], back[j] = back[j], back[i]
+	}
+	if !equalInts(back, keys) {
+		t.Fatalf("backward walk = %v, want %v", back, keys)
+	}
+	if v.Successor(-5) != 3 {
+		t.Fatalf("Successor(-5) = %d, want 3", v.Successor(-5))
+	}
+	if v.Predecessor(1000) != 127 {
+		t.Fatalf("Predecessor(1000) = %d, want 127", v.Predecessor(1000))
+	}
+	if v.Successor(127) != -1 {
+		t.Fatal("Successor(max) must be -1")
+	}
+	if v.Predecessor(3) != -1 {
+		t.Fatal("Predecessor(min) must be -1")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	v := New(32)
+	for _, k := range []int{1, 2, 3, 20, 30} {
+		v.Insert(k)
+	}
+	v.Delete(3)
+	if v.Contains(3) {
+		t.Fatal("deleted key still present")
+	}
+	if v.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", v.Len())
+	}
+	v.Delete(1) // delete min
+	if v.Min() != 2 {
+		t.Fatalf("Min after deleting min = %d, want 2", v.Min())
+	}
+	v.Delete(30) // delete max
+	if v.Max() != 20 {
+		t.Fatalf("Max after deleting max = %d, want 20", v.Max())
+	}
+	v.Delete(7) // absent: no-op
+	if v.Len() != 2 {
+		t.Fatalf("Len after deleting absent = %d, want 2", v.Len())
+	}
+	v.Delete(2)
+	v.Delete(20)
+	if !v.Empty() {
+		t.Fatal("tree must be empty after deleting everything")
+	}
+}
+
+func TestSmallUniverse(t *testing.T) {
+	v := New(2)
+	v.Insert(0)
+	v.Insert(1)
+	if v.Min() != 0 || v.Max() != 1 {
+		t.Fatal("base-case extremes wrong")
+	}
+	if v.Successor(0) != 1 || v.Predecessor(1) != 0 {
+		t.Fatal("base-case successor/predecessor wrong")
+	}
+	v.Delete(0)
+	if v.Min() != 1 || v.Max() != 1 {
+		t.Fatal("base-case delete wrong")
+	}
+}
+
+func TestUniverseRounding(t *testing.T) {
+	v := New(1000)
+	if v.Universe() != 1024 {
+		t.Fatalf("Universe = %d, want 1024", v.Universe())
+	}
+	v.Insert(999)
+	if !v.Contains(999) {
+		t.Fatal("key near universe boundary lost")
+	}
+}
+
+// Exhaustive differential test against a sorted-slice reference model
+// over random operation sequences.
+func TestDifferentialAgainstReference(t *testing.T) {
+	const universe = 256
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		v := New(universe)
+		ref := map[int]bool{}
+		for op := 0; op < 2000; op++ {
+			k := rng.Intn(universe)
+			switch rng.Intn(3) {
+			case 0:
+				v.Insert(k)
+				ref[k] = true
+			case 1:
+				v.Delete(k)
+				delete(ref, k)
+			case 2:
+				if v.Contains(k) != ref[k] {
+					t.Fatalf("trial %d op %d: Contains(%d) mismatch", trial, op, k)
+				}
+			}
+			if op%97 == 0 {
+				checkAgainst(t, v, ref)
+			}
+		}
+		checkAgainst(t, v, ref)
+	}
+}
+
+func checkAgainst(t *testing.T, v *Tree, ref map[int]bool) {
+	t.Helper()
+	var want []int
+	for k := range ref {
+		want = append(want, k)
+	}
+	sort.Ints(want)
+	got := v.Keys()
+	if !equalInts(got, want) {
+		t.Fatalf("Keys = %v, want %v", got, want)
+	}
+	if len(want) == 0 {
+		if v.Min() != -1 || v.Max() != -1 {
+			t.Fatal("empty extremes wrong")
+		}
+		return
+	}
+	if v.Min() != want[0] || v.Max() != want[len(want)-1] {
+		t.Fatalf("Min/Max = %d/%d, want %d/%d", v.Min(), v.Max(), want[0], want[len(want)-1])
+	}
+	if v.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", v.Len(), len(want))
+	}
+	// Spot-check successor/predecessor at every stored key and between.
+	for _, q := range []int{-1, 0, want[0], want[len(want)-1], 100, 255} {
+		wantSucc := -1
+		for _, k := range want {
+			if k > q {
+				wantSucc = k
+				break
+			}
+		}
+		if got := v.Successor(q); got != wantSucc {
+			t.Fatalf("Successor(%d) = %d, want %d (keys %v)", q, got, wantSucc, want)
+		}
+		wantPred := -1
+		for i := len(want) - 1; i >= 0; i-- {
+			if want[i] < q {
+				wantPred = want[i]
+				break
+			}
+		}
+		if got := v.Predecessor(q); got != wantPred {
+			t.Fatalf("Predecessor(%d) = %d, want %d (keys %v)", q, got, wantPred, want)
+		}
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func BenchmarkInsertDelete(b *testing.B) {
+	const universe = 1 << 16
+	v := New(universe)
+	rng := rand.New(rand.NewSource(7))
+	keys := make([]int, 4096)
+	for i := range keys {
+		keys[i] = rng.Intn(universe)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := keys[i%len(keys)]
+		v.Insert(k)
+		if i%2 == 1 {
+			v.Delete(k)
+		}
+	}
+}
+
+func BenchmarkSuccessor(b *testing.B) {
+	const universe = 1 << 16
+	v := New(universe)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 4096; i++ {
+		v.Insert(rng.Intn(universe))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v.Successor(i % universe)
+	}
+}
