@@ -39,6 +39,7 @@ func BenchmarkFig1SymmetricPacking(b *testing.B) {
 // paper's n = 7 example (35,280 of 25,401,600) by pruned enumeration.
 func BenchmarkLemmaEnumeration(b *testing.B) {
 	n, groups := core.PaperLemmaExample()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if got := seqpair.CountSFExact(n, groups); got != 35280 {
 			b.Fatalf("count = %d", got)
@@ -60,6 +61,7 @@ func BenchmarkSeqPairPackingScaling(b *testing.B) {
 				w[i] = 1 + rng.Intn(50)
 				h[i] = 1 + rng.Intn(50)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				sp.Pack(w, h)
@@ -82,11 +84,13 @@ func BenchmarkPackingNaiveVsFast(b *testing.B) {
 		h[i] = 1 + rng.Intn(50)
 	}
 	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			sp.PackNaive(w, h)
 		}
 	})
 	b.Run("fast", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			sp.Pack(w, h)
 		}
@@ -103,6 +107,7 @@ func BenchmarkSFMovesVsRejection(b *testing.B) {
 	}
 	opt := anneal.Options{Seed: 3, MovesPerStage: 60, MaxStages: 60, StallStages: 20}
 	b.Run("sf-moves", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := place.SeqPair(prob, opt); err != nil {
 				b.Fatal(err)
@@ -110,6 +115,7 @@ func BenchmarkSFMovesVsRejection(b *testing.B) {
 		}
 	})
 	b.Run("rejection", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := place.SeqPairUnconstrainedMoves(prob, opt); err != nil {
 				b.Fatal(err)
@@ -167,6 +173,7 @@ func BenchmarkHBStarContourVsBBox(b *testing.B) {
 	}{{"contour", false}, {"bbox", true}} {
 		f := build(mode.bbox)
 		b.Run(mode.name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := f.Pack(); err != nil {
 					b.Fatal(err)
@@ -193,6 +200,7 @@ func BenchmarkTable1(b *testing.B) {
 			method core.Method
 		}{{"esf", core.MethodDeterministicESF}, {"rsf", core.MethodDeterministicRSF}} {
 			b.Run(name+"/"+m.label, func(b *testing.B) {
+				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
 					res, err := core.PlaceBench(bench, m.method, anneal.Options{})
 					if err != nil {
@@ -216,6 +224,7 @@ func BenchmarkTable1Large(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := core.PlaceBench(bench, core.MethodDeterministicESF, anneal.Options{}); err != nil {
 					b.Fatal(err)
@@ -228,6 +237,7 @@ func BenchmarkTable1Large(b *testing.B) {
 // BenchmarkFig8Curves computes the ESF and RSF staircases of the
 // lnamixbias root function (the data of Fig. 8).
 func BenchmarkFig8Curves(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		esf, rsf, err := core.RunFig8("lnamixbias")
 		if err != nil {
@@ -244,6 +254,7 @@ func BenchmarkFig8Curves(b *testing.B) {
 func BenchmarkBStarEnumeration(b *testing.B) {
 	w := []int{3, 5, 7, 9, 11, 13}
 	h := []int{13, 11, 9, 7, 5, 3}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		count := 0
 		bstar.EnumerateTrees(w, h, func(*bstar.Tree) bool {
@@ -274,6 +285,7 @@ func BenchmarkSlicingVsNonslicing(b *testing.B) {
 	prob.WireWeight = 0
 	opt := anneal.Options{Seed: 5, MovesPerStage: 60, MaxStages: 80, StallStages: 25}
 	b.Run("slicing", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := place.Slicing(prob, opt)
 			if err != nil {
@@ -283,6 +295,7 @@ func BenchmarkSlicingVsNonslicing(b *testing.B) {
 		}
 	})
 	b.Run("bstar", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			res, err := place.BStar(prob, opt)
 			if err != nil {
@@ -305,6 +318,7 @@ func BenchmarkAbsoluteVsTopological(b *testing.B) {
 	prob.Groups = nil
 	opt := anneal.Options{Seed: 7, MovesPerStage: 80, MaxStages: 80, StallStages: 25}
 	b.Run("absolute", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := place.Absolute(prob, opt); err != nil {
 				b.Fatal(err)
@@ -312,6 +326,7 @@ func BenchmarkAbsoluteVsTopological(b *testing.B) {
 		}
 	})
 	b.Run("topological", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := place.BStar(prob, opt); err != nil {
 				b.Fatal(err)
@@ -327,6 +342,7 @@ func BenchmarkAbsoluteVsTopological(b *testing.B) {
 func BenchmarkFig10Sizing(b *testing.B) {
 	opt := anneal.Options{Seed: 1, MovesPerStage: 250, MaxStages: 250, StallStages: 60}
 	b.Run("nominal", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := sizing.Run(sizing.Problem{
 				Spec: sizing.Fig10Spec(), Mode: sizing.Nominal, Base: sizing.DefaultBase(),
@@ -336,6 +352,7 @@ func BenchmarkFig10Sizing(b *testing.B) {
 		}
 	})
 	b.Run("aware", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := sizing.Run(sizing.Problem{
 				Spec: sizing.Fig10Spec(), Mode: sizing.LayoutAware, MaxAspect: 1.3,
@@ -343,6 +360,96 @@ func BenchmarkFig10Sizing(b *testing.B) {
 			}, opt); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Optimization-engine hot path (zero-allocation packing, multi-start).
+
+// BenchmarkBStarTreePacking compares the compatibility wrapper against
+// workspace-reuse packing of one B*-tree — the annealing inner loop's
+// dominant operation. The packinto variant is allocation-free at
+// steady state.
+func BenchmarkBStarTreePacking(b *testing.B) {
+	const n = 100
+	rng := rand.New(rand.NewSource(4))
+	w := make([]int, n)
+	h := make([]int, n)
+	for i := range w {
+		w[i] = 1 + rng.Intn(40)
+		h[i] = 1 + rng.Intn(40)
+	}
+	tr := bstar.NewRandom(w, h, rng)
+	b.Run("pack", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr.Pack()
+		}
+	})
+	b.Run("packinto", func(b *testing.B) {
+		var ws bstar.PackWorkspace
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.PackInto(&ws)
+		}
+	})
+}
+
+// BenchmarkSeqPairPackInto measures the fully workspace-reused FAST-SP
+// evaluation (the in-place annealer's path), against which Pack's
+// caller-owned slices are the only remaining allocations.
+func BenchmarkSeqPairPackInto(b *testing.B) {
+	const n = 1000
+	rng := rand.New(rand.NewSource(1))
+	sp := seqpair.New(n)
+	sp.Shuffle(rng)
+	w := make([]int, n)
+	h := make([]int, n)
+	for i := range w {
+		w[i] = 1 + rng.Intn(50)
+		h[i] = 1 + rng.Intn(50)
+	}
+	var ws seqpair.PackWorkspace
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sp.PackInto(&ws, w, h)
+	}
+}
+
+// BenchmarkParallelMultiStart compares one serial annealing chain
+// against 4-worker multi-start with the same per-chain schedule (equal
+// wall-clock on a 4-core machine; worker 0 replicates the serial
+// chain, so the reduction never returns a worse cost).
+func BenchmarkParallelMultiStart(b *testing.B) {
+	bench := circuits.MillerOpAmp()
+	prob, err := place.FromBench(bench)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := anneal.Options{Seed: 3, MovesPerStage: 100, MaxStages: 40, StallStages: 40}
+	b.Run("serial", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := place.SeqPair(prob, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Cost, "cost")
+		}
+	})
+	b.Run("workers4", func(b *testing.B) {
+		popt := opt
+		popt.Workers = 4
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := place.SeqPair(prob, popt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.Cost, "cost")
 		}
 	})
 }

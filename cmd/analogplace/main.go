@@ -5,7 +5,11 @@
 // Usage:
 //
 //	analogplace [-method seqpair|bstar|hbstar|slicing|absolute|esf|rsf]
-//	            [-bench miller|folded|<table1-name>] [-seed N] [-v]
+//	            [-bench miller|folded|<table1-name>] [-seed N]
+//	            [-workers N] [-v]
+//
+// -workers above 1 runs parallel multi-start annealing: that many
+// independent chains on separate cores, keeping the best placement.
 package main
 
 import (
@@ -24,6 +28,7 @@ func main() {
 	method := flag.String("method", "hbstar", "placement method: seqpair, bstar, hbstar, tcg, slicing, absolute, esf, rsf")
 	bench := flag.String("bench", "miller", "benchmark: miller, folded, or a Table I name (miller_v2, comparator_v2, folded_casc, buffer, biasynth, lnamixbias)")
 	seed := flag.Int64("seed", 1, "random seed for stochastic methods")
+	workers := flag.Int("workers", 1, "parallel multi-start annealing chains (1 = serial)")
 	verbose := flag.Bool("v", false, "print module coordinates")
 	svgPath := flag.String("svg", "", "write the placement as SVG to this file")
 	flag.Parse()
@@ -38,7 +43,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "analogplace:", err)
 		os.Exit(1)
 	}
-	opt := anneal.Options{Seed: *seed, MovesPerStage: 150, MaxStages: 200, StallStages: 40}
+	opt := anneal.Options{Seed: *seed, MovesPerStage: 150, MaxStages: 200, StallStages: 40, Workers: *workers}
 	res, err := core.PlaceBench(b, m, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "analogplace:", err)

@@ -28,4 +28,34 @@
 // drivers that regenerate each table and figure; the benchmarks in
 // this package (bench_test.go) exercise them. See DESIGN.md for the
 // experiment index and EXPERIMENTS.md for measured results.
+//
+// # The optimization hot path
+//
+// All stochastic placers run on the engines of internal/anneal, which
+// support two protocols. The legacy cloning protocol (anneal.Solution:
+// Cost/Neighbor) copies the whole representation per proposed move.
+// The in-place protocol (anneal.MutableSolution: Perturb returning an
+// exact Undo, plus Snapshot/Restore for the best-so-far) mutates one
+// solution and reverts rejected moves, the move-and-undo scheme of the
+// B*-tree annealing tradition; Anneal and Greedy select it
+// automatically when a solution implements it. All placers do.
+//
+// Packing — the annealer's dominant inner operation — is
+// allocation-free at steady state through reusable workspaces:
+// bstar.Tree.PackInto(*bstar.PackWorkspace) packs with a pooled
+// contour spliced in place, seqpair.SP.PackInto(*seqpair.PackWorkspace)
+// reuses the vEB queue and LCS buffers, and tcg.TCG.PackInto does the
+// same for longest-path evaluation. The compatibility wrappers
+// (Pack()) remain and allocate only the returned slices;
+// seqpair.SP.Pack and PackSymmetric additionally cache their solver
+// scratch on the SP, which makes packing methods unsafe for concurrent
+// use on a single SP — concurrent searches use distinct solutions.
+//
+// anneal.ParallelAnneal runs parallel multi-start: one independent
+// chain per worker (own RNG, own representation, own workspaces) and a
+// deterministic best-of reduction. Worker 0 replicates the serial
+// chain exactly, so multi-start never returns a worse cost than the
+// serial run of the same Options. Placers enable it through
+// anneal.Options.Workers and cmd/analogplace's -workers flag. See
+// PERFORMANCE.md for measured numbers.
 package repro

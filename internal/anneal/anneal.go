@@ -1,9 +1,16 @@
 // Package anneal provides the stochastic optimization engines behind
 // the paper's "statistical solution approaches": a simulated-annealing
 // driver (Kirkpatrick et al. [12]), a mutation-based evolutionary
-// baseline, and the two-phase GA+SA combination of Zhang et al. [28].
-// The engines are representation-agnostic: placers supply a Solution
-// that can report its cost and produce a random neighbor.
+// baseline, the two-phase GA+SA combination of Zhang et al. [28], and
+// parallel multi-start annealing (ParallelAnneal).
+//
+// The engines are representation-agnostic and support two solution
+// protocols. The cloning protocol (Solution) produces a fresh neighbor
+// per proposed move. The in-place protocol (MutableSolution) mutates
+// one solution and reverts rejected moves through exact undo — the
+// move-and-undo scheme of the B*-tree annealing literature — which
+// eliminates per-move allocation; Anneal and Greedy select it
+// automatically when the solution implements it.
 package anneal
 
 import (
@@ -20,6 +27,36 @@ type Solution interface {
 	Cost() float64
 	// Neighbor returns a random neighboring solution.
 	Neighbor(rng *rand.Rand) Solution
+}
+
+// Undo reverts the most recent Perturb on a MutableSolution, restoring
+// state and cost exactly.
+type Undo func()
+
+// MutableSolution is the in-place counterpart of Solution: a solution
+// that mutates itself under perturbation and can revert exactly,
+// eliminating the clone per proposed move that dominates the cost of a
+// Neighbor-based search. When a Solution passed to Anneal or Greedy
+// also implements MutableSolution, the engines run the move-and-undo
+// protocol of the B*-tree annealing tradition instead of cloning:
+// rejected moves call the returned Undo, accepted moves simply keep
+// the mutation, and the best-so-far is tracked through Snapshot.
+//
+// Contract: Perturb applies one random move and returns an Undo that
+// restores both the state and the value reported by Cost exactly (a
+// well-behaved implementation returns the same, pre-allocated Undo
+// every time, so the protocol itself allocates nothing per move).
+// Snapshot returns an opaque deep copy of the current state; Restore
+// brings the solution back to a previously snapshotted state and must
+// not alias the snapshot (the engine may restore the same snapshot
+// again). The engines mutate the initial solution they are given; the
+// returned best solution is that same value restored to its best
+// state.
+type MutableSolution interface {
+	Cost() float64
+	Perturb(rng *rand.Rand) Undo
+	Snapshot() any
+	Restore(snapshot any)
 }
 
 // Options configure a simulated-annealing run. The zero value is
@@ -45,6 +82,12 @@ type Options struct {
 	// Seed for the internal RNG (0 means a fixed default, keeping
 	// runs reproducible).
 	Seed int64
+	// Workers selects parallel multi-start annealing: values above 1
+	// run that many independent chains (each with its own RNG and
+	// workspaces) and keep the best result. 0 and 1 mean a single
+	// serial chain. Placers honor it through their ParallelAnneal
+	// wiring; Anneal itself always runs one chain.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -81,8 +124,15 @@ func (s Stats) String() string {
 }
 
 // Anneal runs simulated annealing from the initial solution and
-// returns the best solution found with run statistics.
+// returns the best solution found with run statistics. If the solution
+// also implements MutableSolution, the engine uses the allocation-free
+// move-and-undo protocol: the initial solution is mutated in place and
+// returned restored to the best state visited.
 func Anneal(initial Solution, opt Options) (Solution, Stats) {
+	if ms, ok := initial.(MutableSolution); ok {
+		best, stats := annealInPlace(ms, opt)
+		return best.(Solution), stats
+	}
 	opt = opt.withDefaults()
 	rng := rand.New(rand.NewSource(opt.Seed + 1))
 
@@ -133,9 +183,72 @@ func Anneal(initial Solution, opt Options) (Solution, Stats) {
 	return best, stats
 }
 
+// annealInPlace is the move-and-undo engine: one mutating solution,
+// exact undo on rejection, best-so-far tracked by snapshot. It follows
+// the same schedule, RNG discipline and statistics as the cloning
+// engine.
+func annealInPlace(cur MutableSolution, opt Options) (MutableSolution, Stats) {
+	opt = opt.withDefaults()
+	rng := rand.New(rand.NewSource(opt.Seed + 1))
+
+	curCost := cur.Cost()
+	bestSnap := cur.Snapshot()
+	bestCost := curCost
+	stats := Stats{InitCost: curCost}
+
+	temp := opt.InitialTemp
+	if temp <= 0 {
+		temp = calibrateInPlace(cur, rng)
+		curCost = cur.Cost()
+	}
+	minTemp := opt.MinTemp
+	if minTemp <= 0 {
+		minTemp = temp * 1e-3
+	}
+
+	stall := 0
+	for stage := 0; stage < opt.MaxStages && temp > minTemp && stall < opt.StallStages; stage++ {
+		stats.Stages++
+		improvedThisStage := false
+		for move := 0; move < opt.MovesPerStage; move++ {
+			stats.Moves++
+			undo := cur.Perturb(rng)
+			nextCost := cur.Cost()
+			delta := nextCost - curCost
+			if delta <= 0 || rng.Float64() < math.Exp(-delta/temp) {
+				stats.Accepted++
+				if delta < 0 {
+					stats.Improved++
+				}
+				curCost = nextCost
+				if curCost < bestCost {
+					bestCost = curCost
+					bestSnap = cur.Snapshot()
+					improvedThisStage = true
+				}
+			} else {
+				undo()
+			}
+		}
+		if improvedThisStage {
+			stall = 0
+		} else {
+			stall++
+		}
+		temp *= opt.Cooling
+		stats.FinalTemp = temp
+	}
+	stats.BestCost = bestCost
+	cur.Restore(bestSnap)
+	return cur, stats
+}
+
 // calibrate estimates an initial temperature from a short random walk:
 // the mean uphill delta divided by ln(1/p₀) with p₀ = 0.9, so roughly
-// 90 % of uphill moves are initially accepted.
+// 90 % of uphill moves are initially accepted. Non-finite deltas
+// (moves into rejected/infeasible states, which placers encode as
+// infinite cost) are excluded from the estimate and from the walk —
+// an infinite temperature would otherwise disable the whole schedule.
 func calibrate(s Solution, rng *rand.Rand) float64 {
 	const samples = 40
 	cur := s
@@ -145,7 +258,10 @@ func calibrate(s Solution, rng *rand.Rand) float64 {
 	for i := 0; i < samples; i++ {
 		next := cur.Neighbor(rng)
 		nextCost := next.Cost()
-		if d := nextCost - curCost; d > 0 {
+		if math.IsInf(nextCost, 0) || math.IsNaN(nextCost) {
+			continue // stay on the feasible walk
+		}
+		if d := nextCost - curCost; d > 0 && !math.IsInf(d, 0) {
 			sum += d
 			ups++
 		}
@@ -157,10 +273,58 @@ func calibrate(s Solution, rng *rand.Rand) float64 {
 	return (sum / float64(ups)) / math.Log(1/0.9)
 }
 
+// calibrateInPlace is calibrate for the move-and-undo protocol: the
+// walk mutates the solution (undoing moves into infeasible states)
+// and the initial state is restored before the schedule starts.
+func calibrateInPlace(s MutableSolution, rng *rand.Rand) float64 {
+	const samples = 40
+	start := s.Snapshot()
+	curCost := s.Cost()
+	var sum float64
+	var ups int
+	for i := 0; i < samples; i++ {
+		undo := s.Perturb(rng)
+		nextCost := s.Cost()
+		if math.IsInf(nextCost, 0) || math.IsNaN(nextCost) {
+			undo() // stay on the feasible walk
+			continue
+		}
+		if d := nextCost - curCost; d > 0 && !math.IsInf(d, 0) {
+			sum += d
+			ups++
+		}
+		curCost = nextCost
+	}
+	s.Restore(start)
+	if ups == 0 || sum == 0 {
+		return 1.0
+	}
+	return (sum / float64(ups)) / math.Log(1/0.9)
+}
+
 // Greedy runs pure hill-climbing (temperature zero): only improving
 // moves are accepted. Useful as an ablation baseline against Anneal.
+// Solutions that implement MutableSolution run without cloning: a
+// non-improving move is undone in place.
 func Greedy(initial Solution, moves int, seed int64) (Solution, Stats) {
 	rng := rand.New(rand.NewSource(seed + 1))
+	if ms, ok := initial.(MutableSolution); ok {
+		curCost := ms.Cost()
+		stats := Stats{InitCost: curCost}
+		for i := 0; i < moves; i++ {
+			stats.Moves++
+			undo := ms.Perturb(rng)
+			if c := ms.Cost(); c < curCost {
+				curCost = c
+				stats.Accepted++
+				stats.Improved++
+			} else {
+				undo()
+			}
+		}
+		stats.BestCost = curCost
+		return initial, stats
+	}
 	cur := initial
 	curCost := cur.Cost()
 	stats := Stats{InitCost: curCost}

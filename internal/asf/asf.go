@@ -43,6 +43,11 @@ type Island struct {
 	// are self representatives (in chain order), the rest are pair
 	// representatives (pair i at id len(selfs)+i).
 	reps *bstar.Tree
+
+	// Reusable scratch, never copied by Clone: the Perturb rollback
+	// buffer and the chain-membership marks of validChain.
+	saved   bstar.TreeState
+	onChain []bool
 }
 
 // New builds an island with a canonical initial tree: self
@@ -119,10 +124,18 @@ func (isl *Island) validChain() bool {
 	if ns == 0 {
 		return true
 	}
-	onChain := map[int]bool{}
+	n := isl.reps.N()
+	if cap(isl.onChain) < n {
+		isl.onChain = make([]bool, n)
+	}
+	onChain := isl.onChain[:n]
+	for i := range onChain {
+		onChain[i] = false
+	}
+	steps := 0
 	for m := isl.reps.Root; m != -1; m = isl.reps.Right[m] {
 		onChain[m] = true
-		if len(onChain) > isl.reps.N() {
+		if steps++; steps > n {
 			return false
 		}
 	}
@@ -173,8 +186,10 @@ func (isl *Island) Pack() (geom.Placement, error) {
 func (isl *Island) Perturb(rng *rand.Rand) {
 	ns, np := len(isl.selfs), len(isl.pairs)
 	t := isl.reps
+	// One save covers all attempts: a failed attempt restores the
+	// tree to exactly this state before retrying.
+	t.SaveState(&isl.saved)
 	for attempt := 0; attempt < 24; attempt++ {
-		backup := t.Clone()
 		switch op := rng.Intn(4); {
 		case op == 0 && np > 0: // rotate a pair rep
 			t.Rotate(ns + rng.Intn(np))
@@ -205,7 +220,7 @@ func (isl *Island) Perturb(rng *rand.Rand) {
 			return
 		}
 		// Restore and retry.
-		*t = *backup
+		t.LoadState(&isl.saved)
 	}
 }
 
@@ -240,6 +255,14 @@ func reattach(t *bstar.Tree, m int, rng *rand.Rand) {
 	s := slots[rng.Intn(len(slots))]
 	t.InsertChild(s.p, m, s.side)
 }
+
+// SaveState copies the island's mutable search state (its
+// representative tree) into s, for the exact-undo protocol. The pair
+// and self sets are fixed for the island's lifetime and not saved.
+func (isl *Island) SaveState(s *bstar.TreeState) { isl.reps.SaveState(s) }
+
+// LoadState restores a state previously captured with SaveState.
+func (isl *Island) LoadState(s *bstar.TreeState) { isl.reps.LoadState(s) }
 
 // Clone returns a deep copy of the island.
 func (isl *Island) Clone() *Island {

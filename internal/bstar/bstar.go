@@ -179,87 +179,144 @@ type contourSeg struct {
 	x1, x2, h int
 }
 
-// Pack computes lower-left coordinates for all modules by pre-order
-// traversal with a horizontal contour, the standard B*-tree packing.
-// It returns x and y indexed by module id.
-func (t *Tree) Pack() (x, y []int) {
+// packFrame is one pending pre-order traversal step.
+type packFrame struct{ m, x int }
+
+// PackWorkspace holds the scratch state of one packing evaluation:
+// coordinate slices, the contour, and the traversal stack. A workspace
+// reused across calls to PackInto makes packing allocation-free once
+// the buffers have grown to their steady-state capacity, which is what
+// a simulated-annealing inner loop needs. The zero value is ready to
+// use. A workspace must not be shared between concurrent packings.
+type PackWorkspace struct {
+	x, y    []int
+	contour []contourSeg
+	stack   []packFrame
+}
+
+// ensure sizes the coordinate buffers for n modules.
+func (ws *PackWorkspace) ensure(n int) {
+	if cap(ws.x) < n {
+		ws.x = make([]int, n)
+		ws.y = make([]int, n)
+	}
+	ws.x = ws.x[:n]
+	ws.y = ws.y[:n]
+}
+
+// place consults the contour over [x1, x2), returns the resulting base
+// height, and splices the interval to height base+h in place (tail
+// segments are shifted with copy rather than rebuilt into a fresh
+// slice).
+func (ws *PackWorkspace) place(x1, x2, h int) int {
+	c := ws.contour
+	// First segment overlapping [x1, x2). The contour always spans
+	// [0, +inf), so both bounds below are found.
+	i := 0
+	for c[i].x2 <= x1 {
+		i++
+	}
+	top := 0
+	j := i
+	for ; j < len(c) && c[j].x1 < x2; j++ {
+		if c[j].h > top {
+			top = c[j].h
+		}
+	}
+	j-- // last overlapping segment
+	// Replacement segments: left remainder, the new plateau, right
+	// remainder.
+	var repl [3]contourSeg
+	k := 0
+	if c[i].x1 < x1 {
+		repl[k] = contourSeg{c[i].x1, x1, c[i].h}
+		k++
+	}
+	newSeg := contourSeg{x1, x2, top + h}
+	// Merge the plateau into the preceding segment when heights match
+	// (either the left remainder or the untouched neighbor i-1).
+	switch {
+	case k > 0 && repl[k-1].h == newSeg.h:
+		repl[k-1].x2 = newSeg.x2
+	case k == 0 && i > 0 && c[i-1].h == newSeg.h && c[i-1].x2 == newSeg.x1:
+		c[i-1].x2 = newSeg.x2
+		// Extend the neighbor instead of inserting; splice window
+		// starts at i with no plateau segment of its own.
+	default:
+		repl[k] = newSeg
+		k++
+	}
+	if c[j].x2 > x2 {
+		if k > 0 && repl[k-1].h == c[j].h {
+			repl[k-1].x2 = c[j].x2
+		} else if k == 0 && i > 0 && c[i-1].h == c[j].h {
+			c[i-1].x2 = c[j].x2
+		} else {
+			repl[k] = contourSeg{x2, c[j].x2, c[j].h}
+			k++
+		}
+	}
+	// Splice c[i:j+1] -> repl[:k] in place.
+	old := j + 1 - i
+	n := len(c)
+	if d := k - old; d > 0 {
+		c = append(c, repl[:d]...) // grow length; values fixed below
+		copy(c[j+1+d:], c[j+1:n])
+	} else if d < 0 {
+		copy(c[j+1+d:], c[j+1:])
+		c = c[:n+d]
+	}
+	copy(c[i:i+k], repl[:k])
+	ws.contour = c
+	return top
+}
+
+// PackInto computes lower-left coordinates for all modules by
+// pre-order traversal with a horizontal contour, the standard B*-tree
+// packing, using ws for every intermediate buffer. The returned slices
+// are owned by the workspace and overwritten by the next PackInto on
+// the same workspace.
+func (t *Tree) PackInto(ws *PackWorkspace) (x, y []int) {
 	n := t.N()
-	x = make([]int, n)
-	y = make([]int, n)
+	ws.ensure(n)
+	x, y = ws.x, ws.y
 	if n == 0 || t.Root == none {
+		for i := range x {
+			x[i], y[i] = 0, 0
+		}
 		return x, y
 	}
-	contour := []contourSeg{{0, int(^uint(0) >> 1), 0}}
-
-	// place sets module m at xpos, consulting and updating the contour.
-	place := func(m, xpos int) {
-		w, h := t.dims(m)
-		x[m] = xpos
-		xEnd := xpos + w
-		// Find max contour height over [xpos, xEnd).
-		top := 0
-		for _, s := range contour {
-			if s.x2 <= xpos || s.x1 >= xEnd {
-				continue
-			}
-			if s.h > top {
-				top = s.h
-			}
-		}
-		y[m] = top
-		// Replace [xpos, xEnd) with the new height.
-		var out []contourSeg
-		newSeg := contourSeg{xpos, xEnd, top + h}
-		inserted := false
-		for _, s := range contour {
-			if s.x2 <= xpos || s.x1 >= xEnd {
-				out = append(out, s)
-				continue
-			}
-			if s.x1 < xpos {
-				out = append(out, contourSeg{s.x1, xpos, s.h})
-			}
-			if !inserted {
-				out = append(out, newSeg)
-				inserted = true
-			}
-			if s.x2 > xEnd {
-				out = append(out, contourSeg{xEnd, s.x2, s.h})
-			}
-		}
-		if !inserted {
-			out = append(out, newSeg)
-		}
-		// Keep segments sorted by x1 (they are, given construction)
-		// and merge adjacent equal heights.
-		contour = contour[:0]
-		for _, s := range out {
-			if len(contour) > 0 && contour[len(contour)-1].h == s.h && contour[len(contour)-1].x2 == s.x1 {
-				contour[len(contour)-1].x2 = s.x2
-			} else {
-				contour = append(contour, s)
-			}
-		}
-	}
-
-	// Pre-order traversal: left child at parent's right edge, right
-	// child at parent's x.
-	type frame struct{ m, xpos int }
-	stack := []frame{{t.Root, 0}}
+	ws.contour = append(ws.contour[:0], contourSeg{0, int(^uint(0) >> 1), 0})
+	stack := append(ws.stack[:0], packFrame{t.Root, 0})
 	for len(stack) > 0 {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		place(f.m, f.xpos)
-		w, _ := t.dims(f.m)
-		// Push right first so left is processed first (pre-order).
+		w, h := t.dims(f.m)
+		x[f.m] = f.x
+		y[f.m] = ws.place(f.x, f.x+w, h)
+		// Push right first so left is processed first (pre-order):
+		// left child at the parent's right edge, right child at the
+		// parent's x.
 		if r := t.Right[f.m]; r != none {
-			stack = append(stack, frame{r, x[f.m]})
+			stack = append(stack, packFrame{r, f.x})
 		}
 		if l := t.Left[f.m]; l != none {
-			stack = append(stack, frame{l, x[f.m] + w})
+			stack = append(stack, packFrame{l, f.x + w})
 		}
 	}
+	ws.stack = stack[:0] // retain grown capacity
 	return x, y
+}
+
+// Pack computes lower-left coordinates for all modules. It is a
+// convenience wrapper over PackInto with a one-shot workspace: the
+// returned slices are freshly allocated and owned by the caller, and
+// all contour scratch is allocated once per call rather than once per
+// placed module. Hot loops should hold a PackWorkspace and call
+// PackInto instead.
+func (t *Tree) Pack() (x, y []int) {
+	var ws PackWorkspace
+	return t.PackInto(&ws)
 }
 
 // Placement packs the tree and returns a named placement. names is

@@ -1,0 +1,35 @@
+package bstar
+
+// TreeState is a reusable snapshot of a tree's mutable search state:
+// the link structure and rotation flags (module dimensions are fixed
+// for the lifetime of a tree and never saved). It backs the exact-undo
+// protocol of the in-place annealing engine: save before a
+// perturbation, load to revert it. The zero value is ready to use, and
+// a state reused across saves stops allocating once its buffers match
+// the tree size.
+type TreeState struct {
+	root                int
+	left, right, parent []int
+	rot                 []bool
+}
+
+// SaveState copies t's links and rotation flags into s, growing s's
+// buffers only when the tree is larger than any previously saved one.
+func (t *Tree) SaveState(s *TreeState) {
+	s.root = t.Root
+	s.left = append(s.left[:0], t.Left...)
+	s.right = append(s.right[:0], t.Right...)
+	s.parent = append(s.parent[:0], t.Parent...)
+	s.rot = append(s.rot[:0], t.Rot...)
+}
+
+// LoadState restores links and rotation flags previously captured with
+// SaveState. The tree must have the same module count as when the
+// state was saved.
+func (t *Tree) LoadState(s *TreeState) {
+	t.Root = s.root
+	copy(t.Left, s.left)
+	copy(t.Right, s.right)
+	copy(t.Parent, s.parent)
+	copy(t.Rot, s.rot)
+}

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/anneal"
+	"repro/internal/bstar"
 	"repro/internal/circuits"
 	"repro/internal/constraint"
 	"repro/internal/geom"
@@ -16,10 +17,48 @@ import (
 // HB*-trees should be selected first, and then any perturbation
 // operation for the B*-tree can be applied").
 func (f *Forest) Perturb(rng *rand.Rand) {
+	f.PerturbUndoable(rng, nil)
+}
+
+// ForestUndo records which tree of the forest one perturbation touched
+// and that tree's prior state, so the move can be reverted exactly. It
+// is reusable: the state buffers grow to the largest tree ever saved
+// and then stop allocating.
+type ForestUndo struct {
+	node  *Node
+	state bstar.TreeState
+}
+
+// Undo reverts the recorded perturbation.
+func (u *ForestUndo) Undo() {
+	if u == nil || u.node == nil {
+		return
+	}
+	if u.node.island != nil {
+		u.node.island.LoadState(&u.state)
+		return
+	}
+	u.node.tree.LoadState(&u.state)
+}
+
+// PerturbUndoable is Perturb with exact-undo recording: when u is
+// non-nil, the touched tree's prior state is saved into it first.
+func (f *Forest) PerturbUndoable(rng *rand.Rand, u *ForestUndo) {
+	if u != nil {
+		u.node = nil
+	}
 	if len(f.all) == 0 {
 		return
 	}
 	n := f.all[rng.Intn(len(f.all))]
+	if u != nil {
+		u.node = n
+		if n.island != nil {
+			n.island.SaveState(&u.state)
+		} else {
+			n.tree.SaveState(&u.state)
+		}
+	}
 	if n.island != nil {
 		n.island.Perturb(rng)
 		return
@@ -52,11 +91,27 @@ type Result struct {
 	Violations []error
 }
 
-// solution adapts a Forest to the annealer.
+// solution adapts a Forest to the annealer. It implements both the
+// cloning Solution protocol and the in-place MutableSolution protocol:
+// a perturbation touches exactly one of the forest's trees, so undo
+// restores just that tree from a reusable buffer instead of cloning
+// the whole forest per proposed move.
 type solution struct {
-	prob   *Problem
-	forest *Forest
-	cost   float64
+	prob     *Problem
+	forest   *Forest
+	cost     float64
+	prevCost float64
+	u        ForestUndo
+	undo     anneal.Undo
+}
+
+func newSolution(p *Problem, f *Forest) *solution {
+	s := &solution{prob: p, forest: f}
+	s.undo = func() {
+		s.u.Undo()
+		s.cost = s.prevCost
+	}
+	return s
 }
 
 func (s *solution) evaluate() {
@@ -83,10 +138,38 @@ func (s *solution) Cost() float64 { return s.cost }
 
 // Neighbor implements anneal.Solution.
 func (s *solution) Neighbor(rng *rand.Rand) anneal.Solution {
-	next := &solution{prob: s.prob, forest: s.forest.Clone()}
+	next := newSolution(s.prob, s.forest.Clone())
 	next.forest.Perturb(rng)
 	next.evaluate()
 	return next
+}
+
+// Perturb implements anneal.MutableSolution.
+func (s *solution) Perturb(rng *rand.Rand) anneal.Undo {
+	s.prevCost = s.cost
+	s.forest.PerturbUndoable(rng, &s.u)
+	s.evaluate()
+	return s.undo
+}
+
+// forestSnapshot is the best-so-far record of a solution.
+type forestSnapshot struct {
+	forest *Forest
+	cost   float64
+}
+
+// Snapshot implements anneal.MutableSolution.
+func (s *solution) Snapshot() any {
+	return &forestSnapshot{forest: s.forest.Clone(), cost: s.cost}
+}
+
+// Restore implements anneal.MutableSolution. The snapshot is cloned so
+// the engine may keep and re-restore it.
+func (s *solution) Restore(snapshot any) {
+	sn := snapshot.(*forestSnapshot)
+	s.forest = sn.forest.Clone()
+	s.u.node = nil // pending undo would target the replaced forest
+	s.cost = sn.cost
 }
 
 // proximityFragments counts excess connected components over all
@@ -169,9 +252,21 @@ func Place(p *Problem, opt anneal.Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	init := &solution{prob: p, forest: forest}
-	init.evaluate()
-	best, stats := anneal.Anneal(init, opt)
+	newSol := func(seed int64) anneal.Solution {
+		s := newSolution(p, forest.Clone())
+		s.evaluate()
+		_ = seed // the canonical initial forest ignores the seed
+		return s
+	}
+	var best anneal.Solution
+	var stats anneal.Stats
+	if opt.Workers > 1 {
+		best, stats = anneal.ParallelAnneal(newSol, opt.Workers, opt)
+	} else {
+		init := newSolution(p, forest)
+		init.evaluate()
+		best, stats = anneal.Anneal(init, opt)
+	}
 	sol := best.(*solution)
 	pl, err := sol.forest.Pack()
 	if err != nil {

@@ -1,0 +1,87 @@
+package hbstar
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/circuits"
+	"repro/internal/geom"
+)
+
+func buildTestForest(t *testing.T) *Forest {
+	t.Helper()
+	bench, err := circuits.TableIBench("folded_casc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := Build(bench.Tree, func(name string) (int, int, error) {
+		d := bench.Circuit.Device(name)
+		return d.FW, d.FH, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func samePlacement(a, b geom.Placement) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, r := range a {
+		if b[k] != r {
+			return false
+		}
+	}
+	return true
+}
+
+// TestForestPerturbUndo asserts that PerturbUndoable + Undo restores
+// the packed placement of the whole forest exactly, across a long
+// random walk touching islands and plain trees alike.
+func TestForestPerturbUndo(t *testing.T) {
+	f := buildTestForest(t)
+	rng := rand.New(rand.NewSource(31))
+	var u ForestUndo
+	for step := 0; step < 400; step++ {
+		before, err := f.Pack()
+		if err != nil {
+			t.Fatalf("step %d: pack failed: %v", step, err)
+		}
+		f.PerturbUndoable(rng, &u)
+		u.Undo()
+		after, err := f.Pack()
+		if err != nil {
+			t.Fatalf("step %d: pack after undo failed: %v", step, err)
+		}
+		if !samePlacement(before, after) {
+			t.Fatalf("step %d: undo did not restore the forest placement", step)
+		}
+		f.Perturb(rng) // drift
+	}
+}
+
+// TestSolutionPerturbUndo drives the annealer adapter itself.
+func TestSolutionPerturbUndo(t *testing.T) {
+	bench, err := circuits.TableIBench("folded_casc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := &Problem{Bench: bench, WireWeight: 0.5, ProximityPenalty: 2}
+	s := newSolution(prob, buildTestForest(t))
+	s.evaluate()
+	rng := rand.New(rand.NewSource(77))
+	for step := 0; step < 200; step++ {
+		costBefore := s.Cost()
+		undo := s.Perturb(rng)
+		undo()
+		if got := s.Cost(); got != costBefore {
+			t.Fatalf("step %d: cost %v after undo, want %v", step, got, costBefore)
+		}
+		s.evaluate() // recompute from state: must agree with cached cost
+		if got := s.Cost(); got != costBefore {
+			t.Fatalf("step %d: re-evaluated cost %v, want %v", step, got, costBefore)
+		}
+		s.Perturb(rng) // drift
+	}
+}

@@ -5,22 +5,48 @@ import (
 
 	"repro/internal/anneal"
 	"repro/internal/bstar"
-	"repro/internal/geom"
 )
 
-// btSolution wraps a B*-tree for the annealer.
+// runAnneal dispatches a placer's search: a single in-place annealing
+// chain by default, or parallel multi-start when opt.Workers > 1. The
+// serial path builds its solution from the same derived seed as
+// ParallelAnneal's worker 0, so -workers=1 and the serial path are the
+// same run.
+func runAnneal(newSol func(seed int64) anneal.Solution, opt anneal.Options) (anneal.Solution, anneal.Stats) {
+	if opt.Workers > 1 {
+		return anneal.ParallelAnneal(newSol, opt.Workers, opt)
+	}
+	return anneal.Anneal(newSol(opt.Seed), opt)
+}
+
+// btSolution wraps a B*-tree for the annealer. It implements both the
+// cloning Solution protocol (Neighbor, used by the evolutionary
+// engine) and the in-place MutableSolution protocol: packing runs
+// through a per-solution workspace and a perturbation is reverted by
+// restoring the saved tree state, so a proposed move allocates
+// nothing.
 type btSolution struct {
-	prob *Problem
-	tree *bstar.Tree
-	cost float64
+	prob     *Problem
+	tree     *bstar.Tree
+	ws       bstar.PackWorkspace
+	saved    bstar.TreeState
+	cost     float64
+	prevCost float64
+	undo     anneal.Undo
+}
+
+func newBTSolution(p *Problem, tree *bstar.Tree) *btSolution {
+	s := &btSolution{prob: p, tree: tree}
+	s.undo = func() {
+		s.tree.LoadState(&s.saved)
+		s.cost = s.prevCost
+	}
+	return s
 }
 
 func (s *btSolution) evaluate() {
-	pl, err := s.tree.Placement(s.prob.Names)
-	if err != nil {
-		panic(err) // names/tree sizes are fixed by construction
-	}
-	s.cost = s.prob.Cost(pl)
+	x, y := s.tree.PackInto(&s.ws)
+	s.cost = s.prob.CostCoords(x, y, s.tree.W, s.tree.H, s.tree.Rot)
 }
 
 // Cost implements anneal.Solution.
@@ -29,10 +55,40 @@ func (s *btSolution) Cost() float64 { return s.cost }
 // Neighbor implements anneal.Solution using the classic B*-tree
 // perturbations (rotate, move, swap).
 func (s *btSolution) Neighbor(rng *rand.Rand) anneal.Solution {
-	next := &btSolution{prob: s.prob, tree: s.tree.Clone()}
+	next := newBTSolution(s.prob, s.tree.Clone())
 	next.tree.Perturb(rng)
 	next.evaluate()
 	return next
+}
+
+// Perturb implements anneal.MutableSolution: the same move set as
+// Neighbor, applied to the receiver with exact undo.
+func (s *btSolution) Perturb(rng *rand.Rand) anneal.Undo {
+	s.tree.SaveState(&s.saved)
+	s.prevCost = s.cost
+	s.tree.Perturb(rng)
+	s.evaluate()
+	return s.undo
+}
+
+// btSnapshot is the best-so-far record of a btSolution.
+type btSnapshot struct {
+	state bstar.TreeState
+	cost  float64
+}
+
+// Snapshot implements anneal.MutableSolution.
+func (s *btSolution) Snapshot() any {
+	sn := &btSnapshot{cost: s.cost}
+	s.tree.SaveState(&sn.state)
+	return sn
+}
+
+// Restore implements anneal.MutableSolution.
+func (s *btSolution) Restore(snapshot any) {
+	sn := snapshot.(*btSnapshot)
+	s.tree.LoadState(&sn.state)
+	s.cost = sn.cost
 }
 
 // BStar runs a plain B*-tree annealing placer. Symmetry groups are not
@@ -43,10 +99,13 @@ func BStar(p *Problem, opt anneal.Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(opt.Seed + 11))
-	init := &btSolution{prob: p, tree: bstar.NewRandom(p.W, p.H, rng)}
-	init.evaluate()
-	best, stats := anneal.Anneal(init, opt)
+	newSol := func(seed int64) anneal.Solution {
+		rng := rand.New(rand.NewSource(seed + 11))
+		s := newBTSolution(p, bstar.NewRandom(p.W, p.H, rng))
+		s.evaluate()
+		return s
+	}
+	best, stats := runAnneal(newSol, opt)
 	sol := best.(*btSolution)
 	pl, err := sol.tree.Placement(p.Names)
 	if err != nil {
@@ -59,7 +118,9 @@ func BStar(p *Problem, opt anneal.Options) (*Result, error) {
 // absSolution is the absolute-coordinate baseline state: explicit
 // module positions that may overlap during the search, with overlap
 // penalized in the cost — the exploration style of ILAC/KOAN the paper
-// contrasts with topological representations.
+// contrasts with topological representations. Mutations are small
+// records (one translation, swap or rotation), so undo restores just
+// the touched entries.
 type absSolution struct {
 	prob    *Problem
 	x, y    []int
@@ -67,21 +128,57 @@ type absSolution struct {
 	span    int // translation range for moves
 	penalty float64
 	cost    float64
+
+	prevCost   float64
+	op         int // last move: 0 translate, 1 swap, 2 rotate, -1 none
+	ma, mb     int // touched modules
+	oldX, oldY int
+	undo       anneal.Undo
 }
 
-func (s *absSolution) placement() geom.Placement {
-	return s.prob.BuildPlacement(s.x, s.y, s.rot)
+func newAbsSolution(p *Problem, n int, span int, penalty float64) *absSolution {
+	s := &absSolution{
+		prob:    p,
+		x:       make([]int, n),
+		y:       make([]int, n),
+		rot:     make([]bool, n),
+		span:    span,
+		penalty: penalty,
+	}
+	s.undo = func() {
+		switch s.op {
+		case 0:
+			s.x[s.ma], s.y[s.ma] = s.oldX, s.oldY
+		case 1:
+			s.x[s.ma], s.x[s.mb] = s.x[s.mb], s.x[s.ma]
+			s.y[s.ma], s.y[s.mb] = s.y[s.mb], s.y[s.ma]
+		case 2:
+			s.rot[s.ma] = !s.rot[s.ma]
+		}
+		s.cost = s.prevCost
+	}
+	return s
+}
+
+func (s *absSolution) effDims(i int) (int, int) {
+	if s.rot[i] {
+		return s.prob.H[i], s.prob.W[i]
+	}
+	return s.prob.W[i], s.prob.H[i]
 }
 
 func (s *absSolution) evaluate() {
-	pl := s.placement()
-	cost := s.prob.Cost(pl)
+	cost := s.prob.CostCoords(s.x, s.y, s.prob.W, s.prob.H, s.rot)
 	var overlap int64
-	names := s.prob.Names
-	for i := 0; i < len(names); i++ {
-		for j := i + 1; j < len(names); j++ {
-			if in, ok := pl[names[i]].Intersection(pl[names[j]]); ok {
-				overlap += in.Area()
+	n := s.prob.N()
+	for i := 0; i < n; i++ {
+		wi, hi := s.effDims(i)
+		for j := i + 1; j < n; j++ {
+			wj, hj := s.effDims(j)
+			ix := min(s.x[i]+wi, s.x[j]+wj) - max(s.x[i], s.x[j])
+			iy := min(s.y[i]+hi, s.y[j]+hj) - max(s.y[i], s.y[j])
+			if ix > 0 && iy > 0 {
+				overlap += int64(ix) * int64(iy)
 			}
 		}
 	}
@@ -91,27 +188,23 @@ func (s *absSolution) evaluate() {
 // Cost implements anneal.Solution.
 func (s *absSolution) Cost() float64 { return s.cost }
 
-// Neighbor implements anneal.Solution: translate, swap or rotate.
-func (s *absSolution) Neighbor(rng *rand.Rand) anneal.Solution {
-	next := &absSolution{
-		prob:    s.prob,
-		x:       append([]int(nil), s.x...),
-		y:       append([]int(nil), s.y...),
-		rot:     append([]bool(nil), s.rot...),
-		span:    s.span,
-		penalty: s.penalty,
-	}
+// mutate applies one random move to the receiver, recording the undo
+// information in s.op/ma/mb/oldX/oldY.
+func (s *absSolution) mutate(rng *rand.Rand) {
 	n := s.prob.N()
+	s.op = -1
 	switch rng.Intn(4) {
 	case 0, 1: // translate
 		m := rng.Intn(n)
-		next.x[m] += rng.Intn(2*s.span+1) - s.span
-		next.y[m] += rng.Intn(2*s.span+1) - s.span
-		if next.x[m] < 0 {
-			next.x[m] = 0
+		s.op, s.ma = 0, m
+		s.oldX, s.oldY = s.x[m], s.y[m]
+		s.x[m] += rng.Intn(2*s.span+1) - s.span
+		s.y[m] += rng.Intn(2*s.span+1) - s.span
+		if s.x[m] < 0 {
+			s.x[m] = 0
 		}
-		if next.y[m] < 0 {
-			next.y[m] = 0
+		if s.y[m] < 0 {
+			s.y[m] = 0
 		}
 	case 2: // swap positions
 		if n >= 2 {
@@ -119,15 +212,61 @@ func (s *absSolution) Neighbor(rng *rand.Rand) anneal.Solution {
 			if b >= a {
 				b++
 			}
-			next.x[a], next.x[b] = next.x[b], next.x[a]
-			next.y[a], next.y[b] = next.y[b], next.y[a]
+			s.op, s.ma, s.mb = 1, a, b
+			s.x[a], s.x[b] = s.x[b], s.x[a]
+			s.y[a], s.y[b] = s.y[b], s.y[a]
 		}
 	case 3: // rotate
 		m := rng.Intn(n)
-		next.rot[m] = !next.rot[m]
+		s.op, s.ma = 2, m
+		s.rot[m] = !s.rot[m]
 	}
+}
+
+// Neighbor implements anneal.Solution: translate, swap or rotate on a
+// copy.
+func (s *absSolution) Neighbor(rng *rand.Rand) anneal.Solution {
+	next := newAbsSolution(s.prob, s.prob.N(), s.span, s.penalty)
+	copy(next.x, s.x)
+	copy(next.y, s.y)
+	copy(next.rot, s.rot)
+	next.mutate(rng)
 	next.evaluate()
 	return next
+}
+
+// Perturb implements anneal.MutableSolution.
+func (s *absSolution) Perturb(rng *rand.Rand) anneal.Undo {
+	s.prevCost = s.cost
+	s.mutate(rng)
+	s.evaluate()
+	return s.undo
+}
+
+// absSnapshot is the best-so-far record of an absSolution.
+type absSnapshot struct {
+	x, y []int
+	rot  []bool
+	cost float64
+}
+
+// Snapshot implements anneal.MutableSolution.
+func (s *absSolution) Snapshot() any {
+	return &absSnapshot{
+		x:    append([]int(nil), s.x...),
+		y:    append([]int(nil), s.y...),
+		rot:  append([]bool(nil), s.rot...),
+		cost: s.cost,
+	}
+}
+
+// Restore implements anneal.MutableSolution.
+func (s *absSolution) Restore(snapshot any) {
+	sn := snapshot.(*absSnapshot)
+	copy(s.x, sn.x)
+	copy(s.y, sn.y)
+	copy(s.rot, sn.rot)
+	s.cost = sn.cost
 }
 
 // Absolute runs the absolute-coordinate annealing baseline. The final
@@ -139,7 +278,6 @@ func Absolute(p *Problem, opt anneal.Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(opt.Seed + 13))
 	n := p.N()
 	// Initial spread: place modules on a loose grid.
 	side := 1
@@ -156,23 +294,20 @@ func Absolute(p *Problem, opt anneal.Options) (*Result, error) {
 		}
 	}
 	pitch := maxDim + 1
-	init := &absSolution{
-		prob:    p,
-		x:       make([]int, n),
-		y:       make([]int, n),
-		rot:     make([]bool, n),
-		span:    pitch,
-		penalty: 10,
+	newSol := func(seed int64) anneal.Solution {
+		rng := rand.New(rand.NewSource(seed + 13))
+		s := newAbsSolution(p, n, pitch, 10)
+		order := rng.Perm(n)
+		for i, m := range order {
+			s.x[m] = (i % side) * pitch
+			s.y[m] = (i / side) * pitch
+		}
+		s.evaluate()
+		return s
 	}
-	order := rng.Perm(n)
-	for i, m := range order {
-		init.x[m] = (i % side) * pitch
-		init.y[m] = (i / side) * pitch
-	}
-	init.evaluate()
-	best, stats := anneal.Anneal(init, opt)
+	best, stats := runAnneal(newSol, opt)
 	sol := best.(*absSolution)
-	pl := sol.placement()
+	pl := sol.prob.BuildPlacement(sol.x, sol.y, sol.rot)
 	pl.Normalize()
 	return &Result{Placement: pl, Cost: sol.cost, Stats: stats}, nil
 }

@@ -1,0 +1,80 @@
+package place
+
+import (
+	"testing"
+
+	"repro/internal/anneal"
+	"repro/internal/circuits"
+)
+
+// TestParallelNeverWorseThanSerial pins the multi-start contract: a
+// ParallelAnneal run's worker 0 replicates the serial chain exactly
+// (same derived seed, same schedule), so with workers > 1 the best-of
+// reduction can never return a worse cost than the serial run of the
+// same Options. This is deterministic, not statistical: the serial
+// chain is one of the candidates.
+func TestParallelNeverWorseThanSerial(t *testing.T) {
+	benches := map[string]*circuits.Bench{
+		"miller": circuits.MillerOpAmp(),
+		"folded": circuits.FoldedCascode(),
+	}
+	opt := anneal.Options{Seed: 5, MovesPerStage: 60, MaxStages: 30, StallStages: 30}
+	popt := opt
+	popt.Workers = 4
+	type runner func(*Problem, anneal.Options) (*Result, error)
+	placers := map[string]runner{"bstar": BStar, "seqpair": SeqPair, "slicing": Slicing}
+	for bname, bench := range benches {
+		prob, err := FromBench(bench)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pname, run := range placers {
+			if pname != "seqpair" {
+				p2 := *prob
+				p2.Groups = nil
+				prob = &p2
+			}
+			serial, err := run(prob, opt)
+			if err != nil {
+				t.Fatalf("%s/%s serial: %v", bname, pname, err)
+			}
+			par, err := run(prob, popt)
+			if err != nil {
+				t.Fatalf("%s/%s parallel: %v", bname, pname, err)
+			}
+			if par.Cost > serial.Cost {
+				t.Errorf("%s/%s: parallel multi-start cost %v worse than serial %v",
+					bname, pname, par.Cost, serial.Cost)
+			}
+			if par.Stats.Moves <= serial.Stats.Moves {
+				t.Errorf("%s/%s: aggregate moves %d not above serial %d",
+					bname, pname, par.Stats.Moves, serial.Stats.Moves)
+			}
+		}
+	}
+}
+
+// TestParallelDeterministic pins reproducibility of the whole placer
+// stack under multi-start: two identical runs give identical
+// placements.
+func TestParallelDeterministic(t *testing.T) {
+	prob, err := FromBench(circuits.MillerOpAmp())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := anneal.Options{Seed: 9, MovesPerStage: 40, MaxStages: 20, StallStages: 20, Workers: 3}
+	a, err := SeqPair(prob, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SeqPair(prob, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost {
+		t.Fatalf("costs differ across identical runs: %v vs %v", a.Cost, b.Cost)
+	}
+	if !placementsEqual(a.Placement, b.Placement) {
+		t.Fatal("placements differ across identical runs")
+	}
+}

@@ -93,6 +93,56 @@ func (p *Problem) Cost(pl geom.Placement) float64 {
 	return cost
 }
 
+// CostCoords evaluates the same objective as Cost directly from
+// coordinate slices: bounding-box area plus weighted total HPWL, with
+// module i occupying (x[i], y[i], w[i], h[i]), dimensions swapped where
+// rot is set. It allocates nothing, which makes it the cost function of
+// the in-place annealing inner loop; Cost remains the entry point for
+// named placements. rot may be nil.
+func (p *Problem) CostCoords(x, y, w, h []int, rot []bool) float64 {
+	n := p.N()
+	const big = 1 << 62
+	minX, maxX, minY, maxY := big, -big, big, -big
+	for i := 0; i < n; i++ {
+		wi, hi := w[i], h[i]
+		if rot != nil && rot[i] {
+			wi, hi = hi, wi
+		}
+		minX = min(minX, x[i])
+		maxX = max(maxX, x[i]+wi)
+		minY = min(minY, y[i])
+		maxY = max(maxY, y[i]+hi)
+	}
+	if n == 0 {
+		return 0
+	}
+	cost := float64(maxX-minX) * float64(maxY-minY)
+	if p.WireWeight > 0 {
+		wl := 0
+		for _, net := range p.Nets {
+			// Half-perimeter over doubled module centers, matching
+			// geom.HPWL's convention exactly.
+			nminX, nmaxX, nminY, nmaxY := big, -big, big, -big
+			for _, m := range net {
+				wm, hm := w[m], h[m]
+				if rot != nil && rot[m] {
+					wm, hm = hm, wm
+				}
+				cx, cy := 2*x[m]+wm, 2*y[m]+hm
+				nminX = min(nminX, cx)
+				nmaxX = max(nmaxX, cx)
+				nminY = min(nminY, cy)
+				nmaxY = max(nmaxY, cy)
+			}
+			if len(net) > 0 {
+				wl += (nmaxX - nminX + nmaxY - nminY) / 2
+			}
+		}
+		cost += p.WireWeight * float64(wl)
+	}
+	return cost
+}
+
 // ConstraintSet converts the problem's symmetry groups to named
 // geometric constraints for validation.
 func (p *Problem) ConstraintSet() *constraint.Set {

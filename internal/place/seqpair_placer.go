@@ -19,80 +19,168 @@ type Result struct {
 
 // spSolution is a symmetric-feasible sequence-pair state for the
 // annealer. Rotations are applied pairwise so symmetric pairs stay
-// dimension-matched.
+// dimension-matched. Effective dimensions are maintained incrementally
+// in w/h, and packing reuses the SP's cached solver workspaces, so a
+// proposed move allocates almost nothing.
 type spSolution struct {
 	prob *Problem
 	sp   *seqpair.SP
 	rot  []bool
+	w, h []int // effective dims, kept in sync with rot
+	pws  seqpair.PackWorkspace
 	cost float64
+
+	prevCost   float64
+	saved      seqpair.State
+	spMoved    bool // last move touched the sequences (vs rotation only)
+	rotA, rotB int  // modules whose rotation the last move flipped (-1 none)
+	undo       anneal.Undo
 }
 
-func (s *spSolution) dims() (w, h []int) {
-	n := s.prob.N()
-	w = make([]int, n)
-	h = make([]int, n)
-	for i := 0; i < n; i++ {
-		if s.rot[i] {
-			w[i], h[i] = s.prob.H[i], s.prob.W[i]
-		} else {
-			w[i], h[i] = s.prob.W[i], s.prob.H[i]
+// init populates the receiver in place and binds the undo closure to
+// it. Embedding types must call init on the embedded field of the
+// final struct (never copy an initialized spSolution by value): the
+// closure captures the receiver.
+func (s *spSolution) init(p *Problem, sp *seqpair.SP) {
+	n := p.N()
+	s.prob = p
+	s.sp = sp
+	s.rot = make([]bool, n)
+	s.w = append([]int(nil), p.W...)
+	s.h = append([]int(nil), p.H...)
+	s.undo = func() {
+		if s.spMoved {
+			s.sp.LoadState(&s.saved)
 		}
+		if s.rotA >= 0 {
+			s.flip(s.rotA)
+		}
+		if s.rotB >= 0 {
+			s.flip(s.rotB)
+		}
+		s.cost = s.prevCost
 	}
-	return w, h
 }
 
-// placement packs the code. With symmetry groups the symmetric
-// constructor is used; codes it rejects (cross-group conflicts) get
-// infinite cost so the annealer treats the move as rejected.
+func newSPSolution(p *Problem, sp *seqpair.SP) *spSolution {
+	s := &spSolution{}
+	s.init(p, sp)
+	return s
+}
+
+// flip toggles module m's rotation and its effective dimensions.
+func (s *spSolution) flip(m int) {
+	s.rot[m] = !s.rot[m]
+	s.w[m], s.h[m] = s.h[m], s.w[m]
+}
+
+// placement packs the code into a named placement for the final
+// result. With symmetry groups the symmetric constructor is used;
+// codes it rejects (cross-group conflicts) get infinite cost so the
+// annealer treats the move as rejected.
 func (s *spSolution) placement() (geom.Placement, error) {
-	w, h := s.dims()
 	if len(s.prob.Groups) > 0 {
-		return s.sp.SymmetricPlacement(s.prob.Names, w, h, s.prob.Groups)
+		return s.sp.SymmetricPlacement(s.prob.Names, s.w, s.h, s.prob.Groups)
 	}
-	return s.sp.Placement(s.prob.Names, w, h)
+	return s.sp.Placement(s.prob.Names, s.w, s.h)
 }
 
 func (s *spSolution) evaluate() {
-	pl, err := s.placement()
-	if err != nil {
-		s.cost = math.Inf(1)
+	if len(s.prob.Groups) > 0 {
+		x, y, err := s.sp.PackSymmetric(s.w, s.h, s.prob.Groups)
+		if err != nil {
+			s.cost = math.Inf(1)
+			return
+		}
+		s.cost = s.prob.CostCoords(x, y, s.w, s.h, nil)
 		return
 	}
-	s.cost = s.prob.Cost(pl)
+	x, y := s.sp.PackInto(&s.pws, s.w, s.h)
+	s.cost = s.prob.CostCoords(x, y, s.w, s.h, nil)
 }
 
 // Cost implements anneal.Solution.
 func (s *spSolution) Cost() float64 { return s.cost }
 
-// Neighbor implements anneal.Solution: an S-F-preserving sequence move
-// or a pairwise rotation.
-func (s *spSolution) Neighbor(rng *rand.Rand) anneal.Solution {
-	next := &spSolution{
-		prob: s.prob,
-		sp:   s.sp.Clone(),
-		rot:  append([]bool(nil), s.rot...),
-	}
+// mutate applies one S-F-preserving move or a pairwise rotation to the
+// receiver, recording undo information.
+func (s *spSolution) mutate(rng *rand.Rand) {
+	s.spMoved = false
+	s.rotA, s.rotB = -1, -1
 	if rng.Intn(5) == 0 { // rotation move
 		m := rng.Intn(s.prob.N())
-		next.rot[m] = !next.rot[m]
+		s.flip(m)
+		s.rotA = m
 		// Rotate the symmetric counterpart too, keeping pair dims
 		// matched; self-symmetric modules need even height after
 		// rotation, which we cannot guarantee, so skip them.
 		for _, g := range s.prob.Groups {
 			if sym, ok := g.Sym(m); ok {
 				if sym == m {
-					next.rot[m] = s.rot[m] // revert: self-symmetric
+					s.flip(m) // revert: self-symmetric
+					s.rotA = -1
 					break
 				}
-				next.rot[sym] = !next.rot[sym]
+				s.flip(sym)
+				s.rotB = sym
 				break
 			}
 		}
-	} else {
-		next.sp.PerturbSF(rng, s.prob.Groups)
+		return
 	}
+	s.sp.SaveState(&s.saved)
+	s.spMoved = true
+	s.sp.PerturbSF(rng, s.prob.Groups)
+}
+
+// Neighbor implements anneal.Solution: an S-F-preserving sequence move
+// or a pairwise rotation on a copy.
+func (s *spSolution) Neighbor(rng *rand.Rand) anneal.Solution {
+	next := newSPSolution(s.prob, s.sp.Clone())
+	copy(next.rot, s.rot)
+	copy(next.w, s.w)
+	copy(next.h, s.h)
+	next.mutate(rng)
 	next.evaluate()
 	return next
+}
+
+// Perturb implements anneal.MutableSolution.
+func (s *spSolution) Perturb(rng *rand.Rand) anneal.Undo {
+	s.prevCost = s.cost
+	s.mutate(rng)
+	s.evaluate()
+	return s.undo
+}
+
+// spSnapshot is the best-so-far record of an spSolution.
+type spSnapshot struct {
+	state seqpair.State
+	rot   []bool
+	w, h  []int
+	cost  float64
+}
+
+// Snapshot implements anneal.MutableSolution.
+func (s *spSolution) Snapshot() any {
+	sn := &spSnapshot{
+		rot:  append([]bool(nil), s.rot...),
+		w:    append([]int(nil), s.w...),
+		h:    append([]int(nil), s.h...),
+		cost: s.cost,
+	}
+	s.sp.SaveState(&sn.state)
+	return sn
+}
+
+// Restore implements anneal.MutableSolution.
+func (s *spSolution) Restore(snapshot any) {
+	sn := snapshot.(*spSnapshot)
+	s.sp.LoadState(&sn.state)
+	copy(s.rot, sn.rot)
+	copy(s.w, sn.w)
+	copy(s.h, sn.h)
+	s.cost = sn.cost
 }
 
 // SeqPair runs the Section II placer: simulated annealing restricted
@@ -103,24 +191,33 @@ func SeqPair(p *Problem, opt anneal.Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(opt.Seed + 7))
-	init := &spSolution{
-		prob: p,
-		sp:   seqpair.RandomSF(p.N(), p.Groups, rng),
-		rot:  make([]bool, p.N()),
+	newSol := func(seed int64) anneal.Solution {
+		rng := rand.New(rand.NewSource(seed + 7))
+		s := newSPSolution(p, seqpair.RandomSF(p.N(), p.Groups, rng))
+		s.evaluate()
+		// A random initial S-F code may still be cross-group
+		// infeasible; retry a few times.
+		for tries := 0; math.IsInf(s.cost, 1) && tries < 64; tries++ {
+			s.sp = seqpair.RandomSF(p.N(), p.Groups, rng)
+			s.evaluate()
+		}
+		return s
 	}
-	init.evaluate()
-	// A random initial S-F code may still be cross-group infeasible;
-	// retry a few times.
-	for tries := 0; math.IsInf(init.cost, 1) && tries < 64; tries++ {
-		init.sp = seqpair.RandomSF(p.N(), p.Groups, rng)
-		init.evaluate()
+	var best anneal.Solution
+	var stats anneal.Stats
+	if opt.Workers > 1 {
+		best, stats = anneal.ParallelAnneal(newSol, opt.Workers, opt)
+	} else {
+		probe := newSol(opt.Seed)
+		if math.IsInf(probe.Cost(), 1) {
+			return nil, fmt.Errorf("place: could not find a feasible initial symmetric-feasible code")
+		}
+		best, stats = anneal.Anneal(probe, opt)
 	}
-	if math.IsInf(init.cost, 1) {
+	sol := best.(*spSolution)
+	if math.IsInf(sol.cost, 1) {
 		return nil, fmt.Errorf("place: could not find a feasible initial symmetric-feasible code")
 	}
-	best, stats := anneal.Anneal(init, opt)
-	sol := best.(*spSolution)
 	pl, err := sol.placement()
 	if err != nil {
 		return nil, err
@@ -141,14 +238,13 @@ func SeqPairUnconstrainedMoves(p *Problem, opt anneal.Options) (*Result, error) 
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	rng := rand.New(rand.NewSource(opt.Seed + 7))
-	init := &spRejectSolution{spSolution{
-		prob: p,
-		sp:   seqpair.RandomSF(p.N(), p.Groups, rng),
-		rot:  make([]bool, p.N()),
-	}}
-	init.evaluate()
-	best, stats := anneal.Anneal(init, opt)
+	newSol := func(seed int64) anneal.Solution {
+		rng := rand.New(rand.NewSource(seed + 7))
+		s := newSPRejectSolution(p, seqpair.RandomSF(p.N(), p.Groups, rng))
+		s.evaluate()
+		return s
+	}
+	best, stats := runAnneal(newSol, opt)
 	sol := best.(*spRejectSolution)
 	pl, err := sol.placement()
 	if err != nil {
@@ -159,18 +255,24 @@ func SeqPairUnconstrainedMoves(p *Problem, opt anneal.Options) (*Result, error) 
 }
 
 // spRejectSolution perturbs without repairing and relies on the S-F
-// predicate to reject infeasible codes.
+// predicate to reject infeasible codes. Its moves never touch
+// rotations (rotA/rotB stay -1), so the embedded solution's undo
+// closure reverts them exactly.
 type spRejectSolution struct {
 	spSolution
 }
 
-func (s *spRejectSolution) Neighbor(rng *rand.Rand) anneal.Solution {
-	next := &spRejectSolution{spSolution{
-		prob: s.prob,
-		sp:   s.sp.Clone(),
-		rot:  append([]bool(nil), s.rot...),
-	}}
-	// Arbitrary move: swap random positions in a random sequence.
+func newSPRejectSolution(p *Problem, sp *seqpair.SP) *spRejectSolution {
+	s := &spRejectSolution{}
+	s.spSolution.init(p, sp)
+	return s
+}
+
+// rejectMutate applies one arbitrary sequence move to the receiver.
+func (s *spRejectSolution) rejectMutate(rng *rand.Rand) {
+	s.sp.SaveState(&s.saved)
+	s.spMoved = true
+	s.rotA, s.rotB = -1, -1
 	n := s.prob.N()
 	if n >= 2 {
 		i, j := rng.Intn(n), rng.Intn(n-1)
@@ -178,15 +280,36 @@ func (s *spRejectSolution) Neighbor(rng *rand.Rand) anneal.Solution {
 			j++
 		}
 		if rng.Intn(2) == 0 {
-			next.sp.SwapAlpha(i, j)
+			s.sp.SwapAlpha(i, j)
 		} else {
-			next.sp.SwapBeta(i, j)
+			s.sp.SwapBeta(i, j)
 		}
 	}
+}
+
+func (s *spRejectSolution) Neighbor(rng *rand.Rand) anneal.Solution {
+	next := newSPRejectSolution(s.prob, s.sp.Clone())
+	copy(next.rot, s.rot)
+	copy(next.w, s.w)
+	copy(next.h, s.h)
+	next.rejectMutate(rng)
 	if !next.sp.SymmetricFeasible(s.prob.Groups) {
 		next.cost = math.Inf(1)
 		return next
 	}
 	next.evaluate()
 	return next
+}
+
+// Perturb implements anneal.MutableSolution with the rejection move
+// set.
+func (s *spRejectSolution) Perturb(rng *rand.Rand) anneal.Undo {
+	s.prevCost = s.cost
+	s.rejectMutate(rng)
+	if !s.sp.SymmetricFeasible(s.prob.Groups) {
+		s.cost = math.Inf(1)
+		return s.undo
+	}
+	s.evaluate()
+	return s.undo
 }

@@ -50,154 +50,248 @@ func validPolish(e polish, n int) bool {
 	return operands == n && operators == n-1
 }
 
-// slNode is one node of the decoded slicing tree.
+// slNode is one node of the decoded slicing tree, linked by indices
+// into the decoder's node arena so decoding allocates nothing at
+// steady state.
 type slNode struct {
 	op          int // opH, opV, or module id for leaves
-	left, right *slNode
+	left, right int // arena indices; -1 for leaves
 	w, h        int
 }
 
-// decode builds the slicing tree and computes sizes bottom-up.
-func (s *slSolution) decode() (*slNode, error) {
-	var stack []*slNode
-	for _, t := range s.expr {
-		if t >= 0 {
-			w, h := s.prob.W[t], s.prob.H[t]
-			if s.rot[t] {
-				w, h = h, w
-			}
-			stack = append(stack, &slNode{op: t, w: w, h: h})
-			continue
-		}
-		if len(stack) < 2 {
-			return nil, fmt.Errorf("place: malformed polish expression")
-		}
-		r := stack[len(stack)-1]
-		l := stack[len(stack)-2]
-		stack = stack[:len(stack)-2]
-		nd := &slNode{op: t, left: l, right: r}
-		if t == opV {
-			nd.w = l.w + r.w
-			nd.h = max(l.h, r.h)
-		} else {
-			nd.w = max(l.w, r.w)
-			nd.h = l.h + r.h
-		}
-		stack = append(stack, nd)
-	}
-	if len(stack) != 1 {
-		return nil, fmt.Errorf("place: malformed polish expression")
-	}
-	return stack[0], nil
+// slDecoder is the reusable scratch of one slicing solution: the node
+// arena, the decode stack, the coordinate assignment stack and the
+// per-module coordinates.
+type slDecoder struct {
+	nodes  []slNode
+	stack  []int
+	frames []slFrame
+	x, y   []int
+	pos    []int // operand/operator position scratch for moves
 }
+
+type slFrame struct{ node, x, y int }
 
 // slSolution is the annealer state for the slicing placer.
 type slSolution struct {
 	prob *Problem
 	expr polish
 	rot  []bool
+	dec  slDecoder
 	cost float64
+
+	prevCost  float64
+	savedExpr polish
+	savedRot  []bool
+	undo      anneal.Undo
+}
+
+func newSlSolution(p *Problem, expr polish) *slSolution {
+	n := p.N()
+	s := &slSolution{
+		prob: p,
+		expr: expr,
+		rot:  make([]bool, n),
+	}
+	s.dec.x = make([]int, n)
+	s.dec.y = make([]int, n)
+	s.undo = func() {
+		copy(s.expr, s.savedExpr)
+		copy(s.rot, s.savedRot)
+		s.cost = s.prevCost
+	}
+	return s
+}
+
+// decodeCoords builds the slicing tree in the node arena, sizes it
+// bottom-up and assigns lower-left module coordinates into dec.x/y.
+// It reports whether the expression was well-formed.
+func (s *slSolution) decodeCoords() bool {
+	d := &s.dec
+	d.nodes = d.nodes[:0]
+	d.stack = d.stack[:0]
+	for _, t := range s.expr {
+		if t >= 0 {
+			w, h := s.prob.W[t], s.prob.H[t]
+			if s.rot[t] {
+				w, h = h, w
+			}
+			d.nodes = append(d.nodes, slNode{op: t, left: -1, right: -1, w: w, h: h})
+			d.stack = append(d.stack, len(d.nodes)-1)
+			continue
+		}
+		if len(d.stack) < 2 {
+			return false
+		}
+		r := d.stack[len(d.stack)-1]
+		l := d.stack[len(d.stack)-2]
+		d.stack = d.stack[:len(d.stack)-2]
+		nd := slNode{op: t, left: l, right: r}
+		if t == opV {
+			nd.w = d.nodes[l].w + d.nodes[r].w
+			nd.h = max(d.nodes[l].h, d.nodes[r].h)
+		} else {
+			nd.w = max(d.nodes[l].w, d.nodes[r].w)
+			nd.h = d.nodes[l].h + d.nodes[r].h
+		}
+		d.nodes = append(d.nodes, nd)
+		d.stack = append(d.stack, len(d.nodes)-1)
+	}
+	if len(d.stack) != 1 {
+		return false
+	}
+	d.frames = append(d.frames[:0], slFrame{d.stack[0], 0, 0})
+	for len(d.frames) > 0 {
+		f := d.frames[len(d.frames)-1]
+		d.frames = d.frames[:len(d.frames)-1]
+		nd := &d.nodes[f.node]
+		if nd.op >= 0 {
+			d.x[nd.op], d.y[nd.op] = f.x, f.y
+			continue
+		}
+		d.frames = append(d.frames, slFrame{nd.left, f.x, f.y})
+		if nd.op == opV {
+			d.frames = append(d.frames, slFrame{nd.right, f.x + d.nodes[nd.left].w, f.y})
+		} else {
+			d.frames = append(d.frames, slFrame{nd.right, f.x, f.y + d.nodes[nd.left].h})
+		}
+	}
+	return true
 }
 
 func (s *slSolution) placement() (geom.Placement, error) {
-	root, err := s.decode()
-	if err != nil {
-		return nil, err
+	if !s.decodeCoords() {
+		return nil, fmt.Errorf("place: malformed polish expression")
 	}
 	pl := geom.Placement{}
-	var assign func(n *slNode, x, y int)
-	assign = func(n *slNode, x, y int) {
-		if n.op >= 0 {
-			pl[s.prob.Names[n.op]] = geom.NewRect(x, y, n.w, n.h)
-			return
+	for i := 0; i < s.prob.N(); i++ {
+		w, h := s.prob.W[i], s.prob.H[i]
+		if s.rot[i] {
+			w, h = h, w
 		}
-		assign(n.left, x, y)
-		if n.op == opV {
-			assign(n.right, x+n.left.w, y)
-		} else {
-			assign(n.right, x, y+n.left.h)
-		}
+		pl[s.prob.Names[i]] = geom.NewRect(s.dec.x[i], s.dec.y[i], w, h)
 	}
-	assign(root, 0, 0)
 	return pl, nil
 }
 
 func (s *slSolution) evaluate() {
-	pl, err := s.placement()
-	if err != nil {
+	if !s.decodeCoords() {
 		s.cost = math.Inf(1)
 		return
 	}
-	s.cost = s.prob.Cost(pl)
+	s.cost = s.prob.CostCoords(s.dec.x, s.dec.y, s.prob.W, s.prob.H, s.rot)
 }
 
 // Cost implements anneal.Solution.
 func (s *slSolution) Cost() float64 { return s.cost }
 
-// Neighbor implements anneal.Solution with the classic Wong-Liu moves:
-// M1 swap adjacent operands, M2 complement an operator, M3 swap an
-// adjacent operand/operator pair, plus module rotation. Invalid
-// results are retried a bounded number of times.
-func (s *slSolution) Neighbor(rng *rand.Rand) anneal.Solution {
-	next := &slSolution{
-		prob: s.prob,
-		expr: append(polish(nil), s.expr...),
-		rot:  append([]bool(nil), s.rot...),
-	}
+// mutate applies one classic Wong-Liu move to the receiver: M1 swap
+// adjacent operands, M2 complement an operator, M3 swap an adjacent
+// operand/operator pair, plus module rotation. Invalid results are
+// retried a bounded number of times against the saved state; mutate
+// reports whether a valid move was found.
+func (s *slSolution) mutate(rng *rand.Rand) bool {
 	n := s.prob.N()
 	for attempt := 0; attempt < 16; attempt++ {
-		copy(next.expr, s.expr)
-		copy(next.rot, s.rot)
+		copy(s.expr, s.savedExpr)
+		copy(s.rot, s.savedRot)
 		switch rng.Intn(4) {
 		case 0: // M1: swap two adjacent operands
-			ops := operandPositions(next.expr)
-			if len(ops) >= 2 {
-				i := rng.Intn(len(ops) - 1)
-				a, b := ops[i], ops[i+1]
-				next.expr[a], next.expr[b] = next.expr[b], next.expr[a]
+			pos := s.tokenPositions(true)
+			if len(pos) >= 2 {
+				i := rng.Intn(len(pos) - 1)
+				a, b := pos[i], pos[i+1]
+				s.expr[a], s.expr[b] = s.expr[b], s.expr[a]
 			}
 		case 1: // M2: complement one operator
-			var opPos []int
-			for i, t := range next.expr {
-				if t < 0 {
-					opPos = append(opPos, i)
-				}
-			}
-			if len(opPos) > 0 {
-				i := opPos[rng.Intn(len(opPos))]
-				if next.expr[i] == opH {
-					next.expr[i] = opV
+			pos := s.tokenPositions(false)
+			if len(pos) > 0 {
+				i := pos[rng.Intn(len(pos))]
+				if s.expr[i] == opH {
+					s.expr[i] = opV
 				} else {
-					next.expr[i] = opH
+					s.expr[i] = opH
 				}
 			}
 		case 2: // M3: swap adjacent operand/operator
-			i := rng.Intn(len(next.expr) - 1)
-			next.expr[i], next.expr[i+1] = next.expr[i+1], next.expr[i]
+			i := rng.Intn(len(s.expr) - 1)
+			s.expr[i], s.expr[i+1] = s.expr[i+1], s.expr[i]
 		case 3: // rotate a module
 			m := rng.Intn(n)
-			next.rot[m] = !next.rot[m]
+			s.rot[m] = !s.rot[m]
 		}
-		if validPolish(next.expr, n) {
-			next.evaluate()
-			return next
+		if validPolish(s.expr, n) {
+			return true
 		}
 	}
-	// All attempts invalid: return an unchanged copy.
-	copy(next.expr, s.expr)
+	// All attempts invalid: restore the saved state.
+	copy(s.expr, s.savedExpr)
+	copy(s.rot, s.savedRot)
+	return false
+}
+
+// tokenPositions collects the positions of operands (true) or
+// operators (false) into the decoder's scratch slice.
+func (s *slSolution) tokenPositions(operands bool) []int {
+	pos := s.dec.pos[:0]
+	for i, t := range s.expr {
+		if (t >= 0) == operands {
+			pos = append(pos, i)
+		}
+	}
+	s.dec.pos = pos
+	return pos
+}
+
+// save records the current expression and rotations as the undo point.
+func (s *slSolution) save() {
+	s.savedExpr = append(s.savedExpr[:0], s.expr...)
+	s.savedRot = append(s.savedRot[:0], s.rot...)
+	s.prevCost = s.cost
+}
+
+// Neighbor implements anneal.Solution: the same move set applied to a
+// copy.
+func (s *slSolution) Neighbor(rng *rand.Rand) anneal.Solution {
+	next := newSlSolution(s.prob, append(polish(nil), s.expr...))
 	copy(next.rot, s.rot)
+	next.save()
+	next.mutate(rng)
 	next.evaluate()
 	return next
 }
 
-func operandPositions(e polish) []int {
-	var out []int
-	for i, t := range e {
-		if t >= 0 {
-			out = append(out, i)
-		}
+// Perturb implements anneal.MutableSolution.
+func (s *slSolution) Perturb(rng *rand.Rand) anneal.Undo {
+	s.save()
+	if s.mutate(rng) {
+		s.evaluate()
 	}
-	return out
+	return s.undo
+}
+
+// slSnapshot is the best-so-far record of an slSolution.
+type slSnapshot struct {
+	expr polish
+	rot  []bool
+	cost float64
+}
+
+// Snapshot implements anneal.MutableSolution.
+func (s *slSolution) Snapshot() any {
+	return &slSnapshot{
+		expr: append(polish(nil), s.expr...),
+		rot:  append([]bool(nil), s.rot...),
+		cost: s.cost,
+	}
+}
+
+// Restore implements anneal.MutableSolution.
+func (s *slSolution) Restore(snapshot any) {
+	sn := snapshot.(*slSnapshot)
+	copy(s.expr, sn.expr)
+	copy(s.rot, sn.rot)
+	s.cost = sn.cost
 }
 
 // Slicing runs the slicing-tree annealing placer.
@@ -209,14 +303,18 @@ func Slicing(p *Problem, opt anneal.Options) (*Result, error) {
 	if n == 0 {
 		return &Result{Placement: geom.Placement{}}, nil
 	}
-	// Initial expression: a single row m0 m1 V m2 V ...
-	expr := polish{0}
-	for i := 1; i < n; i++ {
-		expr = append(expr, i, opV)
+	newSol := func(seed int64) anneal.Solution {
+		// Initial expression: a single row m0 m1 V m2 V ...
+		expr := polish{0}
+		for i := 1; i < n; i++ {
+			expr = append(expr, i, opV)
+		}
+		s := newSlSolution(p, expr)
+		s.evaluate()
+		_ = seed // the deterministic initial row ignores the seed
+		return s
 	}
-	init := &slSolution{prob: p, expr: expr, rot: make([]bool, n)}
-	init.evaluate()
-	best, stats := anneal.Anneal(init, opt)
+	best, stats := runAnneal(newSol, opt)
 	sol := best.(*slSolution)
 	pl, err := sol.placement()
 	if err != nil {

@@ -8,19 +8,33 @@ import (
 	"repro/internal/tcg"
 )
 
-// tcgSolution wraps a transitive closure graph for the annealer.
+// tcgSolution wraps a transitive closure graph for the annealer,
+// implementing both the cloning and the in-place protocols. A
+// perturbation is undone by restoring the saved matrices — an O(n²)
+// copy, the same order as one packing evaluation.
 type tcgSolution struct {
-	prob *Problem
-	g    *tcg.TCG
-	cost float64
+	prob     *Problem
+	g        *tcg.TCG
+	ws       tcg.PackWorkspace
+	saved    tcg.State
+	cost     float64
+	prevCost float64
+	undo     anneal.Undo
+}
+
+func newTCGSolution(p *Problem, g *tcg.TCG) *tcgSolution {
+	s := &tcgSolution{prob: p, g: g}
+	s.undo = func() {
+		s.g.LoadState(&s.saved)
+		s.cost = s.prevCost
+	}
+	return s
 }
 
 func (s *tcgSolution) evaluate() {
-	pl, err := s.g.Placement(s.prob.Names)
-	if err != nil {
-		panic(err) // sizes fixed by construction
-	}
-	s.cost = s.prob.Cost(pl)
+	x, y := s.g.PackInto(&s.ws)
+	// Rotation swaps W/H in place on the TCG, so rot is nil here.
+	s.cost = s.prob.CostCoords(x, y, s.g.W, s.g.H, nil)
 }
 
 // Cost implements anneal.Solution.
@@ -29,10 +43,39 @@ func (s *tcgSolution) Cost() float64 { return s.cost }
 // Neighbor implements anneal.Solution with the TCG perturbations
 // (rotate, swap, edge reversal, edge move).
 func (s *tcgSolution) Neighbor(rng *rand.Rand) anneal.Solution {
-	next := &tcgSolution{prob: s.prob, g: s.g.Clone()}
+	next := newTCGSolution(s.prob, s.g.Clone())
 	next.g.Perturb(rng)
 	next.evaluate()
 	return next
+}
+
+// Perturb implements anneal.MutableSolution.
+func (s *tcgSolution) Perturb(rng *rand.Rand) anneal.Undo {
+	s.g.SaveState(&s.saved)
+	s.prevCost = s.cost
+	s.g.Perturb(rng)
+	s.evaluate()
+	return s.undo
+}
+
+// tcgSnapshot is the best-so-far record of a tcgSolution.
+type tcgSnapshot struct {
+	state tcg.State
+	cost  float64
+}
+
+// Snapshot implements anneal.MutableSolution.
+func (s *tcgSolution) Snapshot() any {
+	sn := &tcgSnapshot{cost: s.cost}
+	s.g.SaveState(&sn.state)
+	return sn
+}
+
+// Restore implements anneal.MutableSolution.
+func (s *tcgSolution) Restore(snapshot any) {
+	sn := snapshot.(*tcgSnapshot)
+	s.g.LoadState(&sn.state)
+	s.cost = sn.cost
 }
 
 // TCG runs a transitive-closure-graph annealing placer — the third
@@ -43,9 +86,13 @@ func TCG(p *Problem, opt anneal.Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	init := &tcgSolution{prob: p, g: tcg.New(p.W, p.H)}
-	init.evaluate()
-	best, stats := anneal.Anneal(init, opt)
+	newSol := func(seed int64) anneal.Solution {
+		s := newTCGSolution(p, tcg.New(p.W, p.H))
+		s.evaluate()
+		_ = seed // the deterministic initial row ignores the seed
+		return s
+	}
+	best, stats := runAnneal(newSol, opt)
 	sol := best.(*tcgSolution)
 	pl, err := sol.g.Placement(p.Names)
 	if err != nil {
@@ -63,7 +110,7 @@ func TwoPhaseBStar(p *Problem, ga anneal.GAOptions, sa anneal.Options) (*Result,
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(sa.Seed + 17))
-	init := &btSolution{prob: p, tree: bstar.NewRandom(p.W, p.H, rng)}
+	init := newBTSolution(p, bstar.NewRandom(p.W, p.H, rng))
 	init.evaluate()
 	best, stats := anneal.TwoPhase(init, ga, sa)
 	sol := best.(*btSolution)

@@ -45,32 +45,80 @@ func (sp *SP) PackNaive(w, h []int) (x, y []int) {
 	return x, y
 }
 
+// PackWorkspace holds the reusable buffers of the FAST-SP packer: the
+// vEB priority queue (whose lazily allocated cluster structure is the
+// dominant allocation cost of a packing evaluation) and the running
+// edge values. A workspace reused across PackInto calls makes packing
+// allocation-free at steady state. The zero value is ready to use. A
+// workspace must not be shared between concurrent packings.
+type PackWorkspace struct {
+	x, y, vals []int
+	t          *veb.Tree
+}
+
+// ensure sizes the buffers for n modules.
+func (ws *PackWorkspace) ensure(n int) {
+	if cap(ws.x) < n {
+		ws.x = make([]int, n)
+		ws.y = make([]int, n)
+		ws.vals = make([]int, n)
+	}
+	ws.x, ws.y, ws.vals = ws.x[:n], ws.y[:n], ws.vals[:n]
+	if ws.t == nil || ws.t.Universe() < n {
+		ws.t = veb.New(n)
+	}
+}
+
+// PackInto converts the sequence-pair into lower-left module
+// coordinates using ws for every intermediate buffer. The returned
+// slices are owned by the workspace and overwritten by the next
+// PackInto on the same workspace.
+func (sp *SP) PackInto(ws *PackWorkspace, w, h []int) (x, y []int) {
+	n := sp.N()
+	ws.ensure(n)
+	sp.packLCSInto(ws, ws.x, w, false)
+	sp.packLCSInto(ws, ws.y, h, true)
+	return ws.x, ws.y
+}
+
 // Pack converts the sequence-pair into lower-left module coordinates
 // using the weighted longest-common-subsequence formulation (Tang/Wong
 // FAST-SP [26]) with a van Emde Boas priority queue over beta
 // positions, giving O(n log log n) per evaluation — the complexity the
 // paper quotes for symmetric placement evaluation.
+//
+// The returned slices are freshly allocated and owned by the caller;
+// the queue and edge-value scratch are cached on the SP and reused by
+// later evaluations, so repeated packing of one (mutating) SP does not
+// re-build the vEB structure. Packing therefore must not be invoked
+// concurrently on one SP; concurrent searches should use distinct SPs
+// (see anneal.ParallelAnneal) or explicit PackInto workspaces.
 func (sp *SP) Pack(w, h []int) (x, y []int) {
 	n := sp.N()
-	x = sp.packLCS(sp.Alpha, w, false)
-	y = sp.packLCS(sp.Alpha, h, true)
-	_ = n
+	if sp.pw == nil {
+		sp.pw = &PackWorkspace{}
+	}
+	sp.pw.ensure(n)
+	x = make([]int, n)
+	y = make([]int, n)
+	sp.packLCSInto(sp.pw, x, w, false)
+	sp.packLCSInto(sp.pw, y, h, true)
 	return x, y
 }
 
-// packLCS computes one coordinate axis. For x it scans alpha forward;
-// for y (reverse=true) it scans alpha backward. In both cases the
-// "dominates" relation on already-scanned modules is "smaller beta
-// position", so a single predecessor query on a vEB tree keyed by beta
-// position yields the coordinate.
-func (sp *SP) packLCS(order []int, dim []int, reverse bool) []int {
+// packLCSInto computes one coordinate axis into coord. For x it scans
+// alpha forward; for y (reverse=true) it scans alpha backward. In both
+// cases the "dominates" relation on already-scanned modules is
+// "smaller beta position", so a single predecessor query on a vEB tree
+// keyed by beta position yields the coordinate.
+func (sp *SP) packLCSInto(ws *PackWorkspace, coord, dim []int, reverse bool) {
+	order := sp.Alpha
 	n := len(order)
-	coord := make([]int, n)
 	if n == 0 {
-		return coord
+		return
 	}
-	t := veb.New(n)
-	vals := make([]int, n) // beta position -> running edge value
+	t, vals := ws.t, ws.vals
+	t.Clear()
 	scan := func(m int) {
 		p := sp.posB[m]
 		c := 0
@@ -96,7 +144,6 @@ func (sp *SP) packLCS(order []int, dim []int, reverse bool) []int {
 			scan(order[i])
 		}
 	}
-	return coord
 }
 
 // Span returns the total width and height of a packing given the

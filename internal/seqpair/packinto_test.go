@@ -1,0 +1,111 @@
+package seqpair
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestPackIntoMatchesNaive differential-tests the workspace packer
+// against the O(n²) longest-path oracle with a single reused
+// workspace, across random codes and perturbation sequences — the
+// dirty-reuse pattern of the annealing inner loop.
+func TestPackIntoMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var ws PackWorkspace // shared across every check on purpose
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(24)
+		sp := New(n)
+		sp.Shuffle(rng)
+		w := make([]int, n)
+		h := make([]int, n)
+		for i := range w {
+			w[i] = 1 + rng.Intn(30)
+			h[i] = 1 + rng.Intn(30)
+		}
+		for step := 0; step < 15; step++ {
+			nx, ny := sp.PackNaive(w, h)
+			x, y := sp.PackInto(&ws, w, h)
+			for i := 0; i < n; i++ {
+				if x[i] != nx[i] || y[i] != ny[i] {
+					t.Fatalf("n=%d step=%d module %d: PackInto (%d,%d), naive (%d,%d)",
+						n, step, i, x[i], y[i], nx[i], ny[i])
+				}
+			}
+			// Pack (caller-owned slices, cached scratch) must agree too.
+			px, py := sp.Pack(w, h)
+			for i := 0; i < n; i++ {
+				if px[i] != nx[i] || py[i] != ny[i] {
+					t.Fatalf("n=%d step=%d module %d: Pack (%d,%d), naive (%d,%d)",
+						n, step, i, px[i], py[i], nx[i], ny[i])
+				}
+			}
+			if n >= 2 {
+				i, j := rng.Intn(n), rng.Intn(n-1)
+				if j >= i {
+					j++
+				}
+				if rng.Intn(2) == 0 {
+					sp.SwapAlpha(i, j)
+				} else {
+					sp.SwapBeta(i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestPackSymmetricWorkspaceReuse checks that the solver scratch
+// cached on the SP never leaks state between evaluations: packing the
+// same mutating code sequence on one SP must match a fresh SP packing
+// the same code.
+func TestPackSymmetricWorkspaceReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	n := 8
+	groups := []Group{{Pairs: [][2]int{{0, 1}, {2, 3}}, Selfs: []int{4}}}
+	w := []int{6, 6, 5, 5, 4, 7, 3, 9}
+	h := []int{4, 4, 8, 8, 6, 5, 7, 2}
+	sp := RandomSF(n, groups, rng)
+	for step := 0; step < 200; step++ {
+		x1, y1, err1 := sp.PackSymmetric(w, h, groups)
+		fresh, err := FromSequences(sp.Alpha, sp.Beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x2, y2, err2 := fresh.PackSymmetric(w, h, groups)
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("step %d: reused ws err=%v, fresh err=%v", step, err1, err2)
+		}
+		if err1 == nil {
+			for i := 0; i < n; i++ {
+				if x1[i] != x2[i] || y1[i] != y2[i] {
+					t.Fatalf("step %d module %d: reused (%d,%d), fresh (%d,%d)",
+						step, i, x1[i], y1[i], x2[i], y2[i])
+				}
+			}
+		}
+		sp.PerturbSF(rng, groups)
+	}
+}
+
+// TestSaveLoadState checks the exact-undo contract on sequences.
+func TestSaveLoadState(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	var st State
+	sp := New(12)
+	sp.Shuffle(rng)
+	for step := 0; step < 100; step++ {
+		before := sp.Clone()
+		sp.SaveState(&st)
+		sp.Shuffle(rng)
+		sp.LoadState(&st)
+		if !sp.Equal(before) {
+			t.Fatalf("step %d: LoadState did not restore the code", step)
+		}
+		for m := 0; m < sp.N(); m++ {
+			if sp.PosAlpha(m) != before.PosAlpha(m) || sp.PosBeta(m) != before.PosBeta(m) {
+				t.Fatalf("step %d: inverse permutations diverged at module %d", step, m)
+			}
+		}
+		sp.Shuffle(rng) // drift
+	}
+}

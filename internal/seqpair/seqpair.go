@@ -29,6 +29,13 @@ import (
 type SP struct {
 	Alpha, Beta []int // sequence order -> module id
 	posA, posB  []int // module id -> position
+
+	// Cached packing workspaces, created lazily by Pack and
+	// PackSymmetric and reused across evaluations so that the
+	// annealing inner loop stops allocating. Never copied by Clone;
+	// they make packing methods unsafe for concurrent use on one SP.
+	pw  *PackWorkspace
+	sym *symWorkspace
 }
 
 // New returns the identity sequence-pair over n modules (both
@@ -105,6 +112,32 @@ func (sp *SP) Clone() *SP {
 		posA:  append([]int(nil), sp.posA...),
 		posB:  append([]int(nil), sp.posB...),
 	}
+}
+
+// State is a reusable snapshot of a sequence-pair's search state (both
+// sequences and their inverses). It backs the exact-undo protocol of
+// the in-place annealing engine: save before a perturbation, load to
+// revert it. The zero value is ready to use and stops allocating once
+// its buffers match the module count.
+type State struct {
+	alpha, beta, posA, posB []int
+}
+
+// SaveState copies sp's sequences into s.
+func (sp *SP) SaveState(s *State) {
+	s.alpha = append(s.alpha[:0], sp.Alpha...)
+	s.beta = append(s.beta[:0], sp.Beta...)
+	s.posA = append(s.posA[:0], sp.posA...)
+	s.posB = append(s.posB[:0], sp.posB...)
+}
+
+// LoadState restores sequences previously captured with SaveState. The
+// SP must have the same module count as when the state was saved.
+func (sp *SP) LoadState(s *State) {
+	copy(sp.Alpha, s.alpha)
+	copy(sp.Beta, s.beta)
+	copy(sp.posA, s.posA)
+	copy(sp.posB, s.posB)
 }
 
 // LeftOf reports whether module a is to the left of module b under the

@@ -36,24 +36,51 @@ import (
 // member while group 0's right member is below group 1's right member
 // forces y ≥ y + h₁ + h₂); such codes are detected and reported as
 // errors, and a stochastic placer should treat them as rejected moves.
+// The returned slices are freshly allocated and owned by the caller;
+// all solver scratch (classification tables, constraint systems,
+// longest-path buffers) is cached on the SP and reused by later
+// evaluations, so the annealing inner loop stops allocating. Symmetric
+// packing therefore must not be invoked concurrently on one SP.
 func (sp *SP) PackSymmetric(w, h []int, groups []Group) (x, y []int, err error) {
 	n := sp.N()
 	if err := ValidateGroups(n, groups); err != nil {
 		return nil, nil, err
 	}
-	cls, err := classify(sp, w, h, groups)
-	if err != nil {
+	if sp.sym == nil {
+		sp.sym = &symWorkspace{}
+	}
+	cls := &sp.sym.cls
+	if err := cls.classify(sp, w, h, groups); err != nil {
 		return nil, nil, err
 	}
-	x, err = cls.solveX(sp, w)
-	if err != nil {
+	x = make([]int, n)
+	y = make([]int, n)
+	if err := cls.solveX(sp, w, sp.sym, x); err != nil {
 		return nil, nil, err
 	}
-	y, err = cls.solveY(sp, h)
-	if err != nil {
+	if err := cls.solveY(sp, h, sp.sym, y); err != nil {
 		return nil, nil, err
 	}
 	return x, y, nil
+}
+
+// symWorkspace carries every reusable buffer of the symmetric packer.
+type symWorkspace struct {
+	cls           classifier
+	varOf, parity []int
+	vals, pred    []int
+	rules         []rRule
+	edges         []edge
+	coef          []int // per-pair net coefficient along a positive cycle
+	lbY           []int
+}
+
+// resizeInts returns s with length n, reallocating only on growth.
+func resizeInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // Module roles within the symmetric packing.
@@ -73,32 +100,34 @@ type pairInfo struct {
 }
 
 // classifier holds the per-module decomposition of a symmetric packing
-// problem.
+// problem. Its slices are reused across classify calls.
 type classifier struct {
 	role    []int
 	groupOf []int
 	pairOf  []int
-	pairs   []*pairInfo
+	pairs   []pairInfo
 	parAxis []int // axis parity per group
 	nGroups int
 }
 
-func classify(sp *SP, w, h []int, groups []Group) (*classifier, error) {
+func (c *classifier) classify(sp *SP, w, h []int, groups []Group) error {
 	n := sp.N()
-	c := &classifier{
-		role:    make([]int, n),
-		groupOf: make([]int, n),
-		pairOf:  make([]int, n),
-		parAxis: make([]int, len(groups)),
-		nGroups: len(groups),
+	c.role = resizeInts(c.role, n)
+	for i := range c.role {
+		c.role[i] = roleFree
 	}
+	c.groupOf = resizeInts(c.groupOf, n)
+	c.pairOf = resizeInts(c.pairOf, n)
+	c.parAxis = resizeInts(c.parAxis, len(groups))
+	c.pairs = c.pairs[:0]
+	c.nGroups = len(groups)
 	for gi, g := range groups {
 		c.parAxis[gi] = -1
 		for _, s := range g.Selfs {
 			if c.parAxis[gi] == -1 {
 				c.parAxis[gi] = w[s] & 1
 			} else if c.parAxis[gi] != w[s]&1 {
-				return nil, fmt.Errorf("seqpair: self-symmetric modules of group %d have mixed width parity", gi)
+				return fmt.Errorf("seqpair: self-symmetric modules of group %d have mixed width parity", gi)
 			}
 			c.role[s] = roleSelf
 			c.groupOf[s] = gi
@@ -111,16 +140,16 @@ func classify(sp *SP, w, h []int, groups []Group) (*classifier, error) {
 		for _, pr := range g.Pairs {
 			a, b := pr[0], pr[1]
 			if w[a] != w[b] || h[a] != h[b] {
-				return nil, fmt.Errorf("seqpair: symmetric pair (%d,%d) has unequal dimensions", a, b)
+				return fmt.Errorf("seqpair: symmetric pair (%d,%d) has unequal dimensions", a, b)
 			}
 			switch {
 			case sp.LeftOf(a, b):
 			case sp.LeftOf(b, a):
 				a, b = b, a
 			default:
-				return nil, fmt.Errorf("seqpair: pair (%d,%d) not horizontally related; code is not symmetric-feasible", a, b)
+				return fmt.Errorf("seqpair: pair (%d,%d) not horizontally related; code is not symmetric-feasible", a, b)
 			}
-			pv := &pairInfo{g: gi, a: a, b: b}
+			pv := pairInfo{g: gi, a: a, b: b}
 			pv.par = (c.parAxis[gi] ^ (w[a] & 1)) & 1
 			pv.r = raiseParity(w[a], pv.par) // r ≥ w: members must not overlap
 			c.role[a], c.role[b] = roleLeft, roleRight
@@ -129,7 +158,7 @@ func classify(sp *SP, w, h []int, groups []Group) (*classifier, error) {
 			c.pairs = append(c.pairs, pv)
 		}
 	}
-	return c, nil
+	return nil
 }
 
 func raiseParity(v, par int) int {
@@ -156,7 +185,7 @@ type edge struct {
 	rc       [2]int // coefficients ±1
 }
 
-func (e *edge) weight(pairs []*pairInfo) int {
+func (e *edge) weight(pairs []pairInfo) int {
 	w := e.base
 	for k := 0; k < 2; k++ {
 		if e.rp[k] >= 0 {
@@ -166,14 +195,14 @@ func (e *edge) weight(pairs []*pairInfo) int {
 	return w
 }
 
-// solveX computes the horizontal coordinates.
-func (c *classifier) solveX(sp *SP, w []int) ([]int, error) {
+// solveX computes the horizontal coordinates into x, drawing all
+// scratch from ws.
+func (c *classifier) solveX(sp *SP, w []int, ws *symWorkspace, x []int) error {
 	n := sp.N()
 	// Variable ids: 0..nGroups-1 are axes, then one per free module.
-	varOf := make([]int, n)
+	varOf := resizeInts(ws.varOf, n)
 	nv := c.nGroups
-	parity := make([]int, 0, c.nGroups+n)
-	parity = append(parity, c.parAxis...)
+	parity := append(ws.parity[:0], c.parAxis...)
 	for m := 0; m < n; m++ {
 		if c.role[m] == roleFree {
 			varOf[m] = nv
@@ -195,8 +224,8 @@ func (c *classifier) solveX(sp *SP, w []int) ([]int, error) {
 		return 0
 	}
 
-	var rules []rRule
-	var edges []edge
+	rules := ws.rules[:0]
+	edges := ws.edges[:0]
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			if i == j || !sp.LeftOf(i, j) {
@@ -221,7 +250,8 @@ func (c *classifier) solveX(sp *SP, w []int) ([]int, error) {
 				case ri == roleSelf && rj == roleRight:
 					rules = append(rules, rRule{kind: 0, p: c.pairOf[j], c: cost})
 				default:
-					return nil, fmt.Errorf("seqpair: members %d,%d of one symmetry group cannot be ordered; code is not symmetric-feasible", i, j)
+					ws.rules, ws.edges = rules, edges
+					return fmt.Errorf("seqpair: members %d,%d of one symmetry group cannot be ordered; code is not symmetric-feasible", i, j)
 				}
 				continue
 			}
@@ -238,9 +268,11 @@ func (c *classifier) solveX(sp *SP, w []int) ([]int, error) {
 			edges = append(edges, e)
 		}
 	}
+	// Retain grown buffers for the next evaluation.
+	ws.varOf, ws.parity, ws.rules, ws.edges = varOf, parity, rules, edges
 
 	if err := c.propagateR(rules); err != nil {
-		return nil, err
+		return err
 	}
 
 	// Lower bounds (x ≥ 0 ⇒ center2 ≥ width; for a left member the
@@ -263,14 +295,20 @@ func (c *classifier) solveX(sp *SP, w []int) ([]int, error) {
 		}
 	}
 
+	ws.vals = resizeInts(ws.vals, nv)
+	ws.pred = resizeInts(ws.pred, nv)
+	ws.coef = resizeInts(ws.coef, len(c.pairs))
 	maxCycleFixes := 8*len(c.pairs) + 16
 	for fix := 0; ; fix++ {
 		if fix > maxCycleFixes {
-			return nil, fmt.Errorf("seqpair: symmetric x packing did not converge; code is not symmetric-feasible")
+			return fmt.Errorf("seqpair: symmetric x packing did not converge; code is not symmetric-feasible")
 		}
-		vals := make([]int, nv)
+		vals := ws.vals
+		for i := range vals {
+			vals[i] = 0
+		}
 		lower(vals)
-		pred := make([]int, nv) // last edge that raised each variable
+		pred := ws.pred // last edge that raised each variable
 		for i := range pred {
 			pred[i] = -1
 		}
@@ -293,34 +331,36 @@ func (c *classifier) solveX(sp *SP, w []int) ([]int, error) {
 		}
 		if changedLast == -1 {
 			// Converged: extract coordinates.
-			x := make([]int, n)
 			for m := 0; m < n; m++ {
 				c2 := vals[varOf[m]]
 				if co := offCoef(m); co != 0 {
 					c2 += co * c.pairs[c.pairOf[m]].r
 				}
 				if (c2-w[m])&1 != 0 {
-					return nil, fmt.Errorf("seqpair: internal parity error for module %d", m)
+					return fmt.Errorf("seqpair: internal parity error for module %d", m)
 				}
 				x[m] = (c2 - w[m]) / 2
 			}
-			return x, nil
+			return nil
 		}
 		// Positive cycle: walk predecessors nv steps to land on the
 		// cycle, then collect it.
 		v := changedLast
 		for i := 0; i < nv; i++ {
 			if pred[v] < 0 {
-				return nil, fmt.Errorf("seqpair: symmetric x packing diverged without a cycle witness; code is not symmetric-feasible")
+				return fmt.Errorf("seqpair: symmetric x packing diverged without a cycle witness; code is not symmetric-feasible")
 			}
 			v = edges[pred[v]].from
 		}
 		start := v
-		coef := map[int]int{}
+		coef := ws.coef
+		for i := range coef {
+			coef[i] = 0
+		}
 		gain := 0
 		for steps := 0; ; steps++ {
 			if pred[v] < 0 || steps > nv {
-				return nil, fmt.Errorf("seqpair: symmetric x packing diverged without a cycle witness; code is not symmetric-feasible")
+				return fmt.Errorf("seqpair: symmetric x packing diverged without a cycle witness; code is not symmetric-feasible")
 			}
 			e := &edges[pred[v]]
 			gain += e.weight(c.pairs)
@@ -343,13 +383,13 @@ func (c *classifier) solveX(sp *SP, w []int) ([]int, error) {
 			}
 		}
 		if bestP < 0 || gain <= 0 {
-			return nil, fmt.Errorf("seqpair: unbreakable positive cycle; code is not symmetric-feasible")
+			return fmt.Errorf("seqpair: unbreakable positive cycle; code is not symmetric-feasible")
 		}
 		inc := (gain + (-bestC) - 1) / (-bestC)
-		pv := c.pairs[bestP]
+		pv := &c.pairs[bestP]
 		pv.r = raiseParity(pv.r+inc, pv.par)
 		if err := c.propagateR(rules); err != nil {
-			return nil, err
+			return err
 		}
 	}
 }
@@ -363,7 +403,7 @@ func (c *classifier) propagateR(rules []rRule) error {
 	for sweep := 0; sweep < maxSweeps; sweep++ {
 		changed := false
 		for _, ru := range rules {
-			pv := c.pairs[ru.p]
+			pv := &c.pairs[ru.p]
 			need := ru.c
 			switch ru.kind {
 			case 1:
@@ -387,14 +427,19 @@ func (c *classifier) propagateR(rules []rRule) error {
 // pair-equalizing lower bounds. Pair members are horizontally related,
 // so raising one member's y never feeds back into its twin; the loop
 // converges for every symmetric-feasible code.
-func (c *classifier) solveY(sp *SP, h []int) ([]int, error) {
+func (c *classifier) solveY(sp *SP, h []int, ws *symWorkspace, y []int) error {
 	n := sp.N()
-	lbY := make([]int, n)
+	lbY := resizeInts(ws.lbY, n)
+	ws.lbY = lbY
+	for i := range lbY {
+		lbY[i] = 0
+	}
 	maxIters := n + len(c.pairs) + 8
 	for iter := 0; iter < maxIters; iter++ {
-		y := sp.packWithLB(sp.Alpha, h, lbY, true)
+		sp.packWithLB(y, sp.Alpha, h, lbY, true)
 		changed := false
-		for _, pv := range c.pairs {
+		for i := range c.pairs {
+			pv := &c.pairs[i]
 			if y[pv.a] < y[pv.b] {
 				lbY[pv.a] = y[pv.b]
 				changed = true
@@ -404,17 +449,17 @@ func (c *classifier) solveY(sp *SP, h []int) ([]int, error) {
 			}
 		}
 		if !changed {
-			return y, nil
+			return nil
 		}
 	}
-	return nil, fmt.Errorf("seqpair: symmetric y packing did not converge; code is not symmetric-feasible")
+	return fmt.Errorf("seqpair: symmetric y packing did not converge; code is not symmetric-feasible")
 }
 
 // packWithLB is the O(n²) longest-path packing with per-module lower
-// bounds, used by the symmetric constructor's vertical pass.
-func (sp *SP) packWithLB(order []int, dim, lb []int, reverse bool) []int {
+// bounds, used by the symmetric constructor's vertical pass. The
+// result is written into coord, which must have length len(order).
+func (sp *SP) packWithLB(coord []int, order, dim, lb []int, reverse bool) {
 	n := len(order)
-	coord := make([]int, n)
 	process := func(i int) {
 		b := order[i]
 		best := lb[b]
@@ -444,7 +489,6 @@ func (sp *SP) packWithLB(order []int, dim, lb []int, reverse bool) []int {
 			process(i)
 		}
 	}
-	return coord
 }
 
 // SymmetricPlacement packs symmetrically and returns a named

@@ -29,6 +29,83 @@ type TCG struct {
 	W, H []int
 	// h[i][j]: i left of j; v[i][j]: i below j.
 	h, v [][]bool
+
+	// saved is the preallocated rollback buffer of Perturb, created
+	// lazily and never copied by Clone.
+	saved *State
+}
+
+// State is a reusable snapshot of a TCG's mutable search state (both
+// relation matrices and the rotatable dimensions), backing the
+// exact-undo protocol of the in-place annealing engine. The zero value
+// is ready to use and stops allocating once its buffers match the
+// module count.
+type State struct {
+	w, h   []int
+	hm, vm []bool // row-major flattened matrices
+}
+
+// SaveState copies t's dimensions and relation matrices into s.
+func (t *TCG) SaveState(s *State) {
+	s.w = append(s.w[:0], t.W...)
+	s.h = append(s.h[:0], t.H...)
+	s.hm = s.hm[:0]
+	s.vm = s.vm[:0]
+	for i := 0; i < t.n; i++ {
+		s.hm = append(s.hm, t.h[i]...)
+		s.vm = append(s.vm, t.v[i]...)
+	}
+}
+
+// LoadState restores a snapshot previously captured with SaveState.
+// The TCG must have the same module count as when the state was saved.
+func (t *TCG) LoadState(s *State) {
+	copy(t.W, s.w)
+	copy(t.H, s.h)
+	for i := 0; i < t.n; i++ {
+		copy(t.h[i], s.hm[i*t.n:(i+1)*t.n])
+		copy(t.v[i], s.vm[i*t.n:(i+1)*t.n])
+	}
+}
+
+// PackWorkspace holds the reusable buffers of a packing evaluation. A
+// workspace reused across PackInto calls makes packing allocation-free
+// at steady state. The zero value is ready to use.
+type PackWorkspace struct {
+	x, y        []int
+	order, pred []int
+	seen        []bool
+}
+
+// ensure sizes all buffers for n modules.
+func (ws *PackWorkspace) ensure(n int) {
+	if cap(ws.x) < n {
+		ws.x = make([]int, n)
+		ws.y = make([]int, n)
+	}
+	ws.x, ws.y = ws.x[:n], ws.y[:n]
+	ws.ensureScratch(n)
+}
+
+// ensureScratch sizes only the longest-path scratch (not the
+// coordinate buffers, which Pack supplies itself).
+func (ws *PackWorkspace) ensureScratch(n int) {
+	if cap(ws.order) < n {
+		ws.order = make([]int, n)
+		ws.pred = make([]int, n)
+		ws.seen = make([]bool, n)
+	}
+	ws.order, ws.pred, ws.seen = ws.order[:n], ws.pred[:n], ws.seen[:n]
+}
+
+// PackInto computes lower-left coordinates using ws for every
+// intermediate buffer. The returned slices are owned by the workspace
+// and overwritten by the next PackInto on the same workspace.
+func (t *TCG) PackInto(ws *PackWorkspace) (x, y []int) {
+	ws.ensure(t.n)
+	longestPathInto(ws.x, t.h, t.W, t.n, ws)
+	longestPathInto(ws.y, t.v, t.H, t.n, ws)
+	return ws.x, ws.y
 }
 
 // New returns the TCG of a single horizontal row (module i left of
@@ -157,21 +234,31 @@ func (t *TCG) Validate() error {
 }
 
 // Pack computes lower-left coordinates by longest path over Ch
-// (weights = widths) and Cv (weights = heights).
+// (weights = widths) and Cv (weights = heights). The returned slices
+// are freshly allocated; hot loops should reuse a PackWorkspace via
+// PackInto.
 func (t *TCG) Pack() (x, y []int) {
-	x = longestPath(t.h, t.W, t.n)
-	y = longestPath(t.v, t.H, t.n)
+	var ws PackWorkspace
+	ws.ensureScratch(t.n)
+	x = make([]int, t.n)
+	y = make([]int, t.n)
+	longestPathInto(x, t.h, t.W, t.n, &ws)
+	longestPathInto(y, t.v, t.H, t.n, &ws)
 	return x, y
 }
 
-// longestPath computes, for each node, the maximum weighted path of
-// predecessors. Since the graph is transitively closed, predecessors
-// can be relaxed directly in topological order.
-func longestPath(g [][]bool, w []int, n int) []int {
+// longestPathInto computes, for each node, the maximum weighted path
+// of predecessors into coord. Since the graph is transitively closed,
+// predecessors can be relaxed directly in topological order.
+func longestPathInto(coord []int, g [][]bool, w []int, n int, ws *PackWorkspace) {
 	// Topological order by predecessor counts (the closure makes
 	// in-degree equal the number of all ancestors).
-	order := make([]int, n)
-	pred := make([]int, n)
+	order, pred, seen := ws.order, ws.pred, ws.seen
+	for j := 0; j < n; j++ {
+		pred[j] = 0
+		seen[j] = false
+		coord[j] = 0
+	}
 	for j := 0; j < n; j++ {
 		for i := 0; i < n; i++ {
 			if g[i][j] {
@@ -180,7 +267,6 @@ func longestPath(g [][]bool, w []int, n int) []int {
 		}
 	}
 	idx := 0
-	seen := make([]bool, n)
 	for idx < n {
 		progress := false
 		for j := 0; j < n; j++ {
@@ -198,10 +284,12 @@ func longestPath(g [][]bool, w []int, n int) []int {
 		}
 		if !progress {
 			// Cyclic (invalid TCG); return zeros rather than spin.
-			return make([]int, n)
+			for j := 0; j < n; j++ {
+				coord[j] = 0
+			}
+			return
 		}
 	}
-	coord := make([]int, n)
 	for _, j := range order {
 		for i := 0; i < n; i++ {
 			if g[i][j] && coord[i]+w[i] > coord[j] {
@@ -209,7 +297,6 @@ func longestPath(g [][]bool, w []int, n int) []int {
 			}
 		}
 	}
-	return coord
 }
 
 // Placement packs and returns a named placement.
@@ -409,7 +496,10 @@ func (t *TCG) Perturb(rng *rand.Rand) {
 			return
 		}
 		e := edges[rng.Intn(len(edges))]
-		backup := t.Clone()
+		if t.saved == nil {
+			t.saved = &State{}
+		}
+		t.SaveState(t.saved)
 		var err error
 		if rng.Intn(2) == 0 {
 			err = t.Reverse(e[0], e[1], horizontal)
@@ -417,8 +507,7 @@ func (t *TCG) Perturb(rng *rand.Rand) {
 			err = t.Move(e[0], e[1], horizontal)
 		}
 		if err != nil || t.Validate() != nil {
-			t.h, t.v = backup.h, backup.v
-			t.W, t.H = backup.W, backup.H
+			t.LoadState(t.saved)
 		}
 	}
 }

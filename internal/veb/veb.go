@@ -165,8 +165,10 @@ func (t *Tree) delete(x int) {
 	h, l := t.high(x), t.low(x)
 	t.clusters[h].delete(l)
 	if t.clusters[h].min == none {
+		// The cluster is kept allocated (only unlinked from the
+		// summary) so that a long-lived tree reused across many
+		// packing evaluations stops allocating once warm.
 		t.summary.delete(h)
-		t.clusters[h] = nil
 	}
 	if x == t.max {
 		if t.summary == nil || t.summary.min == none {
@@ -241,6 +243,22 @@ func (t *Tree) Predecessor(x int) int {
 		return none
 	}
 	return t.index(ph, t.clusters[ph].max)
+}
+
+// Clear removes all keys but keeps the recursive cluster structure
+// allocated, so a tree reused across packing evaluations reaches a
+// steady state with no allocations at all. Cost is proportional to the
+// number of clusters ever allocated, not the universe size.
+func (t *Tree) Clear() {
+	t.min, t.max, t.n = none, none, 0
+	if t.summary != nil {
+		t.summary.Clear()
+	}
+	for _, c := range t.clusters {
+		if c != nil {
+			c.Clear()
+		}
+	}
 }
 
 // Keys returns all stored keys in increasing order. Intended for tests
