@@ -454,6 +454,106 @@ func BenchmarkParallelMultiStart(b *testing.B) {
 	})
 }
 
+// ---------------------------------------------------------------------------
+// Composable objective: incremental dirty-net evaluation.
+
+// wirelengthHeavyProblem builds a synthetic wirelength-heavy instance:
+// n modules and 2n random nets of 3–6 pins, the regime where cost
+// evaluation dominates the annealing move.
+func wirelengthHeavyProblem(n int, seed int64) *place.Problem {
+	rng := rand.New(rand.NewSource(seed))
+	p := &place.Problem{
+		Names:      make([]string, n),
+		W:          make([]int, n),
+		H:          make([]int, n),
+		WireWeight: 1,
+	}
+	for i := 0; i < n; i++ {
+		p.Names[i] = "m" + itoa(i)
+		p.W[i] = 1 + rng.Intn(30)
+		p.H[i] = 1 + rng.Intn(30)
+	}
+	for len(p.Nets) < 2*n {
+		deg := 3 + rng.Intn(4)
+		net := make([]int, 0, deg)
+		for len(net) < deg {
+			net = append(net, rng.Intn(n))
+		}
+		p.Nets = append(p.Nets, net)
+	}
+	return p
+}
+
+// BenchmarkIncrementalDirtyNet measures the composable objective's
+// incremental dirty-net evaluation against full recompute on a
+// wirelength-heavy instance (n = 300 modules, 600 nets).
+//
+// The placer-* pair runs the whole absolute-coordinate placer — the
+// same move sequence in both modes (incremental evaluation is exact,
+// so acceptance decisions are identical) — with Problem.FullEval
+// toggling the evaluation strategy. The model-* pair isolates the
+// HPWL term itself under single-module moves: full recompute of all
+// 600 nets versus the module→nets dirty set.
+func BenchmarkIncrementalDirtyNet(b *testing.B) {
+	const n = 300
+	opt := anneal.Options{Seed: 9, MovesPerStage: 60, MaxStages: 40, StallStages: 12}
+	for _, mode := range []struct {
+		name string
+		full bool
+	}{{"placer-full", true}, {"placer-incremental", false}} {
+		b.Run(mode.name, func(b *testing.B) {
+			prob := wirelengthHeavyProblem(n, 11)
+			prob.FullEval = mode.full
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := place.Absolute(prob, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.Cost, "cost")
+			}
+		})
+	}
+
+	prob := wirelengthHeavyProblem(n, 11)
+	coords := func(rng *rand.Rand) (x, y []int) {
+		x = make([]int, n)
+		y = make([]int, n)
+		for i := range x {
+			x[i], y[i] = rng.Intn(2000), rng.Intn(2000)
+		}
+		return x, y
+	}
+	b.Run("model-full", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(2))
+		x, y := coords(rng)
+		m := prob.NewModel()
+		m.Eval(x, y, prob.W, prob.H, nil)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mi := rng.Intn(n)
+			x[mi], y[mi] = rng.Intn(2000), rng.Intn(2000)
+			m.Eval(x, y, prob.W, prob.H, nil)
+		}
+	})
+	b.Run("model-incremental", func(b *testing.B) {
+		rng := rand.New(rand.NewSource(2))
+		x, y := coords(rng)
+		m := prob.NewModel()
+		m.Eval(x, y, prob.W, prob.H, nil)
+		moved := make([]int, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			mi := rng.Intn(n)
+			x[mi], y[mi] = rng.Intn(2000), rng.Intn(2000)
+			moved[0] = mi
+			m.UpdateMoved(x, y, prob.W, prob.H, nil, moved)
+		}
+	})
+}
+
 func sizeName(n int) string { return "n" + itoa(n) }
 
 func itoa(n int) string {

@@ -6,10 +6,17 @@
 //
 //	analogplace [-method seqpair|bstar|hbstar|slicing|absolute|esf|rsf]
 //	            [-bench miller|folded|<table1-name>] [-seed N]
-//	            [-workers N] [-v]
+//	            [-workers N] [-outline WxH] [-outline-weight W]
+//	            [-thermal W] [-prox W] [-wire W] [-area W] [-v]
 //
 // -workers above 1 runs parallel multi-start annealing: that many
 // independent chains on separate cores, keeping the best placement.
+//
+// The objective flags tune the composable cost model: -outline adds a
+// fixed-outline penalty (the result reports whether the bounding box
+// respects it, or the violation penalty), -thermal adds thermal
+// mismatch over symmetry pairs, -prox pulls proximity groups together,
+// and -wire/-area reweight the default terms.
 package main
 
 import (
@@ -29,6 +36,13 @@ func main() {
 	bench := flag.String("bench", "miller", "benchmark: miller, folded, or a Table I name (miller_v2, comparator_v2, folded_casc, buffer, biasynth, lnamixbias)")
 	seed := flag.Int64("seed", 1, "random seed for stochastic methods")
 	workers := flag.Int("workers", 1, "parallel multi-start annealing chains (1 = serial)")
+	outline := flag.String("outline", "", "fixed outline as WxH (e.g. 400x300); adds a quadratic excess penalty")
+	outlineWeight := flag.Float64("outline-weight", 0, "fixed-outline penalty weight (0 = heuristic default)")
+	thermalWeight := flag.Float64("thermal", 0, "thermal-mismatch weight over symmetry pairs (0 = off)")
+	thermalSigma := flag.Float64("thermal-sigma", 0, "thermal decay length (0 = default 50)")
+	proxWeight := flag.Float64("prox", 0, "proximity-group pull weight for flat placers (0 = off)")
+	wireWeight := flag.Float64("wire", 0, "HPWL weight (0 = method default)")
+	areaWeight := flag.Float64("area", 0, "bounding-box area weight (0 = default 1)")
 	verbose := flag.Bool("v", false, "print module coordinates")
 	svgPath := flag.String("svg", "", "write the placement as SVG to this file")
 	flag.Parse()
@@ -43,8 +57,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "analogplace:", err)
 		os.Exit(1)
 	}
+	obj := &core.Objective{
+		AreaWeight:    *areaWeight,
+		WireWeight:    *wireWeight,
+		OutlineWeight: *outlineWeight,
+		ProxWeight:    *proxWeight,
+		ThermalWeight: *thermalWeight,
+		ThermalSigma:  *thermalSigma,
+	}
+	if *outline != "" {
+		if _, err := fmt.Sscanf(*outline, "%dx%d", &obj.OutlineW, &obj.OutlineH); err != nil || obj.OutlineW <= 0 || obj.OutlineH <= 0 {
+			fmt.Fprintf(os.Stderr, "analogplace: bad -outline %q (want WxH, e.g. 400x300)\n", *outline)
+			os.Exit(1)
+		}
+	}
 	opt := anneal.Options{Seed: *seed, MovesPerStage: 150, MaxStages: 200, StallStages: 40, Workers: *workers}
-	res, err := core.PlaceBench(b, m, opt)
+	res, err := core.PlaceBenchObjective(b, m, opt, obj)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "analogplace:", err)
 		os.Exit(1)
@@ -53,6 +81,14 @@ func main() {
 	fmt.Printf("bench=%s method=%v modules=%d\n", b.Name, m, len(res.Placement))
 	fmt.Printf("bounding box: %dx%d  area usage: %.2f%%  legal: %v  runtime: %s\n",
 		bb.W, bb.H, 100*res.AreaUsage, res.Legal, res.Runtime.Round(1e6))
+	if o := res.Outline; o != nil {
+		if o.Fits() {
+			fmt.Printf("outline %dx%d: bounding box fits\n", o.W, o.H)
+		} else {
+			fmt.Printf("outline %dx%d: violated by %dx%d, penalty %.4g\n",
+				o.W, o.H, o.ExcessW, o.ExcessH, o.Penalty)
+		}
+	}
 	if len(res.Violations) > 0 {
 		fmt.Println("constraint violations:")
 		for _, v := range res.Violations {

@@ -40,6 +40,33 @@
 // B*-tree annealing tradition; Anneal and Greedy select it
 // automatically when a solution implements it. All placers do.
 //
+// # The composable objective
+//
+// Every placer optimizes a composite objective built from the Term
+// protocol of internal/cost: a Term exposes a full Eval over all
+// modules, an incremental Update over the set of moved modules, an
+// exact Undo, and a Value read from cached state. A cost.Model
+// composes weighted terms over one canonical coordinate cache,
+// detects each move's dirty set by diffing repacked coordinates
+// against that cache (or takes it explicitly via UpdateMoved from
+// placers that know their move), and guarantees that incremental and
+// from-scratch evaluation agree bit for bit — integer terms keep
+// integer totals, float terms cache per-element values and sum in
+// fixed order. Built-in terms: bounding-box area, dirty-net HPWL
+// (per-net cached boxes behind a module→nets index), fixed-outline
+// penalty (Adya/Markov), proximity grouping, and thermal mismatch
+// over symmetry pairs (internal/thermal); placers add their own —
+// the absolute placer's incremental pairwise-overlap penalty and the
+// hierarchical placer's proximity-fragments count are ~50-line Terms
+// rather than cross-placer surgery. Solutions additionally implement
+// anneal.MoveReporter, exposing each move's dirty set for
+// verification; the property tests in internal/place and
+// internal/cost pin incremental-equals-full with tolerance zero.
+// place.Problem (flat placers) and hbstar.Problem (hierarchical)
+// carry the per-term weights; core.PlaceBenchObjective and
+// cmd/analogplace's -outline/-thermal/-prox/-wire/-area flags thread
+// them from the top.
+//
 // Packing — the annealer's dominant inner operation — is
 // allocation-free at steady state through reusable workspaces:
 // bstar.Tree.PackInto(*bstar.PackWorkspace) packs with a pooled

@@ -1,0 +1,103 @@
+package repro
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/cost"
+	"repro/internal/seqpair"
+)
+
+// TestIncrementalHPWLSmoke is the CI benchmark-smoke gate for the
+// incremental objective: on the n = 1000 sequence-pair bench it fails
+// if incremental dirty-net HPWL evaluation is slower than full
+// recompute. Sequence-pair moves are the incremental engine's worst
+// case — one sequence swap repacks and displaces a large fraction of
+// the modules — so this bounds the regression risk from below while
+// BenchmarkIncrementalDirtyNet documents the headline speedup.
+//
+// Timing-based, so it only runs when BENCH_SMOKE is set (the CI
+// workflow sets it in a dedicated step); plain `go test ./...` skips
+// it to stay noise-free.
+func TestIncrementalHPWLSmoke(t *testing.T) {
+	if os.Getenv("BENCH_SMOKE") == "" {
+		t.Skip("set BENCH_SMOKE=1 to run the incremental-evaluation timing gate")
+	}
+	const n, moves = 1000, 200
+	rng := rand.New(rand.NewSource(1))
+	w := make([]int, n)
+	h := make([]int, n)
+	for i := range w {
+		w[i] = 1 + rng.Intn(50)
+		h[i] = 1 + rng.Intn(50)
+	}
+	var nets [][]int
+	for len(nets) < 2*n {
+		deg := 3 + rng.Intn(4)
+		net := make([]int, 0, deg)
+		for len(net) < deg {
+			net = append(net, rng.Intn(n))
+		}
+		nets = append(nets, net)
+	}
+
+	// run replays an identical sequence-pair move walk and returns the
+	// time spent in cost evaluation alone (packing is identical in
+	// both modes and would only bury the difference in noise).
+	run := func(full bool) time.Duration {
+		mrng := rand.New(rand.NewSource(7))
+		sp := seqpair.New(n)
+		sp.Shuffle(mrng)
+		var ws seqpair.PackWorkspace
+		model := cost.NewModel(n).Add(1, cost.NewArea()).Add(1, cost.NewHPWL(nets))
+		x, y := sp.PackInto(&ws, w, h)
+		model.Eval(x, y, w, h, nil)
+		var elapsed time.Duration
+		for i := 0; i < moves; i++ {
+			a, b := mrng.Intn(n), mrng.Intn(n-1)
+			if b >= a {
+				b++
+			}
+			if mrng.Intn(2) == 0 {
+				sp.SwapAlpha(a, b)
+			} else {
+				sp.SwapBeta(a, b)
+			}
+			x, y = sp.PackInto(&ws, w, h)
+			start := time.Now()
+			if full {
+				model.Eval(x, y, w, h, nil)
+			} else {
+				model.Update(x, y, w, h, nil)
+			}
+			elapsed += time.Since(start)
+		}
+		return elapsed
+	}
+
+	// Interleave the rounds (full, incremental, full, ...) so a burst
+	// of machine load hits both modes, and keep the best of five per
+	// mode.
+	const rounds = 5
+	fullT := time.Duration(1<<62 - 1)
+	incT := fullT
+	for round := 0; round < rounds; round++ {
+		if d := run(true); d < fullT {
+			fullT = d
+		}
+		if d := run(false); d < incT {
+			incT = d
+		}
+	}
+	t.Logf("n=%d seq-pair bench, %d moves: full %v, incremental %v (%.2fx)",
+		n, moves, fullT, incT, float64(fullT)/float64(incT))
+	// The gate is "not slower", not a speedup target
+	// (BenchmarkIncrementalDirtyNet covers that); 25% allowance keeps
+	// shared-runner scheduling noise from failing a correct build
+	// while still catching any real inversion.
+	if incT > fullT+fullT/4 {
+		t.Fatalf("incremental HPWL evaluation slower than full recompute: %v > %v", incT, fullT)
+	}
+}

@@ -65,6 +65,30 @@ func (n *Node) Child(name string) *Node {
 	return nil
 }
 
+// ProximityGroups collects, for every proximity node in the subtree,
+// its member device names: the node's own devices plus all devices of
+// its sub-circuits. Both the flat and the hierarchical placers derive
+// their proximity cost groups from this one walker, so they cannot
+// drift on what a proximity group means.
+func (n *Node) ProximityGroups() [][]string {
+	var groups [][]string
+	var walk func(nd *Node)
+	walk = func(nd *Node) {
+		if nd.Kind == KindProximity {
+			members := append([]string{}, nd.Devices...)
+			for _, c := range nd.Children {
+				members = append(members, c.Leaves()...)
+			}
+			groups = append(groups, members)
+		}
+		for _, c := range nd.Children {
+			walk(c)
+		}
+	}
+	walk(n)
+	return groups
+}
+
 // Leaves returns every device name in the subtree rooted at n, in a
 // deterministic (sorted) order.
 func (n *Node) Leaves() []string {

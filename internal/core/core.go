@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/anneal"
 	"repro/internal/circuits"
+	"repro/internal/cost"
 	"repro/internal/geom"
 	"repro/internal/hbstar"
 	"repro/internal/place"
@@ -71,6 +72,39 @@ func (m Method) String() string {
 	return fmt.Sprintf("Method(%d)", int(m))
 }
 
+// Objective tunes the composable placement cost (internal/cost) the
+// stochastic placers optimize. The zero value keeps every method's
+// historical default objective.
+type Objective struct {
+	// AreaWeight scales the bounding-box area term (0 = default 1).
+	AreaWeight float64
+	// WireWeight scales HPWL (0 = keep the method's default).
+	WireWeight float64
+	// OutlineW/OutlineH, when both positive, add a fixed-outline
+	// penalty on the bounding box exceeding the target outline.
+	OutlineW, OutlineH int
+	// OutlineWeight scales that penalty (0 = heuristic default).
+	OutlineWeight float64
+	// ProxWeight enables the proximity term over the hierarchy's
+	// proximity groups for the flat placers (0 = off; the hierarchical
+	// placer always enforces proximity through its fragments penalty).
+	ProxWeight float64
+	// ThermalWeight enables the thermal-mismatch term over symmetry
+	// pairs (0 = off); ThermalSigma is the decay length (0 = default).
+	ThermalWeight, ThermalSigma float64
+}
+
+// OutlineReport describes a placement against a requested fixed
+// outline.
+type OutlineReport struct {
+	W, H             int // requested outline
+	ExcessW, ExcessH int // bounding-box excess per dimension (0 = fits)
+	Penalty          float64
+}
+
+// Fits reports whether the bounding box respects the outline.
+func (r *OutlineReport) Fits() bool { return r.ExcessW == 0 && r.ExcessH == 0 }
+
 // PlaceResult is the outcome of PlaceBench.
 type PlaceResult struct {
 	Method     Method
@@ -79,12 +113,26 @@ type PlaceResult struct {
 	AreaUsage  float64 // bounding-box area / module area (Table I metric)
 	Violations []error // constraint violations, if any
 	Runtime    time.Duration
+	// Outline reports the final bounding box against the requested
+	// fixed outline; nil when the objective requested none.
+	Outline *OutlineReport
 }
 
-// PlaceBench places a benchmark circuit with the selected method.
-// Stochastic methods honor opt; the deterministic methods ignore it.
+// PlaceBench places a benchmark circuit with the selected method under
+// the default objective. Stochastic methods honor opt; the
+// deterministic methods ignore it.
 func PlaceBench(b *circuits.Bench, m Method, opt anneal.Options) (*PlaceResult, error) {
+	return PlaceBenchObjective(b, m, opt, nil)
+}
+
+// PlaceBenchObjective is PlaceBench with an explicit composite
+// objective. The deterministic Section IV methods do not optimize a
+// tunable cost and only report against the requested outline.
+func PlaceBenchObjective(b *circuits.Bench, m Method, opt anneal.Options, obj *Objective) (*PlaceResult, error) {
 	start := time.Now()
+	if obj == nil {
+		obj = &Objective{}
+	}
 	var pl geom.Placement
 	var violations []error
 
@@ -94,6 +142,7 @@ func PlaceBench(b *circuits.Bench, m Method, opt anneal.Options) (*PlaceResult, 
 		if err != nil {
 			return nil, err
 		}
+		applyObjective(prob, obj)
 		var res *place.Result
 		switch m {
 		case MethodSeqPair:
@@ -119,7 +168,20 @@ func PlaceBench(b *circuits.Bench, m Method, opt anneal.Options) (*PlaceResult, 
 			violations = prob.ConstraintSet().Violations(pl)
 		}
 	case MethodHBStar:
-		res, err := hbstar.Place(&hbstar.Problem{Bench: b, WireWeight: 0.5}, opt)
+		hp := &hbstar.Problem{
+			Bench:         b,
+			AreaWeight:    obj.AreaWeight,
+			WireWeight:    0.5,
+			OutlineW:      obj.OutlineW,
+			OutlineH:      obj.OutlineH,
+			OutlineWeight: obj.OutlineWeight,
+			ThermalWeight: obj.ThermalWeight,
+			ThermalSigma:  obj.ThermalSigma,
+		}
+		if obj.WireWeight > 0 {
+			hp.WireWeight = obj.WireWeight
+		}
+		res, err := hbstar.Place(hp, opt)
 		if err != nil {
 			return nil, err
 		}
@@ -142,7 +204,43 @@ func PlaceBench(b *circuits.Bench, m Method, opt anneal.Options) (*PlaceResult, 
 		AreaUsage:  pl.AreaUsage(),
 		Violations: violations,
 		Runtime:    time.Since(start),
+		Outline:    outlineReport(pl, obj),
 	}, nil
+}
+
+// applyObjective copies objective tuning onto a flat placement
+// problem.
+func applyObjective(p *place.Problem, obj *Objective) {
+	p.AreaWeight = obj.AreaWeight
+	if obj.WireWeight > 0 {
+		p.WireWeight = obj.WireWeight
+	}
+	p.OutlineW, p.OutlineH = obj.OutlineW, obj.OutlineH
+	p.OutlineWeight = obj.OutlineWeight
+	p.ProxWeight = obj.ProxWeight
+	p.ThermalWeight = obj.ThermalWeight
+	p.ThermalSigma = obj.ThermalSigma
+}
+
+// outlineReport measures a final placement against the requested
+// outline (nil when none was requested).
+func outlineReport(pl geom.Placement, obj *Objective) *OutlineReport {
+	if obj.OutlineW <= 0 || obj.OutlineH <= 0 {
+		return nil
+	}
+	bb := pl.BBox()
+	r := &OutlineReport{
+		W:       obj.OutlineW,
+		H:       obj.OutlineH,
+		ExcessW: max(0, bb.W-obj.OutlineW),
+		ExcessH: max(0, bb.H-obj.OutlineH),
+	}
+	ow := obj.OutlineWeight
+	if ow == 0 {
+		ow = cost.DefaultOutlineWeight(pl.ModuleArea())
+	}
+	r.Penalty = ow * (float64(r.ExcessW)*float64(r.ExcessW) + float64(r.ExcessH)*float64(r.ExcessH))
+	return r
 }
 
 // deterministic runs the Section IV placer on a benchmark.

@@ -33,6 +33,63 @@ func TestPlaceBenchAllMethods(t *testing.T) {
 	}
 }
 
+// TestPlaceBenchObjectiveOutline pins the objective threading: a
+// requested fixed outline always yields an OutlineReport, a generous
+// outline is met, and a default-objective run reports none.
+func TestPlaceBenchObjectiveOutline(t *testing.T) {
+	b := circuits.MillerOpAmp()
+	plain, err := PlaceBench(b, MethodSeqPair, fastOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Outline != nil {
+		t.Fatal("default objective must not report an outline")
+	}
+	bb := plain.Placement.BBox()
+
+	for _, m := range []Method{MethodSeqPair, MethodBStar, MethodHBStar} {
+		obj := &Objective{OutlineW: 2 * bb.W, OutlineH: 2 * bb.H}
+		res, err := PlaceBenchObjective(b, m, fastOpts(2), obj)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		o := res.Outline
+		if o == nil {
+			t.Fatalf("%v: outline requested but not reported", m)
+		}
+		if !o.Fits() || o.Penalty != 0 {
+			t.Errorf("%v: generous outline %dx%d violated by %dx%d (penalty %v)",
+				m, o.W, o.H, o.ExcessW, o.ExcessH, o.Penalty)
+		}
+	}
+
+	// An impossible outline must be reported as violated with a
+	// positive penalty, not silently dropped.
+	res, err := PlaceBenchObjective(b, MethodSeqPair, fastOpts(2), &Objective{OutlineW: 1, OutlineH: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o := res.Outline; o == nil || o.Fits() || o.Penalty <= 0 {
+		t.Fatalf("impossible outline: report %+v, want violated with positive penalty", res.Outline)
+	}
+}
+
+// TestPlaceBenchObjectiveThermal pins that the thermal and proximity
+// weights reach the placers without breaking constraints.
+func TestPlaceBenchObjectiveThermal(t *testing.T) {
+	b := circuits.MillerOpAmp()
+	obj := &Objective{ThermalWeight: 2, ProxWeight: 0.5}
+	for _, m := range []Method{MethodSeqPair, MethodHBStar} {
+		res, err := PlaceBenchObjective(b, m, fastOpts(3), obj)
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if !res.Legal {
+			t.Errorf("%v: illegal placement under thermal objective", m)
+		}
+	}
+}
+
 func TestPlaceBenchAbsoluteMayOverlap(t *testing.T) {
 	b := circuits.MillerOpAmp()
 	res, err := PlaceBench(b, MethodAbsolute, fastOpts(2))

@@ -1,0 +1,337 @@
+// Package cost is the composable objective engine shared by every
+// placer in this repository. A placement objective is a weighted sum
+// of Terms — area, half-perimeter wirelength, fixed-outline penalty,
+// proximity, thermal mismatch, or any caller-defined component — and a
+// Model composes them over one canonical coordinate cache.
+//
+// The engine exists for the annealing hot path: a single move touches
+// few modules, so recomputing the whole objective per proposed move
+// (the pre-refactor behavior) wastes almost all of its work. Every
+// Term therefore has two evaluation entry points: a full Eval over all
+// modules, and an incremental Update that reevaluates only the state
+// invalidated by a set of moved modules, with exact Undo for rejected
+// moves. The Model detects the moved set itself by diffing against its
+// coordinate cache (topological placers repack all coordinates per
+// move, so only a diff can tell which modules actually moved), or
+// accepts it explicitly from placers that know it (UpdateMoved).
+//
+// Exactness contract: for integer-valued terms the incremental totals
+// are maintained in integer arithmetic, and float-valued terms cache
+// per-element values and recompute sums on demand, so an incremental
+// Update followed by Undo — or any sequence of Updates — yields
+// exactly the value a from-scratch Eval would, bit for bit. The
+// placers' property tests assert this with tolerance zero.
+package cost
+
+import "math"
+
+// Coords is the model's canonical coordinate cache: module i occupies
+// (X[i], Y[i]) with effective dimensions W[i] × H[i] (rotation already
+// applied), and MinX..MaxY is the bounding box over all modules. Terms
+// read coordinates only from here; the pointer a Term receives in Eval
+// is stable for the Model's lifetime.
+type Coords struct {
+	X, Y, W, H             []int
+	MinX, MaxX, MinY, MaxY int
+}
+
+// N returns the module count.
+func (c *Coords) N() int { return len(c.X) }
+
+// BBoxW returns the bounding-box width (0 when empty).
+func (c *Coords) BBoxW() int {
+	if c.MaxX < c.MinX {
+		return 0
+	}
+	return c.MaxX - c.MinX
+}
+
+// BBoxH returns the bounding-box height (0 when empty).
+func (c *Coords) BBoxH() int {
+	if c.MaxY < c.MinY {
+		return 0
+	}
+	return c.MaxY - c.MinY
+}
+
+// Term is one component of a composite placement objective.
+//
+// Contract: Eval recomputes the term's cached state from scratch over
+// all modules (and performs any lazy allocation; it may be called
+// repeatedly). Update incrementally reevaluates after the listed
+// modules changed position or dimensions — Coords already holds the
+// new values when Update runs — and must record enough state for Undo
+// to revert exactly one Update. Value reports the current value from
+// cached state without touching coordinates and must be deterministic
+// in that state, so that incremental and from-scratch paths agree
+// exactly.
+type Term interface {
+	// Name identifies the term (unique within a Model).
+	Name() string
+	// Eval fully recomputes the term over all modules of c.
+	Eval(c *Coords)
+	// Update incrementally reevaluates after moved modules changed.
+	Update(c *Coords, moved []int)
+	// Undo reverts the most recent Update exactly.
+	Undo()
+	// Value returns the term's current (unweighted) value.
+	Value() float64
+}
+
+// Model composes weighted terms over one coordinate cache and drives
+// their incremental evaluation. The zero Model is not usable; build
+// with NewModel and Add. A Model is not safe for concurrent use:
+// concurrent searches own distinct Models (one per solution), exactly
+// like packing workspaces.
+type Model struct {
+	terms   []Term
+	weights []float64
+	c       Coords
+	inited  bool
+
+	// Single-level move journal for Undo.
+	moved                  []int
+	oldX, oldY, oldW, oldH []int
+	oldBBox                [4]int
+	canUndo                bool
+}
+
+// NewModel returns an empty model over n modules.
+func NewModel(n int) *Model {
+	m := &Model{}
+	m.c.X = make([]int, n)
+	m.c.Y = make([]int, n)
+	m.c.W = make([]int, n)
+	m.c.H = make([]int, n)
+	return m
+}
+
+// Add registers a term with its weight and returns the model for
+// chaining. Zero-weight terms are dropped: they cannot affect the cost
+// and would only slow the hot path.
+func (m *Model) Add(weight float64, t Term) *Model {
+	if weight == 0 {
+		return m
+	}
+	m.terms = append(m.terms, t)
+	m.weights = append(m.weights, weight)
+	return m
+}
+
+// N returns the module count.
+func (m *Model) N() int { return m.c.N() }
+
+// Term returns the registered term with the given name.
+func (m *Model) Term(name string) (Term, bool) {
+	for _, t := range m.terms {
+		if t.Name() == name {
+			return t, true
+		}
+	}
+	return nil, false
+}
+
+// Weight returns the weight the named term was registered with.
+func (m *Model) Weight(name string) float64 {
+	for i, t := range m.terms {
+		if t.Name() == name {
+			return m.weights[i]
+		}
+	}
+	return 0
+}
+
+// Cost returns the current weighted objective from cached term state.
+func (m *Model) Cost() float64 {
+	cost := 0.0
+	for i, t := range m.terms {
+		cost += m.weights[i] * t.Value()
+	}
+	return cost
+}
+
+// Moved returns the module ids the last Update (or Eval: all) touched.
+// The slice aliases internal scratch and is valid until the next
+// evaluation.
+func (m *Model) Moved() []int { return m.moved }
+
+// eff returns module i's effective dimensions under rot.
+func eff(w, h []int, rot []bool, i int) (int, int) {
+	if rot != nil && rot[i] {
+		return h[i], w[i]
+	}
+	return w[i], h[i]
+}
+
+// Eval fully (re)evaluates the objective: the coordinate cache is
+// overwritten, the bounding box rescanned and every term recomputed
+// from scratch. It invalidates any pending Undo.
+func (m *Model) Eval(x, y, w, h []int, rot []bool) float64 {
+	n := m.c.N()
+	m.moved = m.moved[:0]
+	for i := 0; i < n; i++ {
+		wi, hi := eff(w, h, rot, i)
+		m.c.X[i], m.c.Y[i], m.c.W[i], m.c.H[i] = x[i], y[i], wi, hi
+		m.moved = append(m.moved, i)
+	}
+	m.rescanBBox()
+	for _, t := range m.terms {
+		t.Eval(&m.c)
+	}
+	m.inited = true
+	m.canUndo = false
+	return m.Cost()
+}
+
+// Update incrementally reevaluates the objective from new coordinates:
+// the moved set is detected by diffing against the coordinate cache
+// (position or effective-dimension change), the cache is patched, and
+// each term updates only the state those modules invalidate. The first
+// call on a fresh model falls back to Eval. Exactly one Update (or
+// UpdateMoved) is revertible through Undo.
+func (m *Model) Update(x, y, w, h []int, rot []bool) float64 {
+	if !m.inited {
+		return m.Eval(x, y, w, h, rot)
+	}
+	m.beginMove()
+	// One fused pass: diff-and-patch the cache while rescanning the
+	// bounding box over the new values.
+	const big = 1 << 62
+	minX, maxX, minY, maxY := big, -big, big, -big
+	n := m.c.N()
+	for i := 0; i < n; i++ {
+		wi, hi := eff(w, h, rot, i)
+		if x[i] != m.c.X[i] || y[i] != m.c.Y[i] || wi != m.c.W[i] || hi != m.c.H[i] {
+			m.journal(i)
+			m.c.X[i], m.c.Y[i], m.c.W[i], m.c.H[i] = x[i], y[i], wi, hi
+		}
+		minX = min(minX, m.c.X[i])
+		maxX = max(maxX, m.c.X[i]+m.c.W[i])
+		minY = min(minY, m.c.Y[i])
+		maxY = max(maxY, m.c.Y[i]+m.c.H[i])
+	}
+	if n == 0 {
+		minX, maxX, minY, maxY = 0, 0, 0, 0
+	}
+	m.c.MinX, m.c.MaxX, m.c.MinY, m.c.MaxY = minX, maxX, minY, maxY
+	for _, t := range m.terms {
+		t.Update(&m.c, m.moved)
+	}
+	m.canUndo = true
+	return m.Cost()
+}
+
+// UpdateMoved is Update for placers that know exactly which modules a
+// move touched (skipping the O(n) diff). Listing an unchanged module
+// is allowed; omitting a changed one is not.
+func (m *Model) UpdateMoved(x, y, w, h []int, rot []bool, moved []int) float64 {
+	if !m.inited {
+		return m.Eval(x, y, w, h, rot)
+	}
+	m.beginMove()
+	for _, i := range moved {
+		wi, hi := eff(w, h, rot, i)
+		if x[i] != m.c.X[i] || y[i] != m.c.Y[i] || wi != m.c.W[i] || hi != m.c.H[i] {
+			m.journal(i)
+			m.c.X[i], m.c.Y[i], m.c.W[i], m.c.H[i] = x[i], y[i], wi, hi
+		}
+	}
+	return m.finishMove()
+}
+
+// Undo reverts the most recent Update/UpdateMoved exactly: cached
+// coordinates, bounding box and every term's state. A second Undo
+// without an intervening Update is a no-op.
+func (m *Model) Undo() {
+	if !m.canUndo {
+		return
+	}
+	m.canUndo = false
+	for k := len(m.moved) - 1; k >= 0; k-- {
+		i := m.moved[k]
+		m.c.X[i], m.c.Y[i], m.c.W[i], m.c.H[i] = m.oldX[k], m.oldY[k], m.oldW[k], m.oldH[k]
+	}
+	m.c.MinX, m.c.MaxX, m.c.MinY, m.c.MaxY = m.oldBBox[0], m.oldBBox[1], m.oldBBox[2], m.oldBBox[3]
+	for k := len(m.terms) - 1; k >= 0; k-- {
+		m.terms[k].Undo()
+	}
+}
+
+func (m *Model) beginMove() {
+	m.moved = m.moved[:0]
+	m.oldX = m.oldX[:0]
+	m.oldY = m.oldY[:0]
+	m.oldW = m.oldW[:0]
+	m.oldH = m.oldH[:0]
+	m.oldBBox = [4]int{m.c.MinX, m.c.MaxX, m.c.MinY, m.c.MaxY}
+}
+
+func (m *Model) journal(i int) {
+	m.moved = append(m.moved, i)
+	m.oldX = append(m.oldX, m.c.X[i])
+	m.oldY = append(m.oldY, m.c.Y[i])
+	m.oldW = append(m.oldW, m.c.W[i])
+	m.oldH = append(m.oldH, m.c.H[i])
+}
+
+func (m *Model) finishMove() float64 {
+	m.rescanBBox()
+	for _, t := range m.terms {
+		t.Update(&m.c, m.moved)
+	}
+	m.canUndo = true
+	return m.Cost()
+}
+
+// rescanBBox recomputes the bounding box with one pass over the cache.
+// A full pass keeps shrink moves exact (a module leaving the boundary
+// cannot be handled locally) and costs O(n) — far below any per-net
+// work the scan spares the terms.
+func (m *Model) rescanBBox() {
+	const big = 1 << 62
+	minX, maxX, minY, maxY := big, -big, big, -big
+	n := m.c.N()
+	for i := 0; i < n; i++ {
+		minX = min(minX, m.c.X[i])
+		maxX = max(maxX, m.c.X[i]+m.c.W[i])
+		minY = min(minY, m.c.Y[i])
+		maxY = max(maxY, m.c.Y[i]+m.c.H[i])
+	}
+	if n == 0 {
+		minX, maxX, minY, maxY = 0, 0, 0, 0
+	}
+	m.c.MinX, m.c.MaxX, m.c.MinY, m.c.MaxY = minX, maxX, minY, maxY
+}
+
+// DefaultOutlineWeight is the shared heuristic weight for the
+// fixed-outline penalty when the caller sets none: strong enough that
+// a few-unit violation rivals the area term. Every layer (flat
+// problems, the hierarchical placer, and outline reporting) derives
+// the default from this one function so the penalty the annealer
+// optimizes and the penalty reported to the user cannot drift apart.
+func DefaultOutlineWeight(moduleArea int64) float64 {
+	return math.Max(1, float64(moduleArea)/100)
+}
+
+// AreaNormalizedPowers is the shared default thermal source model:
+// a module whose area reaches a quarter of the largest module's is a
+// heat source with power area/maxArea; smaller devices are treated as
+// pure sensors (power 0). Big output and bias devices dominate on-chip
+// dissipation, and keeping small modules source-free preserves the
+// ThermalTerm's incremental fast path — a move of an unpowered module
+// redoes only its own pairs instead of the whole field. Flat and
+// hierarchical placers both derive default powers from this one
+// function.
+func AreaNormalizedPowers(areas []int64) []float64 {
+	maxA := int64(1)
+	for _, a := range areas {
+		maxA = max(maxA, a)
+	}
+	pw := make([]float64, len(areas))
+	for i, a := range areas {
+		if 4*a >= maxA {
+			pw[i] = float64(a) / float64(maxA)
+		}
+	}
+	return pw
+}

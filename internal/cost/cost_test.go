@@ -1,0 +1,185 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/thermal"
+)
+
+// fixture is a random instance plus the term set under test; it can
+// build identical fresh models for from-scratch reference evaluation.
+type fixture struct {
+	n          int
+	x, y, w, h []int
+	rot        []bool
+	nets       [][]int
+	groups     [][]int
+	pairs      [][2]int
+	power      []float64
+}
+
+func newFixture(n int, rng *rand.Rand) *fixture {
+	f := &fixture{n: n}
+	f.x = make([]int, n)
+	f.y = make([]int, n)
+	f.w = make([]int, n)
+	f.h = make([]int, n)
+	f.rot = make([]bool, n)
+	f.power = make([]float64, n)
+	for i := 0; i < n; i++ {
+		f.x[i] = rng.Intn(200)
+		f.y[i] = rng.Intn(200)
+		f.w[i] = 1 + rng.Intn(30)
+		f.h[i] = 1 + rng.Intn(30)
+		f.rot[i] = rng.Intn(2) == 0
+		if rng.Intn(3) == 0 {
+			f.power[i] = rng.Float64()
+		}
+	}
+	for len(f.nets) < 2*n {
+		deg := 2 + rng.Intn(4)
+		net := make([]int, 0, deg)
+		for len(net) < deg {
+			net = append(net, rng.Intn(n))
+		}
+		f.nets = append(f.nets, net)
+	}
+	for g := 0; g < n/5; g++ {
+		f.groups = append(f.groups, []int{rng.Intn(n), rng.Intn(n), rng.Intn(n)})
+	}
+	for p := 0; p < n/3; p++ {
+		f.pairs = append(f.pairs, [2]int{rng.Intn(n), rng.Intn(n)})
+	}
+	return f
+}
+
+func (f *fixture) newModel() *Model {
+	return NewModel(f.n).
+		Add(1, NewArea()).
+		Add(0.5, NewHPWL(f.nets)).
+		Add(2, NewFixedOutline(150, 150)).
+		Add(0.25, NewProximity(f.groups)).
+		Add(3, NewThermal(&thermal.Field{Sigma: 40}, f.power, f.pairs))
+}
+
+// check asserts the incremental model's cost equals a from-scratch
+// evaluation of the same coordinates, bit for bit.
+func (f *fixture) check(t *testing.T, m *Model, step int) {
+	t.Helper()
+	want := f.newModel().Eval(f.x, f.y, f.w, f.h, f.rot)
+	if got := m.Cost(); got != want {
+		t.Fatalf("step %d: incremental cost %v, from-scratch %v", step, got, want)
+	}
+}
+
+// TestIncrementalMatchesFromScratch drives one model through random
+// multi-module moves (via both the diff and the explicit-moved-set
+// entry points) interleaved with undos, comparing against a fresh full
+// evaluation after every operation with tolerance zero.
+func TestIncrementalMatchesFromScratch(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := newFixture(30, rng)
+	m := f.newModel()
+	m.Eval(f.x, f.y, f.w, f.h, f.rot)
+	f.check(t, m, -1)
+
+	savedX := make([]int, f.n)
+	savedY := make([]int, f.n)
+	savedRot := make([]bool, f.n)
+	var moved []int
+	for step := 0; step < 500; step++ {
+		copy(savedX, f.x)
+		copy(savedY, f.y)
+		copy(savedRot, f.rot)
+		moved = moved[:0]
+		k := 1 + rng.Intn(3)
+		for j := 0; j < k; j++ {
+			i := rng.Intn(f.n)
+			moved = append(moved, i)
+			switch rng.Intn(3) {
+			case 0:
+				f.x[i] = rng.Intn(200)
+				f.y[i] = rng.Intn(200)
+			case 1:
+				f.rot[i] = !f.rot[i]
+			case 2: // listed as moved but left unchanged
+			}
+		}
+		if rng.Intn(2) == 0 {
+			m.UpdateMoved(f.x, f.y, f.w, f.h, f.rot, moved)
+		} else {
+			m.Update(f.x, f.y, f.w, f.h, f.rot)
+		}
+		f.check(t, m, step)
+
+		if rng.Intn(3) == 0 {
+			m.Undo()
+			copy(f.x, savedX)
+			copy(f.y, savedY)
+			copy(f.rot, savedRot)
+			f.check(t, m, step)
+			// A second Undo without an Update must be a no-op.
+			m.Undo()
+			f.check(t, m, step)
+		}
+	}
+}
+
+// TestModelUpdateBeforeEval pins the fallback: the first Update on a
+// fresh model must behave as a full evaluation.
+func TestModelUpdateBeforeEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := newFixture(12, rng)
+	m := f.newModel()
+	got := m.Update(f.x, f.y, f.w, f.h, f.rot)
+	want := f.newModel().Eval(f.x, f.y, f.w, f.h, f.rot)
+	if got != want {
+		t.Fatalf("first Update = %v, want Eval result %v", got, want)
+	}
+}
+
+// TestFixedOutline pins the penalty shape: zero inside the outline,
+// squared excess outside.
+func TestFixedOutline(t *testing.T) {
+	m := NewModel(2).Add(1, NewFixedOutline(20, 10))
+	x := []int{0, 15}
+	y := []int{0, 0}
+	w := []int{10, 5}
+	h := []int{8, 8}
+	if got := m.Eval(x, y, w, h, nil); got != 0 {
+		t.Fatalf("inside outline: penalty %v, want 0", got)
+	}
+	x[1] = 25 // bbox 30x8: 10 over in W
+	if got := m.Update(x, y, w, h, nil); got != 100 {
+		t.Fatalf("10 units over: penalty %v, want 100", got)
+	}
+	y[1] = 7 // bbox 30x15: 10 over in W, 5 over in H
+	if got := m.Update(x, y, w, h, nil); got != 125 {
+		t.Fatalf("10+5 over: penalty %v, want 125", got)
+	}
+	ol, ok := m.Term("outline")
+	if !ok {
+		t.Fatal("outline term not registered")
+	}
+	ex, ey := ol.(*FixedOutlineTerm).Excess()
+	if ex != 10 || ey != 5 {
+		t.Fatalf("Excess = (%d,%d), want (10,5)", ex, ey)
+	}
+}
+
+// TestZeroWeightTermDropped pins that Add ignores zero-weight terms.
+func TestZeroWeightTermDropped(t *testing.T) {
+	m := NewModel(1).Add(0, NewHPWL([][]int{{0, 0}}))
+	if _, ok := m.Term("hpwl"); ok {
+		t.Fatal("zero-weight term must be dropped")
+	}
+}
+
+// TestEmptyModel pins the n = 0 edge.
+func TestEmptyModel(t *testing.T) {
+	m := NewModel(0).Add(1, NewArea())
+	if got := m.Eval(nil, nil, nil, nil, nil); got != 0 {
+		t.Fatalf("empty placement cost %v, want 0", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/anneal"
 	"repro/internal/circuits"
 	"repro/internal/constraint"
+	"repro/internal/cost"
 	"repro/internal/geom"
 )
 
@@ -322,12 +323,23 @@ func TestProximityFragments(t *testing.T) {
 		Kind:    constraint.KindProximity,
 		Devices: []string{"a", "b", "c"},
 	}
+	o := &objective{id: map[string]int{"a": 0, "b": 1, "c": 2}}
+	ft := newFragTerm(o.proximityGroups(tree))
+	eval := func(pl geom.Placement) int {
+		c := &cost.Coords{X: make([]int, 3), Y: make([]int, 3), W: make([]int, 3), H: make([]int, 3)}
+		for name, i := range o.id {
+			r := pl[name]
+			c.X[i], c.Y[i], c.W[i], c.H[i] = r.X, r.Y, r.W, r.H
+		}
+		ft.Eval(c)
+		return int(ft.Value())
+	}
 	connected := geom.Placement{
 		"a": geom.NewRect(0, 0, 5, 5),
 		"b": geom.NewRect(5, 0, 5, 5),
 		"c": geom.NewRect(10, 0, 5, 5),
 	}
-	if got := proximityFragments(tree, connected); got != 0 {
+	if got := eval(connected); got != 0 {
 		t.Fatalf("connected fragments = %d, want 0", got)
 	}
 	split := geom.Placement{
@@ -335,7 +347,7 @@ func TestProximityFragments(t *testing.T) {
 		"b": geom.NewRect(100, 0, 5, 5),
 		"c": geom.NewRect(200, 0, 5, 5),
 	}
-	if got := proximityFragments(tree, split); got != 2 {
+	if got := eval(split); got != 2 {
 		t.Fatalf("split fragments = %d, want 2", got)
 	}
 }

@@ -70,14 +70,31 @@ func (f *Forest) PerturbUndoable(rng *rand.Rand, u *ForestUndo) {
 	}
 }
 
-// Problem is a hierarchical placement instance.
+// Problem is a hierarchical placement instance. Its objective is the
+// composite cost.Model of internal/cost: area plus weighted HPWL, the
+// proximity-fragments penalty, and optional fixed-outline and thermal
+// terms, all evaluated incrementally over the modules each
+// perturbation actually displaces.
 type Problem struct {
 	Bench *circuits.Bench
+	// AreaWeight scales the bounding-box area term (0 = default 1).
+	AreaWeight float64
 	// WireWeight scales HPWL against area.
 	WireWeight float64
 	// ProximityPenalty is added per disconnected fragment of a
 	// proximity sub-circuit (scaled by average module area).
 	ProximityPenalty float64
+	// OutlineW/OutlineH, when both positive, add a fixed-outline
+	// penalty term (quadratic in the bounding box's excess).
+	OutlineW, OutlineH int
+	// OutlineWeight scales the fixed-outline penalty (0 = heuristic
+	// default of max(1, module area / 100)).
+	OutlineWeight float64
+	// ThermalWeight scales the thermal-mismatch term over the
+	// hierarchy's device-level symmetric pairs (0 = off).
+	ThermalWeight float64
+	// ThermalSigma is the thermal decay length (0 = thermal default).
+	ThermalSigma float64
 }
 
 // Result of a hierarchical placement run.
@@ -95,46 +112,65 @@ type Result struct {
 // cloning Solution protocol and the in-place MutableSolution protocol:
 // a perturbation touches exactly one of the forest's trees, so undo
 // restores just that tree from a reusable buffer instead of cloning
-// the whole forest per proposed move.
+// the whole forest per proposed move, and the composite objective
+// reevaluates only the modules the repack displaced (found by diffing
+// the flattened packing against the model's coordinate cache).
 type solution struct {
-	prob     *Problem
-	forest   *Forest
-	cost     float64
-	prevCost float64
-	u        ForestUndo
-	undo     anneal.Undo
+	prob       *Problem
+	forest     *Forest
+	obj        *objective
+	cost       float64
+	prevCost   float64
+	modelMoved bool
+	u          ForestUndo
+	undo       anneal.Undo
 }
 
 func newSolution(p *Problem, f *Forest) *solution {
+	// The objective is built lazily by the first evaluate() from its
+	// own packing, so construction (including Neighbor clones) never
+	// pays a redundant full pack.
 	s := &solution{prob: p, forest: f}
 	s.undo = func() {
 		s.u.Undo()
+		if s.modelMoved {
+			s.obj.model.Undo()
+			s.modelMoved = false
+		}
 		s.cost = s.prevCost
 	}
 	return s
 }
 
 func (s *solution) evaluate() {
+	s.modelMoved = false
 	pl, err := s.forest.Pack()
 	if err != nil {
 		s.cost = math.Inf(1)
 		return
 	}
-	cost := float64(pl.Area())
-	if s.prob.WireWeight > 0 {
-		for _, devs := range s.prob.Bench.Nets {
-			cost += s.prob.WireWeight * float64(geom.HPWL(pl, devs))
-		}
+	if s.obj == nil {
+		s.obj = newObjective(s.prob, pl)
 	}
-	if s.prob.ProximityPenalty > 0 {
-		avg := float64(pl.ModuleArea()) / float64(len(pl))
-		cost += s.prob.ProximityPenalty * avg * float64(proximityFragments(s.prob.Bench.Tree, pl))
+	if !s.obj.load(pl) {
+		s.cost = math.Inf(1)
+		return
 	}
-	s.cost = cost
+	s.cost = s.obj.model.Update(s.obj.x, s.obj.y, s.obj.w, s.obj.h, nil)
+	s.modelMoved = true
 }
 
 // Cost implements anneal.Solution.
 func (s *solution) Cost() float64 { return s.cost }
+
+// Moved implements anneal.MoveReporter. It reports nothing while the
+// solution has never evaluated a feasible packing.
+func (s *solution) Moved() []int {
+	if s.obj == nil {
+		return nil
+	}
+	return s.obj.model.Moved()
+}
 
 // Neighbor implements anneal.Solution.
 func (s *solution) Neighbor(rng *rand.Rand) anneal.Solution {
@@ -155,79 +191,21 @@ func (s *solution) Perturb(rng *rand.Rand) anneal.Undo {
 // forestSnapshot is the best-so-far record of a solution.
 type forestSnapshot struct {
 	forest *Forest
-	cost   float64
 }
 
 // Snapshot implements anneal.MutableSolution.
 func (s *solution) Snapshot() any {
-	return &forestSnapshot{forest: s.forest.Clone(), cost: s.cost}
+	return &forestSnapshot{forest: s.forest.Clone()}
 }
 
 // Restore implements anneal.MutableSolution. The snapshot is cloned so
-// the engine may keep and re-restore it.
+// the engine may keep and re-restore it; the objective is reevaluated
+// against the restored forest.
 func (s *solution) Restore(snapshot any) {
 	sn := snapshot.(*forestSnapshot)
 	s.forest = sn.forest.Clone()
 	s.u.node = nil // pending undo would target the replaced forest
-	s.cost = sn.cost
-}
-
-// proximityFragments counts excess connected components over all
-// proximity sub-circuits (0 when every proximity group is connected).
-func proximityFragments(root *constraint.Node, pl geom.Placement) int {
-	total := 0
-	var walk func(n *constraint.Node)
-	walk = func(n *constraint.Node) {
-		if n.Kind == constraint.KindProximity {
-			members := append([]string{}, n.Devices...)
-			for _, c := range n.Children {
-				members = append(members, c.Leaves()...)
-			}
-			total += fragments(members, pl)
-		}
-		for _, c := range n.Children {
-			walk(c)
-		}
-	}
-	walk(root)
-	return total
-}
-
-// fragments returns the number of connected components minus one.
-func fragments(members []string, pl geom.Placement) int {
-	n := len(members)
-	if n <= 1 {
-		return 0
-	}
-	parent := make([]int, n)
-	for i := range parent {
-		parent[i] = i
-	}
-	var find func(int) int
-	find = func(x int) int {
-		for parent[x] != x {
-			parent[x] = parent[parent[x]]
-			x = parent[x]
-		}
-		return x
-	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			if constraint.Touching(pl[members[i]], pl[members[j]]) {
-				ri, rj := find(i), find(j)
-				if ri != rj {
-					parent[ri] = rj
-				}
-			}
-		}
-	}
-	comps := 0
-	for i := range parent {
-		if find(i) == i {
-			comps++
-		}
-	}
-	return comps - 1
+	s.evaluate()
 }
 
 // Place runs the HB*-tree hierarchical placer on a benchmark.

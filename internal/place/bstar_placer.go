@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/anneal"
 	"repro/internal/bstar"
+	"repro/internal/cost"
 )
 
 // runAnneal dispatches a placer's search: a single in-place annealing
@@ -22,23 +23,31 @@ func runAnneal(newSol func(seed int64) anneal.Solution, opt anneal.Options) (ann
 // btSolution wraps a B*-tree for the annealer. It implements both the
 // cloning Solution protocol (Neighbor, used by the evolutionary
 // engine) and the in-place MutableSolution protocol: packing runs
-// through a per-solution workspace and a perturbation is reverted by
-// restoring the saved tree state, so a proposed move allocates
-// nothing.
+// through a per-solution workspace, the objective through a
+// solution-owned cost.Model updated over the dirty set of each repack,
+// and a perturbation is reverted by restoring the saved tree state and
+// the model's journal, so a proposed move allocates nothing and
+// reevaluates only what it displaced.
 type btSolution struct {
-	prob     *Problem
-	tree     *bstar.Tree
-	ws       bstar.PackWorkspace
-	saved    bstar.TreeState
-	cost     float64
-	prevCost float64
-	undo     anneal.Undo
+	prob       *Problem
+	tree       *bstar.Tree
+	ws         bstar.PackWorkspace
+	saved      bstar.TreeState
+	model      *cost.Model
+	cost       float64
+	prevCost   float64
+	modelMoved bool
+	undo       anneal.Undo
 }
 
 func newBTSolution(p *Problem, tree *bstar.Tree) *btSolution {
-	s := &btSolution{prob: p, tree: tree}
+	s := &btSolution{prob: p, tree: tree, model: p.NewModel()}
 	s.undo = func() {
 		s.tree.LoadState(&s.saved)
+		if s.modelMoved {
+			s.model.Undo()
+			s.modelMoved = false
+		}
 		s.cost = s.prevCost
 	}
 	return s
@@ -46,11 +55,20 @@ func newBTSolution(p *Problem, tree *bstar.Tree) *btSolution {
 
 func (s *btSolution) evaluate() {
 	x, y := s.tree.PackInto(&s.ws)
-	s.cost = s.prob.CostCoords(x, y, s.tree.W, s.tree.H, s.tree.Rot)
+	if s.prob.FullEval {
+		s.modelMoved = false
+		s.cost = s.model.Eval(x, y, s.tree.W, s.tree.H, s.tree.Rot)
+		return
+	}
+	s.cost = s.model.Update(x, y, s.tree.W, s.tree.H, s.tree.Rot)
+	s.modelMoved = true
 }
 
 // Cost implements anneal.Solution.
 func (s *btSolution) Cost() float64 { return s.cost }
+
+// Moved implements anneal.MoveReporter.
+func (s *btSolution) Moved() []int { return s.model.Moved() }
 
 // Neighbor implements anneal.Solution using the classic B*-tree
 // perturbations (rotate, move, swap).
@@ -74,21 +92,21 @@ func (s *btSolution) Perturb(rng *rand.Rand) anneal.Undo {
 // btSnapshot is the best-so-far record of a btSolution.
 type btSnapshot struct {
 	state bstar.TreeState
-	cost  float64
 }
 
 // Snapshot implements anneal.MutableSolution.
 func (s *btSolution) Snapshot() any {
-	sn := &btSnapshot{cost: s.cost}
+	sn := &btSnapshot{}
 	s.tree.SaveState(&sn.state)
 	return sn
 }
 
-// Restore implements anneal.MutableSolution.
+// Restore implements anneal.MutableSolution: the tree is restored and
+// the objective incrementally reevaluated against it.
 func (s *btSolution) Restore(snapshot any) {
 	sn := snapshot.(*btSnapshot)
 	s.tree.LoadState(&sn.state)
-	s.cost = sn.cost
+	s.evaluate()
 }
 
 // BStar runs a plain B*-tree annealing placer. Symmetry groups are not
@@ -117,22 +135,26 @@ func BStar(p *Problem, opt anneal.Options) (*Result, error) {
 
 // absSolution is the absolute-coordinate baseline state: explicit
 // module positions that may overlap during the search, with overlap
-// penalized in the cost — the exploration style of ILAC/KOAN the paper
-// contrasts with topological representations. Mutations are small
-// records (one translation, swap or rotation), so undo restores just
-// the touched entries.
+// penalized through the placer-defined overlapTerm — the exploration
+// style of ILAC/KOAN the paper contrasts with topological
+// representations. Mutations are small records (one translation, swap
+// or rotation), so the moved set is known exactly and the objective
+// updates through Model.UpdateMoved without even a coordinate diff.
 type absSolution struct {
 	prob    *Problem
 	x, y    []int
 	rot     []bool
 	span    int // translation range for moves
 	penalty float64
+	model   *cost.Model
 	cost    float64
 
 	prevCost   float64
 	op         int // last move: 0 translate, 1 swap, 2 rotate, -1 none
 	ma, mb     int // touched modules
 	oldX, oldY int
+	moved      []int // scratch for UpdateMoved
+	modelMoved bool
 	undo       anneal.Undo
 }
 
@@ -144,6 +166,7 @@ func newAbsSolution(p *Problem, n int, span int, penalty float64) *absSolution {
 		rot:     make([]bool, n),
 		span:    span,
 		penalty: penalty,
+		model:   p.NewModel().Add(penalty, newOverlapTerm(n)),
 	}
 	s.undo = func() {
 		switch s.op {
@@ -155,44 +178,45 @@ func newAbsSolution(p *Problem, n int, span int, penalty float64) *absSolution {
 		case 2:
 			s.rot[s.ma] = !s.rot[s.ma]
 		}
+		if s.modelMoved {
+			s.model.Undo()
+			s.modelMoved = false
+		}
 		s.cost = s.prevCost
 	}
 	return s
 }
 
-func (s *absSolution) effDims(i int) (int, int) {
-	if s.rot[i] {
-		return s.prob.H[i], s.prob.W[i]
-	}
-	return s.prob.W[i], s.prob.H[i]
+// evaluate reevaluates the whole objective from scratch (initial
+// placements and snapshot restores).
+func (s *absSolution) evaluate() {
+	s.modelMoved = false
+	s.cost = s.model.Eval(s.x, s.y, s.prob.W, s.prob.H, s.rot)
 }
 
-func (s *absSolution) evaluate() {
-	cost := s.prob.CostCoords(s.x, s.y, s.prob.W, s.prob.H, s.rot)
-	var overlap int64
-	n := s.prob.N()
-	for i := 0; i < n; i++ {
-		wi, hi := s.effDims(i)
-		for j := i + 1; j < n; j++ {
-			wj, hj := s.effDims(j)
-			ix := min(s.x[i]+wi, s.x[j]+wj) - max(s.x[i], s.x[j])
-			iy := min(s.y[i]+hi, s.y[j]+hj) - max(s.y[i], s.y[j])
-			if ix > 0 && iy > 0 {
-				overlap += int64(ix) * int64(iy)
-			}
-		}
+// evaluateMoved incrementally reevaluates after the listed modules
+// moved.
+func (s *absSolution) evaluateMoved() {
+	if s.prob.FullEval {
+		s.evaluate()
+		return
 	}
-	s.cost = cost + s.penalty*float64(overlap)
+	s.cost = s.model.UpdateMoved(s.x, s.y, s.prob.W, s.prob.H, s.rot, s.moved)
+	s.modelMoved = true
 }
 
 // Cost implements anneal.Solution.
 func (s *absSolution) Cost() float64 { return s.cost }
 
+// Moved implements anneal.MoveReporter.
+func (s *absSolution) Moved() []int { return s.model.Moved() }
+
 // mutate applies one random move to the receiver, recording the undo
-// information in s.op/ma/mb/oldX/oldY.
+// information in s.op/ma/mb/oldX/oldY and the moved set in s.moved.
 func (s *absSolution) mutate(rng *rand.Rand) {
 	n := s.prob.N()
 	s.op = -1
+	s.moved = s.moved[:0]
 	switch rng.Intn(4) {
 	case 0, 1: // translate
 		m := rng.Intn(n)
@@ -206,6 +230,7 @@ func (s *absSolution) mutate(rng *rand.Rand) {
 		if s.y[m] < 0 {
 			s.y[m] = 0
 		}
+		s.moved = append(s.moved, m)
 	case 2: // swap positions
 		if n >= 2 {
 			a, b := rng.Intn(n), rng.Intn(n-1)
@@ -215,11 +240,13 @@ func (s *absSolution) mutate(rng *rand.Rand) {
 			s.op, s.ma, s.mb = 1, a, b
 			s.x[a], s.x[b] = s.x[b], s.x[a]
 			s.y[a], s.y[b] = s.y[b], s.y[a]
+			s.moved = append(s.moved, a, b)
 		}
 	case 3: // rotate
 		m := rng.Intn(n)
 		s.op, s.ma = 2, m
 		s.rot[m] = !s.rot[m]
+		s.moved = append(s.moved, m)
 	}
 }
 
@@ -239,7 +266,7 @@ func (s *absSolution) Neighbor(rng *rand.Rand) anneal.Solution {
 func (s *absSolution) Perturb(rng *rand.Rand) anneal.Undo {
 	s.prevCost = s.cost
 	s.mutate(rng)
-	s.evaluate()
+	s.evaluateMoved()
 	return s.undo
 }
 
@@ -247,16 +274,14 @@ func (s *absSolution) Perturb(rng *rand.Rand) anneal.Undo {
 type absSnapshot struct {
 	x, y []int
 	rot  []bool
-	cost float64
 }
 
 // Snapshot implements anneal.MutableSolution.
 func (s *absSolution) Snapshot() any {
 	return &absSnapshot{
-		x:    append([]int(nil), s.x...),
-		y:    append([]int(nil), s.y...),
-		rot:  append([]bool(nil), s.rot...),
-		cost: s.cost,
+		x:   append([]int(nil), s.x...),
+		y:   append([]int(nil), s.y...),
+		rot: append([]bool(nil), s.rot...),
 	}
 }
 
@@ -266,7 +291,7 @@ func (s *absSolution) Restore(snapshot any) {
 	copy(s.x, sn.x)
 	copy(s.y, sn.y)
 	copy(s.rot, sn.rot)
-	s.cost = sn.cost
+	s.evaluate()
 }
 
 // Absolute runs the absolute-coordinate annealing baseline. The final

@@ -18,11 +18,16 @@ import (
 
 	"repro/internal/circuits"
 	"repro/internal/constraint"
+	"repro/internal/cost"
 	"repro/internal/geom"
 	"repro/internal/seqpair"
+	"repro/internal/thermal"
 )
 
-// Problem is one placement instance over modules 0..n-1.
+// Problem is one placement instance over modules 0..n-1. The objective
+// every placer optimizes is the composite cost.Model the problem
+// builds in NewModel: bounding-box area plus weighted HPWL by default,
+// with optional fixed-outline, proximity and thermal-mismatch terms.
 type Problem struct {
 	Names []string
 	W, H  []int
@@ -33,6 +38,39 @@ type Problem struct {
 	// WireWeight scales HPWL against bounding-box area in the cost.
 	// Zero means area-only.
 	WireWeight float64
+	// AreaWeight scales the bounding-box area term. Zero means the
+	// default weight of 1 (the zero Problem keeps the historical
+	// area + WireWeight·HPWL objective).
+	AreaWeight float64
+	// OutlineW/OutlineH, when both positive, add a fixed-outline term:
+	// a quadratic penalty on the bounding box exceeding the target
+	// outline (Adya/Markov fixed-outline floorplanning).
+	OutlineW, OutlineH int
+	// OutlineWeight scales the fixed-outline penalty. Zero selects a
+	// heuristic weight of max(1, ModuleArea/100), strong enough that a
+	// few-unit violation rivals the area term.
+	OutlineWeight float64
+	// ProxGroups lists proximity groups as module-id sets: each
+	// contributes the half-perimeter of its center bounding box,
+	// pulling members together. FromBench fills them from the
+	// hierarchy's proximity nodes; they only enter the cost when
+	// ProxWeight > 0.
+	ProxGroups [][]int
+	// ProxWeight scales the proximity term (0 = off).
+	ProxWeight float64
+	// ThermalWeight scales the thermal-mismatch term over the symmetry
+	// groups' pairs (0 = off). Powers come from Power, or default to
+	// each module's area normalized by the largest module.
+	ThermalWeight float64
+	// ThermalSigma is the thermal decay length (0 = thermal default).
+	ThermalSigma float64
+	// Power gives per-module dissipated power for the thermal term.
+	Power []float64
+	// FullEval forces every move to reevaluate the whole objective
+	// from scratch instead of incrementally — the pre-refactor
+	// behavior, kept for benchmarking the incremental engine and for
+	// verification.
+	FullEval bool
 }
 
 // N returns the module count.
@@ -71,76 +109,92 @@ func (p *Problem) ModuleArea() int64 {
 	return a
 }
 
-// Cost evaluates a placement: bounding-box area plus weighted total
-// HPWL over all nets. Placements missing modules are heavily
-// penalized.
+// NewModel builds the problem's composite objective: one cost.Model
+// with the terms the problem's weights enable. Every solution owns its
+// own model (models hold per-search incremental caches, exactly like
+// packing workspaces), so placers call this once per solution.
+func (p *Problem) NewModel() *cost.Model {
+	m := cost.NewModel(p.N())
+	aw := p.AreaWeight
+	if aw == 0 {
+		aw = 1
+	}
+	m.Add(aw, cost.NewArea())
+	m.Add(p.WireWeight, cost.NewHPWL(p.Nets))
+	if p.OutlineW > 0 && p.OutlineH > 0 {
+		ow := p.OutlineWeight
+		if ow == 0 {
+			ow = cost.DefaultOutlineWeight(p.ModuleArea())
+		}
+		m.Add(ow, cost.NewFixedOutline(p.OutlineW, p.OutlineH))
+	}
+	if p.ProxWeight > 0 && len(p.ProxGroups) > 0 {
+		m.Add(p.ProxWeight, cost.NewProximity(p.ProxGroups))
+	}
+	if p.ThermalWeight > 0 {
+		pairs := p.SymPairs()
+		if len(pairs) > 0 {
+			m.Add(p.ThermalWeight, cost.NewThermal(
+				&thermal.Field{Sigma: p.ThermalSigma}, p.powers(), pairs))
+		}
+	}
+	return m
+}
+
+// SymPairs returns all symmetric pairs over all symmetry groups.
+func (p *Problem) SymPairs() [][2]int {
+	var pairs [][2]int
+	for _, g := range p.Groups {
+		pairs = append(pairs, g.Pairs...)
+	}
+	return pairs
+}
+
+// powers returns the thermal source powers: Power if set, otherwise
+// the shared area-normalized default.
+func (p *Problem) powers() []float64 {
+	if p.Power != nil {
+		return p.Power
+	}
+	areas := make([]int64, p.N())
+	for i := range areas {
+		areas[i] = int64(p.W[i]) * int64(p.H[i])
+	}
+	return cost.AreaNormalizedPowers(areas)
+}
+
+// Cost evaluates a named placement against the full composite
+// objective through a fresh model. Placements missing modules are
+// heavily penalized. It is the reference entry point for final results
+// and validation, not the hot path: searching placers evaluate
+// incrementally through their own model.
 func (p *Problem) Cost(pl geom.Placement) float64 {
 	if len(pl) < p.N() {
 		return math.Inf(1)
 	}
-	cost := float64(pl.Area())
-	if p.WireWeight > 0 {
-		wl := 0
-		for _, net := range p.Nets {
-			names := make([]string, len(net))
-			for i, m := range net {
-				names[i] = p.Names[m]
-			}
-			wl += geom.HPWL(pl, names)
+	n := p.N()
+	x := make([]int, n)
+	y := make([]int, n)
+	w := make([]int, n)
+	h := make([]int, n)
+	for i, name := range p.Names {
+		r, ok := pl[name]
+		if !ok {
+			return math.Inf(1)
 		}
-		cost += p.WireWeight * float64(wl)
+		x[i], y[i], w[i], h[i] = r.X, r.Y, r.W, r.H
 	}
-	return cost
+	return p.NewModel().Eval(x, y, w, h, nil)
 }
 
-// CostCoords evaluates the same objective as Cost directly from
-// coordinate slices: bounding-box area plus weighted total HPWL, with
-// module i occupying (x[i], y[i], w[i], h[i]), dimensions swapped where
-// rot is set. It allocates nothing, which makes it the cost function of
-// the in-place annealing inner loop; Cost remains the entry point for
-// named placements. rot may be nil.
+// CostCoords evaluates the composite objective directly from
+// coordinate slices, with module i occupying (x[i], y[i], w[i], h[i]),
+// dimensions swapped where rot is set (rot may be nil). Like Cost it
+// builds a fresh model per call and exists as the from-scratch
+// reference; the annealing inner loop runs on each solution's own
+// incrementally-updated model instead.
 func (p *Problem) CostCoords(x, y, w, h []int, rot []bool) float64 {
-	n := p.N()
-	const big = 1 << 62
-	minX, maxX, minY, maxY := big, -big, big, -big
-	for i := 0; i < n; i++ {
-		wi, hi := w[i], h[i]
-		if rot != nil && rot[i] {
-			wi, hi = hi, wi
-		}
-		minX = min(minX, x[i])
-		maxX = max(maxX, x[i]+wi)
-		minY = min(minY, y[i])
-		maxY = max(maxY, y[i]+hi)
-	}
-	if n == 0 {
-		return 0
-	}
-	cost := float64(maxX-minX) * float64(maxY-minY)
-	if p.WireWeight > 0 {
-		wl := 0
-		for _, net := range p.Nets {
-			// Half-perimeter over doubled module centers, matching
-			// geom.HPWL's convention exactly.
-			nminX, nmaxX, nminY, nmaxY := big, -big, big, -big
-			for _, m := range net {
-				wm, hm := w[m], h[m]
-				if rot != nil && rot[m] {
-					wm, hm = hm, wm
-				}
-				cx, cy := 2*x[m]+wm, 2*y[m]+hm
-				nminX = min(nminX, cx)
-				nmaxX = max(nmaxX, cx)
-				nminY = min(nminY, cy)
-				nmaxY = max(nmaxY, cy)
-			}
-			if len(net) > 0 {
-				wl += (nmaxX - nminX + nmaxY - nminY) / 2
-			}
-		}
-		cost += p.WireWeight * float64(wl)
-	}
-	return cost
+	return p.NewModel().Eval(x, y, w, h, rot)
 }
 
 // ConstraintSet converts the problem's symmetry groups to named
@@ -208,6 +262,19 @@ func FromBench(b *circuits.Bench) (*Problem, error) {
 	if b.Tree != nil {
 		if err := walk(b.Tree); err != nil {
 			return nil, err
+		}
+		// Proximity groups enter the cost only when the caller sets
+		// ProxWeight.
+		for _, members := range b.Tree.ProximityGroups() {
+			var grp []int
+			for _, d := range members {
+				if m, ok := id[d]; ok {
+					grp = append(grp, m)
+				}
+			}
+			if len(grp) >= 2 {
+				p.ProxGroups = append(p.ProxGroups, grp)
+			}
 		}
 	}
 	for _, devs := range b.Nets {

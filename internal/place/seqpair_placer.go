@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/anneal"
+	"repro/internal/cost"
 	"repro/internal/geom"
 	"repro/internal/seqpair"
 )
@@ -20,19 +21,23 @@ type Result struct {
 // spSolution is a symmetric-feasible sequence-pair state for the
 // annealer. Rotations are applied pairwise so symmetric pairs stay
 // dimension-matched. Effective dimensions are maintained incrementally
-// in w/h, and packing reuses the SP's cached solver workspaces, so a
-// proposed move allocates almost nothing.
+// in w/h, packing reuses the SP's cached solver workspaces, and the
+// objective is the solution-owned cost.Model updated over the dirty
+// set of each repack, so a proposed move allocates almost nothing and
+// reevaluates only the nets its move displaced.
 type spSolution struct {
-	prob *Problem
-	sp   *seqpair.SP
-	rot  []bool
-	w, h []int // effective dims, kept in sync with rot
-	pws  seqpair.PackWorkspace
-	cost float64
+	prob  *Problem
+	sp    *seqpair.SP
+	rot   []bool
+	w, h  []int // effective dims, kept in sync with rot
+	pws   seqpair.PackWorkspace
+	model *cost.Model
+	cost  float64
 
 	prevCost   float64
 	saved      seqpair.State
 	spMoved    bool // last move touched the sequences (vs rotation only)
+	modelMoved bool // last move updated the model (vs infeasible pack)
 	rotA, rotB int  // modules whose rotation the last move flipped (-1 none)
 	undo       anneal.Undo
 }
@@ -48,6 +53,7 @@ func (s *spSolution) init(p *Problem, sp *seqpair.SP) {
 	s.rot = make([]bool, n)
 	s.w = append([]int(nil), p.W...)
 	s.h = append([]int(nil), p.H...)
+	s.model = p.NewModel()
 	s.undo = func() {
 		if s.spMoved {
 			s.sp.LoadState(&s.saved)
@@ -57,6 +63,10 @@ func (s *spSolution) init(p *Problem, sp *seqpair.SP) {
 		}
 		if s.rotB >= 0 {
 			s.flip(s.rotB)
+		}
+		if s.modelMoved {
+			s.model.Undo()
+			s.modelMoved = false
 		}
 		s.cost = s.prevCost
 	}
@@ -86,21 +96,37 @@ func (s *spSolution) placement() (geom.Placement, error) {
 }
 
 func (s *spSolution) evaluate() {
+	s.modelMoved = false
 	if len(s.prob.Groups) > 0 {
 		x, y, err := s.sp.PackSymmetric(s.w, s.h, s.prob.Groups)
 		if err != nil {
 			s.cost = math.Inf(1)
 			return
 		}
-		s.cost = s.prob.CostCoords(x, y, s.w, s.h, nil)
+		s.updateModel(x, y)
 		return
 	}
 	x, y := s.sp.PackInto(&s.pws, s.w, s.h)
-	s.cost = s.prob.CostCoords(x, y, s.w, s.h, nil)
+	s.updateModel(x, y)
+}
+
+// updateModel feeds freshly packed coordinates to the objective:
+// incrementally over the diffed dirty set by default, or from scratch
+// under Problem.FullEval.
+func (s *spSolution) updateModel(x, y []int) {
+	if s.prob.FullEval {
+		s.cost = s.model.Eval(x, y, s.w, s.h, nil)
+		return
+	}
+	s.cost = s.model.Update(x, y, s.w, s.h, nil)
+	s.modelMoved = true
 }
 
 // Cost implements anneal.Solution.
 func (s *spSolution) Cost() float64 { return s.cost }
+
+// Moved implements anneal.MoveReporter.
+func (s *spSolution) Moved() []int { return s.model.Moved() }
 
 // mutate applies one S-F-preserving move or a pairwise rotation to the
 // receiver, recording undo information.
@@ -158,29 +184,30 @@ type spSnapshot struct {
 	state seqpair.State
 	rot   []bool
 	w, h  []int
-	cost  float64
 }
 
 // Snapshot implements anneal.MutableSolution.
 func (s *spSolution) Snapshot() any {
 	sn := &spSnapshot{
-		rot:  append([]bool(nil), s.rot...),
-		w:    append([]int(nil), s.w...),
-		h:    append([]int(nil), s.h...),
-		cost: s.cost,
+		rot: append([]bool(nil), s.rot...),
+		w:   append([]int(nil), s.w...),
+		h:   append([]int(nil), s.h...),
 	}
 	s.sp.SaveState(&sn.state)
 	return sn
 }
 
-// Restore implements anneal.MutableSolution.
+// Restore implements anneal.MutableSolution: the topology is restored
+// and the objective reevaluated against it (the model's diff touches
+// exactly the modules the restore displaced, so the incremental totals
+// stay bit-exact with a from-scratch evaluation).
 func (s *spSolution) Restore(snapshot any) {
 	sn := snapshot.(*spSnapshot)
 	s.sp.LoadState(&sn.state)
 	copy(s.rot, sn.rot)
 	copy(s.w, sn.w)
 	copy(s.h, sn.h)
-	s.cost = sn.cost
+	s.evaluate()
 }
 
 // SeqPair runs the Section II placer: simulated annealing restricted
@@ -193,14 +220,13 @@ func SeqPair(p *Problem, opt anneal.Options) (*Result, error) {
 	}
 	newSol := func(seed int64) anneal.Solution {
 		rng := rand.New(rand.NewSource(seed + 7))
-		s := newSPSolution(p, seqpair.RandomSF(p.N(), p.Groups, rng))
-		s.evaluate()
 		// A random initial S-F code may still be cross-group
-		// infeasible; retry a few times.
-		for tries := 0; math.IsInf(s.cost, 1) && tries < 64; tries++ {
-			s.sp = seqpair.RandomSF(p.N(), p.Groups, rng)
+		// infeasible; anneal.FeasibleInit retries the shared bound.
+		s, _ := anneal.FeasibleInit(func() anneal.Solution {
+			s := newSPSolution(p, seqpair.RandomSF(p.N(), p.Groups, rng))
 			s.evaluate()
-		}
+			return s
+		})
 		return s
 	}
 	var best anneal.Solution
@@ -210,13 +236,13 @@ func SeqPair(p *Problem, opt anneal.Options) (*Result, error) {
 	} else {
 		probe := newSol(opt.Seed)
 		if math.IsInf(probe.Cost(), 1) {
-			return nil, fmt.Errorf("place: could not find a feasible initial symmetric-feasible code")
+			return nil, fmt.Errorf("place: seqpair: no feasible initial solution after %d attempts", anneal.InitRetries)
 		}
 		best, stats = anneal.Anneal(probe, opt)
 	}
 	sol := best.(*spSolution)
 	if math.IsInf(sol.cost, 1) {
-		return nil, fmt.Errorf("place: could not find a feasible initial symmetric-feasible code")
+		return nil, fmt.Errorf("place: seqpair: no feasible initial solution after %d attempts", anneal.InitRetries)
 	}
 	pl, err := sol.placement()
 	if err != nil {
@@ -240,8 +266,11 @@ func SeqPairUnconstrainedMoves(p *Problem, opt anneal.Options) (*Result, error) 
 	}
 	newSol := func(seed int64) anneal.Solution {
 		rng := rand.New(rand.NewSource(seed + 7))
-		s := newSPRejectSolution(p, seqpair.RandomSF(p.N(), p.Groups, rng))
-		s.evaluate()
+		s, _ := anneal.FeasibleInit(func() anneal.Solution {
+			s := newSPRejectSolution(p, seqpair.RandomSF(p.N(), p.Groups, rng))
+			s.evaluate()
+			return s
+		})
 		return s
 	}
 	best, stats := runAnneal(newSol, opt)
@@ -307,6 +336,7 @@ func (s *spRejectSolution) Perturb(rng *rand.Rand) anneal.Undo {
 	s.prevCost = s.cost
 	s.rejectMutate(rng)
 	if !s.sp.SymmetricFeasible(s.prob.Groups) {
+		s.modelMoved = false // the model never saw this move
 		s.cost = math.Inf(1)
 		return s.undo
 	}

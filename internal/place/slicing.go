@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"repro/internal/anneal"
+	"repro/internal/cost"
 	"repro/internal/geom"
 )
 
@@ -74,30 +75,37 @@ type slFrame struct{ node, x, y int }
 
 // slSolution is the annealer state for the slicing placer.
 type slSolution struct {
-	prob *Problem
-	expr polish
-	rot  []bool
-	dec  slDecoder
-	cost float64
+	prob  *Problem
+	expr  polish
+	rot   []bool
+	dec   slDecoder
+	model *cost.Model
+	cost  float64
 
-	prevCost  float64
-	savedExpr polish
-	savedRot  []bool
-	undo      anneal.Undo
+	prevCost   float64
+	savedExpr  polish
+	savedRot   []bool
+	modelMoved bool
+	undo       anneal.Undo
 }
 
 func newSlSolution(p *Problem, expr polish) *slSolution {
 	n := p.N()
 	s := &slSolution{
-		prob: p,
-		expr: expr,
-		rot:  make([]bool, n),
+		prob:  p,
+		expr:  expr,
+		rot:   make([]bool, n),
+		model: p.NewModel(),
 	}
 	s.dec.x = make([]int, n)
 	s.dec.y = make([]int, n)
 	s.undo = func() {
 		copy(s.expr, s.savedExpr)
 		copy(s.rot, s.savedRot)
+		if s.modelMoved {
+			s.model.Undo()
+			s.modelMoved = false
+		}
 		s.cost = s.prevCost
 	}
 	return s
@@ -175,15 +183,24 @@ func (s *slSolution) placement() (geom.Placement, error) {
 }
 
 func (s *slSolution) evaluate() {
+	s.modelMoved = false
 	if !s.decodeCoords() {
 		s.cost = math.Inf(1)
 		return
 	}
-	s.cost = s.prob.CostCoords(s.dec.x, s.dec.y, s.prob.W, s.prob.H, s.rot)
+	if s.prob.FullEval {
+		s.cost = s.model.Eval(s.dec.x, s.dec.y, s.prob.W, s.prob.H, s.rot)
+		return
+	}
+	s.cost = s.model.Update(s.dec.x, s.dec.y, s.prob.W, s.prob.H, s.rot)
+	s.modelMoved = true
 }
 
 // Cost implements anneal.Solution.
 func (s *slSolution) Cost() float64 { return s.cost }
+
+// Moved implements anneal.MoveReporter.
+func (s *slSolution) Moved() []int { return s.model.Moved() }
 
 // mutate applies one classic Wong-Liu move to the receiver: M1 swap
 // adjacent operands, M2 complement an operator, M3 swap an adjacent
@@ -244,10 +261,13 @@ func (s *slSolution) tokenPositions(operands bool) []int {
 }
 
 // save records the current expression and rotations as the undo point.
+// It also clears modelMoved so a failed mutate (which skips evaluate)
+// cannot leave undo pointing at the previous move's model journal.
 func (s *slSolution) save() {
 	s.savedExpr = append(s.savedExpr[:0], s.expr...)
 	s.savedRot = append(s.savedRot[:0], s.rot...)
 	s.prevCost = s.cost
+	s.modelMoved = false
 }
 
 // Neighbor implements anneal.Solution: the same move set applied to a
@@ -274,7 +294,6 @@ func (s *slSolution) Perturb(rng *rand.Rand) anneal.Undo {
 type slSnapshot struct {
 	expr polish
 	rot  []bool
-	cost float64
 }
 
 // Snapshot implements anneal.MutableSolution.
@@ -282,16 +301,16 @@ func (s *slSolution) Snapshot() any {
 	return &slSnapshot{
 		expr: append(polish(nil), s.expr...),
 		rot:  append([]bool(nil), s.rot...),
-		cost: s.cost,
 	}
 }
 
-// Restore implements anneal.MutableSolution.
+// Restore implements anneal.MutableSolution: the expression is
+// restored and the objective incrementally reevaluated against it.
 func (s *slSolution) Restore(snapshot any) {
 	sn := snapshot.(*slSnapshot)
 	copy(s.expr, sn.expr)
 	copy(s.rot, sn.rot)
-	s.cost = sn.cost
+	s.evaluate()
 }
 
 // Slicing runs the slicing-tree annealing placer.

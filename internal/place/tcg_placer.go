@@ -5,27 +5,35 @@ import (
 
 	"repro/internal/anneal"
 	"repro/internal/bstar"
+	"repro/internal/cost"
 	"repro/internal/tcg"
 )
 
 // tcgSolution wraps a transitive closure graph for the annealer,
 // implementing both the cloning and the in-place protocols. A
 // perturbation is undone by restoring the saved matrices — an O(n²)
-// copy, the same order as one packing evaluation.
+// copy, the same order as one packing evaluation — and the objective
+// reverts through the solution-owned model's journal.
 type tcgSolution struct {
-	prob     *Problem
-	g        *tcg.TCG
-	ws       tcg.PackWorkspace
-	saved    tcg.State
-	cost     float64
-	prevCost float64
-	undo     anneal.Undo
+	prob       *Problem
+	g          *tcg.TCG
+	ws         tcg.PackWorkspace
+	saved      tcg.State
+	model      *cost.Model
+	cost       float64
+	prevCost   float64
+	modelMoved bool
+	undo       anneal.Undo
 }
 
 func newTCGSolution(p *Problem, g *tcg.TCG) *tcgSolution {
-	s := &tcgSolution{prob: p, g: g}
+	s := &tcgSolution{prob: p, g: g, model: p.NewModel()}
 	s.undo = func() {
 		s.g.LoadState(&s.saved)
+		if s.modelMoved {
+			s.model.Undo()
+			s.modelMoved = false
+		}
 		s.cost = s.prevCost
 	}
 	return s
@@ -34,11 +42,20 @@ func newTCGSolution(p *Problem, g *tcg.TCG) *tcgSolution {
 func (s *tcgSolution) evaluate() {
 	x, y := s.g.PackInto(&s.ws)
 	// Rotation swaps W/H in place on the TCG, so rot is nil here.
-	s.cost = s.prob.CostCoords(x, y, s.g.W, s.g.H, nil)
+	if s.prob.FullEval {
+		s.modelMoved = false
+		s.cost = s.model.Eval(x, y, s.g.W, s.g.H, nil)
+		return
+	}
+	s.cost = s.model.Update(x, y, s.g.W, s.g.H, nil)
+	s.modelMoved = true
 }
 
 // Cost implements anneal.Solution.
 func (s *tcgSolution) Cost() float64 { return s.cost }
+
+// Moved implements anneal.MoveReporter.
+func (s *tcgSolution) Moved() []int { return s.model.Moved() }
 
 // Neighbor implements anneal.Solution with the TCG perturbations
 // (rotate, swap, edge reversal, edge move).
@@ -61,21 +78,21 @@ func (s *tcgSolution) Perturb(rng *rand.Rand) anneal.Undo {
 // tcgSnapshot is the best-so-far record of a tcgSolution.
 type tcgSnapshot struct {
 	state tcg.State
-	cost  float64
 }
 
 // Snapshot implements anneal.MutableSolution.
 func (s *tcgSolution) Snapshot() any {
-	sn := &tcgSnapshot{cost: s.cost}
+	sn := &tcgSnapshot{}
 	s.g.SaveState(&sn.state)
 	return sn
 }
 
-// Restore implements anneal.MutableSolution.
+// Restore implements anneal.MutableSolution: the graph is restored and
+// the objective incrementally reevaluated against it.
 func (s *tcgSolution) Restore(snapshot any) {
 	sn := snapshot.(*tcgSnapshot)
 	s.g.LoadState(&sn.state)
-	s.cost = sn.cost
+	s.evaluate()
 }
 
 // TCG runs a transitive-closure-graph annealing placer — the third

@@ -61,11 +61,21 @@ func (f *Field) AtRect(r geom.Rect) float64 {
 	return f.At(float64(r.CenterX2())/2, float64(r.CenterY2())/2)
 }
 
+// MismatchAt returns the absolute temperature difference between two
+// points — the coordinate-level form of PairMismatch, used by the
+// incremental thermal cost term.
+func (f *Field) MismatchAt(ax, ay, bx, by float64) float64 {
+	return math.Abs(f.At(ax, ay) - f.At(bx, by))
+}
+
 // PairMismatch returns the absolute temperature difference seen by two
 // modules of a placement — the mismatch a matched pair suffers under
 // the gradient.
 func (f *Field) PairMismatch(p geom.Placement, a, b string) float64 {
-	return math.Abs(f.AtRect(p[a]) - f.AtRect(p[b]))
+	ra, rb := p[a], p[b]
+	return f.MismatchAt(
+		float64(ra.CenterX2())/2, float64(ra.CenterY2())/2,
+		float64(rb.CenterX2())/2, float64(rb.CenterY2())/2)
 }
 
 // MaxPairMismatch returns the worst mismatch over a set of pairs.
