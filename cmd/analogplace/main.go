@@ -4,10 +4,11 @@
 //
 // Usage:
 //
-//	analogplace [-method seqpair|bstar|hbstar|slicing|absolute|esf|rsf]
+//	analogplace [-method seqpair|bstar|hbstar|tcg|slicing|absolute|portfolio|esf|rsf]
 //	            [-bench miller|folded|<table1-name>] [-seed N]
 //	            [-workers N] [-outline WxH] [-outline-weight W]
 //	            [-thermal W] [-prox W] [-wire W] [-area W] [-v]
+//	            [-json FILE] [-json-out FILE] [-json-req FILE]
 //
 // -workers above 1 runs parallel multi-start annealing: that many
 // independent chains on separate cores, keeping the best placement.
@@ -17,22 +18,63 @@
 // respects it, or the violation penalty), -thermal adds thermal
 // mismatch over symmetry pairs, -prox pulls proximity groups together,
 // and -wire/-area reweight the default terms.
+//
+// # Wire-format mode
+//
+// The CLI speaks the same canonical JSON wire format as the placed
+// daemon (internal/wire). -json FILE (or "-" for stdin) reads a wire
+// Problem or Request instead of -bench and solves it through the
+// identical service path; -json-out FILE (or "-" for stdout) writes
+// the wire Result; -json-req FILE emits the assembled Request itself
+// (canonically encoded, without solving), so
+//
+//	analogplace -bench miller -method seqpair -json-req - | curl -s \
+//	  -X POST --data-binary @- 'localhost:8080/v1/place?wait=1'
+//
+// and the local `analogplace -bench miller -method seqpair -json-out -`
+// produce the same placement for the same request. -json-out with a
+// benchmark runs the wire path too (method portfolio races
+// seqpair/bstar/tcg); the deterministic esf/rsf methods have no wire
+// representation and reject the -json* flags.
+//
+// One deliberate difference from the classic path: classic runs keep
+// the paper's ablation semantics and strip symmetry groups from the
+// problem for the non-seqpair flat methods (so bstar/tcg/slicing/
+// absolute are the unconstrained baselines of the paper, and -thermal
+// has no pairs to act on), while the wire path keeps every method on
+// the identical composite objective — symmetry-pair thermal term
+// included — so service results and portfolio racers compare like
+// for like.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 
 	"repro/internal/anneal"
 	"repro/internal/circuits"
 	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/hbstar"
 	"repro/internal/render"
+	"repro/internal/service"
+	"repro/internal/wire"
 )
 
 func main() {
-	method := flag.String("method", "hbstar", "placement method: seqpair, bstar, hbstar, tcg, slicing, absolute, esf, rsf")
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "analogplace:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	method := flag.String("method", "hbstar", "placement method: seqpair, bstar, hbstar, tcg, slicing, absolute, portfolio, esf, rsf")
 	bench := flag.String("bench", "miller", "benchmark: miller, folded, or a Table I name (miller_v2, comparator_v2, folded_casc, buffer, biasynth, lnamixbias)")
 	seed := flag.Int64("seed", 1, "random seed for stochastic methods")
 	workers := flag.Int("workers", 1, "parallel multi-start annealing chains (1 = serial)")
@@ -45,37 +87,111 @@ func main() {
 	areaWeight := flag.Float64("area", 0, "bounding-box area weight (0 = default 1)")
 	verbose := flag.Bool("v", false, "print module coordinates")
 	svgPath := flag.String("svg", "", "write the placement as SVG to this file")
+	jsonIn := flag.String("json", "", "read a wire-format Problem or Request from this file ('-' = stdin) instead of -bench")
+	jsonOut := flag.String("json-out", "", "write the wire-format Result to this file ('-' = stdout)")
+	jsonReq := flag.String("json-req", "", "write the assembled wire-format Request to this file ('-' = stdout) without solving; POST it to placed verbatim")
 	flag.Parse()
+
+	if flag.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (all inputs are flags)", flag.Arg(0))
+	}
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if *workers < 1 {
+		return fmt.Errorf("-workers must be at least 1 (got %d)", *workers)
+	}
+	for name, v := range map[string]float64{
+		"-outline-weight": *outlineWeight, "-thermal": *thermalWeight,
+		"-thermal-sigma": *thermalSigma, "-prox": *proxWeight,
+		"-wire": *wireWeight, "-area": *areaWeight,
+	} {
+		if v < 0 {
+			return fmt.Errorf("%s must be non-negative (got %v)", name, v)
+		}
+	}
+	if set["json"] && set["bench"] {
+		return fmt.Errorf("-json and -bench both name a problem; pass one")
+	}
+
+	var outlineW, outlineH int
+	if *outline != "" {
+		// Sscanf alone accepts trailing garbage ("400x300junk"); the
+		// %s probe must find nothing after the pair.
+		var trailing string
+		n, _ := fmt.Sscanf(*outline, "%dx%d%s", &outlineW, &outlineH, &trailing)
+		if n != 2 || outlineW <= 0 || outlineH <= 0 {
+			return fmt.Errorf("bad -outline %q (want WxH, e.g. 400x300)", *outline)
+		}
+	}
+
+	// esf/rsf are deterministic Section IV methods with no wire
+	// representation: always the classic path, never -json.
+	classicOnly := *method == "esf" || *method == "rsf"
+	wireMode := set["json"] || set["json-out"] || set["json-req"]
+	if classicOnly && wireMode {
+		return fmt.Errorf("method %q is deterministic and has no wire representation; drop -json/-json-out/-json-req", *method)
+	}
+	if set["json-req"] && (set["json-out"] || set["svg"]) {
+		return fmt.Errorf("-json-req emits the request without solving; it conflicts with -json-out/-svg")
+	}
+	for name, v := range map[string]string{"json": *jsonIn, "json-out": *jsonOut, "json-req": *jsonReq} {
+		if set[name] && v == "" {
+			return fmt.Errorf("-%s needs a file path ('-' for stdin/stdout)", name)
+		}
+	}
+
+	if wireMode {
+		return runWire(wireArgs{
+			method: *method, methodSet: set["method"],
+			seed: *seed, seedSet: set["seed"],
+			workers: *workers, workersSet: set["workers"],
+			jsonIn: *jsonIn, jsonOut: *jsonOut, jsonReq: *jsonReq,
+			objective: wire.Objective{
+				AreaWeight:    *areaWeight,
+				WireWeight:    *wireWeight,
+				OutlineW:      outlineW,
+				OutlineH:      outlineH,
+				OutlineWeight: *outlineWeight,
+				ProxWeight:    *proxWeight,
+				ThermalWeight: *thermalWeight,
+				ThermalSigma:  *thermalSigma,
+			},
+			objectiveSet: set["outline"] || set["outline-weight"] || set["thermal"] ||
+				set["thermal-sigma"] || set["prox"] || set["wire"] || set["area"],
+			bench:   *bench,
+			verbose: *verbose, svgPath: *svgPath,
+		})
+	}
 
 	b, err := pickBench(*bench)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "analogplace:", err)
-		os.Exit(1)
+		return err
 	}
 	m, err := pickMethod(*method)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "analogplace:", err)
-		os.Exit(1)
+		return err
 	}
 	obj := &core.Objective{
 		AreaWeight:    *areaWeight,
 		WireWeight:    *wireWeight,
+		OutlineW:      outlineW,
+		OutlineH:      outlineH,
 		OutlineWeight: *outlineWeight,
 		ProxWeight:    *proxWeight,
 		ThermalWeight: *thermalWeight,
 		ThermalSigma:  *thermalSigma,
 	}
-	if *outline != "" {
-		if _, err := fmt.Sscanf(*outline, "%dx%d", &obj.OutlineW, &obj.OutlineH); err != nil || obj.OutlineW <= 0 || obj.OutlineH <= 0 {
-			fmt.Fprintf(os.Stderr, "analogplace: bad -outline %q (want WxH, e.g. 400x300)\n", *outline)
-			os.Exit(1)
-		}
+	opt := anneal.Options{
+		Seed:          *seed,
+		MovesPerStage: wire.DefaultMovesPerStage,
+		MaxStages:     wire.DefaultMaxStages,
+		StallStages:   wire.DefaultStallStages,
+		Workers:       *workers,
 	}
-	opt := anneal.Options{Seed: *seed, MovesPerStage: 150, MaxStages: 200, StallStages: 40, Workers: *workers}
 	res, err := core.PlaceBenchObjective(b, m, opt, obj)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "analogplace:", err)
-		os.Exit(1)
+		return err
 	}
 	bb := res.Placement.BBox()
 	fmt.Printf("bench=%s method=%v modules=%d\n", b.Name, m, len(res.Placement))
@@ -89,35 +205,259 @@ func main() {
 				o.W, o.H, o.ExcessW, o.ExcessH, o.Penalty)
 		}
 	}
-	if len(res.Violations) > 0 {
-		fmt.Println("constraint violations:")
-		for _, v := range res.Violations {
-			fmt.Println("  -", v)
-		}
-	} else {
-		fmt.Println("constraints: all satisfied")
-	}
+	printViolations(os.Stdout, stringifyErrs(res.Violations))
 	if *verbose {
-		names := res.Placement.Names()
-		sort.Strings(names)
-		for _, n := range names {
-			r := res.Placement[n]
-			fmt.Printf("  %-8s x=%-6d y=%-6d w=%-5d h=%-5d\n", n, r.X, r.Y, r.W, r.H)
-		}
+		printCoords(os.Stdout, res.Placement)
 	}
 	if *svgPath != "" {
-		f, err := os.Create(*svgPath)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "analogplace:", err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := render.SVG(f, res.Placement, render.Options{}); err != nil {
-			fmt.Fprintln(os.Stderr, "analogplace:", err)
-			os.Exit(1)
+		if err := writeSVG(*svgPath, res.Placement); err != nil {
+			return err
 		}
 		fmt.Println("wrote", *svgPath)
 	}
+	return nil
+}
+
+// wireArgs carries the flag state into the wire-format path.
+type wireArgs struct {
+	method       string
+	methodSet    bool
+	seed         int64
+	seedSet      bool
+	workers      int
+	workersSet   bool
+	jsonIn       string
+	jsonOut      string
+	jsonReq      string
+	objective    wire.Objective
+	objectiveSet bool
+	bench        string
+	verbose      bool
+	svgPath      string
+}
+
+// runWire is the CLI end of the wire format: assemble a wire.Request
+// from a JSON file or a benchmark, solve it through the same
+// service.Solve path the placed daemon uses, and report.
+func runWire(a wireArgs) error {
+	var req *wire.Request
+	fromFile := a.jsonIn != ""
+	if fromFile {
+		if a.objectiveSet {
+			return fmt.Errorf("objective flags conflict with -json: the wire problem carries its own objective")
+		}
+		data, err := readInput(a.jsonIn)
+		if err != nil {
+			return err
+		}
+		req, err = decodeProblemOrRequest(data)
+		if err != nil {
+			return err
+		}
+	} else {
+		b, err := pickBench(a.bench)
+		if err != nil {
+			return err
+		}
+		p, err := wire.FromBench(b)
+		if err != nil {
+			return err
+		}
+		if a.objectiveSet {
+			applyObjectiveFlags(&p.Objective, a.objective)
+		}
+		if a.method == "hbstar" && a.objective.WireWeight == 0 {
+			// Parity with the classic path: hbstar's historical default
+			// wire weight, not the flat placers' 1.0 FromBench encodes.
+			p.Objective.WireWeight = hbstar.DefaultWireWeight
+		}
+		req = &wire.Request{Problem: *p}
+	}
+	// A file request solves exactly as the daemon would solve the same
+	// bytes — CLI flags only override it when explicitly set. A
+	// benchmark run keeps the classic CLI defaults (method hbstar,
+	// seed 1, the historical schedule).
+	if a.methodSet || !fromFile {
+		if !wire.KnownMethod(a.method) {
+			return fmt.Errorf("method %q has no wire representation", a.method)
+		}
+		req.Options.Method = a.method
+	}
+	if a.seedSet || !fromFile {
+		req.Options.Seed = a.seed
+	}
+	if a.workersSet {
+		req.Options.Workers = a.workers
+	}
+	if !fromFile {
+		req.Options.MovesPerStage = wire.DefaultMovesPerStage
+		req.Options.MaxStages = wire.DefaultMaxStages
+		req.Options.StallStages = wire.DefaultStallStages
+	}
+	if err := req.Validate(); err != nil {
+		return err
+	}
+
+	if a.jsonReq != "" {
+		// Emit the request itself — normalized like the canonical
+		// encoding, but with timeout_ms preserved (Canonical strips it
+		// for hashing only) — and stop before solving. req is ours to
+		// normalize in place.
+		req.Problem.Normalize()
+		req.Options.Normalize()
+		enc, err := json.Marshal(req)
+		if err != nil {
+			return err
+		}
+		return writeOutput(a.jsonReq, append(enc, '\n'), os.Stdout)
+	}
+
+	// Solve honors the request's own timeout_ms, same as the daemon.
+	res, err := service.Solve(context.Background(), req, nil)
+	if err != nil {
+		return err
+	}
+
+	humanOut := os.Stdout
+	if a.jsonOut == "-" {
+		humanOut = os.Stderr // keep stdout pure JSON for piping
+	}
+	name := res.Name
+	if name == "" {
+		name = "wire"
+	}
+	fmt.Fprintf(humanOut, "bench=%s method=%s modules=%d\n", name, res.Method, len(res.Placement))
+	fmt.Fprintf(humanOut, "bounding box: %dx%d  area usage: %.2f%%  legal: %v  cost: %.4g  runtime: %dms\n",
+		res.BBoxW, res.BBoxH, 100*res.AreaUsage, res.Legal, res.Cost, res.RuntimeMS)
+	if res.Cancelled {
+		fmt.Fprintln(humanOut, "run cancelled: placement is best-so-far")
+	}
+	printViolations(humanOut, res.Violations)
+	pl := placementOf(res)
+	if a.verbose {
+		printCoords(humanOut, pl)
+	}
+	if a.jsonOut != "" {
+		enc, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := writeOutput(a.jsonOut, append(enc, '\n'), os.Stdout); err != nil {
+			return err
+		}
+		if a.jsonOut != "-" {
+			fmt.Fprintln(humanOut, "wrote", a.jsonOut)
+		}
+	}
+	if a.svgPath != "" {
+		if err := writeSVG(a.svgPath, pl); err != nil {
+			return err
+		}
+		fmt.Fprintln(humanOut, "wrote", a.svgPath)
+	}
+	return nil
+}
+
+// decodeProblemOrRequest accepts either a bare wire Problem or a full
+// Request.
+func decodeProblemOrRequest(data []byte) (*wire.Request, error) {
+	req, reqErr := wire.DecodeRequest(data)
+	if reqErr == nil {
+		return req, nil
+	}
+	p, probErr := wire.DecodeProblem(data)
+	if probErr == nil {
+		return &wire.Request{Problem: *p}, nil
+	}
+	return nil, fmt.Errorf("input is neither a wire Request (%v) nor a Problem (%v)", reqErr, probErr)
+}
+
+func readInput(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+// applyObjectiveFlags overlays explicitly-set CLI weights on a
+// benchmark-derived objective (zero flag values leave the benchmark's
+// defaults alone, matching the classic path's semantics).
+func applyObjectiveFlags(dst *wire.Objective, flags wire.Objective) {
+	if flags.AreaWeight > 0 {
+		dst.AreaWeight = flags.AreaWeight
+	}
+	if flags.WireWeight > 0 {
+		dst.WireWeight = flags.WireWeight
+	}
+	if flags.OutlineW > 0 && flags.OutlineH > 0 {
+		dst.OutlineW, dst.OutlineH = flags.OutlineW, flags.OutlineH
+		dst.OutlineWeight = flags.OutlineWeight
+	}
+	if flags.ProxWeight > 0 {
+		dst.ProxWeight = flags.ProxWeight
+	}
+	if flags.ThermalWeight > 0 {
+		dst.ThermalWeight = flags.ThermalWeight
+		dst.ThermalSigma = flags.ThermalSigma
+	}
+}
+
+func placementOf(res *wire.Result) geom.Placement {
+	pl := geom.Placement{}
+	for _, m := range res.Placement {
+		pl[m.Name] = geom.NewRect(m.X, m.Y, m.W, m.H)
+	}
+	return pl
+}
+
+func sortedNames(pl geom.Placement) []string {
+	names := pl.Names()
+	sort.Strings(names)
+	return names
+}
+
+func printCoords(w io.Writer, pl geom.Placement) {
+	for _, n := range sortedNames(pl) {
+		r := pl[n]
+		fmt.Fprintf(w, "  %-8s x=%-6d y=%-6d w=%-5d h=%-5d\n", n, r.X, r.Y, r.W, r.H)
+	}
+}
+
+func printViolations(w io.Writer, vs []string) {
+	if len(vs) > 0 {
+		fmt.Fprintln(w, "constraint violations:")
+		for _, v := range vs {
+			fmt.Fprintln(w, "  -", v)
+		}
+	} else {
+		fmt.Fprintln(w, "constraints: all satisfied")
+	}
+}
+
+// writeOutput writes data to path, with "-" meaning the given stream.
+func writeOutput(path string, data []byte, stdout io.Writer) error {
+	if path == "-" {
+		_, err := stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+func stringifyErrs(errs []error) []string {
+	out := make([]string, len(errs))
+	for i, e := range errs {
+		out[i] = e.Error()
+	}
+	return out
+}
+
+func writeSVG(path string, pl geom.Placement) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return render.SVG(f, pl, render.Options{})
 }
 
 func pickBench(name string) (*circuits.Bench, error) {
@@ -148,6 +488,8 @@ func pickMethod(name string) (core.Method, error) {
 		return core.MethodDeterministicESF, nil
 	case "rsf":
 		return core.MethodDeterministicRSF, nil
+	case "portfolio":
+		return 0, fmt.Errorf("method portfolio needs the wire path: add -json-out (or -json)")
 	}
 	return 0, fmt.Errorf("unknown method %q", name)
 }

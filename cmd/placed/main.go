@@ -1,0 +1,93 @@
+// Command placed is the placement daemon: analog placement as a
+// service over HTTP, backed by the job scheduler and the canonical
+// wire format of internal/service and internal/wire.
+//
+// Usage:
+//
+//	placed [-addr :8080] [-solvers N] [-queue N] [-cache N]
+//
+// Endpoints:
+//
+//	POST   /v1/place      submit a wire.Request (JSON). Returns 202
+//	                      with a job id; ?wait=1 blocks and returns
+//	                      the finished job. Identical requests are
+//	                      answered from the content-addressed result
+//	                      cache, or coalesced onto the in-flight job.
+//	GET    /v1/jobs/{id}  job state, live progress (best cost, stage,
+//	                      moves/sec) and, once terminal, the result.
+//	DELETE /v1/jobs/{id}  cancel: the job stops at the next annealing
+//	                      stage boundary and keeps its best-so-far
+//	                      placement, flagged as cancelled.
+//	GET    /healthz       liveness probe.
+//	GET    /metrics       Prometheus text metrics (jobs by state,
+//	                      queue/running gauges, cache hit/miss,
+//	                      solve-latency histogram).
+//
+// Try it:
+//
+//	placed -addr :8080 &
+//	analogplace -bench miller -method seqpair -json-req - | \
+//	  curl -s -X POST --data-binary @- 'localhost:8080/v1/place?wait=1'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	solvers := flag.Int("solvers", 2, "solver worker pool size (concurrent jobs)")
+	queue := flag.Int("queue", 64, "queued-job bound; beyond it POST returns 503")
+	cache := flag.Int("cache", 128, "result cache entries (0 disables caching)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "placed: unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+	if *solvers < 1 || *queue < 1 {
+		fmt.Fprintln(os.Stderr, "placed: -solvers and -queue must be at least 1")
+		os.Exit(2)
+	}
+
+	cacheSize := *cache
+	if cacheSize <= 0 {
+		cacheSize = -1 // flag 0 means off; Config 0 would mean the default
+	}
+	sched := service.New(service.Config{Workers: *solvers, QueueDepth: *queue, CacheSize: cacheSize})
+	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(sched)}
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("placed: listening on %s (solvers=%d queue=%d cache=%d)", *addr, *solvers, *queue, *cache)
+
+	select {
+	case sig := <-stop:
+		log.Printf("placed: %v, shutting down", sig)
+		// Close the scheduler first: it cancels running jobs, which
+		// unblocks ?wait=1 handlers with best-so-far results, so
+		// Shutdown can actually drain them inside its window.
+		sched.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("placed: shutdown: %v", err)
+		}
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("placed: %v", err)
+		}
+	}
+}

@@ -85,4 +85,53 @@
 // serial run of the same Options. Placers enable it through
 // anneal.Options.Workers and cmd/analogplace's -workers flag. See
 // PERFORMANCE.md for measured numbers.
+//
+// Annealing runs are cooperatively cancellable: anneal.Options.Context
+// is checked once per temperature stage (never per move, keeping the
+// hot loop clean), and a cancelled run returns the best solution seen
+// so far with Stats.Cancelled set. Options.Progress delivers per-stage
+// statistics snapshots (best cost, stage, temperature, move counts)
+// without perturbing the search — the plumbing the service layer's
+// live job progress is built on.
+//
+// # The service layer
+//
+// Placement-as-a-service lives in two packages plus a daemon:
+//
+// internal/wire is the canonical, versioned JSON wire format: a
+// Problem carries modules, symmetry groups, nets, proximity groups,
+// objective weights and (for the hierarchical placer) the design
+// hierarchy; Options select and tune a solver; a Request bundles the
+// two. Decoding is strict — unknown fields, trailing bytes and
+// semantically invalid problems are rejected — and decoded values are
+// normalized so every semantic problem has exactly one canonical
+// encoding. Hash (SHA-256 of that encoding) is therefore a content
+// address: permuting nets or pair endpoints does not change it. The
+// format converts losslessly to place.Problem (flat placers) and to a
+// circuits.Bench with constraint tree (hierarchical placer); a fuzz
+// harness with a checked-in corpus pins "never panics" and
+// "decode→encode→decode is a fixed point".
+//
+// internal/service schedules wire requests over a bounded worker
+// pool. Each job solves under its own context.Context (DELETE and
+// timeout_ms cancel at the next stage boundary, keeping the
+// best-so-far placement), reports live progress aggregated from
+// anneal.Options.Progress across chains and racers, and lands in a
+// content-addressed LRU cache keyed by the request hash — identical
+// requests are answered without re-solving, and identical in-flight
+// requests coalesce onto one job. MethodPortfolio races the seqpair,
+// bstar and tcg representations on the same problem concurrently and
+// keeps the winner under feasibility-first ranking (fewest constraint
+// violations, then cost), so a representation that ignores symmetry
+// groups cannot "win" a constrained problem on raw cost.
+//
+// cmd/placed serves the scheduler over HTTP: POST /v1/place (async,
+// or synchronous with ?wait=1), GET /v1/jobs/{id} for status,
+// progress and result, DELETE /v1/jobs/{id} to cancel, /healthz, and
+// Prometheus text metrics on /metrics (job states, queue/running
+// gauges, cache hit/miss counters, solve-latency histogram).
+// cmd/analogplace speaks the same wire format through -json (input)
+// and -json-out (output), so a request solves identically through the
+// CLI and the daemon; examples/serve walks the whole loop in one
+// process.
 package repro

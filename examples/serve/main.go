@@ -1,0 +1,131 @@
+// Serve: the placement service end to end, in one process — start
+// the scheduler behind the same HTTP handler cmd/placed serves, then
+// act as a client: POST the Miller op amp in the canonical wire
+// format, poll the job to completion, re-POST the identical request
+// to hit the content-addressed result cache, race the portfolio, and
+// cancel a long run to get its best-so-far placement.
+//
+//	go run ./examples/serve
+//
+// Against a real daemon the client half is unchanged: point base at
+// `placed -addr :8080` instead of the httptest server.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"time"
+
+	"repro/internal/circuits"
+	"repro/internal/service"
+	"repro/internal/wire"
+)
+
+func main() {
+	sched := service.New(service.Config{Workers: 2})
+	defer sched.Close()
+	srv := httptest.NewServer(service.NewHandler(sched))
+	defer srv.Close()
+	base := srv.URL
+
+	// The bench crosses the wire as a canonical, versioned problem;
+	// its hash is the content address identical requests share.
+	prob, err := wire.FromBench(circuits.MillerOpAmp())
+	if err != nil {
+		log.Fatal(err)
+	}
+	hash, _ := prob.Hash()
+	fmt.Printf("problem %q, content address %s...\n", prob.Name, hash[:12])
+
+	req := wire.Request{Problem: *prob, Options: wire.Options{
+		Method: wire.MethodSeqPair, Seed: 3, MovesPerStage: 150, MaxStages: 200, StallStages: 40,
+	}}
+
+	// 1. Cold solve: async submit, then poll.
+	job := post(base, req, false)
+	fmt.Printf("POST /v1/place -> job %s (%s)\n", job.ID, job.State)
+	job = pollDone(base, job.ID)
+	fmt.Printf("  done: cost %.0f, %dx%d bounding box, legal=%v, violations=%d\n",
+		job.Result.Cost, job.Result.BBoxW, job.Result.BBoxH, job.Result.Legal, len(job.Result.Violations))
+
+	// 2. Identical POST: served from the result cache, same placement.
+	again := post(base, req, true)
+	fmt.Printf("identical POST -> %s, cache_hit=%v, same cost %.0f\n",
+		again.State, again.CacheHit, again.Result.Cost)
+
+	// 3. Portfolio: race seqpair, bstar and tcg on the same problem.
+	req.Options.Method = wire.MethodPortfolio
+	race := post(base, req, true)
+	fmt.Printf("portfolio -> winner %s at cost %.0f (feasibility-first ranking)\n",
+		race.Result.Method, race.Result.Cost)
+
+	// 4. Cancellation: a long run (near-flat cooling, so it will not
+	// finish on its own), stopped shortly after its first progress
+	// report; the job keeps the best placement found so far.
+	req.Options = wire.Options{Method: wire.MethodBStar, MovesPerStage: 400,
+		MaxStages: 100000, StallStages: 100000, Cooling: 0.9999}
+	long := post(base, req, false)
+	for {
+		j := get(base, long.ID)
+		if j.Progress != nil && j.Progress.Stage > 0 {
+			fmt.Printf("live progress: stage %d, best %.0f, %.0f moves/sec\n",
+				j.Progress.Stage, j.Progress.BestCost, j.Progress.MovesPerSec)
+			break
+		}
+		if j.State.Terminal() {
+			log.Fatalf("long job ended %s before reporting progress: %s", j.State, j.Error)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	httpDo(http.MethodDelete, base+"/v1/jobs/"+long.ID, nil)
+	cancelled := pollDone(base, long.ID)
+	fmt.Printf("DELETE -> %s, best-so-far cost %.0f after %d stages\n",
+		cancelled.State, cancelled.Result.Cost, cancelled.Result.Stages)
+}
+
+func post(base string, req wire.Request, wait bool) service.JobView {
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	url := base + "/v1/place"
+	if wait {
+		url += "?wait=1"
+	}
+	return httpDo(http.MethodPost, url, body)
+}
+
+func get(base, id string) service.JobView {
+	return httpDo(http.MethodGet, base+"/v1/jobs/"+id, nil)
+}
+
+func pollDone(base, id string) service.JobView {
+	for {
+		j := get(base, id)
+		if j.State.Terminal() {
+			return j
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func httpDo(method, url string, body []byte) service.JobView {
+	req, err := http.NewRequest(method, url, bytes.NewReader(body))
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		log.Fatalf("%s %s: %v", method, url, err)
+	}
+	return v
+}

@@ -14,6 +14,7 @@
 package anneal
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -118,6 +119,23 @@ type Options struct {
 	// serial chain. Placers honor it through their ParallelAnneal
 	// wiring; Anneal itself always runs one chain.
 	Workers int
+	// Context, when non-nil, cancels the run cooperatively. It is
+	// checked once per temperature stage — never per move, so the hot
+	// loop stays allocation- and branch-cheap — and a cancelled run
+	// stops at the next stage boundary, returning the best solution
+	// found so far with Stats.Cancelled set. Cancellation does not
+	// consume randomness, so a run that is not cancelled is
+	// bit-identical to one with a nil Context.
+	Context context.Context
+	// Progress, when non-nil, is called after every completed
+	// temperature stage with a snapshot of the statistics so far
+	// (Stages, Moves, Accepted, Improved, FinalTemp, and BestCost as
+	// of that stage). It runs on the annealing goroutine, so it must
+	// be cheap; ParallelAnneal calls it concurrently from every chain
+	// with Stats.Worker identifying the chain, so it must also be safe
+	// for concurrent use. Observing progress never perturbs the
+	// search: the callback sees a copy.
+	Progress func(Stats)
 }
 
 func (o Options) withDefaults() Options {
@@ -145,12 +163,40 @@ type Stats struct {
 	FinalTemp float64
 	BestCost  float64
 	InitCost  float64
+	// Worker identifies the multi-start chain that produced these
+	// statistics: ParallelAnneal stamps it on every Progress snapshot
+	// and, in the aggregate it returns, records the winning chain.
+	// Serial runs leave it 0.
+	Worker int
+	// Cancelled reports that Options.Context was cancelled and the run
+	// stopped early, returning the best solution seen so far.
+	Cancelled bool
 }
 
 // String implements fmt.Stringer.
 func (s Stats) String() string {
-	return fmt.Sprintf("stages=%d moves=%d accepted=%d improved=%d cost %.4g -> %.4g",
-		s.Stages, s.Moves, s.Accepted, s.Improved, s.InitCost, s.BestCost)
+	suffix := ""
+	if s.Cancelled {
+		suffix = " (cancelled)"
+	}
+	return fmt.Sprintf("stages=%d moves=%d accepted=%d improved=%d cost %.4g -> %.4g%s",
+		s.Stages, s.Moves, s.Accepted, s.Improved, s.InitCost, s.BestCost, suffix)
+}
+
+// cancelled reports whether the run's context has been cancelled; a
+// nil context never is.
+func (o *Options) cancelled() bool {
+	return o.Context != nil && o.Context.Err() != nil
+}
+
+// report sends the callback a per-stage snapshot with the best cost so
+// far filled in (the engines only commit BestCost at the end).
+func (o *Options) report(stats Stats, bestCost float64) {
+	if o.Progress == nil {
+		return
+	}
+	stats.BestCost = bestCost
+	o.Progress(stats)
 }
 
 // Anneal runs simulated annealing from the initial solution and
@@ -182,6 +228,10 @@ func Anneal(initial Solution, opt Options) (Solution, Stats) {
 
 	stall := 0
 	for stage := 0; stage < opt.MaxStages && temp > minTemp && stall < opt.StallStages; stage++ {
+		if opt.cancelled() {
+			stats.Cancelled = true
+			break
+		}
 		stats.Stages++
 		improvedThisStage := false
 		for move := 0; move < opt.MovesPerStage; move++ {
@@ -208,6 +258,7 @@ func Anneal(initial Solution, opt Options) (Solution, Stats) {
 		}
 		temp *= opt.Cooling
 		stats.FinalTemp = temp
+		opt.report(stats, bestCost)
 	}
 	stats.BestCost = bestCost
 	return best, stats
@@ -238,6 +289,10 @@ func annealInPlace(cur MutableSolution, opt Options) (MutableSolution, Stats) {
 
 	stall := 0
 	for stage := 0; stage < opt.MaxStages && temp > minTemp && stall < opt.StallStages; stage++ {
+		if opt.cancelled() {
+			stats.Cancelled = true
+			break
+		}
 		stats.Stages++
 		improvedThisStage := false
 		for move := 0; move < opt.MovesPerStage; move++ {
@@ -267,6 +322,7 @@ func annealInPlace(cur MutableSolution, opt Options) (MutableSolution, Stats) {
 		}
 		temp *= opt.Cooling
 		stats.FinalTemp = temp
+		opt.report(stats, bestCost)
 	}
 	stats.BestCost = bestCost
 	cur.Restore(bestSnap)

@@ -1,6 +1,10 @@
 package anneal
 
-import "sync"
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
 
 // chainSeed derives the seed of worker i from the base seed. The
 // multiplier is an arbitrary large odd constant so neighboring worker
@@ -26,7 +30,11 @@ func chainSeed(base int64, worker int) int64 {
 // Solutions that implement MutableSolution get the in-place engine,
 // making each chain allocation-free at steady state; the aggregate
 // Stats sum moves across chains while InitCost/BestCost/FinalTemp come
-// from the winning chain.
+// from the winning chain, Worker records the winning chain's id, and
+// Cancelled is set when any chain stopped on Options.Context.
+//
+// Options.Progress snapshots are stamped with the reporting chain's
+// Worker id; the callback is invoked concurrently from every chain.
 func ParallelAnneal(newSolution func(seed int64) Solution, workers int, opt Options) (Solution, Stats) {
 	if workers < 1 {
 		workers = 1
@@ -40,19 +48,46 @@ func ParallelAnneal(newSolution func(seed int64) Solution, workers int, opt Opti
 	}
 	results := make([]chain, workers)
 	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var panicked any
 	wg.Add(workers)
 	for i := 0; i < workers; i++ {
 		go func(i int) {
 			defer wg.Done()
+			defer func() {
+				// A chain panic would kill the process from this
+				// goroutine, where no caller can recover it; capture
+				// it — with the originating chain's stack, which the
+				// rethrow would otherwise lose — and rethrow on the
+				// calling goroutine, so servers wrapping
+				// ParallelAnneal in a recover see it.
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicked == nil {
+						panicked = fmt.Sprintf("worker %d: %v\n%s", i, r, debug.Stack())
+					}
+					panicMu.Unlock()
+				}
+			}()
 			seed := chainSeed(opt.Seed, i)
 			wopt := opt
 			wopt.Seed = seed
 			wopt.Workers = 1
+			if prog := opt.Progress; prog != nil {
+				wopt.Progress = func(st Stats) {
+					st.Worker = i
+					prog(st)
+				}
+			}
 			best, stats := Anneal(newSolution(seed), wopt)
+			stats.Worker = i
 			results[i] = chain{best, stats}
 		}(i)
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(panicked)
+	}
 
 	win := 0
 	agg := Stats{}
@@ -61,6 +96,9 @@ func ParallelAnneal(newSolution func(seed int64) Solution, workers int, opt Opti
 		agg.Moves += r.stats.Moves
 		agg.Accepted += r.stats.Accepted
 		agg.Improved += r.stats.Improved
+		if r.stats.Cancelled {
+			agg.Cancelled = true
+		}
 		if r.stats.BestCost < results[win].stats.BestCost {
 			win = i
 		}
@@ -68,5 +106,6 @@ func ParallelAnneal(newSolution func(seed int64) Solution, workers int, opt Opti
 	agg.InitCost = results[win].stats.InitCost
 	agg.BestCost = results[win].stats.BestCost
 	agg.FinalTemp = results[win].stats.FinalTemp
+	agg.Worker = results[win].stats.Worker
 	return results[win].best, agg
 }

@@ -171,7 +171,7 @@ func PlaceBenchObjective(b *circuits.Bench, m Method, opt anneal.Options, obj *O
 		hp := &hbstar.Problem{
 			Bench:         b,
 			AreaWeight:    obj.AreaWeight,
-			WireWeight:    0.5,
+			WireWeight:    hbstar.DefaultWireWeight,
 			OutlineW:      obj.OutlineW,
 			OutlineH:      obj.OutlineH,
 			OutlineWeight: obj.OutlineWeight,

@@ -86,13 +86,21 @@ func newObjective(p *Problem, ref geom.Placement) *objective {
 	}
 	if p.ThermalWeight > 0 {
 		if pairs := o.symPairs(p.Bench.Tree); len(pairs) > 0 {
-			areas := make([]int64, n)
-			for i, name := range o.names {
-				areas[i] = ref[name].Area()
+			var powers []float64
+			if p.Power != nil {
+				powers = make([]float64, n)
+				for i, name := range o.names {
+					powers[i] = p.Power[name]
+				}
+			} else {
+				areas := make([]int64, n)
+				for i, name := range o.names {
+					areas[i] = ref[name].Area()
+				}
+				powers = cost.AreaNormalizedPowers(areas)
 			}
 			o.model.Add(p.ThermalWeight, cost.NewThermal(
-				&thermal.Field{Sigma: p.ThermalSigma},
-				cost.AreaNormalizedPowers(areas), pairs))
+				&thermal.Field{Sigma: p.ThermalSigma}, powers, pairs))
 		}
 	}
 	return o

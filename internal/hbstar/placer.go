@@ -70,6 +70,11 @@ func (f *Forest) PerturbUndoable(rng *rand.Rand, u *ForestUndo) {
 	}
 }
 
+// DefaultWireWeight is the hierarchical placer's historical HPWL
+// weight — the one default shared by core.PlaceBenchObjective and the
+// CLI's wire mode, so every path that wants "classic hbstar" agrees.
+const DefaultWireWeight = 0.5
+
 // Problem is a hierarchical placement instance. Its objective is the
 // composite cost.Model of internal/cost: area plus weighted HPWL, the
 // proximity-fragments penalty, and optional fixed-outline and thermal
@@ -95,6 +100,9 @@ type Problem struct {
 	ThermalWeight float64
 	// ThermalSigma is the thermal decay length (0 = thermal default).
 	ThermalSigma float64
+	// Power gives per-device dissipated power for the thermal term
+	// (device name → power). Nil means the area-normalized default.
+	Power map[string]float64
 }
 
 // Result of a hierarchical placement run.

@@ -1,0 +1,154 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"repro/internal/wire"
+)
+
+// maxRequestBytes bounds a POST /v1/place body.
+const maxRequestBytes = 16 << 20
+
+// JobView is the JSON shape of a job on the HTTP API.
+type JobView struct {
+	ID       string       `json:"id"`
+	State    State        `json:"state"`
+	Hash     string       `json:"hash"`
+	CacheHit bool         `json:"cache_hit,omitempty"`
+	Progress *Progress    `json:"progress,omitempty"`
+	Result   *wire.Result `json:"result,omitempty"`
+	Error    string       `json:"error,omitempty"`
+}
+
+// View renders the job for the HTTP API as one atomic snapshot —
+// state, result and error are read under a single lock acquisition,
+// so a client can never observe a running state with a result.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{ID: j.ID, Hash: j.Hash, State: j.state, CacheHit: j.cacheHit}
+	if p, ok := j.progressLocked(); ok {
+		v.Progress = &p
+	}
+	if j.result != nil {
+		v.Result = j.result
+	}
+	if j.errMsg != "" {
+		v.Error = j.errMsg
+	}
+	return v
+}
+
+// NewHandler exposes a scheduler over HTTP:
+//
+//	POST   /v1/place      submit a wire.Request; ?wait=1 blocks until done
+//	GET    /v1/jobs/{id}  job status, live progress, result
+//	DELETE /v1/jobs/{id}  cancel (returns promptly; best-so-far kept)
+//	GET    /healthz       liveness
+//	GET    /metrics       Prometheus text metrics
+func NewHandler(s *Scheduler) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/place", func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "reading body: %v", err)
+			return
+		}
+		if len(body) > maxRequestBytes {
+			httpError(w, http.StatusRequestEntityTooLarge, "request over %d bytes", maxRequestBytes)
+			return
+		}
+		req, err := wire.DecodeRequest(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		job, err := s.Submit(req)
+		switch err {
+		case nil:
+		case ErrQueueFull:
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		case ErrClosed:
+			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		default:
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		wait := r.URL.Query().Get("wait")
+		if wait == "1" || wait == "true" {
+			select {
+			case <-job.Done():
+			case <-r.Context().Done():
+				// The client went away; the job keeps running for the
+				// next requester (it is content-addressed).
+				httpError(w, statusClientClosedRequest, "client closed request")
+				return
+			}
+		}
+		// One snapshot decides both status and body, so a 202 can never
+		// carry an already-terminal body.
+		v := job.View()
+		status := http.StatusAccepted
+		if v.State.Terminal() {
+			status = http.StatusOK
+		}
+		writeJSON(w, status, v)
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSON(w, http.StatusOK, job.View())
+	})
+
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if !s.Cancel(id) {
+			httpError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		job, ok := s.Job(id)
+		if !ok {
+			// Retention evicted the just-cancelled job between the two
+			// calls; it is gone, which is what a cancel wants anyway.
+			httpError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		writeJSON(w, http.StatusOK, job.View())
+	})
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.WriteMetrics(w)
+	})
+
+	return mux
+}
+
+// statusClientClosedRequest is nginx's non-standard 499, the
+// conventional "client went away while we were working" status.
+const statusClientClosedRequest = 499
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"fmt"
+	"io"
+)
+
+// latencyBuckets are the upper bounds (seconds) of the solve-latency
+// histogram, chosen around the spread between a cache hit-adjacent
+// small solve (milliseconds) and a large portfolio race (minutes).
+// A fixed-size array keeps the counter array below sized in lockstep.
+var latencyBuckets = [...]float64{0.005, 0.025, 0.1, 0.5, 2, 10, 60, 300}
+
+// metrics are the scheduler's counters; the scheduler mutates them
+// under its own mutex.
+type metrics struct {
+	jobsQueued    int64 // gauge
+	jobsRunning   int64 // gauge
+	jobsDone      int64
+	jobsFailed    int64
+	jobsCancelled int64
+	cacheHits     int64
+	cacheMisses   int64
+	coalesced     int64
+
+	latencyCount   int64
+	latencySum     float64
+	latencyBuckets [len(latencyBuckets) + 1]int64 // one per bound + +Inf
+}
+
+func (m *metrics) observeLatency(seconds float64) {
+	m.latencyCount++
+	m.latencySum += seconds
+	for i, bound := range latencyBuckets {
+		if seconds <= bound {
+			m.latencyBuckets[i]++
+		}
+	}
+	m.latencyBuckets[len(latencyBuckets)]++
+}
+
+// Metrics is a point-in-time snapshot of the scheduler's counters.
+type Metrics struct {
+	JobsQueued    int64
+	JobsRunning   int64
+	JobsDone      int64
+	JobsFailed    int64
+	JobsCancelled int64
+	CacheHits     int64
+	CacheMisses   int64
+	Coalesced     int64
+	CacheEntries  int64
+	SolveCount    int64
+	SolveSum      float64
+}
+
+// Metrics returns a snapshot of the scheduler's counters.
+func (s *Scheduler) Metrics() Metrics {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := Metrics{
+		JobsQueued:    s.metrics.jobsQueued,
+		JobsRunning:   s.metrics.jobsRunning,
+		JobsDone:      s.metrics.jobsDone,
+		JobsFailed:    s.metrics.jobsFailed,
+		JobsCancelled: s.metrics.jobsCancelled,
+		CacheHits:     s.metrics.cacheHits,
+		CacheMisses:   s.metrics.cacheMisses,
+		Coalesced:     s.metrics.coalesced,
+		SolveCount:    s.metrics.latencyCount,
+		SolveSum:      s.metrics.latencySum,
+	}
+	if s.cache != nil {
+		snap.CacheEntries = int64(s.cache.len())
+	}
+	return snap
+}
+
+// WriteMetrics renders the scheduler's counters in the Prometheus
+// text exposition format, served by /metrics.
+func (s *Scheduler) WriteMetrics(w io.Writer) error {
+	s.mu.Lock()
+	m := s.metrics // counters copy by value
+	entries := 0
+	if s.cache != nil {
+		entries = s.cache.len()
+	}
+	s.mu.Unlock()
+
+	var err error
+	p := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	p("# HELP placed_jobs_total Solver jobs finished, by terminal state (cache-hit answers count only in placed_cache_hits_total).\n")
+	p("# TYPE placed_jobs_total counter\n")
+	p("placed_jobs_total{state=\"done\"} %d\n", m.jobsDone)
+	p("placed_jobs_total{state=\"failed\"} %d\n", m.jobsFailed)
+	p("placed_jobs_total{state=\"cancelled\"} %d\n", m.jobsCancelled)
+	p("# HELP placed_jobs_queued Jobs waiting for a solver worker.\n")
+	p("# TYPE placed_jobs_queued gauge\n")
+	p("placed_jobs_queued %d\n", m.jobsQueued)
+	p("# HELP placed_jobs_running Jobs currently solving.\n")
+	p("# TYPE placed_jobs_running gauge\n")
+	p("placed_jobs_running %d\n", m.jobsRunning)
+	p("# HELP placed_cache_hits_total Submissions served from the result cache.\n")
+	p("# TYPE placed_cache_hits_total counter\n")
+	p("placed_cache_hits_total %d\n", m.cacheHits)
+	p("# HELP placed_cache_misses_total Submissions that missed the result cache.\n")
+	p("# TYPE placed_cache_misses_total counter\n")
+	p("placed_cache_misses_total %d\n", m.cacheMisses)
+	p("# HELP placed_coalesced_total Submissions coalesced onto an identical in-flight job.\n")
+	p("# TYPE placed_coalesced_total counter\n")
+	p("placed_coalesced_total %d\n", m.coalesced)
+	p("# HELP placed_cache_entries Results currently cached.\n")
+	p("# TYPE placed_cache_entries gauge\n")
+	p("placed_cache_entries %d\n", entries)
+	p("# HELP placed_solve_seconds Solve wall-clock latency.\n")
+	p("# TYPE placed_solve_seconds histogram\n")
+	for i, bound := range latencyBuckets {
+		p("placed_solve_seconds_bucket{le=\"%g\"} %d\n", bound, m.latencyBuckets[i])
+	}
+	p("placed_solve_seconds_bucket{le=\"+Inf\"} %d\n", m.latencyBuckets[len(latencyBuckets)])
+	p("placed_solve_seconds_sum %g\n", m.latencySum)
+	p("placed_solve_seconds_count %d\n", m.latencyCount)
+	return err
+}

@@ -1,0 +1,647 @@
+// Package service is the placement-as-a-service layer over the
+// paper's placers: a job scheduler with a bounded worker pool running
+// the annealing engines, per-job context cancellation and deadlines,
+// a content-addressed LRU cache of solved results keyed by the wire
+// format's canonical hash, live progress readable while a job runs,
+// and a portfolio mode that races representations on one problem.
+// cmd/placed serves it over HTTP.
+package service
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/anneal"
+	"repro/internal/wire"
+)
+
+// State is a job's lifecycle position.
+type State string
+
+// Job states. Terminal states are done, failed and cancelled.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Progress is a live view of a running job, aggregated over the
+// job's annealing chains (and, in portfolio mode, over its racers).
+type Progress struct {
+	// BestCost is the lowest cost any chain has reported so far.
+	BestCost float64 `json:"best_cost"`
+	// Stage is the highest temperature stage any chain has finished.
+	Stage int `json:"stage"`
+	// Temp is the temperature after that stage.
+	Temp float64 `json:"temp"`
+	// Moves counts proposed moves across all chains and racers.
+	Moves int `json:"moves"`
+	// MovesPerSec is Moves over the job's running wall-clock.
+	MovesPerSec float64 `json:"moves_per_sec"`
+}
+
+// Job is one placement request moving through the scheduler. All
+// fields are private behind accessors; jobs are safe for concurrent
+// observation while they run.
+type Job struct {
+	ID   string
+	Hash string
+
+	// ikey is the in-flight coalescing key: the content hash plus the
+	// request's deadline. Deadlines are excluded from Hash (a cached,
+	// completed result is deadline-independent) but must separate
+	// in-flight jobs — a deadline-free submitter must not be handed
+	// another client's deadline-truncated best-so-far.
+	ikey string
+
+	mu        sync.Mutex
+	state     State
+	req       *wire.Request
+	result    *wire.Result
+	errMsg    string
+	cacheHit  bool
+	started   time.Time
+	finished  time.Time
+	submitted time.Time
+	// per-source progress: one source per annealing chain, keyed
+	// "method#chain" — multi-start runs one per worker, portfolio mode
+	// multiplies that by its racing methods.
+	sources map[string]sourceProgress
+	moves   int
+
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	// qelem is the job's slot in the scheduler's queue list, guarded
+	// by the scheduler's mutex (not j.mu); nil once popped or removed.
+	qelem *list.Element
+}
+
+type sourceProgress struct {
+	best  float64
+	stage int
+	temp  float64
+	moves int
+	seen  bool
+}
+
+// State returns the job's current state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// CacheHit reports whether the job was served from the result cache.
+func (j *Job) CacheHit() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cacheHit
+}
+
+// Result returns the job's result, nil until it reaches a terminal
+// state (cancelled jobs still carry the best-so-far result).
+func (j *Job) Result() *wire.Result {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result
+}
+
+// Err returns the failure message of a failed job.
+func (j *Job) Err() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.errMsg
+}
+
+// Done returns a channel closed when the job reaches a terminal
+// state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Progress returns a live aggregate of the job's annealing progress.
+// The boolean is false until the first stage completes.
+func (j *Job) Progress() (Progress, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.progressLocked()
+}
+
+// progressLocked is Progress with j.mu held.
+func (j *Job) progressLocked() (Progress, bool) {
+	var p Progress
+	any := false
+	for _, src := range j.sources {
+		if !src.seen {
+			continue
+		}
+		if !any || src.best < p.BestCost {
+			p.BestCost = src.best
+		}
+		if src.stage > p.Stage {
+			p.Stage = src.stage
+			p.Temp = src.temp // temperature pairs with the stage reported
+		}
+		any = true
+	}
+	p.Moves = j.moves
+	if any && !j.started.IsZero() {
+		end := j.finished
+		if end.IsZero() {
+			end = time.Now()
+		}
+		if d := end.Sub(j.started).Seconds(); d > 0 {
+			p.MovesPerSec = float64(p.Moves) / d
+		}
+	}
+	return p, any
+}
+
+// report folds one annealing stage snapshot into the live progress.
+// A source is one annealing chain — keyed by (method, chain id), so
+// multi-start workers reporting cumulative per-chain stats never
+// clobber each other — and keeping the per-source max stage and min
+// cost makes the aggregate monotonic.
+func (j *Job) report(method string, st anneal.Stats) {
+	key := fmt.Sprintf("%s#%d", method, st.Worker)
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	src := j.sources[key]
+	if !src.seen || st.BestCost < src.best {
+		src.best = st.BestCost
+	}
+	if st.Stages > src.stage {
+		src.stage = st.Stages
+		src.temp = st.FinalTemp
+	}
+	// Stats are cumulative per chain; count only the delta so sums
+	// over chains stay exact.
+	j.moves += st.Moves - src.moves
+	if st.Moves > src.moves {
+		src.moves = st.Moves
+	}
+	src.seen = true
+	j.sources[key] = src
+}
+
+// Config tunes a Scheduler. The zero value is usable.
+type Config struct {
+	// Workers is the solver pool size — how many jobs run
+	// concurrently. Default 2.
+	Workers int
+	// QueueDepth bounds the number of queued-but-not-running jobs;
+	// Submit fails fast with ErrQueueFull beyond it. Default 64.
+	QueueDepth int
+	// CacheSize bounds the content-addressed result cache (entries).
+	// 0 means the default of 128; negative disables caching.
+	CacheSize int
+	// RetainJobs bounds how many terminal (done/failed/cancelled) jobs
+	// stay queryable through GET /v1/jobs/{id}; beyond it the oldest
+	// terminal jobs are forgotten, so a long-running daemon's job
+	// table cannot grow without bound. Solver jobs and cache-hit
+	// answers are bounded separately (up to RetainJobs each), so a hot
+	// cached problem cannot flush real job history. Queued and running
+	// jobs are never evicted. Default 1024.
+	RetainJobs int
+	// MaxSolve is the server-side ceiling on one job's solve
+	// wall-clock: it caps the request's timeout_ms (and substitutes
+	// for an absent one), so a single maximal-schedule request cannot
+	// camp on a pool worker indefinitely. Hitting it cancels at the
+	// next stage boundary, keeping best-so-far. Default 10 minutes;
+	// negative disables the ceiling.
+	MaxSolve time.Duration
+}
+
+// ErrQueueFull is returned by Submit when the job queue is at
+// capacity; clients should retry later.
+var ErrQueueFull = fmt.Errorf("service: job queue full")
+
+// ErrClosed is returned by Submit after Close.
+var ErrClosed = fmt.Errorf("service: scheduler closed")
+
+// Scheduler runs placement jobs on a bounded worker pool with a
+// content-addressed result cache.
+type Scheduler struct {
+	cfg Config
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	inflight map[string]*Job // hash → queued/running job, for coalescing
+	retired  *list.List      // terminal solved-job ids, oldest at the back
+	hits     *list.List      // terminal cache-hit job ids, separately bounded
+	nextID   int
+	closed   bool
+
+	// queue is a list, not a channel, so cancelling a queued job frees
+	// its capacity immediately instead of leaving a dead entry holding
+	// a slot until a worker drains it. qcond (on mu) wakes workers.
+	queue *list.List
+	qcond *sync.Cond
+	wg    sync.WaitGroup
+
+	cache   *lruCache
+	metrics metrics
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+}
+
+// New starts a scheduler with cfg's worker pool.
+func New(cfg Config) *Scheduler {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.RetainJobs <= 0 {
+		cfg.RetainJobs = 1024
+	}
+	if cfg.MaxSolve == 0 {
+		cfg.MaxSolve = 10 * time.Minute
+	}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = 128
+	}
+	s := &Scheduler{
+		cfg:      cfg,
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		retired:  list.New(),
+		hits:     list.New(),
+		queue:    list.New(),
+	}
+	s.qcond = sync.NewCond(&s.mu)
+	if size > 0 {
+		s.cache = newLRUCache(size)
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Submit validates and enqueues a request. Identical requests (same
+// canonical hash) are served from the result cache without solving;
+// while an identical job is still queued or running, Submit coalesces
+// onto it instead of queueing a duplicate. Coalesced submitters share
+// the job's whole fate — including a Cancel issued by any holder of
+// its id — the same way they would share its cached result.
+func (s *Scheduler) Submit(req *wire.Request) (*Job, error) {
+	// The normalized form is both the cache key and what Solve runs,
+	// so two spellings of one problem share a hash and a placement.
+	// Normalize is idempotent, never masks validity (an unsupported
+	// version passes through for HashNormalized's Validate to
+	// reject), and is already done for requests arriving via
+	// DecodeRequest; Submit owns req.
+	req.Problem.Normalize()
+	req.Options.Normalize()
+	hash, err := req.HashNormalized() // validates
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	if cached, ok := s.cacheGet(hash); ok {
+		// Cache hits count only in the cache counters — jobs_total
+		// states tally actual solver outcomes — and retire through
+		// their own bound, so a hot cached problem stays queryable by
+		// id without flushing real jobs out of retention.
+		s.metrics.cacheHits++
+		j := s.newJobLocked(hash, req)
+		j.state = StateDone
+		j.result = cached
+		j.cacheHit = true
+		j.finished = time.Now()
+		j.req = nil // terminal jobs answer from result; drop the request body
+		close(j.done)
+		s.retireOnLocked(s.hits, j)
+		return j, nil
+	}
+	s.metrics.cacheMisses++
+	// Coalesce only onto a live job with the same deadline (the ikey
+	// includes it): a deadline-free submitter must not share a
+	// deadline-truncated run.
+	ikey := fmt.Sprintf("%s/%d", hash, req.Options.TimeoutMS)
+	if running, ok := s.inflight[ikey]; ok {
+		switch {
+		case !running.State().Terminal():
+			s.metrics.coalesced++
+			return running, nil
+		case running.State() == StateDone && running.Result() != nil:
+			// Finished in the window before run() scrubs the entry and
+			// caches the result; it is content-addressed, so hand it
+			// back instead of re-solving.
+			s.metrics.coalesced++
+			return running, nil
+		}
+		// Cancelled or failed while still in the window: fall through
+		// to a fresh solve — nobody wants to share a cancelled run.
+	}
+	if s.queue.Len() >= s.cfg.QueueDepth {
+		return nil, ErrQueueFull
+	}
+	j := s.newJobLocked(hash, req)
+	j.ikey = ikey
+	j.state = StateQueued // must precede enqueue: a worker may pop it immediately
+	j.qelem = s.queue.PushBack(j)
+	s.inflight[ikey] = j
+	s.metrics.jobsQueued++
+	s.qcond.Signal()
+	return j, nil
+}
+
+func (s *Scheduler) newJobLocked(hash string, req *wire.Request) *Job {
+	s.nextID++
+	j := &Job{
+		ID:        fmt.Sprintf("job-%d", s.nextID),
+		Hash:      hash,
+		req:       req,
+		submitted: time.Now(),
+		sources:   make(map[string]sourceProgress),
+		done:      make(chan struct{}),
+	}
+	s.jobs[j.ID] = j
+	return j
+}
+
+// Job returns the job with the given id.
+func (s *Scheduler) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Cancel requests cancellation of a job. Queued jobs transition to
+// cancelled immediately; running jobs stop at the next annealing
+// stage boundary and keep their best-so-far placement. Cancelling a
+// terminal job is a no-op. The boolean reports whether the job
+// exists.
+func (s *Scheduler) Cancel(id string) bool {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		// The worker will observe the state and skip it if it has
+		// already popped the job.
+		j.state = StateCancelled
+		j.finished = time.Now()
+		j.req = nil
+		close(j.done)
+		j.mu.Unlock()
+		s.mu.Lock()
+		if j.qelem != nil { // free the queue slot right away
+			s.queue.Remove(j.qelem)
+			j.qelem = nil
+		}
+		if s.inflight[j.ikey] == j { // a fresh submit may own the slot by now
+			delete(s.inflight, j.ikey)
+		}
+		s.metrics.jobsQueued--
+		s.metrics.jobsCancelled++
+		s.retireLocked(j)
+		s.mu.Unlock()
+	case StateRunning:
+		if j.cancel != nil {
+			j.cancel()
+		}
+		j.mu.Unlock()
+	default:
+		j.mu.Unlock()
+	}
+	return true
+}
+
+// Close stops accepting jobs, cancels running jobs, marks still-queued
+// jobs cancelled, and waits for the workers to exit.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	for s.queue.Len() > 0 {
+		front := s.queue.Front()
+		s.queue.Remove(front)
+		j := front.Value.(*Job)
+		j.qelem = nil
+		j.mu.Lock()
+		if j.state == StateQueued {
+			j.state = StateCancelled
+			j.finished = time.Now()
+			j.req = nil
+			close(j.done)
+			s.metrics.jobsQueued--
+			s.metrics.jobsCancelled++
+			s.retireLocked(j)
+		}
+		j.mu.Unlock()
+		delete(s.inflight, j.ikey)
+	}
+	s.qcond.Broadcast()
+	s.mu.Unlock()
+	s.baseCancel()
+	s.wg.Wait()
+}
+
+// worker pops and runs queued jobs until the scheduler closes.
+func (s *Scheduler) worker() {
+	defer s.wg.Done()
+	s.mu.Lock()
+	for {
+		for s.queue.Len() == 0 && !s.closed {
+			s.qcond.Wait()
+		}
+		if s.queue.Len() == 0 {
+			s.mu.Unlock()
+			return // closed and drained
+		}
+		front := s.queue.Front()
+		s.queue.Remove(front)
+		j := front.Value.(*Job)
+		j.qelem = nil
+		s.mu.Unlock()
+		s.run(j)
+		s.mu.Lock()
+	}
+}
+
+// run executes one job.
+func (s *Scheduler) run(j *Job) {
+	j.mu.Lock()
+	if j.state != StateQueued {
+		j.mu.Unlock() // cancelled while queued
+		return
+	}
+	// The server-side ceiling only; Solve itself applies the request's
+	// own timeout_ms on top.
+	var ctx context.Context
+	var cancel context.CancelFunc
+	if s.cfg.MaxSolve > 0 {
+		ctx, cancel = context.WithTimeout(s.baseCtx, s.cfg.MaxSolve)
+	} else {
+		ctx, cancel = context.WithCancel(s.baseCtx)
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	req := j.req
+	j.mu.Unlock()
+	defer cancel()
+
+	s.mu.Lock()
+	s.metrics.jobsQueued--
+	s.metrics.jobsRunning++
+	s.mu.Unlock()
+
+	res, err := func() (res *wire.Result, err error) {
+		// The solver stack is reached by untrusted wire requests; a
+		// panic on one pathological problem must fail that job, not
+		// take down the daemon and every other job with it.
+		defer func() {
+			if r := recover(); r != nil {
+				res, err = nil, fmt.Errorf("service: solver panic: %v", r)
+			}
+		}()
+		return Solve(ctx, req, j.report)
+	}()
+
+	j.mu.Lock()
+	j.finished = time.Now()
+	latency := j.finished.Sub(j.started)
+	var final State
+	switch {
+	case err != nil:
+		// A cancelled run is not an error — the engines return
+		// best-so-far with Stats.Cancelled instead — so any solver
+		// error is a genuine failure and keeps its real message, even
+		// if the deadline also expired meanwhile.
+		final = StateFailed
+		j.state = final
+		j.errMsg = err.Error()
+	case res.Cancelled:
+		final = StateCancelled
+		j.state = final
+		j.result = res
+	default:
+		final = StateDone
+		j.state = final
+		j.result = res
+	}
+	j.req = nil // terminal: the retention window should hold results, not request bodies
+	close(j.done)
+	j.mu.Unlock()
+
+	s.mu.Lock()
+	if s.inflight[j.ikey] == j {
+		delete(s.inflight, j.ikey)
+	}
+	s.metrics.jobsRunning--
+	switch final {
+	case StateDone:
+		s.metrics.jobsDone++
+		s.cachePut(j.Hash, res)
+	case StateFailed:
+		s.metrics.jobsFailed++
+	case StateCancelled:
+		s.metrics.jobsCancelled++
+	}
+	s.metrics.observeLatency(latency.Seconds())
+	s.retireLocked(j)
+	s.mu.Unlock()
+}
+
+// retireLocked records a solved job that just reached a terminal
+// state; retireOnLocked is the shared FIFO eviction over a given
+// retention list. Caller holds s.mu.
+func (s *Scheduler) retireLocked(j *Job) {
+	s.retireOnLocked(s.retired, j)
+}
+
+func (s *Scheduler) retireOnLocked(class *list.List, j *Job) {
+	class.PushFront(j.ID)
+	for class.Len() > s.cfg.RetainJobs {
+		oldest := class.Back()
+		class.Remove(oldest)
+		delete(s.jobs, oldest.Value.(string))
+	}
+}
+
+// cacheGet/cachePut guard the nil-cache case; callers hold s.mu.
+func (s *Scheduler) cacheGet(hash string) (*wire.Result, bool) {
+	if s.cache == nil {
+		return nil, false
+	}
+	return s.cache.get(hash)
+}
+
+func (s *Scheduler) cachePut(hash string, res *wire.Result) {
+	if s.cache != nil {
+		s.cache.put(hash, res)
+	}
+}
+
+// lruCache is a tiny content-addressed LRU: canonical wire hash →
+// solved result. Results are treated as immutable by everyone who
+// touches them.
+type lruCache struct {
+	cap   int
+	order *list.List // front = most recent; values are *cacheEntry
+	byKey map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	res *wire.Result
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+func (c *lruCache) get(key string) (*wire.Result, bool) {
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+func (c *lruCache) put(key string, res *wire.Result) {
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key, res})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *lruCache) len() int { return c.order.Len() }

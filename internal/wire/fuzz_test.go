@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeProblem fuzzes the strict decoder: arbitrary bytes must
+// never panic, and whatever decodes successfully must round-trip
+// canonically — encode(decode(b)) is a fixed point of the decoder.
+// The checked-in corpus under testdata/fuzz/FuzzDecodeProblem seeds
+// the interesting shapes; plain `go test` replays corpus + seeds,
+// `go test -fuzz=FuzzDecodeProblem ./internal/wire` explores.
+func FuzzDecodeProblem(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`null`,
+		`[]`,
+		`{"version":1,"modules":[{"name":"A","w":4,"h":2}],"objective":{}}`,
+		`{"version":1,"modules":[{"name":"A","w":4,"h":2},{"name":"B","w":4,"h":2}],` +
+			`"symmetry":[{"pairs":[[0,1]]}],"nets":[[0,1]],"objective":{"wire_weight":1}}`,
+		`{"version":1,"modules":[{"name":"A","w":1,"h":1}],"hierarchy":{"name":"r","devices":["A"]},"objective":{}}`,
+		`{"version":2,"modules":[{"name":"A","w":1,"h":1}],"objective":{}}`,
+		`{"version":1,"modules":[{"name":"A","w":1,"h":1}],"objective":{"outline_w":10,"outline_h":10}}`,
+		`{"version":1,"modules":[{"name":"A","w":1,"h":1}],"power":[1.5],"objective":{}}`,
+		`{"version":1,"modules":[{"name":"A","w":-1,"h":1}],"objective":{}}`,
+		`{"version":1,"modules":[{"name":"A","w":1,"h":1}],"nets":[[0,0]],"objective":{}}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeProblem(data) // must not panic, ever
+		if err != nil {
+			return
+		}
+		// Valid decode ⇒ canonical round-trip is exact.
+		c1, err := p.Canonical()
+		if err != nil {
+			t.Fatalf("decoded problem fails to encode: %v\ninput: %q", err, data)
+		}
+		p2, err := DecodeProblem(c1)
+		if err != nil {
+			t.Fatalf("canonical encoding fails to decode: %v\ncanonical: %s", err, c1)
+		}
+		c2, err := p2.Canonical()
+		if err != nil {
+			t.Fatalf("re-decoded problem fails to encode: %v", err)
+		}
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("canonical encoding not a fixed point:\nfirst:  %s\nsecond: %s", c1, c2)
+		}
+		h1, err := p.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2, err := p2.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if h1 != h2 {
+			t.Fatalf("hash changed across canonical round-trip: %s vs %s", h1, h2)
+		}
+	})
+}
