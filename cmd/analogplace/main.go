@@ -1,6 +1,6 @@
 // Command analogplace places a benchmark circuit with a selectable
-// representation and prints the resulting layout statistics and module
-// coordinates.
+// algorithm from the placer registry and prints the resulting layout
+// statistics, per-term cost breakdown and module coordinates.
 //
 // Usage:
 //
@@ -9,6 +9,17 @@
 //	            [-workers N] [-outline WxH] [-outline-weight W]
 //	            [-thermal W] [-prox W] [-wire W] [-area W] [-v]
 //	            [-json FILE] [-json-out FILE] [-json-req FILE]
+//	            [-algorithms]
+//
+// -algorithms lists the placer registry — every valid -method value
+// with its kind (flat/hierarchical) and portfolio eligibility — and
+// exits; the daemon serves the same listing on GET /v1/algorithms.
+// The CLI performs no algorithm dispatch of its own: the wire path
+// (-json/-json-out) runs any registered algorithm through
+// placer.Solve, so a backend registered with placer.Register is
+// immediately placeable here; the classic path is limited to the
+// paper's built-in methods (it drives internal/core's ablation
+// harness) and points registry-only algorithms at -json-out.
 //
 // -workers above 1 runs parallel multi-start annealing: that many
 // independent chains on separate cores, keeping the best placement.
@@ -50,53 +61,70 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strings"
 
 	"repro/internal/anneal"
 	"repro/internal/circuits"
 	"repro/internal/core"
+	"repro/internal/cost"
 	"repro/internal/geom"
 	"repro/internal/hbstar"
 	"repro/internal/render"
 	"repro/internal/service"
 	"repro/internal/wire"
+	"repro/placer"
 )
 
 func main() {
-	if err := run(); err != nil {
+	err := run(os.Args[1:], os.Stdout, os.Stderr)
+	if errors.Is(err, flag.ErrHelp) {
+		return // -h printed usage; that is success, not an error
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "analogplace:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	method := flag.String("method", "hbstar", "placement method: seqpair, bstar, hbstar, tcg, slicing, absolute, portfolio, esf, rsf")
-	bench := flag.String("bench", "miller", "benchmark: miller, folded, or a Table I name (miller_v2, comparator_v2, folded_casc, buffer, biasynth, lnamixbias)")
-	seed := flag.Int64("seed", 1, "random seed for stochastic methods")
-	workers := flag.Int("workers", 1, "parallel multi-start annealing chains (1 = serial)")
-	outline := flag.String("outline", "", "fixed outline as WxH (e.g. 400x300); adds a quadratic excess penalty")
-	outlineWeight := flag.Float64("outline-weight", 0, "fixed-outline penalty weight (0 = heuristic default)")
-	thermalWeight := flag.Float64("thermal", 0, "thermal-mismatch weight over symmetry pairs (0 = off)")
-	thermalSigma := flag.Float64("thermal-sigma", 0, "thermal decay length (0 = default 50)")
-	proxWeight := flag.Float64("prox", 0, "proximity-group pull weight for flat placers (0 = off)")
-	wireWeight := flag.Float64("wire", 0, "HPWL weight (0 = method default)")
-	areaWeight := flag.Float64("area", 0, "bounding-box area weight (0 = default 1)")
-	verbose := flag.Bool("v", false, "print module coordinates")
-	svgPath := flag.String("svg", "", "write the placement as SVG to this file")
-	jsonIn := flag.String("json", "", "read a wire-format Problem or Request from this file ('-' = stdin) instead of -bench")
-	jsonOut := flag.String("json-out", "", "write the wire-format Result to this file ('-' = stdout)")
-	jsonReq := flag.String("json-req", "", "write the assembled wire-format Request to this file ('-' = stdout) without solving; POST it to placed verbatim")
-	flag.Parse()
+func run(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("analogplace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	method := fs.String("method", "hbstar", "placement method: a placer-registry algorithm (see -algorithms), portfolio, esf or rsf")
+	bench := fs.String("bench", "miller", "benchmark: miller, folded, or a Table I name (miller_v2, comparator_v2, folded_casc, buffer, biasynth, lnamixbias)")
+	seed := fs.Int64("seed", 1, "random seed for stochastic methods")
+	workers := fs.Int("workers", 1, "parallel multi-start annealing chains (1 = serial)")
+	outline := fs.String("outline", "", "fixed outline as WxH (e.g. 400x300); adds a quadratic excess penalty")
+	outlineWeight := fs.Float64("outline-weight", 0, "fixed-outline penalty weight (0 = heuristic default)")
+	thermalWeight := fs.Float64("thermal", 0, "thermal-mismatch weight over symmetry pairs (0 = off)")
+	thermalSigma := fs.Float64("thermal-sigma", 0, "thermal decay length (0 = default 50)")
+	proxWeight := fs.Float64("prox", 0, "proximity-group pull weight for flat placers (0 = off)")
+	wireWeight := fs.Float64("wire", 0, "HPWL weight (0 = method default)")
+	areaWeight := fs.Float64("area", 0, "bounding-box area weight (0 = default 1)")
+	verbose := fs.Bool("v", false, "print module coordinates")
+	svgPath := fs.String("svg", "", "write the placement as SVG to this file")
+	jsonIn := fs.String("json", "", "read a wire-format Problem or Request from this file ('-' = stdin) instead of -bench")
+	jsonOut := fs.String("json-out", "", "write the wire-format Result to this file ('-' = stdout)")
+	jsonReq := fs.String("json-req", "", "write the assembled wire-format Request to this file ('-' = stdout) without solving; POST it to placed verbatim")
+	algorithms := fs.Bool("algorithms", false, "list the placer algorithm registry and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
-	if flag.NArg() > 0 {
-		return fmt.Errorf("unexpected argument %q (all inputs are flags)", flag.Arg(0))
+	if *algorithms {
+		printAlgorithms(stdout)
+		return nil
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (all inputs are flags)", fs.Arg(0))
 	}
 	set := map[string]bool{}
-	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	if *workers < 1 {
 		return fmt.Errorf("-workers must be at least 1 (got %d)", *workers)
@@ -161,15 +189,26 @@ func run() error {
 				set["thermal-sigma"] || set["prox"] || set["wire"] || set["area"],
 			bench:   *bench,
 			verbose: *verbose, svgPath: *svgPath,
-		})
+		}, stdout, stderr)
 	}
 
+	if *method == "portfolio" {
+		return fmt.Errorf("method portfolio needs the wire path: add -json-out (or -json)")
+	}
 	b, err := pickBench(*bench)
 	if err != nil {
 		return err
 	}
-	m, err := pickMethod(*method)
+	// The registry (plus core's deterministic esf/rsf) is the only
+	// method namespace; the CLI carries no dispatch of its own. The
+	// classic path runs core's paper-ablation harness, so it only
+	// knows the built-in methods — registered-but-not-built-in
+	// algorithms run through the wire path.
+	m, err := core.ParseMethod(*method)
 	if err != nil {
+		if placer.Known(*method) {
+			return fmt.Errorf("method %q is registry-only and needs the wire path: add -json-out (or -json)", *method)
+		}
 		return err
 	}
 	obj := &core.Objective{
@@ -194,28 +233,47 @@ func run() error {
 		return err
 	}
 	bb := res.Placement.BBox()
-	fmt.Printf("bench=%s method=%v modules=%d\n", b.Name, m, len(res.Placement))
-	fmt.Printf("bounding box: %dx%d  area usage: %.2f%%  legal: %v  runtime: %s\n",
+	fmt.Fprintf(stdout, "bench=%s method=%v modules=%d\n", b.Name, m, len(res.Placement))
+	fmt.Fprintf(stdout, "bounding box: %dx%d  area usage: %.2f%%  legal: %v  runtime: %s\n",
 		bb.W, bb.H, 100*res.AreaUsage, res.Legal, res.Runtime.Round(1e6))
+	printTermBreakdown(stdout, res.Breakdown)
 	if o := res.Outline; o != nil {
 		if o.Fits() {
-			fmt.Printf("outline %dx%d: bounding box fits\n", o.W, o.H)
+			fmt.Fprintf(stdout, "outline %dx%d: bounding box fits\n", o.W, o.H)
 		} else {
-			fmt.Printf("outline %dx%d: violated by %dx%d, penalty %.4g\n",
+			fmt.Fprintf(stdout, "outline %dx%d: violated by %dx%d, penalty %.4g\n",
 				o.W, o.H, o.ExcessW, o.ExcessH, o.Penalty)
 		}
 	}
-	printViolations(os.Stdout, stringifyErrs(res.Violations))
+	printViolations(stdout, stringifyErrs(res.Violations))
 	if *verbose {
-		printCoords(os.Stdout, res.Placement)
+		printCoords(stdout, res.Placement)
 	}
 	if *svgPath != "" {
 		if err := writeSVG(*svgPath, res.Placement); err != nil {
 			return err
 		}
-		fmt.Println("wrote", *svgPath)
+		fmt.Fprintln(stdout, "wrote", *svgPath)
 	}
 	return nil
+}
+
+// printAlgorithms lists the registry: one row per engine plus the
+// portfolio meta-method and the classic-only deterministic methods.
+func printAlgorithms(w io.Writer) {
+	fmt.Fprintf(w, "%-10s %-13s %-10s %s\n", "ALGORITHM", "KIND", "PORTFOLIO", "DESCRIPTION")
+	for _, v := range service.AlgorithmViews() {
+		eligible := "-"
+		if v.Portfolio {
+			eligible = "yes"
+		}
+		if v.Kind == "portfolio" {
+			eligible = ""
+		}
+		fmt.Fprintf(w, "%-10s %-13s %-10s %s\n", v.Name, v.Kind, eligible, v.Description)
+	}
+	fmt.Fprintf(w, "%-10s %-13s %-10s %s\n", "esf", "deterministic", "-", "Section IV enumeration with enhanced shape functions (classic path only)")
+	fmt.Fprintf(w, "%-10s %-13s %-10s %s\n", "rsf", "deterministic", "-", "Section IV enumeration with regular shape functions (classic path only)")
 }
 
 // wireArgs carries the flag state into the wire-format path.
@@ -239,7 +297,7 @@ type wireArgs struct {
 // runWire is the CLI end of the wire format: assemble a wire.Request
 // from a JSON file or a benchmark, solve it through the same
 // service.Solve path the placed daemon uses, and report.
-func runWire(a wireArgs) error {
+func runWire(a wireArgs, stdout, stderr io.Writer) error {
 	var req *wire.Request
 	fromFile := a.jsonIn != ""
 	if fromFile {
@@ -279,7 +337,7 @@ func runWire(a wireArgs) error {
 	// seed 1, the historical schedule).
 	if a.methodSet || !fromFile {
 		if !wire.KnownMethod(a.method) {
-			return fmt.Errorf("method %q has no wire representation", a.method)
+			return placer.ErrUnknownAlgorithm(a.method)
 		}
 		req.Options.Method = a.method
 	}
@@ -309,7 +367,7 @@ func runWire(a wireArgs) error {
 		if err != nil {
 			return err
 		}
-		return writeOutput(a.jsonReq, append(enc, '\n'), os.Stdout)
+		return writeOutput(a.jsonReq, append(enc, '\n'), stdout)
 	}
 
 	// Solve honors the request's own timeout_ms, same as the daemon.
@@ -318,9 +376,9 @@ func runWire(a wireArgs) error {
 		return err
 	}
 
-	humanOut := os.Stdout
+	humanOut := stdout
 	if a.jsonOut == "-" {
-		humanOut = os.Stderr // keep stdout pure JSON for piping
+		humanOut = stderr // keep stdout pure JSON for piping
 	}
 	name := res.Name
 	if name == "" {
@@ -329,6 +387,7 @@ func runWire(a wireArgs) error {
 	fmt.Fprintf(humanOut, "bench=%s method=%s modules=%d\n", name, res.Method, len(res.Placement))
 	fmt.Fprintf(humanOut, "bounding box: %dx%d  area usage: %.2f%%  legal: %v  cost: %.4g  runtime: %dms\n",
 		res.BBoxW, res.BBoxH, 100*res.AreaUsage, res.Legal, res.Cost, res.RuntimeMS)
+	printWireBreakdown(humanOut, res.Breakdown)
 	if res.Cancelled {
 		fmt.Fprintln(humanOut, "run cancelled: placement is best-so-far")
 	}
@@ -342,7 +401,7 @@ func runWire(a wireArgs) error {
 		if err != nil {
 			return err
 		}
-		if err := writeOutput(a.jsonOut, append(enc, '\n'), os.Stdout); err != nil {
+		if err := writeOutput(a.jsonOut, append(enc, '\n'), stdout); err != nil {
 			return err
 		}
 		if a.jsonOut != "-" {
@@ -356,6 +415,43 @@ func runWire(a wireArgs) error {
 		fmt.Fprintln(humanOut, "wrote", a.svgPath)
 	}
 	return nil
+}
+
+// printTermBreakdown reports a classic-path cost decomposition: each
+// term's weighted contribution, weights spelled out.
+func printTermBreakdown(w io.Writer, terms []cost.TermValue) {
+	if len(terms) == 0 {
+		return
+	}
+	parts := make([]string, len(terms))
+	for i, tv := range terms {
+		parts[i] = fmt.Sprintf("%s=%.4g", tv.Name, tv.Weight*tv.Value)
+	}
+	fmt.Fprintf(w, "cost breakdown: %s\n", strings.Join(parts, "  "))
+}
+
+// printWireBreakdown reports a wire result's named per-term fields
+// (weighted contributions; they sum to the result cost).
+func printWireBreakdown(w io.Writer, bd *wire.Breakdown) {
+	if bd == nil {
+		return
+	}
+	var parts []string
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{
+		{"area", bd.Area}, {"hpwl", bd.HPWL}, {"outline", bd.Outline},
+		{"proximity", bd.Proximity}, {"thermal", bd.Thermal},
+		{"overlap", bd.Overlap}, {"fragments", bd.Fragments},
+	} {
+		if f.v != 0 {
+			parts = append(parts, fmt.Sprintf("%s=%.4g", f.name, f.v))
+		}
+	}
+	if len(parts) > 0 {
+		fmt.Fprintf(w, "cost breakdown: %s\n", strings.Join(parts, "  "))
+	}
 }
 
 // decodeProblemOrRequest accepts either a bare wire Problem or a full
@@ -468,28 +564,4 @@ func pickBench(name string) (*circuits.Bench, error) {
 		return circuits.FoldedCascode(), nil
 	}
 	return circuits.TableIBench(name)
-}
-
-func pickMethod(name string) (core.Method, error) {
-	switch name {
-	case "seqpair":
-		return core.MethodSeqPair, nil
-	case "bstar":
-		return core.MethodBStar, nil
-	case "hbstar":
-		return core.MethodHBStar, nil
-	case "slicing":
-		return core.MethodSlicing, nil
-	case "absolute":
-		return core.MethodAbsolute, nil
-	case "tcg":
-		return core.MethodTCG, nil
-	case "esf":
-		return core.MethodDeterministicESF, nil
-	case "rsf":
-		return core.MethodDeterministicRSF, nil
-	case "portfolio":
-		return 0, fmt.Errorf("method portfolio needs the wire path: add -json-out (or -json)")
-	}
-	return 0, fmt.Errorf("unknown method %q", name)
 }

@@ -1,0 +1,178 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/service"
+	"repro/internal/wire"
+	"repro/placer"
+)
+
+// cli runs the command in-process, capturing stdout.
+func cli(t *testing.T, args ...string) (string, error) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	err := run(args, &stdout, &stderr)
+	return stdout.String(), err
+}
+
+// TestAlgorithmsFlag: -algorithms lists every registry engine, the
+// portfolio meta-method and the classic-only deterministic methods.
+func TestAlgorithmsFlag(t *testing.T) {
+	out, err := cli(t, "-algorithms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, info := range placer.Algorithms() {
+		if !strings.Contains(out, info.Name) {
+			t.Errorf("listing misses registered algorithm %q:\n%s", info.Name, out)
+		}
+	}
+	for _, name := range []string{"portfolio", "esf", "rsf", "hierarchical"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("listing misses %q:\n%s", name, out)
+		}
+	}
+}
+
+// TestUnknownMethodSharedError: a typo'd method must fail with the
+// placer registry's one shared message, on the classic path and the
+// wire path alike (the daemon shares it through wire.Options.Validate
+// — see the service package's registry test).
+func TestUnknownMethodSharedError(t *testing.T) {
+	want := placer.ErrUnknownAlgorithm("sorcery").Error()
+	if _, err := cli(t, "-bench", "miller", "-method", "sorcery"); err == nil || err.Error() != want {
+		t.Errorf("classic path: got %v, want %q", err, want)
+	}
+	if _, err := cli(t, "-bench", "miller", "-method", "sorcery", "-json-out", os.DevNull); err == nil || err.Error() != want {
+		t.Errorf("wire path: got %v, want %q", err, want)
+	}
+}
+
+// TestBreakdownInTextOutput: both output paths surface the per-term
+// cost breakdown.
+func TestBreakdownInTextOutput(t *testing.T) {
+	out, err := cli(t, "-bench", "miller", "-method", "seqpair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cost breakdown:") || !strings.Contains(out, "hpwl=") {
+		t.Errorf("classic output misses the cost breakdown:\n%s", out)
+	}
+	out, err = cli(t, "-bench", "miller", "-method", "seqpair",
+		"-json-out", filepath.Join(t.TempDir(), "res.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "cost breakdown:") || !strings.Contains(out, "area=") {
+		t.Errorf("wire output misses the cost breakdown:\n%s", out)
+	}
+}
+
+// TestPinCLIVsDaemonVsGolden is the CLI leg of the refactor pin: the
+// CLI's wire mode, the placed daemon's HTTP path, and the checked-in
+// pre-refactor fixture must all agree bit for bit on the Miller
+// seqpair placement.
+func TestPinCLIVsDaemonVsGolden(t *testing.T) {
+	dir := t.TempDir()
+
+	// CLI leg: solve through analogplace's wire mode.
+	resPath := filepath.Join(dir, "res.json")
+	if _, err := cli(t, "-bench", "miller", "-method", "seqpair", "-json-out", resPath); err != nil {
+		t.Fatal(err)
+	}
+	cliRes := readResult(t, resPath)
+
+	// Daemon leg: emit the very request the CLI solved (-json-req) and
+	// POST it to a placed-equivalent HTTP server.
+	reqPath := filepath.Join(dir, "req.json")
+	if _, err := cli(t, "-bench", "miller", "-method", "seqpair", "-json-req", reqPath); err != nil {
+		t.Fatal(err)
+	}
+	reqBody, err := os.ReadFile(reqPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := service.New(service.Config{Workers: 1})
+	defer sched.Close()
+	srv := httptest.NewServer(service.NewHandler(sched))
+	defer srv.Close()
+	httpRes, err := http.Post(srv.URL+"/v1/place?wait=1", "application/json", bytes.NewReader(reqBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpRes.Body.Close()
+	if httpRes.StatusCode != http.StatusOK {
+		t.Fatalf("daemon status %d", httpRes.StatusCode)
+	}
+	var view struct {
+		Result *wire.Result `json:"result"`
+	}
+	if err := json.NewDecoder(httpRes.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	if view.Result == nil {
+		t.Fatal("daemon job has no result")
+	}
+
+	// Pre-refactor leg: the golden fixture captured before the placer
+	// API existed.
+	golden := readResult(t, filepath.Join("..", "..", "placer", "testdata", "pin_miller_seqpair_result.json"))
+
+	for _, leg := range []struct {
+		name string
+		res  *wire.Result
+	}{{"daemon", view.Result}, {"pre-refactor golden", golden}} {
+		if cliRes.Cost != leg.res.Cost {
+			t.Errorf("CLI cost %v != %s cost %v", cliRes.Cost, leg.name, leg.res.Cost)
+		}
+		if len(cliRes.Placement) != len(leg.res.Placement) {
+			t.Fatalf("CLI placed %d modules, %s %d", len(cliRes.Placement), leg.name, len(leg.res.Placement))
+		}
+		for i := range cliRes.Placement {
+			if cliRes.Placement[i] != leg.res.Placement[i] {
+				t.Fatalf("module %d: CLI %+v != %s %+v", i, cliRes.Placement[i], leg.name, leg.res.Placement[i])
+			}
+		}
+	}
+}
+
+func readResult(t *testing.T, path string) *wire.Result {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &wire.Result{}
+	if err := json.Unmarshal(data, res); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestFlagValidation keeps the CLI's strict flag handling pinned
+// through the FlagSet restructure.
+func TestFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"positional"},
+		{"-workers", "0"},
+		{"-wire", "-1"},
+		{"-outline", "400x300junk"},
+		{"-json", ""},
+		{"-method", "esf", "-json-out", "-"},
+		{"-method", "portfolio"},
+		{"-json-req", "-", "-json-out", "-"},
+	}
+	for _, args := range cases {
+		if _, err := cli(t, args...); err == nil {
+			t.Errorf("%v: accepted, want error", args)
+		}
+	}
+}

@@ -13,6 +13,9 @@
 //	                      the finished job. Identical requests are
 //	                      answered from the content-addressed result
 //	                      cache, or coalesced onto the in-flight job.
+//	GET    /v1/algorithms the placer registry: every valid algorithm
+//	                      string with its kind (flat/hierarchical)
+//	                      and portfolio eligibility.
 //	GET    /v1/jobs/{id}  job state, live progress (best cost, stage,
 //	                      moves/sec) and, once terminal, the result.
 //	DELETE /v1/jobs/{id}  cancel: the job stops at the next annealing

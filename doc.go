@@ -126,12 +126,34 @@
 // groups cannot "win" a constrained problem on raw cost.
 //
 // cmd/placed serves the scheduler over HTTP: POST /v1/place (async,
-// or synchronous with ?wait=1), GET /v1/jobs/{id} for status,
-// progress and result, DELETE /v1/jobs/{id} to cancel, /healthz, and
-// Prometheus text metrics on /metrics (job states, queue/running
-// gauges, cache hit/miss counters, solve-latency histogram).
-// cmd/analogplace speaks the same wire format through -json (input)
-// and -json-out (output), so a request solves identically through the
-// CLI and the daemon; examples/serve walks the whole loop in one
-// process.
+// or synchronous with ?wait=1), GET /v1/algorithms for the registry,
+// GET /v1/jobs/{id} for status, progress and result,
+// DELETE /v1/jobs/{id} to cancel, /healthz, and Prometheus text
+// metrics on /metrics (job states, queue/running gauges, cache
+// hit/miss counters, solve-latency histogram). cmd/analogplace speaks
+// the same wire format through -json (input) and -json-out (output),
+// so a request solves identically through the CLI and the daemon;
+// examples/serve walks the whole loop in one process.
+//
+// # The public API
+//
+// Package repro/placer is the importable front door over all of the
+// above: one canonical placer.Problem (flat view plus optional design
+// hierarchy, losslessly convertible to and from the wire format via
+// wire.Problem.ToCanon and wire.FromCanon), an Engine interface with
+// a self-registration registry (placer.Register) behind which all six
+// built-in engines live, and a context-first
+// placer.Solve(ctx, problem, opts...) with functional options —
+// WithAlgorithm, WithPortfolio, WithWorkers, WithSeed, WithSchedule,
+// WithProgress (streaming per-stage snapshots), WithDeadline — that
+// returns a Result carrying the placement in module order, the
+// per-term cost breakdown and the annealing statistics. The service
+// layer, the CLI and every example are thin adapters over this one
+// entry point: the registry is the single algorithm namespace
+// (analogplace -algorithms and GET /v1/algorithms enumerate it), and
+// pin tests hold the CLI, the daemon and the public API bit-identical
+// on the Miller and n=1000 benchmarks. Runnable godoc examples on the
+// placer package double as compile-checked documentation; see
+// PERFORMANCE.md's "Public API" section for migration notes from
+// internal/place.
 package repro

@@ -1,6 +1,7 @@
 // Serve: the placement service end to end, in one process — start
 // the scheduler behind the same HTTP handler cmd/placed serves, then
-// act as a client: POST the Miller op amp in the canonical wire
+// act as a client: discover the valid algorithms from
+// GET /v1/algorithms, POST the Miller op amp in the canonical wire
 // format, poll the job to completion, re-POST the identical request
 // to hit the content-addressed result cache, race the portfolio, and
 // cancel a long run to get its best-so-far placement.
@@ -32,6 +33,14 @@ func main() {
 	defer srv.Close()
 	base := srv.URL
 
+	// 0. No guessing algorithm strings: the daemon lists the placer
+	// registry (every engine plus the portfolio meta-method).
+	fmt.Print("GET /v1/algorithms ->")
+	for _, a := range getAlgorithms(base) {
+		fmt.Printf(" %s", a.Name)
+	}
+	fmt.Println()
+
 	// The bench crosses the wire as a canonical, versioned problem;
 	// its hash is the content address identical requests share.
 	prob, err := wire.FromBench(circuits.MillerOpAmp())
@@ -51,6 +60,9 @@ func main() {
 	job = pollDone(base, job.ID)
 	fmt.Printf("  done: cost %.0f, %dx%d bounding box, legal=%v, violations=%d\n",
 		job.Result.Cost, job.Result.BBoxW, job.Result.BBoxH, job.Result.Legal, len(job.Result.Violations))
+	if bd := job.Result.Breakdown; bd != nil {
+		fmt.Printf("  cost breakdown: area %.0f + hpwl %.0f\n", bd.Area, bd.HPWL)
+	}
 
 	// 2. Identical POST: served from the result cache, same placement.
 	again := post(base, req, true)
@@ -101,6 +113,19 @@ func post(base string, req wire.Request, wait bool) service.JobView {
 
 func get(base, id string) service.JobView {
 	return httpDo(http.MethodGet, base+"/v1/jobs/"+id, nil)
+}
+
+func getAlgorithms(base string) []service.AlgorithmView {
+	resp, err := http.Get(base + "/v1/algorithms")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var views []service.AlgorithmView
+	if err := json.NewDecoder(resp.Body).Decode(&views); err != nil {
+		log.Fatal(err)
+	}
+	return views
 }
 
 func pollDone(base, id string) service.JobView {

@@ -32,6 +32,7 @@ import (
 	"repro/internal/place"
 	"repro/internal/shapefn"
 	"repro/internal/sizing"
+	"repro/placer"
 )
 
 // Method selects a placement engine.
@@ -70,6 +71,24 @@ func (m Method) String() string {
 		return "rsf"
 	}
 	return fmt.Sprintf("Method(%d)", int(m))
+}
+
+// ParseMethod resolves a CLI method name to its Method: the built-in
+// engine names plus the deterministic Section IV methods (esf, rsf),
+// which have no stochastic engine behind them. Algorithms that exist
+// only in the placer registry have no core.Method — core is the
+// paper-experiment harness over the built-ins — so callers offering
+// registry-external algorithms route them through placer.Solve
+// instead. Unknown names fail with the registry's shared
+// unknown-algorithm error, so the CLI, the daemon and placer.Solve
+// reject a typo with one message.
+func ParseMethod(name string) (Method, error) {
+	for m := MethodSeqPair; m <= MethodDeterministicRSF; m++ {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, placer.ErrUnknownAlgorithm(name)
 }
 
 // Objective tunes the composable placement cost (internal/cost) the
@@ -116,6 +135,9 @@ type PlaceResult struct {
 	// Outline reports the final bounding box against the requested
 	// fixed outline; nil when the objective requested none.
 	Outline *OutlineReport
+	// Breakdown decomposes the final cost per objective term (empty
+	// for the deterministic methods, which optimize no tunable cost).
+	Breakdown []cost.TermValue
 }
 
 // PlaceBench places a benchmark circuit with the selected method under
@@ -135,6 +157,7 @@ func PlaceBenchObjective(b *circuits.Bench, m Method, opt anneal.Options, obj *O
 	}
 	var pl geom.Placement
 	var violations []error
+	var breakdown []cost.TermValue
 
 	switch m {
 	case MethodSeqPair, MethodBStar, MethodSlicing, MethodAbsolute, MethodTCG:
@@ -164,6 +187,7 @@ func PlaceBenchObjective(b *circuits.Bench, m Method, opt anneal.Options, obj *O
 			return nil, err
 		}
 		pl = res.Placement
+		breakdown = res.Breakdown
 		if m == MethodSeqPair {
 			violations = prob.ConstraintSet().Violations(pl)
 		}
@@ -186,6 +210,7 @@ func PlaceBenchObjective(b *circuits.Bench, m Method, opt anneal.Options, obj *O
 			return nil, err
 		}
 		pl = res.Placement
+		breakdown = res.Breakdown
 		violations = res.Violations
 	case MethodDeterministicESF, MethodDeterministicRSF:
 		res, err := deterministic(b, m == MethodDeterministicESF)
@@ -205,6 +230,7 @@ func PlaceBenchObjective(b *circuits.Bench, m Method, opt anneal.Options, obj *O
 		Violations: violations,
 		Runtime:    time.Since(start),
 		Outline:    outlineReport(pl, obj),
+		Breakdown:  breakdown,
 	}, nil
 }
 

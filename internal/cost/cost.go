@@ -150,6 +150,26 @@ func (m *Model) Cost() float64 {
 	return cost
 }
 
+// TermValue is one term's contribution to a model's cost: the
+// registered name and weight, and the term's current unweighted value
+// (weight × value is the term's share of Cost).
+type TermValue struct {
+	Name   string
+	Weight float64
+	Value  float64
+}
+
+// Breakdown reports every term's current value, in registration
+// order. The weighted values sum to exactly Cost() (same float
+// summation order).
+func (m *Model) Breakdown() []TermValue {
+	out := make([]TermValue, len(m.terms))
+	for i, t := range m.terms {
+		out[i] = TermValue{Name: t.Name(), Weight: m.weights[i], Value: t.Value()}
+	}
+	return out
+}
+
 // Moved returns the module ids the last Update (or Eval: all) touched.
 // The slice aliases internal scratch and is valid until the next
 // evaluation.

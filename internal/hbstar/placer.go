@@ -9,6 +9,7 @@ import (
 	"repro/internal/bstar"
 	"repro/internal/circuits"
 	"repro/internal/constraint"
+	"repro/internal/cost"
 	"repro/internal/geom"
 )
 
@@ -114,6 +115,10 @@ type Result struct {
 	// proximity connectivity when the penalty could not remove them;
 	// symmetry is satisfied by construction).
 	Violations []error
+	// Breakdown decomposes Cost per objective term (area, hpwl,
+	// proximity-frag, outline, thermal), read from the winning
+	// solution's model so the weighted values sum to Cost exactly.
+	Breakdown []cost.TermValue
 }
 
 // solution adapts a Forest to the annealer. It implements both the
@@ -259,7 +264,7 @@ func Place(p *Problem, opt anneal.Options) (*Result, error) {
 		return nil, err
 	}
 	pl.Normalize()
-	res := &Result{Placement: pl, Cost: sol.cost, Stats: stats}
+	res := &Result{Placement: pl, Cost: sol.cost, Stats: stats, Breakdown: sol.obj.model.Breakdown()}
 	res.Violations = treeViolations(p.Bench.Tree, pl)
 	return res, nil
 }

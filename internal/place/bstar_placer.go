@@ -130,7 +130,7 @@ func BStar(p *Problem, opt anneal.Options) (*Result, error) {
 		return nil, err
 	}
 	pl.Normalize()
-	return &Result{Placement: pl, Cost: sol.cost, Stats: stats}, nil
+	return &Result{Placement: pl, Cost: sol.cost, Stats: stats, Breakdown: sol.model.Breakdown()}, nil
 }
 
 // absSolution is the absolute-coordinate baseline state: explicit
@@ -334,5 +334,5 @@ func Absolute(p *Problem, opt anneal.Options) (*Result, error) {
 	sol := best.(*absSolution)
 	pl := sol.prob.BuildPlacement(sol.x, sol.y, sol.rot)
 	pl.Normalize()
-	return &Result{Placement: pl, Cost: sol.cost, Stats: stats}, nil
+	return &Result{Placement: pl, Cost: sol.cost, Stats: stats, Breakdown: sol.model.Breakdown()}, nil
 }

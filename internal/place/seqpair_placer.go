@@ -16,6 +16,10 @@ type Result struct {
 	Placement geom.Placement
 	Cost      float64
 	Stats     anneal.Stats
+	// Breakdown decomposes Cost per objective term, read from the
+	// winning solution's own model, so the weighted values sum to Cost
+	// exactly (bit for bit).
+	Breakdown []cost.TermValue
 }
 
 // spSolution is a symmetric-feasible sequence-pair state for the
@@ -252,7 +256,7 @@ func SeqPair(p *Problem, opt anneal.Options) (*Result, error) {
 	if err := p.ConstraintSet().Check(pl); err != nil {
 		return nil, fmt.Errorf("place: internal error, result violates constraints: %v", err)
 	}
-	return &Result{Placement: pl, Cost: sol.cost, Stats: stats}, nil
+	return &Result{Placement: pl, Cost: sol.cost, Stats: stats, Breakdown: sol.model.Breakdown()}, nil
 }
 
 // SeqPairUnconstrainedMoves is the ablation variant of SeqPair: moves
@@ -280,7 +284,7 @@ func SeqPairUnconstrainedMoves(p *Problem, opt anneal.Options) (*Result, error) 
 		return nil, err
 	}
 	pl.Normalize()
-	return &Result{Placement: pl, Cost: sol.cost, Stats: stats}, nil
+	return &Result{Placement: pl, Cost: sol.cost, Stats: stats, Breakdown: sol.model.Breakdown()}, nil
 }
 
 // spRejectSolution perturbs without repairing and relies on the S-F

@@ -340,5 +340,5 @@ func Slicing(p *Problem, opt anneal.Options) (*Result, error) {
 		return nil, err
 	}
 	pl.Normalize()
-	return &Result{Placement: pl, Cost: sol.cost, Stats: stats}, nil
+	return &Result{Placement: pl, Cost: sol.cost, Stats: stats, Breakdown: sol.model.Breakdown()}, nil
 }

@@ -116,7 +116,7 @@ func TCG(p *Problem, opt anneal.Options) (*Result, error) {
 		return nil, err
 	}
 	pl.Normalize()
-	return &Result{Placement: pl, Cost: sol.cost, Stats: stats}, nil
+	return &Result{Placement: pl, Cost: sol.cost, Stats: stats, Breakdown: sol.model.Breakdown()}, nil
 }
 
 // TwoPhaseBStar runs the GA+SA two-phase strategy of Zhang et al.
@@ -136,5 +136,5 @@ func TwoPhaseBStar(p *Problem, ga anneal.GAOptions, sa anneal.Options) (*Result,
 		return nil, err
 	}
 	pl.Normalize()
-	return &Result{Placement: pl, Cost: sol.cost, Stats: stats}, nil
+	return &Result{Placement: pl, Cost: sol.cost, Stats: stats, Breakdown: sol.model.Breakdown()}, nil
 }

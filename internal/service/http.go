@@ -44,11 +44,12 @@ func (j *Job) View() JobView {
 
 // NewHandler exposes a scheduler over HTTP:
 //
-//	POST   /v1/place      submit a wire.Request; ?wait=1 blocks until done
-//	GET    /v1/jobs/{id}  job status, live progress, result
-//	DELETE /v1/jobs/{id}  cancel (returns promptly; best-so-far kept)
-//	GET    /healthz       liveness
-//	GET    /metrics       Prometheus text metrics
+//	POST   /v1/place       submit a wire.Request; ?wait=1 blocks until done
+//	GET    /v1/algorithms  the placer registry: valid algorithm strings
+//	GET    /v1/jobs/{id}   job status, live progress, result
+//	DELETE /v1/jobs/{id}   cancel (returns promptly; best-so-far kept)
+//	GET    /healthz        liveness
+//	GET    /metrics        Prometheus text metrics
 func NewHandler(s *Scheduler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/place", func(w http.ResponseWriter, r *http.Request) {
@@ -123,6 +124,10 @@ func NewHandler(s *Scheduler) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, job.View())
+	})
+
+	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, AlgorithmViews())
 	})
 
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {

@@ -14,8 +14,8 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/anneal"
 	"repro/internal/wire"
+	"repro/placer"
 )
 
 // State is a job's lifecycle position.
@@ -167,27 +167,27 @@ func (j *Job) progressLocked() (Progress, bool) {
 }
 
 // report folds one annealing stage snapshot into the live progress.
-// A source is one annealing chain — keyed by (method, chain id), so
-// multi-start workers reporting cumulative per-chain stats never
+// A source is one annealing chain — keyed by (algorithm, chain id),
+// so multi-start workers reporting cumulative per-chain stats never
 // clobber each other — and keeping the per-source max stage and min
 // cost makes the aggregate monotonic.
-func (j *Job) report(method string, st anneal.Stats) {
-	key := fmt.Sprintf("%s#%d", method, st.Worker)
+func (j *Job) report(p placer.Progress) {
+	key := fmt.Sprintf("%s#%d", p.Algorithm, p.Worker)
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	src := j.sources[key]
-	if !src.seen || st.BestCost < src.best {
-		src.best = st.BestCost
+	if !src.seen || p.Best < src.best {
+		src.best = p.Best
 	}
-	if st.Stages > src.stage {
-		src.stage = st.Stages
-		src.temp = st.FinalTemp
+	if p.Stage > src.stage {
+		src.stage = p.Stage
+		src.temp = p.Temp
 	}
-	// Stats are cumulative per chain; count only the delta so sums
+	// Snapshots are cumulative per chain; count only the delta so sums
 	// over chains stay exact.
-	j.moves += st.Moves - src.moves
-	if st.Moves > src.moves {
-		src.moves = st.Moves
+	j.moves += p.Moves - src.moves
+	if p.Moves > src.moves {
+		src.moves = p.Moves
 	}
 	src.seen = true
 	j.sources[key] = src

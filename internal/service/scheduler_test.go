@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/circuits"
 	"repro/internal/wire"
+	"repro/placer"
 )
 
 // quickOptions keeps test solves fast but long enough to observe.
@@ -255,7 +256,7 @@ func TestPortfolioPicksFeasible(t *testing.T) {
 		t.Fatalf("portfolio winner %s violates constraints: %v", res.Method, res.Violations)
 	}
 	found := false
-	for _, m := range portfolioMethods {
+	for _, m := range placer.PortfolioAlgorithms() {
 		if res.Method == m {
 			found = true
 		}

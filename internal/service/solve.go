@@ -3,64 +3,24 @@ package service
 import (
 	"context"
 	"fmt"
-	"runtime/debug"
-	"sort"
-	"sync"
 	"time"
 
-	"repro/internal/anneal"
-	"repro/internal/geom"
-	"repro/internal/hbstar"
-	"repro/internal/place"
 	"repro/internal/wire"
+	"repro/placer"
 )
-
-// annealOptions maps wire solver options onto the engine's, threading
-// the job context and the progress sink. Defaults come from
-// wire.Options.Normalize — the same normalization the cache key is
-// hashed over, so requests that hash identically always solve
-// identically (o is a copy; the caller's options are untouched).
-func annealOptions(ctx context.Context, o wire.Options, progress func(anneal.Stats)) anneal.Options {
-	o.Normalize()
-	return anneal.Options{
-		Seed:          o.Seed,
-		Workers:       o.Workers,
-		MovesPerStage: o.MovesPerStage,
-		MaxStages:     o.MaxStages,
-		StallStages:   o.StallStages,
-		Cooling:       o.Cooling,
-		InitialTemp:   o.InitialTemp,
-		MinTemp:       o.MinTemp,
-		Context:       ctx,
-		Progress:      progress,
-	}
-}
-
-// flatRunners are the wire methods backed by flat placers. Only the
-// sequence-pair placer enforces symmetry groups by construction; the
-// others ignore them in their move sets but still optimize the
-// identical composite objective (including the thermal term over
-// symmetry pairs), so portfolio mode compares like for like, and
-// every result is judged against the problem's full constraint set.
-var flatRunners = map[string]func(*place.Problem, anneal.Options) (*place.Result, error){
-	wire.MethodSeqPair:  place.SeqPair,
-	wire.MethodBStar:    place.BStar,
-	wire.MethodTCG:      place.TCG,
-	wire.MethodSlicing:  place.Slicing,
-	wire.MethodAbsolute: place.Absolute,
-}
-
-// portfolioMethods are raced by MethodPortfolio, in tie-break order.
-var portfolioMethods = []string{wire.MethodSeqPair, wire.MethodBStar, wire.MethodTCG}
 
 // Solve runs one wire request to completion (or cancellation) and
 // builds the wire result; it is the one solve path shared by the
 // scheduler, the CLI's -json mode and client examples, and it alone
 // converts the request's timeout_ms into a context deadline (callers
-// layer their own ceilings on ctx). The progress callback (may be
-// nil) receives every annealing stage snapshot tagged with the
-// method that produced it.
-func Solve(ctx context.Context, req *wire.Request, progress func(method string, st anneal.Stats)) (*wire.Result, error) {
+// layer their own ceilings on ctx). It is a thin adapter over
+// placer.Solve: the wire problem converts to the canonical
+// placer.Problem, the options map onto functional options, and the
+// placer registry does all algorithm dispatch — the service carries
+// no algorithm switch of its own. The progress callback (may be nil)
+// receives every annealing stage snapshot tagged with the algorithm
+// that produced it.
+func Solve(ctx context.Context, req *wire.Request, progress func(placer.Progress)) (*wire.Result, error) {
 	// Always solve the canonical form, whatever the caller's spelling:
 	// content-addressed caching is only sound if the normalized
 	// encoding is also the one that runs. Normalize never masks
@@ -75,212 +35,113 @@ func Solve(ctx context.Context, req *wire.Request, progress func(method string, 
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(t)*time.Millisecond)
 		defer cancel()
 	}
+	opts := []placer.Option{
+		placer.WithSeed(req.Options.Seed),
+		placer.WithWorkers(req.Options.Workers),
+		placer.WithSchedule(req.Options.Schedule()),
+	}
+	if req.Options.Method == wire.MethodPortfolio {
+		opts = append(opts, placer.WithPortfolio())
+	} else {
+		opts = append(opts, placer.WithAlgorithm(req.Options.Method)) // Normalize made the method explicit
+	}
+	if progress != nil {
+		opts = append(opts, placer.WithProgress(progress))
+	}
 	start := time.Now()
-	res, err := solveMethod(ctx, req.Options.Method, req, progress) // Normalize made the method explicit
+	res, err := placer.Solve(ctx, req.Problem.ToCanon(), opts...)
 	if err != nil {
 		return nil, err
 	}
-	if res.Stages == 0 && !res.Cancelled {
-		// A degenerate schedule (e.g. min_temp above the calibrated
-		// initial temperature, which static validation cannot see)
-		// would hand back — and cache — the random initial placement
-		// as if it were solved.
-		return nil, fmt.Errorf("service: schedule ran zero annealing stages; check min_temp against the (calibrated) initial temperature")
-	}
-	res.RuntimeMS = time.Since(start).Milliseconds()
-	return res, nil
-}
-
-func solveMethod(ctx context.Context, method string, req *wire.Request, progress func(string, anneal.Stats)) (*wire.Result, error) {
-	switch method {
-	case wire.MethodPortfolio:
-		return solvePortfolio(ctx, req, progress)
-	case wire.MethodHBStar:
-		return solveHBStar(ctx, req, progress)
-	default:
-		return solveFlat(ctx, method, req, progress)
-	}
-}
-
-func solveFlat(ctx context.Context, method string, req *wire.Request, progress func(string, anneal.Stats)) (*wire.Result, error) {
-	runner, ok := flatRunners[method]
-	if !ok {
-		return nil, fmt.Errorf("service: unknown method %q", method)
-	}
-	prob, err := req.Problem.Place()
-	if err != nil {
-		return nil, err
-	}
-	var sink func(anneal.Stats)
-	if progress != nil {
-		sink = func(st anneal.Stats) { progress(method, st) }
-	}
-	res, err := runner(prob, annealOptions(ctx, req.Options, sink))
-	if err != nil {
-		return nil, err
-	}
-	return buildResult(&req.Problem, method, prob, res.Placement, res.Cost, res.Stats), nil
-}
-
-func solveHBStar(ctx context.Context, req *wire.Request, progress func(string, anneal.Stats)) (*wire.Result, error) {
-	bench, err := req.Problem.Bench()
-	if err != nil {
-		return nil, err
-	}
-	obj := req.Problem.Objective
-	// prox_weight tunes the flat placers' pull term only; the
-	// hierarchical placer always enforces proximity through its
-	// fragments penalty (same contract as core.PlaceBenchObjective).
-	hp := &hbstar.Problem{
-		Bench:         bench,
-		AreaWeight:    obj.AreaWeight,
-		WireWeight:    obj.WireWeight,
-		OutlineW:      obj.OutlineW,
-		OutlineH:      obj.OutlineH,
-		OutlineWeight: obj.OutlineWeight,
-		ThermalWeight: obj.ThermalWeight,
-		ThermalSigma:  obj.ThermalSigma,
-	}
-	if len(req.Problem.Power) > 0 {
-		hp.Power = make(map[string]float64, len(req.Problem.Power))
-		for i, pw := range req.Problem.Power {
-			hp.Power[req.Problem.Modules[i].Name] = pw
-		}
-	}
-	var sink func(anneal.Stats)
-	if progress != nil {
-		sink = func(st anneal.Stats) { progress(wire.MethodHBStar, st) }
-	}
-	res, err := hbstar.Place(hp, annealOptions(ctx, req.Options, sink))
-	if err != nil {
-		return nil, err
-	}
-	out := placementResult(&req.Problem, wire.MethodHBStar, res.Placement, res.Cost, res.Stats)
-	for _, v := range res.Violations {
-		out.Violations = append(out.Violations, v.Error())
-	}
+	// The wire result names the algorithm that produced the placement;
+	// under method=portfolio that is the winning racer, same as before
+	// the placer refactor, so clients learn which representation won.
+	out := wireResult(&req.Problem, res.Algorithm, res)
+	out.RuntimeMS = time.Since(start).Milliseconds()
 	return out, nil
 }
 
-// solvePortfolio races the three fast flat representations on the
-// same problem concurrently — each chain honors the job context, so
-// one DELETE cancels the whole race — and keeps the winner. Ranking
-// is feasibility first (fewest constraint violations), then cost,
-// then the fixed method order, so a symmetry-constrained problem is
-// never "won" by a representation that ignored its symmetry groups,
-// and the choice is deterministic.
-func solvePortfolio(ctx context.Context, req *wire.Request, progress func(string, anneal.Stats)) (*wire.Result, error) {
-	type entry struct {
-		res *wire.Result
-		err error
+// wireResult encodes a placer result onto the wire.
+func wireResult(p *wire.Problem, method string, res *placer.Result) *wire.Result {
+	out := &wire.Result{
+		Version:    wire.Version,
+		Name:       p.Name,
+		Method:     method,
+		Cost:       res.Cost,
+		Breakdown:  wireBreakdown(res.Breakdown),
+		BBoxW:      res.BBoxW,
+		BBoxH:      res.BBoxH,
+		AreaUsage:  res.AreaUsage,
+		Legal:      res.Legal,
+		Violations: res.Violations,
+		Cancelled:  res.Cancelled,
+		Stages:     res.Stages,
+		Moves:      res.Moves,
 	}
-	results := make([]entry, len(portfolioMethods))
-	// The racers split the request's worker budget rather than each
-	// claiming it, so method=portfolio cannot multiply the MaxWorkers
-	// ceiling by the racer count.
-	racerReq := *req
-	racerReq.Options.Workers = max(1, req.Options.Workers/len(portfolioMethods))
-	req = &racerReq
-	var wg sync.WaitGroup
-	wg.Add(len(portfolioMethods))
-	for i, m := range portfolioMethods {
-		go func(i int, m string) {
-			defer wg.Done()
-			defer func() {
-				// One racer's panic fails that racer, not the daemon:
-				// this goroutine is outside the scheduler's recover.
-				if r := recover(); r != nil {
-					results[i] = entry{nil, fmt.Errorf("service: %s racer panic: %v\n%s", m, r, debug.Stack())}
-				}
-			}()
-			res, err := solveMethod(ctx, m, req, progress)
-			results[i] = entry{res, err}
-		}(i, m)
-	}
-	wg.Wait()
-
-	order := make([]int, 0, len(results))
-	var firstErr error
-	for i, e := range results {
-		if e.err != nil {
-			if firstErr == nil {
-				firstErr = e.err
-			}
-			continue
-		}
-		order = append(order, i)
-	}
-	if len(order) == 0 {
-		return nil, fmt.Errorf("service: every portfolio racer failed: %v", firstErr)
-	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ra, rb := results[order[a]].res, results[order[b]].res
-		if len(ra.Violations) != len(rb.Violations) {
-			return len(ra.Violations) < len(rb.Violations)
-		}
-		if ra.Cost != rb.Cost {
-			return ra.Cost < rb.Cost
-		}
-		return order[a] < order[b]
-	})
-	win := results[order[0]].res
-	if win.Stages == 0 && !win.Cancelled {
-		// Checked on the winner's own counters, before loser
-		// aggregation can mask it: a zero-stage winner is its random
-		// initial placement, not a solved one (see Solve's guard).
-		return nil, fmt.Errorf("service: portfolio winner %s ran zero annealing stages; check min_temp against the (calibrated) initial temperature", win.Method)
-	}
-	// Aggregate race-wide counters so progress and result agree on the
-	// total work done — and the race-wide cancellation: if any racer
-	// was truncated, the race is not the full deterministic race, so
-	// the result must be flagged cancelled (and therefore never
-	// cached), even when the winning racer itself ran to completion.
-	// A deadline-free identical request must not be served a
-	// deadline-shaped winner.
-	for _, i := range order[1:] {
-		win.Stages += results[i].res.Stages
-		win.Moves += results[i].res.Moves
-		if results[i].res.Cancelled {
-			win.Cancelled = true
-		}
-	}
-	return win, nil
-}
-
-// buildResult judges a flat placer's output against the problem's
-// full constraint set (symmetry included, whether or not the
-// representation enforced it by construction).
-func buildResult(p *wire.Problem, method string, full *place.Problem, pl geom.Placement, cost float64, stats anneal.Stats) *wire.Result {
-	out := placementResult(p, method, pl, cost, stats)
-	for _, v := range full.ConstraintSet().Violations(pl) {
-		out.Violations = append(out.Violations, v.Error())
+	// Wire placements list modules in problem order (placer.Result
+	// already does), so byte-equal results mean identical placements.
+	for _, m := range res.Placement {
+		out.Placement = append(out.Placement, wire.Placed(m))
 	}
 	return out
 }
 
-// placementResult assembles the common wire result fields from a
-// named placement.
-func placementResult(p *wire.Problem, method string, pl geom.Placement, cost float64, stats anneal.Stats) *wire.Result {
-	bb := pl.BBox()
-	out := &wire.Result{
-		Version:   wire.Version,
-		Name:      p.Name,
-		Method:    method,
-		Cost:      cost,
-		BBoxW:     bb.W,
-		BBoxH:     bb.H,
-		AreaUsage: pl.AreaUsage(),
-		Legal:     pl.Legal(),
-		Cancelled: stats.Cancelled,
-		Stages:    stats.Stages,
-		Moves:     stats.Moves,
+// wireBreakdown maps the per-term cost decomposition onto the named
+// wire fields (weighted contributions; they sum to the result cost).
+func wireBreakdown(terms []placer.TermCost) *wire.Breakdown {
+	if len(terms) == 0 {
+		return nil
 	}
-	// Wire placements list modules in problem order, so byte-equal
-	// results mean identical placements.
-	for _, m := range p.Modules {
-		if r, ok := pl[m.Name]; ok {
-			out.Placement = append(out.Placement, wire.Placed{Name: m.Name, X: r.X, Y: r.Y, W: r.W, H: r.H})
+	bd := &wire.Breakdown{}
+	for _, t := range terms {
+		switch t.Name {
+		case "area":
+			bd.Area = t.Cost
+		case "hpwl":
+			bd.HPWL = t.Cost
+		case "outline":
+			bd.Outline = t.Cost
+		case "proximity":
+			bd.Proximity = t.Cost
+		case "thermal":
+			bd.Thermal = t.Cost
+		case "overlap":
+			bd.Overlap = t.Cost
+		case "proximity-frag":
+			bd.Fragments = t.Cost
 		}
 	}
+	return bd
+}
+
+// AlgorithmView is one registry entry on the HTTP API and in the
+// CLI's -algorithms listing.
+type AlgorithmView struct {
+	Name        string `json:"name"`
+	Kind        string `json:"kind"` // flat, hierarchical, or portfolio (the meta-method)
+	Portfolio   bool   `json:"portfolio"`
+	Description string `json:"description,omitempty"`
+}
+
+// AlgorithmViews lists every valid wire method from the placer
+// registry: the registered engines (name, flat/hierarchical,
+// portfolio eligibility) plus the portfolio meta-method, so clients
+// never have to guess valid `algorithm` strings.
+func AlgorithmViews() []AlgorithmView {
+	infos := placer.Algorithms()
+	out := make([]AlgorithmView, 0, len(infos)+1)
+	for _, info := range infos {
+		out = append(out, AlgorithmView{
+			Name:        info.Name,
+			Kind:        info.Kind(),
+			Portfolio:   info.PortfolioEligible(),
+			Description: info.Description,
+		})
+	}
+	out = append(out, AlgorithmView{
+		Name:        wire.MethodPortfolio,
+		Kind:        "portfolio",
+		Description: fmt.Sprintf("races %v concurrently and keeps the best feasible placement", placer.PortfolioAlgorithms()),
+	})
 	return out
 }

@@ -1,94 +1,143 @@
 package wire
 
 import (
-	"fmt"
-
 	"repro/internal/circuits"
 	"repro/internal/constraint"
-	"repro/internal/netlist"
 	"repro/internal/place"
-	"repro/internal/seqpair"
+	"repro/placer"
 )
 
-// Place converts the wire problem into the flat placement problem the
-// sequence-pair, B*-tree, TCG, slicing and absolute placers consume.
-func (p *Problem) Place() (*place.Problem, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
+// ToCanon converts the wire problem to the canonical placer.Problem —
+// a deep copy, losslessly (nil-versus-empty distinctions preserved,
+// so normalizing either representation yields the same canonical
+// bytes). The wire version is transport framing and is dropped;
+// Validate checks it separately.
+func (p *Problem) ToCanon() *placer.Problem {
+	cp := &placer.Problem{
+		Name:      p.Name,
+		Nets:      cloneIDLists(p.Nets),
+		Proximity: cloneIDLists(p.Proximity),
+		Power:     append([]float64(nil), p.Power...),
+		Objective: placer.Objective{
+			AreaWeight:    p.Objective.AreaWeight,
+			WireWeight:    p.Objective.WireWeight,
+			OutlineW:      p.Objective.OutlineW,
+			OutlineH:      p.Objective.OutlineH,
+			OutlineWeight: p.Objective.OutlineWeight,
+			ProxWeight:    p.Objective.ProxWeight,
+			ThermalWeight: p.Objective.ThermalWeight,
+			ThermalSigma:  p.Objective.ThermalSigma,
+		},
+		Hierarchy: nodeToCanon(p.Hierarchy),
 	}
-	n := len(p.Modules)
-	pp := &place.Problem{
-		Names:         make([]string, n),
-		W:             make([]int, n),
-		H:             make([]int, n),
-		Nets:          cloneIDLists(p.Nets),
-		ProxGroups:    cloneIDLists(p.Proximity),
-		AreaWeight:    p.Objective.AreaWeight,
-		WireWeight:    p.Objective.WireWeight,
-		OutlineW:      p.Objective.OutlineW,
-		OutlineH:      p.Objective.OutlineH,
-		OutlineWeight: p.Objective.OutlineWeight,
-		ProxWeight:    p.Objective.ProxWeight,
-		ThermalWeight: p.Objective.ThermalWeight,
-		ThermalSigma:  p.Objective.ThermalSigma,
-		Power:         append([]float64(nil), p.Power...),
-	}
-	for i, m := range p.Modules {
-		pp.Names[i] = m.Name
-		pp.W[i] = m.W
-		pp.H[i] = m.H
-	}
-	for _, g := range p.Symmetry {
-		pp.Groups = append(pp.Groups, seqpair.Group{
-			Pairs: clonePairs(g.Pairs),
-			Selfs: append([]int(nil), g.Selfs...),
-		})
-	}
-	if len(pp.Groups) == 0 && p.Hierarchy != nil {
-		// Symmetry spelled only in the hierarchy still binds the flat
-		// placers: derive device-level groups exactly as
-		// place.FromBench does from a bench tree (pairs naming child
-		// nodes rather than modules cannot be expressed flat and are
-		// skipped, as there).
-		id := make(map[string]int, len(p.Modules))
+	if p.Modules != nil {
+		cp.Modules = make([]placer.Module, len(p.Modules))
 		for i, m := range p.Modules {
-			id[m.Name] = i
+			cp.Modules[i] = placer.Module{Name: m.Name, W: m.W, H: m.H}
 		}
-		pp.Groups = append(pp.Groups, hierarchyGroups(p.Hierarchy, id)...)
 	}
-	if err := pp.Validate(); err != nil {
-		return nil, err
+	if p.Symmetry != nil {
+		cp.Symmetry = make([]placer.SymGroup, len(p.Symmetry))
+		for i, g := range p.Symmetry {
+			cp.Symmetry[i] = placer.SymGroup{
+				Pairs: clonePairs(g.Pairs),
+				Selfs: append([]int(nil), g.Selfs...),
+			}
+		}
 	}
-	return pp, nil
+	return cp
 }
 
-// hierarchyGroups collects the device-level symmetry groups of a wire
-// hierarchy: one group per symmetry node, members resolved through
-// the module-name index.
-func hierarchyGroups(nd *Node, id map[string]int) []seqpair.Group {
-	var groups []seqpair.Group
-	if nd.Kind == "symmetry" {
-		g := seqpair.Group{}
-		for _, pr := range nd.Pairs {
-			a, oka := id[pr[0]]
-			b, okb := id[pr[1]]
-			if oka && okb {
-				g.Pairs = append(g.Pairs, [2]int{a, b})
-			}
-		}
-		for _, s := range nd.Selfs {
-			if m, ok := id[s]; ok {
-				g.Selfs = append(g.Selfs, m)
-			}
-		}
-		if g.Size() > 0 {
-			groups = append(groups, g)
+// FromCanon encodes a canonical placer.Problem onto the wire — a deep
+// copy, losslessly, with the version written explicitly. The input is
+// not normalized implicitly; encode what you mean.
+func FromCanon(cp *placer.Problem) *Problem {
+	p := &Problem{
+		Version:   Version,
+		Name:      cp.Name,
+		Nets:      cloneIDLists(cp.Nets),
+		Proximity: cloneIDLists(cp.Proximity),
+		Power:     append([]float64(nil), cp.Power...),
+		Objective: Objective{
+			AreaWeight:    cp.Objective.AreaWeight,
+			WireWeight:    cp.Objective.WireWeight,
+			OutlineW:      cp.Objective.OutlineW,
+			OutlineH:      cp.Objective.OutlineH,
+			OutlineWeight: cp.Objective.OutlineWeight,
+			ProxWeight:    cp.Objective.ProxWeight,
+			ThermalWeight: cp.Objective.ThermalWeight,
+			ThermalSigma:  cp.Objective.ThermalSigma,
+		},
+		Hierarchy: nodeFromCanon(cp.Hierarchy),
+	}
+	if cp.Modules != nil {
+		p.Modules = make([]Module, len(cp.Modules))
+		for i, m := range cp.Modules {
+			p.Modules[i] = Module{Name: m.Name, W: m.W, H: m.H}
 		}
 	}
-	for _, c := range nd.Children {
-		groups = append(groups, hierarchyGroups(c, id)...)
+	if cp.Symmetry != nil {
+		p.Symmetry = make([]SymGroup, len(cp.Symmetry))
+		for i, g := range cp.Symmetry {
+			p.Symmetry[i] = SymGroup{
+				Pairs: clonePairs(g.Pairs),
+				Selfs: append([]int(nil), g.Selfs...),
+			}
+		}
 	}
-	return groups
+	return p
+}
+
+func nodeToCanon(nd *Node) *placer.Node {
+	if nd == nil {
+		return nil
+	}
+	c := &placer.Node{
+		Name:    nd.Name,
+		Kind:    nd.Kind,
+		Devices: append([]string(nil), nd.Devices...),
+		Pairs:   append([][2]string(nil), nd.Pairs...),
+		Selfs:   append([]string(nil), nd.Selfs...),
+	}
+	if nd.Units != nil {
+		c.Units = make(map[string][]string, len(nd.Units))
+		for k, v := range nd.Units {
+			c.Units[k] = append([]string(nil), v...)
+		}
+	}
+	if nd.Children != nil {
+		c.Children = make([]*placer.Node, len(nd.Children))
+		for i, ch := range nd.Children {
+			c.Children[i] = nodeToCanon(ch)
+		}
+	}
+	return c
+}
+
+func nodeFromCanon(cn *placer.Node) *Node {
+	if cn == nil {
+		return nil
+	}
+	nd := &Node{
+		Name:    cn.Name,
+		Kind:    cn.Kind,
+		Devices: append([]string(nil), cn.Devices...),
+		Pairs:   append([][2]string(nil), cn.Pairs...),
+		Selfs:   append([]string(nil), cn.Selfs...),
+	}
+	if cn.Units != nil {
+		nd.Units = make(map[string][]string, len(cn.Units))
+		for k, v := range cn.Units {
+			nd.Units[k] = append([]string(nil), v...)
+		}
+	}
+	if cn.Children != nil {
+		nd.Children = make([]*Node, len(cn.Children))
+		for i, ch := range cn.Children {
+			nd.Children[i] = nodeFromCanon(ch)
+		}
+	}
+	return nd
 }
 
 // FromPlace encodes a flat placement problem onto the wire. The
@@ -154,13 +203,6 @@ var kindNames = map[constraint.Kind]string{
 	constraint.KindProximity:      "proximity",
 }
 
-var kindValues = map[string]constraint.Kind{
-	"":                constraint.KindNone,
-	"symmetry":        constraint.KindSymmetry,
-	"common_centroid": constraint.KindCommonCentroid,
-	"proximity":       constraint.KindProximity,
-}
-
 func fromConstraintNode(n *constraint.Node) *Node {
 	nd := &Node{
 		Name:    n.Name,
@@ -181,132 +223,17 @@ func fromConstraintNode(n *constraint.Node) *Node {
 	return nd
 }
 
-func toConstraintNode(nd *Node) *constraint.Node {
-	n := &constraint.Node{
-		Name:     nd.Name,
-		Kind:     kindValues[nd.Kind],
-		Devices:  append([]string(nil), nd.Devices...),
-		SymPairs: append([][2]string(nil), nd.Pairs...),
-		SymSelfs: append([]string(nil), nd.Selfs...),
-	}
-	if nd.Units != nil {
-		n.Units = make(map[string][]string, len(nd.Units))
-		for k, v := range nd.Units {
-			n.Units[k] = append([]string(nil), v...)
-		}
-	}
-	for _, c := range nd.Children {
-		n.Children = append(n.Children, toConstraintNode(c))
-	}
-	return n
+func clonePairs(ps [][2]int) [][2]int {
+	return append([][2]int(nil), ps...)
 }
 
-// Bench materializes the wire problem as a benchmark circuit for the
-// hierarchical placer: modules become block devices, nets become
-// signal nets, and the hierarchy becomes the constraint tree. When
-// the problem carries no hierarchy, one is synthesized from the flat
-// constraints — a symmetry node per symmetry group, a proximity node
-// per proximity group, everything else directly at the root — so any
-// wire problem can be solved hierarchically. Modules the hierarchy
-// does not mention are attached to the root.
-func (p *Problem) Bench() (*circuits.Bench, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
+func cloneIDLists(lists [][]int) [][]int {
+	if lists == nil {
+		return nil
 	}
-	name := p.Name
-	if name == "" {
-		name = "wire"
+	out := make([][]int, len(lists))
+	for i, l := range lists {
+		out[i] = append([]int(nil), l...)
 	}
-	c := netlist.NewCircuit(name)
-	for _, m := range p.Modules {
-		if err := c.Add(&netlist.Device{Name: m.Name, Type: netlist.Block, FW: m.W, FH: m.H}); err != nil {
-			return nil, fmt.Errorf("wire: %v", err)
-		}
-	}
-	var tree *constraint.Node
-	if p.Hierarchy != nil {
-		tree = toConstraintNode(p.Hierarchy)
-	} else {
-		tree = p.synthesizeTree(name)
-	}
-	attachUncovered(tree, p.Modules)
-	nets := make(map[string][]string, len(p.Nets))
-	for i, net := range p.Nets {
-		devs := make([]string, len(net))
-		for j, m := range net {
-			devs[j] = p.Modules[m].Name
-		}
-		nets[fmt.Sprintf("net%d", i)] = devs
-	}
-	return &circuits.Bench{Name: name, Circuit: c, Tree: tree, Nets: nets}, nil
-}
-
-// synthesizeTree builds a one-level hierarchy from the flat symmetry
-// and proximity groups.
-func (p *Problem) synthesizeTree(name string) *constraint.Node {
-	root := &constraint.Node{Name: name}
-	for gi, g := range p.Symmetry {
-		ch := &constraint.Node{
-			Name: fmt.Sprintf("sym%d", gi),
-			Kind: constraint.KindSymmetry,
-		}
-		for _, pr := range g.Pairs {
-			a, b := p.Modules[pr[0]].Name, p.Modules[pr[1]].Name
-			ch.Devices = append(ch.Devices, a, b)
-			ch.SymPairs = append(ch.SymPairs, [2]string{a, b})
-		}
-		for _, s := range g.Selfs {
-			n := p.Modules[s].Name
-			ch.Devices = append(ch.Devices, n)
-			ch.SymSelfs = append(ch.SymSelfs, n)
-		}
-		root.Children = append(root.Children, ch)
-	}
-	covered := make(map[int]bool)
-	for _, g := range p.Symmetry {
-		for _, pr := range g.Pairs {
-			covered[pr[0]], covered[pr[1]] = true, true
-		}
-		for _, s := range g.Selfs {
-			covered[s] = true
-		}
-	}
-	for gi, grp := range p.Proximity {
-		ch := &constraint.Node{
-			Name: fmt.Sprintf("prox%d", gi),
-			Kind: constraint.KindProximity,
-		}
-		for _, m := range grp {
-			if covered[m] {
-				continue // symmetry placement wins; proximity stays a soft cost
-			}
-			covered[m] = true
-			ch.Devices = append(ch.Devices, p.Modules[m].Name)
-		}
-		if len(ch.Devices) >= 2 {
-			root.Children = append(root.Children, ch)
-		}
-	}
-	return root
-}
-
-// attachUncovered adds modules the tree does not own to the root, so
-// the hierarchical placer places every module.
-func attachUncovered(root *constraint.Node, modules []Module) {
-	owned := make(map[string]bool)
-	var walk func(n *constraint.Node)
-	walk = func(n *constraint.Node) {
-		for _, d := range n.Devices {
-			owned[d] = true
-		}
-		for _, c := range n.Children {
-			walk(c)
-		}
-	}
-	walk(root)
-	for _, m := range modules {
-		if !owned[m.Name] {
-			root.Devices = append(root.Devices, m.Name)
-		}
-	}
+	return out
 }

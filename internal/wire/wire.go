@@ -5,6 +5,12 @@
 // hierarchical placer), Options describe how to solve it, and a
 // Request bundles the two. Result carries a solved placement back.
 //
+// The format is the JSON transport encoding of the public
+// placer.Problem: ToCanon and FromCanon convert losslessly between
+// the two, and validation and normalization are delegated to the
+// placer package so the wire format and the public API can never
+// disagree about what a well-formed problem is.
+//
 // The format is strict and canonical. Decoding rejects unknown
 // fields, trailing data and semantically invalid problems; decoded
 // values are normalized (member lists sorted, defaults made explicit)
@@ -21,7 +27,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"math"
-	"sort"
+
+	"repro/placer"
 )
 
 // Version is the current wire format version. Decoders accept
@@ -87,26 +94,25 @@ type Problem struct {
 	Hierarchy *Node      `json:"hierarchy,omitempty"`
 }
 
-// Methods the service understands. MethodPortfolio races the three
-// fast flat representations and keeps the best feasible placement.
+// Methods the service understands: the placer registry's algorithms,
+// plus MethodPortfolio, which races the portfolio-eligible flat
+// representations and keeps the best feasible placement.
 const (
-	MethodSeqPair   = "seqpair"
-	MethodBStar     = "bstar"
-	MethodTCG       = "tcg"
-	MethodSlicing   = "slicing"
-	MethodAbsolute  = "absolute"
-	MethodHBStar    = "hbstar"
+	MethodSeqPair   = placer.SeqPair
+	MethodBStar     = placer.BStar
+	MethodTCG       = placer.TCG
+	MethodSlicing   = placer.Slicing
+	MethodAbsolute  = placer.Absolute
+	MethodHBStar    = placer.HBStar
 	MethodPortfolio = "portfolio"
 )
 
-// KnownMethod reports whether name is a method the service can run.
+// KnownMethod reports whether name is a method the service can run:
+// any algorithm in the placer registry, or the portfolio race. New
+// engines registered with placer.Register become valid wire methods
+// automatically.
 func KnownMethod(name string) bool {
-	switch name {
-	case MethodSeqPair, MethodBStar, MethodTCG, MethodSlicing,
-		MethodAbsolute, MethodHBStar, MethodPortfolio:
-		return true
-	}
-	return false
+	return name == MethodPortfolio || placer.Known(name)
 }
 
 // Options select and tune a solver. The zero value means: seqpair,
@@ -145,383 +151,78 @@ type Placed struct {
 	H    int    `json:"h"`
 }
 
-// Result is a solved placement on the wire.
-type Result struct {
-	Version    int      `json:"version"`
-	Name       string   `json:"name,omitempty"`
-	Method     string   `json:"method"`
-	Cost       float64  `json:"cost"`
-	BBoxW      int      `json:"bbox_w"`
-	BBoxH      int      `json:"bbox_h"`
-	AreaUsage  float64  `json:"area_usage"`
-	Legal      bool     `json:"legal"`
-	Violations []string `json:"violations,omitempty"`
-	Cancelled  bool     `json:"cancelled,omitempty"`
-	Stages     int      `json:"stages"`
-	Moves      int      `json:"moves"`
-	RuntimeMS  int64    `json:"runtime_ms"`
-	Placement  []Placed `json:"placement"`
+// Breakdown decomposes a result's cost per objective term: each field
+// is that term's weighted contribution (weight × value), so the
+// populated fields sum to Result.Cost exactly. Overlap is the
+// absolute placer's residual overlap penalty; Fragments is the
+// hierarchical placer's proximity-connectivity penalty.
+type Breakdown struct {
+	Area      float64 `json:"area,omitempty"`
+	HPWL      float64 `json:"hpwl,omitempty"`
+	Outline   float64 `json:"outline,omitempty"`
+	Proximity float64 `json:"proximity,omitempty"`
+	Thermal   float64 `json:"thermal,omitempty"`
+	Overlap   float64 `json:"overlap,omitempty"`
+	Fragments float64 `json:"fragments,omitempty"`
 }
 
-// kinds maps wire kind strings to validity.
-var kinds = map[string]bool{"": true, "symmetry": true, "common_centroid": true, "proximity": true}
+// Result is a solved placement on the wire.
+type Result struct {
+	Version    int        `json:"version"`
+	Name       string     `json:"name,omitempty"`
+	Method     string     `json:"method"`
+	Cost       float64    `json:"cost"`
+	Breakdown  *Breakdown `json:"breakdown,omitempty"`
+	BBoxW      int        `json:"bbox_w"`
+	BBoxH      int        `json:"bbox_h"`
+	AreaUsage  float64    `json:"area_usage"`
+	Legal      bool       `json:"legal"`
+	Violations []string   `json:"violations,omitempty"`
+	Cancelled  bool       `json:"cancelled,omitempty"`
+	Stages     int        `json:"stages"`
+	Moves      int        `json:"moves"`
+	RuntimeMS  int64      `json:"runtime_ms"`
+	Placement  []Placed   `json:"placement"`
+}
 
-// Geometry ceilings: module dimensions and counts are bounded so
-// packing coordinate sums and area products stay far inside int64 on
-// untrusted input (MaxModules·MaxDim² ≤ 2⁵⁷).
+// Geometry ceilings, shared with the placer package: module
+// dimensions and counts are bounded so packing coordinate sums and
+// area products stay far inside int64 on untrusted input
+// (MaxModules·MaxDim² ≤ 2⁵⁷).
 const (
-	MaxModules = 100_000
-	MaxDim     = 1 << 20
+	MaxModules = placer.MaxModules
+	MaxDim     = placer.MaxDim
 )
 
 // Validate checks the problem's internal consistency without
-// modifying it. Decode runs it automatically; encoders building
+// modifying it: the wire version must be supported, and the decoded
+// problem must be semantically valid under the placer package's
+// canonical rules. Decode runs it automatically; encoders building
 // problems programmatically should run it before Canonical.
 func (p *Problem) Validate() error {
 	if p.Version != 0 && p.Version != Version {
 		return fmt.Errorf("wire: unsupported version %d (this build speaks %d)", p.Version, Version)
 	}
-	n := len(p.Modules)
-	if n == 0 {
-		return fmt.Errorf("wire: problem has no modules")
-	}
-	if n > MaxModules {
-		return fmt.Errorf("wire: %d modules over the limit of %d", n, MaxModules)
-	}
-	names := make(map[string]bool, n)
-	for i, m := range p.Modules {
-		if m.Name == "" {
-			return fmt.Errorf("wire: module %d has no name", i)
-		}
-		if names[m.Name] {
-			return fmt.Errorf("wire: duplicate module name %q", m.Name)
-		}
-		names[m.Name] = true
-		if m.W <= 0 || m.H <= 0 {
-			return fmt.Errorf("wire: module %q has non-positive size %dx%d", m.Name, m.W, m.H)
-		}
-		if m.W > MaxDim || m.H > MaxDim {
-			return fmt.Errorf("wire: module %q size %dx%d over the limit of %d", m.Name, m.W, m.H, MaxDim)
-		}
-	}
-	inGroup := make(map[int]bool)
-	for gi, g := range p.Symmetry {
-		if len(g.Pairs) == 0 && len(g.Selfs) == 0 {
-			return fmt.Errorf("wire: symmetry group %d is empty", gi)
-		}
-		check := func(m int) error {
-			if m < 0 || m >= n {
-				return fmt.Errorf("wire: symmetry group %d references module %d out of range [0,%d)", gi, m, n)
-			}
-			if inGroup[m] {
-				return fmt.Errorf("wire: module %d appears twice across symmetry groups", m)
-			}
-			inGroup[m] = true
-			return nil
-		}
-		for _, pr := range g.Pairs {
-			if pr[0] == pr[1] {
-				return fmt.Errorf("wire: symmetry group %d pairs module %d with itself", gi, pr[0])
-			}
-			if err := check(pr[0]); err != nil {
-				return err
-			}
-			if err := check(pr[1]); err != nil {
-				return err
-			}
-		}
-		for _, s := range g.Selfs {
-			if err := check(s); err != nil {
-				return err
-			}
-		}
-	}
-	idLists := func(what string, lists [][]int, minLen int) error {
-		for li, list := range lists {
-			if len(list) < minLen {
-				return fmt.Errorf("wire: %s %d has fewer than %d members", what, li, minLen)
-			}
-			seen := make(map[int]bool, len(list))
-			for _, m := range list {
-				if m < 0 || m >= n {
-					return fmt.Errorf("wire: %s %d references module %d out of range [0,%d)", what, li, m, n)
-				}
-				if seen[m] {
-					return fmt.Errorf("wire: %s %d lists module %d twice", what, li, m)
-				}
-				seen[m] = true
-			}
-		}
-		return nil
-	}
-	if err := idLists("net", p.Nets, 2); err != nil {
-		return err
-	}
-	if err := idLists("proximity group", p.Proximity, 2); err != nil {
-		return err
-	}
-	if p.Power != nil && len(p.Power) != n {
-		return fmt.Errorf("wire: power has %d entries for %d modules", len(p.Power), n)
-	}
-	for i, pw := range p.Power {
-		if pw < 0 || math.IsNaN(pw) || math.IsInf(pw, 0) {
-			return fmt.Errorf("wire: power[%d] = %v is not a finite non-negative number", i, pw)
-		}
-	}
-	if err := p.Objective.validate(); err != nil {
-		return err
-	}
-	if p.Hierarchy != nil {
-		owned := make(map[string]bool)
-		if err := validateNode(p.Hierarchy, names, owned); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func (o *Objective) validate() error {
-	weights := []struct {
-		name string
-		v    float64
-	}{
-		{"area_weight", o.AreaWeight},
-		{"wire_weight", o.WireWeight},
-		{"outline_weight", o.OutlineWeight},
-		{"prox_weight", o.ProxWeight},
-		{"thermal_weight", o.ThermalWeight},
-		{"thermal_sigma", o.ThermalSigma},
-	}
-	for _, w := range weights {
-		if w.v < 0 || math.IsNaN(w.v) || math.IsInf(w.v, 0) {
-			return fmt.Errorf("wire: objective %s = %v is not a finite non-negative number", w.name, w.v)
-		}
-	}
-	if o.OutlineW < 0 || o.OutlineH < 0 {
-		return fmt.Errorf("wire: negative outline %dx%d", o.OutlineW, o.OutlineH)
-	}
-	if (o.OutlineW > 0) != (o.OutlineH > 0) {
-		return fmt.Errorf("wire: outline needs both dimensions (got %dx%d)", o.OutlineW, o.OutlineH)
-	}
-	return nil
-}
-
-// validateNode walks a hierarchy node: kinds must be known, device
-// references must name modules not owned by another node, and
-// symmetry pairs/selfs must name this node's devices or children.
-func validateNode(nd *Node, modules map[string]bool, owned map[string]bool) error {
-	if !kinds[nd.Kind] {
-		return fmt.Errorf("wire: hierarchy node %q has unknown kind %q", nd.Name, nd.Kind)
-	}
-	local := make(map[string]bool, len(nd.Devices)+len(nd.Children))
-	for _, d := range nd.Devices {
-		if !modules[d] {
-			return fmt.Errorf("wire: hierarchy node %q references unknown module %q", nd.Name, d)
-		}
-		if owned[d] {
-			return fmt.Errorf("wire: module %q owned by two hierarchy nodes", d)
-		}
-		owned[d] = true
-		local[d] = true
-	}
-	for _, c := range nd.Children {
-		// Child names are load-bearing identities — pairs/selfs/units
-		// resolve against them, and flat-group derivation resolves
-		// module names globally — so they must be unambiguous both
-		// within the node and against the module namespace.
-		if c.Name == "" {
-			return fmt.Errorf("wire: hierarchy node %q has an unnamed child", nd.Name)
-		}
-		if local[c.Name] {
-			return fmt.Errorf("wire: hierarchy node %q has ambiguous member name %q", nd.Name, c.Name)
-		}
-		if modules[c.Name] {
-			return fmt.Errorf("wire: hierarchy node name %q collides with a module name", c.Name)
-		}
-		local[c.Name] = true
-	}
-	symUsed := make(map[string]bool, 2*len(nd.Pairs)+len(nd.Selfs))
-	ref := func(name string) error {
-		if !local[name] {
-			return fmt.Errorf("wire: hierarchy node %q symmetry references %q, which is neither a device nor a child of it", nd.Name, name)
-		}
-		if symUsed[name] {
-			return fmt.Errorf("wire: hierarchy node %q symmetry lists %q twice", nd.Name, name)
-		}
-		symUsed[name] = true
-		return nil
-	}
-	for _, pr := range nd.Pairs {
-		if pr[0] == pr[1] {
-			return fmt.Errorf("wire: hierarchy node %q pairs %q with itself", nd.Name, pr[0])
-		}
-		if err := ref(pr[0]); err != nil {
-			return err
-		}
-		if err := ref(pr[1]); err != nil {
-			return err
-		}
-	}
-	for _, s := range nd.Selfs {
-		if err := ref(s); err != nil {
-			return err
-		}
-	}
-	unitNames := make([]string, 0, len(nd.Units))
-	for name := range nd.Units {
-		unitNames = append(unitNames, name)
-	}
-	sort.Strings(unitNames) // deterministic error choice
-	for _, name := range unitNames {
-		devs := nd.Units[name]
-		if len(devs) == 0 {
-			return fmt.Errorf("wire: hierarchy node %q common-centroid unit %q is empty", nd.Name, name)
-		}
-		for _, d := range devs {
-			if !local[d] {
-				return fmt.Errorf("wire: hierarchy node %q common-centroid unit %q references %q, which is neither a device nor a child of it", nd.Name, name, d)
-			}
-		}
-	}
-	for _, c := range nd.Children {
-		if err := validateNode(c, modules, owned); err != nil {
-			return err
-		}
-	}
-	return nil
+	return p.ToCanon().Validate()
 }
 
 // Normalize rewrites the problem into its canonical form: version
 // explicit, pair endpoints ordered, member lists sorted, group and
-// net lists sorted lexicographically, and empty slices nil. Two
-// semantically identical problems normalize to equal values, which is
-// what makes Hash a content address. Objective weights whose zero
-// value means a fixed default get that default written explicitly
-// (area_weight 1); weights whose zero means "derived per problem"
-// (outline_weight heuristic, thermal_sigma) keep 0 as their canonical
-// spelling. Decode normalizes automatically.
+// net lists sorted lexicographically, and empty slices nil (the
+// placer package's canonical form, round-tripped through ToCanon).
+// Two semantically identical problems normalize to equal values,
+// which is what makes Hash a content address. Decode normalizes
+// automatically.
 func (p *Problem) Normalize() {
-	if p.Version == 0 {
+	cp := p.ToCanon()
+	cp.Normalize()
+	v := p.Version
+	*p = *FromCanon(cp)
+	if v != 0 {
 		// Only the omitted version is made explicit; an unsupported
 		// one is left for Validate to reject, not silently rewritten.
-		p.Version = Version
+		p.Version = v
 	}
-	if p.Objective.AreaWeight == 0 {
-		p.Objective.AreaWeight = 1
-	}
-	for gi := range p.Symmetry {
-		g := &p.Symmetry[gi]
-		for pi := range g.Pairs {
-			if g.Pairs[pi][0] > g.Pairs[pi][1] {
-				g.Pairs[pi][0], g.Pairs[pi][1] = g.Pairs[pi][1], g.Pairs[pi][0]
-			}
-		}
-		sort.Slice(g.Pairs, func(i, j int) bool {
-			if g.Pairs[i][0] != g.Pairs[j][0] {
-				return g.Pairs[i][0] < g.Pairs[j][0]
-			}
-			return g.Pairs[i][1] < g.Pairs[j][1]
-		})
-		sort.Ints(g.Selfs)
-		if len(g.Pairs) == 0 {
-			g.Pairs = nil
-		}
-		if len(g.Selfs) == 0 {
-			g.Selfs = nil
-		}
-	}
-	sort.Slice(p.Symmetry, func(i, j int) bool {
-		return symKey(p.Symmetry[i]) < symKey(p.Symmetry[j])
-	})
-	normalizeIDLists(p.Nets)
-	normalizeIDLists(p.Proximity)
-	if len(p.Symmetry) == 0 {
-		p.Symmetry = nil
-	}
-	if len(p.Nets) == 0 {
-		p.Nets = nil
-	}
-	if len(p.Proximity) == 0 {
-		p.Proximity = nil
-	}
-	if len(p.Power) == 0 {
-		p.Power = nil
-	}
-	p.Hierarchy.normalize()
-}
-
-// normalize canonicalizes a hierarchy subtree: pair endpoints
-// ordered, member lists sorted, children ordered by their (unique)
-// names. The normalized form is also the form that solves, so
-// different spellings of one tree hash and behave identically.
-func (nd *Node) normalize() {
-	if nd == nil {
-		return
-	}
-	sort.Strings(nd.Devices)
-	for pi := range nd.Pairs {
-		if nd.Pairs[pi][0] > nd.Pairs[pi][1] {
-			nd.Pairs[pi][0], nd.Pairs[pi][1] = nd.Pairs[pi][1], nd.Pairs[pi][0]
-		}
-	}
-	sort.Slice(nd.Pairs, func(i, j int) bool {
-		if nd.Pairs[i][0] != nd.Pairs[j][0] {
-			return nd.Pairs[i][0] < nd.Pairs[j][0]
-		}
-		return nd.Pairs[i][1] < nd.Pairs[j][1]
-	})
-	sort.Strings(nd.Selfs)
-	for _, devs := range nd.Units {
-		sort.Strings(devs)
-	}
-	for _, c := range nd.Children {
-		c.normalize()
-	}
-	sort.Slice(nd.Children, func(i, j int) bool { return nd.Children[i].Name < nd.Children[j].Name })
-	if len(nd.Devices) == 0 {
-		nd.Devices = nil
-	}
-	if len(nd.Pairs) == 0 {
-		nd.Pairs = nil
-	}
-	if len(nd.Selfs) == 0 {
-		nd.Selfs = nil
-	}
-	if len(nd.Children) == 0 {
-		nd.Children = nil
-	}
-}
-
-// symKey is a group's smallest member, its canonical sort key (groups
-// are disjoint, so keys are distinct on valid problems).
-func symKey(g SymGroup) int {
-	key := math.MaxInt
-	for _, pr := range g.Pairs {
-		if pr[0] < key {
-			key = pr[0]
-		}
-	}
-	for _, s := range g.Selfs {
-		if s < key {
-			key = s
-		}
-	}
-	return key
-}
-
-func normalizeIDLists(lists [][]int) {
-	for _, l := range lists {
-		sort.Ints(l)
-	}
-	sort.Slice(lists, func(i, j int) bool {
-		a, b := lists[i], lists[j]
-		for k := 0; k < len(a) && k < len(b); k++ {
-			if a[k] != b[k] {
-				return a[k] < b[k]
-			}
-		}
-		return len(a) < len(b)
-	})
 }
 
 // Normalize canonicalizes the options: the service's solver defaults
@@ -551,15 +252,15 @@ func (o *Options) Normalize() {
 	}
 }
 
-// Default annealing schedule — the one definition shared by
-// Normalize (which makes it explicit in the canonical encoding),
-// Request.Validate (which sizes the stage-work ceiling with it) and
-// the CLI (whose classic schedule it is).
+// Default annealing schedule — the placer package's defaults,
+// re-exported as the wire spelling shared by Normalize (which makes
+// them explicit in the canonical encoding), Request.Validate (which
+// sizes the stage-work ceiling with them) and the CLI.
 const (
-	DefaultMovesPerStage = 150
-	DefaultMaxStages     = 200
-	DefaultStallStages   = 40
-	DefaultCooling       = 0.95
+	DefaultMovesPerStage = placer.DefaultMovesPerStage
+	DefaultMaxStages     = placer.DefaultMaxStages
+	DefaultStallStages   = placer.DefaultStallStages
+	DefaultCooling       = placer.DefaultCooling
 )
 
 // Resource ceilings on solver options: the wire format faces
@@ -571,10 +272,12 @@ const (
 	MaxStagesBound   = 1_000_000
 )
 
-// Validate checks the options.
+// Validate checks the options. An unknown method fails with the
+// placer registry's shared unknown-algorithm error, so the daemon,
+// the CLI and placer.Solve reject it identically.
 func (o *Options) Validate() error {
 	if o.Method != "" && !KnownMethod(o.Method) {
-		return fmt.Errorf("wire: unknown method %q", o.Method)
+		return placer.ErrUnknownAlgorithm(o.Method)
 	}
 	if o.Workers < 0 || o.MovesPerStage < 0 || o.MaxStages < 0 || o.StallStages < 0 || o.TimeoutMS < 0 {
 		return fmt.Errorf("wire: negative solver option")
@@ -606,6 +309,18 @@ func (o *Options) Validate() error {
 	return nil
 }
 
+// Schedule maps the options onto the placer schedule.
+func (o *Options) Schedule() placer.Schedule {
+	return placer.Schedule{
+		MovesPerStage: o.MovesPerStage,
+		MaxStages:     o.MaxStages,
+		StallStages:   o.StallStages,
+		Cooling:       o.Cooling,
+		InitialTemp:   o.InitialTemp,
+		MinTemp:       o.MinTemp,
+	}
+}
+
 // Canonical returns the canonical encoding of the problem: the
 // normalized form marshalled with a fixed field order and no
 // extraneous whitespace. The receiver is not modified.
@@ -613,9 +328,9 @@ func (p *Problem) Canonical() ([]byte, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	c := p.clone()
-	c.Normalize()
-	return json.Marshal(c)
+	cp := p.ToCanon()
+	cp.Normalize()
+	return json.Marshal(FromCanon(cp))
 }
 
 // Hash returns the hex SHA-256 of the problem's canonical encoding —
@@ -663,8 +378,9 @@ func (r *Request) Canonical() ([]byte, error) {
 	if err := r.Validate(); err != nil {
 		return nil, err
 	}
-	c := Request{Problem: *r.Problem.clone(), Options: r.Options}
-	c.Problem.Normalize()
+	cp := r.Problem.ToCanon()
+	cp.Normalize()
+	c := Request{Problem: *FromCanon(cp), Options: r.Options}
 	c.Options.Normalize()
 	c.Options.TimeoutMS = 0
 	return json.Marshal(c)
@@ -700,62 +416,6 @@ func (r *Request) HashNormalized() (string, error) {
 	}
 	sum := sha256.Sum256(b)
 	return hex.EncodeToString(sum[:]), nil
-}
-
-// clone deep-copies the problem.
-func (p *Problem) clone() *Problem {
-	c := *p
-	c.Modules = append([]Module(nil), p.Modules...)
-	c.Symmetry = make([]SymGroup, len(p.Symmetry))
-	for i, g := range p.Symmetry {
-		c.Symmetry[i] = SymGroup{
-			Pairs: clonePairs(g.Pairs),
-			Selfs: append([]int(nil), g.Selfs...),
-		}
-	}
-	c.Nets = cloneIDLists(p.Nets)
-	c.Proximity = cloneIDLists(p.Proximity)
-	c.Power = append([]float64(nil), p.Power...)
-	c.Hierarchy = p.Hierarchy.clone()
-	return &c
-}
-
-func clonePairs(ps [][2]int) [][2]int {
-	return append([][2]int(nil), ps...)
-}
-
-func cloneIDLists(lists [][]int) [][]int {
-	if lists == nil {
-		return nil
-	}
-	out := make([][]int, len(lists))
-	for i, l := range lists {
-		out[i] = append([]int(nil), l...)
-	}
-	return out
-}
-
-func (nd *Node) clone() *Node {
-	if nd == nil {
-		return nil
-	}
-	c := *nd
-	c.Devices = append([]string(nil), nd.Devices...)
-	c.Pairs = append([][2]string(nil), nd.Pairs...)
-	c.Selfs = append([]string(nil), nd.Selfs...)
-	if nd.Units != nil {
-		c.Units = make(map[string][]string, len(nd.Units))
-		for k, v := range nd.Units {
-			c.Units[k] = append([]string(nil), v...)
-		}
-	}
-	if nd.Children != nil {
-		c.Children = make([]*Node, len(nd.Children))
-		for i, ch := range nd.Children {
-			c.Children[i] = ch.clone()
-		}
-	}
-	return &c
 }
 
 // decodeStrict unmarshals JSON rejecting unknown fields and trailing

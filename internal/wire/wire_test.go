@@ -250,26 +250,45 @@ func TestDecodeStrict(t *testing.T) {
 	}
 }
 
-func TestPlaceConversion(t *testing.T) {
-	p := testProblem()
-	pp, err := p.Place()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if pp.N() != 4 || len(pp.Groups) != 1 || len(pp.Nets) != 2 {
-		t.Fatalf("conversion lost structure: %+v", pp)
-	}
-	back := FromPlace(p.Name, pp)
-	h1, err := p.Hash()
-	if err != nil {
-		t.Fatal(err)
-	}
-	h2, err := back.Hash()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if h1 != h2 {
-		t.Fatalf("Place/FromPlace round-trip changed the content address")
+// TestCanonRoundTrip: wire → placer → wire must be lossless — same
+// content address, and byte-identical canonical encodings — including
+// the hierarchy. (The semantic conversions to the engines' internal
+// representations are tested with the placer package.)
+func TestCanonRoundTrip(t *testing.T) {
+	for name, p := range map[string]*Problem{
+		"toy": testProblem(),
+		"hierarchy": func() *Problem {
+			p := testProblem()
+			p.Hierarchy = &Node{
+				Name: "root",
+				Children: []*Node{
+					{Name: "dp", Kind: "symmetry", Devices: []string{"A", "B"},
+						Pairs: [][2]string{{"A", "B"}},
+						Units: map[string][]string{"u": {"A"}}},
+				},
+				Devices: []string{"C", "D"},
+			}
+			p.Symmetry = nil
+			return p
+		}(),
+	} {
+		back := FromCanon(p.ToCanon())
+		h1, err := p.Hash()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		h2, err := back.Hash()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if h1 != h2 {
+			t.Fatalf("%s: ToCanon/FromCanon round-trip changed the content address", name)
+		}
+		c1, _ := p.Canonical()
+		c2, _ := back.Canonical()
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("%s: canonical bytes changed:\n%s\n%s", name, c1, c2)
+		}
 	}
 }
 
@@ -289,65 +308,6 @@ func TestFromBenchMiller(t *testing.T) {
 	}
 	if p.Objective.WireWeight != 1 {
 		t.Fatalf("conventional objective lost: %+v", p.Objective)
-	}
-	// The hierarchy must survive the bench round-trip well enough for
-	// the hierarchical placer: same proximity groups, same leaves.
-	b, err := p.Bench()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got, want := len(b.Tree.ProximityGroups()), len(circuits.MillerOpAmp().Tree.ProximityGroups()); got != want {
-		t.Fatalf("proximity groups: got %d want %d", got, want)
-	}
-	if got, want := len(b.Tree.Leaves()), len(circuits.MillerOpAmp().Tree.Leaves()); got != want {
-		t.Fatalf("tree leaves: got %d want %d", got, want)
-	}
-}
-
-// TestHierarchyOnlySymmetryBindsFlat: symmetry spelled only in the
-// hierarchy must still constrain the flat placers.
-func TestHierarchyOnlySymmetryBindsFlat(t *testing.T) {
-	p := testProblem()
-	p.Symmetry = nil
-	p.Hierarchy = &Node{
-		Name: "root",
-		Children: []*Node{
-			{Name: "dp", Kind: "symmetry", Devices: []string{"A", "B"},
-				Pairs: [][2]string{{"A", "B"}}},
-		},
-		Devices: []string{"C", "D"},
-	}
-	pp, err := p.Place()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(pp.Groups) != 1 || len(pp.Groups[0].Pairs) != 1 {
-		t.Fatalf("hierarchy symmetry not derived: %+v", pp.Groups)
-	}
-	// Explicit flat groups win over derivation (no double counting).
-	q := testProblem()
-	q.Hierarchy = p.Hierarchy.clone()
-	qq, err := q.Place()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(qq.Groups) != 1 {
-		t.Fatalf("flat symmetry should not be doubled by the hierarchy: %+v", qq.Groups)
-	}
-}
-
-func TestBenchSynthesizedHierarchy(t *testing.T) {
-	p := testProblem() // no hierarchy on the wire
-	b, err := p.Bench()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if b.Tree == nil {
-		t.Fatal("no tree synthesized")
-	}
-	leaves := b.Tree.Leaves()
-	if len(leaves) != len(p.Modules) {
-		t.Fatalf("synthesized tree covers %d of %d modules", len(leaves), len(p.Modules))
 	}
 }
 

@@ -1,0 +1,45 @@
+package placer
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/circuits"
+)
+
+// Benchmark returns one of the paper's built-in benchmark circuits as
+// a canonical Problem (flat view plus design hierarchy): "miller"
+// (the Miller op amp of Fig. 6), "folded" (the folded-cascode op
+// amp), or one of the Table I names (miller_v2, comparator_v2,
+// folded_casc, buffer, biasynth, lnamixbias). It is the quickest way
+// to a non-trivial Problem for examples and experiments; real
+// consumers build Problem values directly or decode them from the
+// wire format.
+func Benchmark(name string) (*Problem, error) {
+	b, err := benchCircuit(name)
+	if err != nil {
+		return nil, err
+	}
+	return fromBench(b)
+}
+
+// BenchmarkNames lists the names Benchmark accepts, sorted.
+func BenchmarkNames() []string {
+	names := append([]string{"miller", "folded"}, circuits.TableINames()...)
+	sort.Strings(names)
+	return names
+}
+
+func benchCircuit(name string) (*circuits.Bench, error) {
+	switch name {
+	case "miller":
+		return circuits.MillerOpAmp(), nil
+	case "folded":
+		return circuits.FoldedCascode(), nil
+	}
+	b, err := circuits.TableIBench(name)
+	if err != nil {
+		return nil, fmt.Errorf("placer: unknown benchmark %q (have %v)", name, BenchmarkNames())
+	}
+	return b, nil
+}

@@ -1,0 +1,54 @@
+// Package placer is the public front door of this repository: analog
+// placement with symmetry, proximity and thermal constraints behind
+// one canonical [Problem], one [Solve] call, and a self-registration
+// algorithm registry shared by every consumer (the analogplace CLI,
+// the placed daemon's wire format, and this package's own examples).
+//
+// # Quickstart
+//
+// Build a Problem (directly, or from a built-in [Benchmark]) and
+// solve it:
+//
+//	p, _ := placer.Benchmark("miller")
+//	res, err := placer.Solve(ctx, p,
+//		placer.WithAlgorithm(placer.HBStar),
+//		placer.WithSeed(1))
+//
+// Solve validates the problem, solves a normalized copy (two
+// spellings of one semantic problem place identically), and returns a
+// [Result] carrying the placement in module order, the per-term cost
+// breakdown, constraint violations and annealing statistics. Equal
+// seeds give bit-identical results.
+//
+// # Algorithms and the registry
+//
+// Six engines self-register at init — the five flat placers (seqpair,
+// bstar, tcg, slicing, absolute) and the hierarchical hbstar — and
+// external backends join with [Register]. [Algorithms] enumerates the
+// registry; it is the single source of truth behind WithAlgorithm,
+// the portfolio set, `analogplace -algorithms` and the daemon's
+// GET /v1/algorithms, so adding an engine needs no dispatch-switch
+// edits anywhere.
+//
+// [WithPortfolio] races the portfolio-eligible flat engines
+// concurrently and keeps the winner (feasibility first, then cost,
+// then racing order — deterministic).
+//
+// # Cancellation and streaming
+//
+// Solve is context-first: ctx cancellation (or [WithDeadline]) stops
+// the run at the next annealing stage boundary and returns the best
+// placement found so far with Result.Cancelled set. [WithProgress]
+// streams per-stage snapshots from every annealing chain while the
+// solve runs.
+//
+// # Relation to the internal packages
+//
+// The package is a facade: engines run on internal/place and
+// internal/hbstar, objectives on internal/cost, schedules on
+// internal/anneal. internal/wire is the JSON transport encoding of
+// [Problem] (wire.Problem.ToCanon / wire.FromCanon convert
+// losslessly), and internal/service schedules Solve calls behind the
+// HTTP daemon. See PERFORMANCE.md's "Public API" section for
+// migration notes from the internal packages.
+package placer

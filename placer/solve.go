@@ -1,0 +1,453 @@
+package placer
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/anneal"
+	"repro/internal/cost"
+	"repro/internal/geom"
+)
+
+// Default annealing schedule, written explicitly into a zero Schedule
+// by Solve. It is the one definition shared with the wire format
+// (whose canonical encoding spells it out) and the CLI.
+const (
+	DefaultMovesPerStage = 150
+	DefaultMaxStages     = 200
+	DefaultStallStages   = 40
+	DefaultCooling       = 0.95
+)
+
+// DefaultAlgorithm is what Solve runs when no WithAlgorithm or
+// WithPortfolio option is given.
+const DefaultAlgorithm = SeqPair
+
+// Schedule tunes the annealing schedule. Zero fields mean the
+// defaults above; zero InitialTemp/MinTemp mean per-problem
+// calibration.
+type Schedule struct {
+	MovesPerStage int
+	MaxStages     int
+	StallStages   int
+	Cooling       float64
+	InitialTemp   float64
+	MinTemp       float64
+}
+
+// normalize writes the defaults explicitly.
+func (s *Schedule) normalize() {
+	if s.MovesPerStage == 0 {
+		s.MovesPerStage = DefaultMovesPerStage
+	}
+	if s.MaxStages == 0 {
+		s.MaxStages = DefaultMaxStages
+	}
+	if s.StallStages == 0 {
+		s.StallStages = DefaultStallStages
+	}
+	if s.Cooling == 0 {
+		s.Cooling = DefaultCooling
+	}
+}
+
+// validate rejects schedules that cannot run.
+func (s *Schedule) validate() error {
+	if s.MovesPerStage < 0 || s.MaxStages < 0 || s.StallStages < 0 {
+		return fmt.Errorf("placer: negative schedule option")
+	}
+	if s.Cooling < 0 || s.Cooling >= 1 {
+		return fmt.Errorf("placer: cooling %v outside (0,1)", s.Cooling)
+	}
+	for _, v := range []float64{s.Cooling, s.InitialTemp, s.MinTemp} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("placer: schedule option %v is not a finite non-negative number", v)
+		}
+	}
+	if s.InitialTemp > 0 && s.MinTemp >= s.InitialTemp {
+		// The schedule would run zero stages and hand back the random
+		// initial placement as a "solved" result.
+		return fmt.Errorf("placer: MinTemp %v not below InitialTemp %v", s.MinTemp, s.InitialTemp)
+	}
+	return nil
+}
+
+// Progress is one streamed annealing snapshot: engines report after
+// every completed temperature stage, from every multi-start chain
+// (Worker) and — under WithPortfolio — every racing algorithm. The
+// callback runs on the annealing goroutines, so it must be cheap and
+// safe for concurrent calls.
+type Progress struct {
+	// Algorithm that produced the snapshot.
+	Algorithm string
+	// Worker identifies the multi-start chain (0 for serial runs).
+	Worker int
+	// Stage counts completed temperature stages of that chain.
+	Stage int
+	// Moves, Accepted and Improved count proposed, accepted and
+	// incumbent-improving moves so far (cumulative per chain).
+	Moves    int
+	Accepted int
+	Improved int
+	// Temp is the temperature after the reported stage.
+	Temp float64
+	// Best is the lowest cost the chain has seen so far.
+	Best float64
+}
+
+// EngineOptions are the resolved solver knobs an Engine receives from
+// Solve: defaults already applied, never nil-ambiguous.
+type EngineOptions struct {
+	Seed     int64
+	Workers  int
+	Schedule Schedule
+	// Progress, when non-nil, streams per-stage snapshots.
+	Progress func(Progress)
+}
+
+// annealOptions maps the engine options onto the annealing engine's,
+// threading the context and tagging progress with the algorithm name.
+func (o EngineOptions) annealOptions(ctx context.Context, algorithm string) anneal.Options {
+	var sink func(anneal.Stats)
+	if o.Progress != nil {
+		progress := o.Progress
+		sink = func(st anneal.Stats) {
+			progress(Progress{
+				Algorithm: algorithm,
+				Worker:    st.Worker,
+				Stage:     st.Stages,
+				Moves:     st.Moves,
+				Accepted:  st.Accepted,
+				Improved:  st.Improved,
+				Temp:      st.FinalTemp,
+				Best:      st.BestCost,
+			})
+		}
+	}
+	return anneal.Options{
+		Seed:          o.Seed,
+		Workers:       o.Workers,
+		MovesPerStage: o.Schedule.MovesPerStage,
+		MaxStages:     o.Schedule.MaxStages,
+		StallStages:   o.Schedule.StallStages,
+		Cooling:       o.Schedule.Cooling,
+		InitialTemp:   o.Schedule.InitialTemp,
+		MinTemp:       o.Schedule.MinTemp,
+		Context:       ctx,
+		Progress:      sink,
+	}
+}
+
+// Placed is one module of a solved placement.
+type Placed struct {
+	Name string
+	X, Y int
+	W, H int
+}
+
+// TermCost is one objective term's share of a result's cost:
+// Cost = Weight × Value, and the shares sum to Result.Cost exactly.
+type TermCost struct {
+	Name   string
+	Weight float64
+	Value  float64
+	Cost   float64
+}
+
+// Result is a solved placement.
+type Result struct {
+	// Algorithm that produced the winning placement (under
+	// WithPortfolio: the race winner).
+	Algorithm string
+	// Cost is the final composite objective value.
+	Cost float64
+	// Breakdown decomposes Cost per objective term (area, hpwl,
+	// outline, proximity, thermal, plus engine-specific terms such as
+	// the absolute engine's overlap penalty or the hierarchical
+	// engine's proximity-frag count).
+	Breakdown []TermCost
+	// BBoxW/BBoxH is the placement bounding box; AreaUsage is module
+	// area over bounding-box area; Legal reports the placement
+	// overlap-free.
+	BBoxW, BBoxH int
+	AreaUsage    float64
+	Legal        bool
+	// Violations lists remaining constraint violations against the
+	// problem's full constraint set (symmetry included, whether or not
+	// the representation enforced it by construction).
+	Violations []string
+	// Cancelled reports the run stopped on ctx cancellation or
+	// WithDeadline expiry; the placement is the best seen so far.
+	// Under WithPortfolio it is set if any racer was truncated, even
+	// when the winner ran to completion.
+	Cancelled bool
+	// Stages and Moves count annealing work (under WithPortfolio and
+	// multi-start: summed across racers and chains).
+	Stages, Moves int
+	// Runtime is the solve wall-clock.
+	Runtime time.Duration
+	// Placement lists modules in problem order, so equal results mean
+	// identical placements.
+	Placement []Placed
+}
+
+// config is the resolved option set.
+type config struct {
+	algorithm string
+	portfolio bool
+	workers   int
+	seed      int64
+	schedule  Schedule
+	progress  func(Progress)
+	deadline  time.Time
+}
+
+// Option configures Solve.
+type Option func(*config)
+
+// WithAlgorithm selects a registered algorithm by name (default
+// seqpair). It overrides an earlier WithPortfolio, and vice versa —
+// the last selection option wins.
+func WithAlgorithm(name string) Option {
+	return func(c *config) {
+		c.algorithm = name
+		c.portfolio = false
+	}
+}
+
+// WithPortfolio races every portfolio-eligible flat engine (see
+// PortfolioAlgorithms) on the problem concurrently and keeps the
+// winner: fewest constraint violations first, then lowest cost, then
+// racing order — so a symmetry-constrained problem is never "won" by
+// a representation that ignored its symmetry groups, and the choice
+// is deterministic.
+func WithPortfolio() Option {
+	return func(c *config) { c.portfolio = true }
+}
+
+// WithWorkers runs n parallel multi-start annealing chains per engine
+// (worker 0 replicates the serial chain, so multi-start never loses
+// to serial). Under WithPortfolio the budget is split across the
+// racers. Values below 1 mean 1.
+func WithWorkers(n int) Option {
+	return func(c *config) { c.workers = n }
+}
+
+// WithSeed seeds the annealing RNGs; equal seeds give bit-identical
+// runs.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithSchedule tunes the annealing schedule (zero fields keep the
+// defaults).
+func WithSchedule(s Schedule) Option {
+	return func(c *config) { c.schedule = s }
+}
+
+// WithProgress streams per-stage annealing snapshots to fn while the
+// solve runs. fn is called from the annealing goroutines (one per
+// chain and racer), so it must be cheap and concurrency-safe.
+func WithProgress(fn func(Progress)) Option {
+	return func(c *config) { c.progress = fn }
+}
+
+// WithDeadline bounds the solve wall-clock: past t the run cancels at
+// the next annealing stage boundary and returns the best-so-far
+// placement with Result.Cancelled set. It composes with (and never
+// extends) a deadline already on ctx.
+func WithDeadline(t time.Time) Option {
+	return func(c *config) { c.deadline = t }
+}
+
+// Solve places the problem. The problem is validated and a normalized
+// copy is solved (the caller's struct is never modified), so any two
+// spellings of one semantic problem solve identically. Cancellation —
+// ctx or WithDeadline — lands at annealing stage boundaries and
+// returns the best placement found so far with Result.Cancelled set.
+func Solve(ctx context.Context, p *Problem, opts ...Option) (*Result, error) {
+	cfg := config{algorithm: DefaultAlgorithm, workers: 1}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if cfg.workers < 1 {
+		cfg.workers = 1
+	}
+	cfg.schedule.normalize()
+	if err := cfg.schedule.validate(); err != nil {
+		return nil, err
+	}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	np := p.Clone()
+	np.Normalize()
+	if !cfg.deadline.IsZero() {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithDeadline(ctx, cfg.deadline)
+		defer cancel()
+	}
+	start := time.Now()
+	res, err := solveConfigured(ctx, np, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if res.Stages == 0 && !res.Cancelled {
+		// A degenerate schedule (e.g. MinTemp above the calibrated
+		// initial temperature, which static validation cannot see)
+		// would hand back the random initial placement as if it were
+		// solved.
+		return nil, fmt.Errorf("placer: schedule ran zero annealing stages; check MinTemp against the (calibrated) initial temperature")
+	}
+	res.Runtime = time.Since(start)
+	return res, nil
+}
+
+// solveConfigured dispatches one normalized problem: the portfolio
+// race, or a single registry engine.
+func solveConfigured(ctx context.Context, p *Problem, cfg config) (*Result, error) {
+	if cfg.portfolio {
+		return solvePortfolio(ctx, p, cfg)
+	}
+	factory, ok := Lookup(cfg.algorithm)
+	if !ok {
+		return nil, ErrUnknownAlgorithm(cfg.algorithm)
+	}
+	return factory().Solve(ctx, p, cfg.engineOptions())
+}
+
+func (c config) engineOptions() EngineOptions {
+	return EngineOptions{
+		Seed:     c.seed,
+		Workers:  c.workers,
+		Schedule: c.schedule,
+		Progress: c.progress,
+	}
+}
+
+// solvePortfolio races the portfolio-eligible flat engines on the
+// same problem concurrently — each chain honors ctx, so one
+// cancellation stops the whole race — and keeps the winner under the
+// deterministic feasibility-first ranking of WithPortfolio.
+func solvePortfolio(ctx context.Context, p *Problem, cfg config) (*Result, error) {
+	racers := PortfolioAlgorithms()
+	if len(racers) == 0 {
+		return nil, fmt.Errorf("placer: no portfolio-eligible algorithms registered")
+	}
+	type entry struct {
+		res *Result
+		err error
+	}
+	results := make([]entry, len(racers))
+	// The racers split the caller's worker budget rather than each
+	// claiming it, so portfolio mode cannot multiply a worker ceiling
+	// by the racer count.
+	racerCfg := cfg
+	racerCfg.workers = max(1, cfg.workers/len(racers))
+	var wg sync.WaitGroup
+	wg.Add(len(racers))
+	for i, name := range racers {
+		go func(i int, name string) {
+			defer wg.Done()
+			defer func() {
+				// One racer's panic fails that racer, not the caller's
+				// process-wide run.
+				if r := recover(); r != nil {
+					results[i] = entry{nil, fmt.Errorf("placer: %s racer panic: %v\n%s", name, r, debug.Stack())}
+				}
+			}()
+			factory, ok := Lookup(name)
+			if !ok {
+				results[i] = entry{nil, ErrUnknownAlgorithm(name)}
+				return
+			}
+			res, err := factory().Solve(ctx, p, racerCfg.engineOptions())
+			results[i] = entry{res, err}
+		}(i, name)
+	}
+	wg.Wait()
+
+	order := make([]int, 0, len(results))
+	var firstErr error
+	for i, e := range results {
+		if e.err != nil {
+			if firstErr == nil {
+				firstErr = e.err
+			}
+			continue
+		}
+		order = append(order, i)
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("placer: every portfolio racer failed: %v", firstErr)
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		ra, rb := results[order[a]].res, results[order[b]].res
+		if len(ra.Violations) != len(rb.Violations) {
+			return len(ra.Violations) < len(rb.Violations)
+		}
+		if ra.Cost != rb.Cost {
+			return ra.Cost < rb.Cost
+		}
+		return order[a] < order[b]
+	})
+	win := results[order[0]].res
+	if win.Stages == 0 && !win.Cancelled {
+		// Checked on the winner's own counters, before loser
+		// aggregation can mask it: a zero-stage winner is its random
+		// initial placement, not a solved one (see Solve's guard).
+		return nil, fmt.Errorf("placer: portfolio winner %s ran zero annealing stages; check MinTemp against the (calibrated) initial temperature", win.Algorithm)
+	}
+	// Aggregate race-wide counters so progress and result agree on the
+	// total work done — and the race-wide cancellation: if any racer
+	// was truncated, the race is not the full deterministic race, so
+	// the result must be flagged cancelled (and, in the service, never
+	// cached), even when the winning racer itself ran to completion.
+	for _, i := range order[1:] {
+		win.Stages += results[i].res.Stages
+		win.Moves += results[i].res.Moves
+		if results[i].res.Cancelled {
+			win.Cancelled = true
+		}
+	}
+	return win, nil
+}
+
+// newResult assembles the common result fields from a named
+// placement; violations are the caller's to append.
+func newResult(p *Problem, algorithm string, pl geom.Placement, costVal float64, stats anneal.Stats, breakdown []cost.TermValue) *Result {
+	bb := pl.BBox()
+	out := &Result{
+		Algorithm: algorithm,
+		Cost:      costVal,
+		BBoxW:     bb.W,
+		BBoxH:     bb.H,
+		AreaUsage: pl.AreaUsage(),
+		Legal:     pl.Legal(),
+		Cancelled: stats.Cancelled,
+		Stages:    stats.Stages,
+		Moves:     stats.Moves,
+	}
+	for _, tv := range breakdown {
+		out.Breakdown = append(out.Breakdown, TermCost{
+			Name:   tv.Name,
+			Weight: tv.Weight,
+			Value:  tv.Value,
+			Cost:   tv.Weight * tv.Value,
+		})
+	}
+	for _, m := range p.Modules {
+		if r, ok := pl[m.Name]; ok {
+			out.Placement = append(out.Placement, Placed{Name: m.Name, X: r.X, Y: r.Y, W: r.W, H: r.H})
+		}
+	}
+	return out
+}
