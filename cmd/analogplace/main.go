@@ -261,7 +261,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 // printAlgorithms lists the registry: one row per engine plus the
 // portfolio meta-method and the classic-only deterministic methods.
 func printAlgorithms(w io.Writer) {
-	fmt.Fprintf(w, "%-10s %-13s %-10s %s\n", "ALGORITHM", "KIND", "PORTFOLIO", "DESCRIPTION")
+	fmt.Fprintf(w, "%-16s %-13s %-10s %s\n", "ALGORITHM", "KIND", "PORTFOLIO", "DESCRIPTION")
 	for _, v := range service.AlgorithmViews() {
 		eligible := "-"
 		if v.Portfolio {
@@ -270,10 +270,10 @@ func printAlgorithms(w io.Writer) {
 		if v.Kind == "portfolio" {
 			eligible = ""
 		}
-		fmt.Fprintf(w, "%-10s %-13s %-10s %s\n", v.Name, v.Kind, eligible, v.Description)
+		fmt.Fprintf(w, "%-16s %-13s %-10s %s\n", v.Name, v.Kind, eligible, v.Description)
 	}
-	fmt.Fprintf(w, "%-10s %-13s %-10s %s\n", "esf", "deterministic", "-", "Section IV enumeration with enhanced shape functions (classic path only)")
-	fmt.Fprintf(w, "%-10s %-13s %-10s %s\n", "rsf", "deterministic", "-", "Section IV enumeration with regular shape functions (classic path only)")
+	fmt.Fprintf(w, "%-16s %-13s %-10s %s\n", "esf", "deterministic", "-", "Section IV enumeration with enhanced shape functions (classic path only)")
+	fmt.Fprintf(w, "%-16s %-13s %-10s %s\n", "rsf", "deterministic", "-", "Section IV enumeration with regular shape functions (classic path only)")
 }
 
 // wireArgs carries the flag state into the wire-format path.

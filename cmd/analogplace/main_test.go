@@ -42,6 +42,45 @@ func TestAlgorithmsFlag(t *testing.T) {
 	}
 }
 
+// TestGeneticEndToEnd: the memetic registry entry is a first-class
+// CLI citizen — -algorithms lists it, and a wire-path solve with
+// -method genetic:seqpair produces a legal, constraint-satisfying
+// placement over every module.
+func TestGeneticEndToEnd(t *testing.T) {
+	out, err := cli(t, "-algorithms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "genetic:seqpair") || !strings.Contains(out, "genetic:absolute") {
+		t.Fatalf("-algorithms misses the genetic engines:\n%s", out)
+	}
+
+	resOut := filepath.Join(t.TempDir(), "genetic.json")
+	if _, err := cli(t, "-bench", "miller", "-method", "genetic:seqpair", "-seed", "2", "-json-out", resOut); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(resOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res wire.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Method != "genetic:seqpair" {
+		t.Fatalf("result method %q, want genetic:seqpair", res.Method)
+	}
+	if len(res.Placement) != 9 { // the Miller op amp's module count
+		t.Fatalf("placed %d modules, want 9", len(res.Placement))
+	}
+	if !res.Legal {
+		t.Fatal("genetic placement overlaps")
+	}
+	if len(res.Violations) != 0 {
+		t.Fatalf("genetic seqpair violates constraints: %v", res.Violations)
+	}
+}
+
 // TestUnknownMethodSharedError: a typo'd method must fail with the
 // placer registry's one shared message, on the classic path and the
 // wire path alike (the daemon shares it through wire.Options.Validate

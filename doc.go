@@ -40,6 +40,36 @@
 // B*-tree annealing tradition; Anneal and Greedy select it
 // automatically when a solution implements it. All placers do.
 //
+// # The engine core
+//
+// Every placer reaches those protocols through one shared kernel,
+// internal/engine — the paper's "one problem, interchangeable
+// representations" structure made literal. A representation (the
+// topology encoding plus its move table) implements
+// engine.Representation: Perturb with exact Undo, Pack into
+// coordinates, Snapshot/Restore, Clone and Placement; the kernel's
+// engine.Solution supplies everything the six hand-rolled *Solution
+// structs used to duplicate — ownership of the cost.Model, the
+// incremental evaluation wiring (diff-based Update for topological
+// repacks, UpdateMoved for representations implementing
+// engine.MovedModules, full Eval on restores of direct-coordinate
+// state), the model-journal undo bookkeeping, feasible-init retries
+// (engine.FeasibleInit / RunFeasible) and result assembly. The
+// adapters in internal/place (spRep, btRep, tcgRep, slRep, absRep) and
+// internal/hbstar (forestRep) are each the encoding and its moves,
+// nothing else.
+//
+// Cross-engine features land in the kernel once: representations
+// implementing engine.Crossover gain the memetic genetic:<repr>
+// registry engines (order crossover over sequence-pairs, uniform
+// crossover over absolute coordinates, through anneal.Evolve's
+// CrossoverRate), and representations exposing an engine.MoveTable
+// gain the opt-in adaptive move portfolio
+// (placer.WithAdaptiveMoves()): move kinds proposed proportionally to
+// their observed acceptance rate, Laplace-smoothed so no kind
+// starves. Both are off the default path, which stays bit-identical
+// to the pinned pre-kernel goldens.
+//
 // # The composable objective
 //
 // Every placer optimizes a composite objective built from the Term

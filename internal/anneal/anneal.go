@@ -70,26 +70,6 @@ type MoveReporter interface {
 	Moved() []int
 }
 
-// InitRetries bounds the attempts every placer makes to draw a
-// feasible (finite-cost) initial solution before giving up.
-const InitRetries = 64
-
-// FeasibleInit draws initial solutions from gen until one has finite
-// cost, retrying up to InitRetries times. On exhaustion it returns the
-// last attempt together with an error, so parallel-worker factories
-// (which cannot fail) can still hand the engine a solution while
-// serial paths surface the shared error message.
-func FeasibleInit(gen func() Solution) (Solution, error) {
-	var s Solution
-	for try := 0; try < InitRetries; try++ {
-		s = gen()
-		if !math.IsInf(s.Cost(), 1) {
-			return s, nil
-		}
-	}
-	return s, fmt.Errorf("anneal: no feasible initial solution after %d attempts", InitRetries)
-}
-
 // Options configure a simulated-annealing run. The zero value is
 // usable: sensible defaults are filled in by Anneal.
 type Options struct {

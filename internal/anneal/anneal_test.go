@@ -27,6 +27,42 @@ func (q quadratic) Neighbor(rng *rand.Rand) Solution {
 	return quadratic{q.x + step, q.rugged}
 }
 
+// xquadratic is quadratic with midpoint crossover, for the
+// recombination-enabled evolutionary engine.
+type xquadratic struct{ quadratic }
+
+func (q xquadratic) Neighbor(rng *rand.Rand) Solution {
+	return xquadratic{q.quadratic.Neighbor(rng).(quadratic)}
+}
+
+func (q xquadratic) Crossover(mate Solution, rng *rand.Rand) Solution {
+	m, ok := mate.(xquadratic)
+	if !ok {
+		return nil
+	}
+	return xquadratic{quadratic{(q.x + m.x) / 2, q.rugged}}
+}
+
+// TestEvolveCrossover: with CrossoverRate set, recombination-capable
+// populations still converge, and a zero rate draws no extra
+// randomness (bit-identical to the historical mutation-only engine).
+func TestEvolveCrossover(t *testing.T) {
+	best, stats := Evolve(xquadratic{quadratic{x: 400}},
+		GAOptions{Seed: 5, Generations: 600, StallGenerations: 100, CrossoverRate: 0.5})
+	if best.Cost() > 4 {
+		t.Fatalf("crossover evolve ended at cost %v (stats: %v)", best.Cost(), stats)
+	}
+	// Rate zero must replay the mutation-only engine exactly, even on
+	// crossover-capable solutions.
+	a, _ := Evolve(xquadratic{quadratic{x: 400}}, GAOptions{Seed: 5, Generations: 50})
+	b, _ := Evolve(quadratic{x: 400}, GAOptions{Seed: 5, Generations: 50})
+	ax := a.(xquadratic).x
+	bx := b.(quadratic).x
+	if ax != bx {
+		t.Fatalf("zero crossover rate diverged from the mutation-only engine: %d vs %d", ax, bx)
+	}
+}
+
 func TestAnnealFindsOptimum(t *testing.T) {
 	best, stats := Anneal(quadratic{x: 500}, Options{Seed: 1})
 	q := best.(quadratic)

@@ -1,9 +1,19 @@
 package anneal
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 )
+
+// Crossoverer is an optional extension of Solution for recombination-
+// based search: Crossover returns a new solution combining the
+// receiver and mate, or nil when the receiver's representation cannot
+// recombine — the evolutionary engine then falls back to mutation.
+type Crossoverer interface {
+	Solution
+	Crossover(mate Solution, rng *rand.Rand) Solution
+}
 
 // GAOptions configure the evolutionary baseline.
 type GAOptions struct {
@@ -18,6 +28,21 @@ type GAOptions struct {
 	StallGenerations int
 	// Seed for the internal RNG.
 	Seed int64
+	// CrossoverRate is the probability an offspring is produced by
+	// recombining two parents (through Crossoverer) instead of mutating
+	// one. Zero — the default — draws no extra randomness and keeps the
+	// historical mutation-only engine bit-identical; it only acts on
+	// solutions implementing Crossoverer.
+	CrossoverRate float64
+	// Context, when non-nil, cancels the run cooperatively. It is
+	// checked once per generation; a cancelled run returns the best
+	// solution so far with Stats.Cancelled set.
+	Context context.Context
+}
+
+// cancelled reports whether the run's context has been cancelled.
+func (o *GAOptions) cancelled() bool {
+	return o.Context != nil && o.Context.Err() != nil
 }
 
 func (o GAOptions) withDefaults() GAOptions {
@@ -42,13 +67,14 @@ type scored struct {
 	c float64
 }
 
-// Evolve runs a (μ+λ) mutation-based evolutionary search seeded from
-// the initial solution: each generation draws parents uniformly from
-// the population, produces offspring via Neighbor, and keeps the best
-// μ of parents plus offspring. It is the genetic-algorithm stand-in of
-// the two-phase approach [28]; with interface-level neighbors,
-// mutation is the only variation operator, which matches how
-// permutation encodings are typically mutated in analog placement.
+// Evolve runs a (μ+λ) evolutionary search seeded from the initial
+// solution: each generation draws parents uniformly from the
+// population, produces offspring, and keeps the best μ of parents plus
+// offspring. It is the genetic-algorithm stand-in of the two-phase
+// approach [28]. Mutation through Neighbor is the default variation
+// operator, matching how permutation encodings are typically mutated
+// in analog placement; with CrossoverRate > 0, solutions implementing
+// Crossoverer additionally recombine pairs of parents.
 func Evolve(initial Solution, opt GAOptions) (Solution, Stats) {
 	opt = opt.withDefaults()
 	rng := rand.New(rand.NewSource(opt.Seed + 1))
@@ -65,10 +91,23 @@ func Evolve(initial Solution, opt GAOptions) (Solution, Stats) {
 	best := pop[0]
 	stall := 0
 	for gen := 0; gen < opt.Generations && stall < opt.StallGenerations; gen++ {
+		if opt.cancelled() {
+			stats.Cancelled = true
+			break
+		}
 		stats.Stages++
 		for i := 0; i < opt.Offspring; i++ {
 			parent := pop[rng.Intn(len(pop))]
-			child := parent.s.Neighbor(rng)
+			var child Solution
+			if opt.CrossoverRate > 0 && rng.Float64() < opt.CrossoverRate {
+				if xp, ok := parent.s.(Crossoverer); ok {
+					mate := pop[rng.Intn(len(pop))]
+					child = xp.Crossover(mate.s, rng)
+				}
+			}
+			if child == nil {
+				child = parent.s.Neighbor(rng)
+			}
 			pop = append(pop, scored{child, child.Cost()})
 			stats.Moves++
 		}
@@ -106,5 +145,6 @@ func TwoPhase(initial Solution, ga GAOptions, sa Options) (Solution, Stats) {
 		FinalTemp: saStats.FinalTemp,
 		InitCost:  gaStats.InitCost,
 		BestCost:  saStats.BestCost,
+		Cancelled: gaStats.Cancelled || saStats.Cancelled,
 	}
 }

@@ -1,0 +1,79 @@
+package engine
+
+import "math/rand"
+
+// adaptiveState is the opt-in adaptive move portfolio: move kinds are
+// selected with probability proportional to their smoothed acceptance
+// rate, so kinds the annealer keeps accepting are proposed more often
+// and kinds it keeps rejecting fade (without ever reaching zero — the
+// Laplace smoothing keeps every kind explorable as the temperature
+// drops and acceptance regimes shift).
+//
+// The kernel cannot observe acceptance directly — the annealing engine
+// decides after Perturb returns — so the outcome of move k is settled
+// lazily: a move whose Undo ran was rejected; a move still standing
+// when the next Perturb arrives was accepted.
+type adaptiveState struct {
+	proposed []int
+	accepted []int
+	last     int  // kind of the in-flight move, -1 when none
+	rejected bool // the in-flight move's undo was called
+}
+
+func newAdaptiveState(kinds int) *adaptiveState {
+	return &adaptiveState{
+		proposed: make([]int, kinds),
+		accepted: make([]int, kinds),
+		last:     -1,
+	}
+}
+
+// rejectLast marks the in-flight move rejected (called from the
+// kernel's undo closure).
+func (a *adaptiveState) rejectLast() {
+	if a.last >= 0 {
+		a.rejected = true
+	}
+}
+
+// settle commits the previous move's outcome before the next proposal.
+func (a *adaptiveState) settle() {
+	if a.last >= 0 && !a.rejected {
+		a.accepted[a.last]++
+	}
+	a.last = -1
+	a.rejected = false
+}
+
+// weight is kind k's smoothed acceptance rate (Laplace +1/+2, so an
+// unproposed kind starts at 1/2 and no kind ever reaches zero).
+func (a *adaptiveState) weight(k int) float64 {
+	return float64(a.accepted[k]+1) / float64(a.proposed[k]+2)
+}
+
+// pick draws a move kind proportionally to the smoothed acceptance
+// rates.
+func (a *adaptiveState) pick(rng *rand.Rand) int {
+	total := 0.0
+	for k := range a.proposed {
+		total += a.weight(k)
+	}
+	r := rng.Float64() * total
+	for k := range a.proposed {
+		r -= a.weight(k)
+		if r < 0 {
+			return k
+		}
+	}
+	return len(a.proposed) - 1
+}
+
+// perturb proposes one adaptively-selected move through the move
+// table, recording the proposal for the acceptance bookkeeping.
+func (a *adaptiveState) perturb(mt MoveTable, rng *rand.Rand) bool {
+	a.settle()
+	kind := a.pick(rng)
+	a.proposed[kind]++
+	a.last = kind
+	return mt.PerturbKind(kind, rng)
+}

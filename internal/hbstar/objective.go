@@ -9,28 +9,22 @@ import (
 	"repro/internal/thermal"
 )
 
-// objective is the hierarchical placer's composite cost over a fixed
-// module universe: the devices of the initial forest packing, in
-// sorted-name order. Packings are map-shaped (geom.Placement), so the
-// adapter flattens them into coordinate slices and lets the model's
-// diff find the modules a perturbation actually displaced — a
-// hierarchical move repacks everything but typically shifts only one
-// subtree.
+// objective is the hierarchical placer's module universe: the devices
+// of the initial forest packing, in sorted-name order, with the
+// coordinate slices packings flatten into. Packings are map-shaped
+// (geom.Placement), so the adapter flattens them into coordinate
+// slices and lets the model's diff find the modules a perturbation
+// actually displaced — a hierarchical move repacks everything but
+// typically shifts only one subtree. The composite model itself is
+// built by newModel and owned by the engine kernel.
 type objective struct {
 	names      []string
 	id         map[string]int
 	x, y, w, h []int
-	model      *cost.Model
 }
 
-// newObjective builds the placer's cost model from one reference
-// packing. The terms mirror the historical hbstar cost — bounding-box
-// area, weighted HPWL over the bench nets, and the proximity-
-// fragments penalty scaled by the average module area — plus the
-// optional fixed-outline and thermal-mismatch terms of the composable
-// objective. Nets are indexed by sorted net name so runs stay
-// deterministic despite the bench's map-shaped net list.
-func newObjective(p *Problem, ref geom.Placement) *objective {
+// newObjective fixes the module universe from one reference packing.
+func newObjective(ref geom.Placement) *objective {
 	o := &objective{id: map[string]int{}}
 	o.names = ref.Names()
 	sort.Strings(o.names)
@@ -42,6 +36,18 @@ func newObjective(p *Problem, ref geom.Placement) *objective {
 	o.y = make([]int, n)
 	o.w = make([]int, n)
 	o.h = make([]int, n)
+	return o
+}
+
+// newModel builds the placer's cost model from one reference packing
+// over the universe. The terms mirror the historical hbstar cost —
+// bounding-box area, weighted HPWL over the bench nets, and the
+// proximity-fragments penalty scaled by the average module area —
+// plus the optional fixed-outline and thermal-mismatch terms of the
+// composable objective. Nets are indexed by sorted net name so runs
+// stay deterministic despite the bench's map-shaped net list.
+func (o *objective) newModel(p *Problem, ref geom.Placement) *cost.Model {
+	n := len(o.names)
 
 	var nets [][]int
 	netNames := make([]string, 0, len(p.Bench.Nets))
@@ -67,22 +73,22 @@ func newObjective(p *Problem, ref geom.Placement) *objective {
 	}
 	avgArea := float64(moduleArea) / float64(max(1, n))
 
-	o.model = cost.NewModel(n)
+	model := cost.NewModel(n)
 	aw := p.AreaWeight
 	if aw == 0 {
 		aw = 1
 	}
-	o.model.Add(aw, cost.NewArea())
-	o.model.Add(p.WireWeight, cost.NewHPWL(nets))
+	model.Add(aw, cost.NewArea())
+	model.Add(p.WireWeight, cost.NewHPWL(nets))
 	if groups := o.proximityGroups(p.Bench.Tree); len(groups) > 0 {
-		o.model.Add(p.ProximityPenalty*avgArea, newFragTerm(groups))
+		model.Add(p.ProximityPenalty*avgArea, newFragTerm(groups))
 	}
 	if p.OutlineW > 0 && p.OutlineH > 0 {
 		ow := p.OutlineWeight
 		if ow == 0 {
 			ow = cost.DefaultOutlineWeight(moduleArea)
 		}
-		o.model.Add(ow, cost.NewFixedOutline(p.OutlineW, p.OutlineH))
+		model.Add(ow, cost.NewFixedOutline(p.OutlineW, p.OutlineH))
 	}
 	if p.ThermalWeight > 0 {
 		if pairs := o.symPairs(p.Bench.Tree); len(pairs) > 0 {
@@ -99,11 +105,11 @@ func newObjective(p *Problem, ref geom.Placement) *objective {
 				}
 				powers = cost.AreaNormalizedPowers(areas)
 			}
-			o.model.Add(p.ThermalWeight, cost.NewThermal(
+			model.Add(p.ThermalWeight, cost.NewThermal(
 				&thermal.Field{Sigma: p.ThermalSigma}, powers, pairs))
 		}
 	}
-	return o
+	return model
 }
 
 // load flattens a packing into the coordinate slices; it reports

@@ -2,7 +2,6 @@ package hbstar
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 
 	"repro/internal/anneal"
@@ -10,6 +9,7 @@ import (
 	"repro/internal/circuits"
 	"repro/internal/constraint"
 	"repro/internal/cost"
+	"repro/internal/engine"
 	"repro/internal/geom"
 )
 
@@ -121,104 +121,89 @@ type Result struct {
 	Breakdown []cost.TermValue
 }
 
-// solution adapts a Forest to the annealer. It implements both the
-// cloning Solution protocol and the in-place MutableSolution protocol:
-// a perturbation touches exactly one of the forest's trees, so undo
-// restores just that tree from a reusable buffer instead of cloning
-// the whole forest per proposed move, and the composite objective
-// reevaluates only the modules the repack displaced (found by diffing
-// the flattened packing against the model's coordinate cache).
-type solution struct {
-	prob       *Problem
-	forest     *Forest
-	obj        *objective
-	cost       float64
-	prevCost   float64
-	modelMoved bool
-	u          ForestUndo
-	undo       anneal.Undo
-}
-
-func newSolution(p *Problem, f *Forest) *solution {
-	// The objective is built lazily by the first evaluate() from its
-	// own packing, so construction (including Neighbor clones) never
-	// pays a redundant full pack.
-	s := &solution{prob: p, forest: f}
-	s.undo = func() {
-		s.u.Undo()
-		if s.modelMoved {
-			s.obj.model.Undo()
-			s.modelMoved = false
-		}
-		s.cost = s.prevCost
-	}
-	return s
-}
-
-func (s *solution) evaluate() {
-	s.modelMoved = false
-	pl, err := s.forest.Pack()
-	if err != nil {
-		s.cost = math.Inf(1)
-		return
-	}
-	if s.obj == nil {
-		s.obj = newObjective(s.prob, pl)
-	}
-	if !s.obj.load(pl) {
-		s.cost = math.Inf(1)
-		return
-	}
-	s.cost = s.obj.model.Update(s.obj.x, s.obj.y, s.obj.w, s.obj.h, nil)
-	s.modelMoved = true
-}
-
-// Cost implements anneal.Solution.
-func (s *solution) Cost() float64 { return s.cost }
-
-// Moved implements anneal.MoveReporter. It reports nothing while the
-// solution has never evaluated a feasible packing.
-func (s *solution) Moved() []int {
-	if s.obj == nil {
-		return nil
-	}
-	return s.obj.model.Moved()
-}
-
-// Neighbor implements anneal.Solution.
-func (s *solution) Neighbor(rng *rand.Rand) anneal.Solution {
-	next := newSolution(s.prob, s.forest.Clone())
-	next.forest.Perturb(rng)
-	next.evaluate()
-	return next
-}
-
-// Perturb implements anneal.MutableSolution.
-func (s *solution) Perturb(rng *rand.Rand) anneal.Undo {
-	s.prevCost = s.cost
-	s.forest.PerturbUndoable(rng, &s.u)
-	s.evaluate()
-	return s.undo
-}
-
-// forestSnapshot is the best-so-far record of a solution.
-type forestSnapshot struct {
+// forestRep adapts a Forest to the engine kernel. A perturbation
+// touches exactly one of the forest's trees, so undo restores just
+// that tree from a reusable buffer instead of cloning the whole forest
+// per proposed move; the kernel's composite objective reevaluates only
+// the modules the repack displaced (found by diffing the flattened
+// packing against the model's coordinate cache). The module universe
+// (objective) and the model are built lazily from the first feasible
+// packing, so construction — including Neighbor clones — never pays a
+// redundant full pack.
+type forestRep struct {
+	prob   *Problem
 	forest *Forest
+	obj    *objective
+	ref    geom.Placement // last packing; the lazy model's reference
+	u      ForestUndo
 }
 
-// Snapshot implements anneal.MutableSolution.
-func (s *solution) Snapshot() any {
-	return &forestSnapshot{forest: s.forest.Clone()}
+func newForestRep(p *Problem, f *Forest) *forestRep {
+	return &forestRep{prob: p, forest: f}
 }
 
-// Restore implements anneal.MutableSolution. The snapshot is cloned so
-// the engine may keep and re-restore it; the objective is reevaluated
-// against the restored forest.
-func (s *solution) Restore(snapshot any) {
-	sn := snapshot.(*forestSnapshot)
-	s.forest = sn.forest.Clone()
-	s.u.node = nil // pending undo would target the replaced forest
-	s.evaluate()
+// Perturb implements engine.Representation.
+func (r *forestRep) Perturb(rng *rand.Rand) bool {
+	r.forest.PerturbUndoable(rng, &r.u)
+	return true
+}
+
+// Undo implements engine.Representation.
+func (r *forestRep) Undo() { r.u.Undo() }
+
+// Pack implements engine.Representation: the forest packs to a named
+// placement, which is flattened onto the fixed module universe (built
+// from the first feasible packing).
+func (r *forestRep) Pack(c *engine.Coords) bool {
+	pl, err := r.forest.Pack()
+	if err != nil {
+		return false
+	}
+	if r.obj == nil {
+		r.obj = newObjective(pl)
+	}
+	if !r.obj.load(pl) {
+		return false
+	}
+	r.ref = pl
+	c.X, c.Y, c.W, c.H, c.Rot = r.obj.x, r.obj.y, r.obj.w, r.obj.h, nil
+	return true
+}
+
+// newModel builds the composite model from the representation's last
+// packing; the kernel calls it lazily right after the first feasible
+// Pack.
+func (r *forestRep) newModel() *cost.Model {
+	return r.obj.newModel(r.prob, r.ref)
+}
+
+// Snapshot implements engine.Representation.
+func (r *forestRep) Snapshot() any { return r.forest.Clone() }
+
+// Restore implements engine.Representation. The snapshot is cloned so
+// the engine may keep and re-restore it.
+func (r *forestRep) Restore(snapshot any) {
+	r.forest = snapshot.(*Forest).Clone()
+	r.u.node = nil // pending undo would target the replaced forest
+}
+
+// Clone implements engine.Representation (universe and model are
+// rebuilt lazily from the clone's own first packing).
+func (r *forestRep) Clone() engine.Representation {
+	return newForestRep(r.prob, r.forest.Clone())
+}
+
+// Placement implements engine.Representation.
+func (r *forestRep) Placement() (geom.Placement, error) { return r.forest.Pack() }
+
+// newSolution wraps a forest in the engine kernel over the
+// hierarchical composite objective.
+func newSolution(p *Problem, f *Forest) *engine.Solution {
+	return engine.New(newForestRep(p, f), engine.Config{
+		NewModel: func(rep engine.Representation) *cost.Model {
+			return rep.(*forestRep).newModel()
+		},
+	})
 }
 
 // Place runs the HB*-tree hierarchical placer on a benchmark.
@@ -245,26 +230,17 @@ func Place(p *Problem, opt anneal.Options) (*Result, error) {
 	}
 	newSol := func(seed int64) anneal.Solution {
 		s := newSolution(p, forest.Clone())
-		s.evaluate()
 		_ = seed // the canonical initial forest ignores the seed
 		return s
 	}
-	var best anneal.Solution
-	var stats anneal.Stats
-	if opt.Workers > 1 {
-		best, stats = anneal.ParallelAnneal(newSol, opt.Workers, opt)
-	} else {
-		init := newSolution(p, forest)
-		init.evaluate()
-		best, stats = anneal.Anneal(init, opt)
-	}
-	sol := best.(*solution)
-	pl, err := sol.forest.Pack()
+	best, stats := engine.Run(newSol, opt)
+	sol := best.(*engine.Solution)
+	pl, err := sol.Placement()
 	if err != nil {
 		return nil, err
 	}
 	pl.Normalize()
-	res := &Result{Placement: pl, Cost: sol.cost, Stats: stats, Breakdown: sol.obj.model.Breakdown()}
+	res := &Result{Placement: pl, Cost: sol.Cost(), Stats: stats, Breakdown: sol.Breakdown()}
 	res.Violations = treeViolations(p.Bench.Tree, pl)
 	return res, nil
 }

@@ -69,7 +69,6 @@ func TestSolutionPerturbUndo(t *testing.T) {
 	}
 	prob := &Problem{Bench: bench, WireWeight: 0.5, ProximityPenalty: 2}
 	s := newSolution(prob, buildTestForest(t))
-	s.evaluate()
 	rng := rand.New(rand.NewSource(77))
 	for step := 0; step < 200; step++ {
 		costBefore := s.Cost()
@@ -78,10 +77,58 @@ func TestSolutionPerturbUndo(t *testing.T) {
 		if got := s.Cost(); got != costBefore {
 			t.Fatalf("step %d: cost %v after undo, want %v", step, got, costBefore)
 		}
-		s.evaluate() // recompute from state: must agree with cached cost
-		if got := s.Cost(); got != costBefore {
+		// Recompute from state through a fresh model: must agree with
+		// the incrementally maintained cost bit for bit.
+		if got := s.RefCost(); got != costBefore {
 			t.Fatalf("step %d: re-evaluated cost %v, want %v", step, got, costBefore)
 		}
 		s.Perturb(rng) // drift
+	}
+}
+
+// TestSolutionSnapshotRestoreRoundTrip asserts the full
+// MutableSolution snapshot contract for the hierarchical placer —
+// matching internal/place's flat-placer test: Restore brings the
+// solution back to the snapshotted cost and the exact packed placement
+// after arbitrary drift across the forest's plain trees and ASF
+// symmetry islands.
+func TestSolutionSnapshotRestoreRoundTrip(t *testing.T) {
+	bench, err := circuits.TableIBench("folded_casc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prob := &Problem{Bench: bench, WireWeight: 0.5, ProximityPenalty: 2}
+	s := newSolution(prob, buildTestForest(t))
+	pack := func() geom.Placement {
+		pl, err := s.Placement()
+		if err != nil {
+			return nil
+		}
+		return pl
+	}
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 20; trial++ {
+		snap := s.Snapshot()
+		costAt := s.Cost()
+		plAt := pack()
+		for i := 0; i < 10; i++ {
+			s.Perturb(rng)
+		}
+		s.Restore(snap)
+		if got := s.Cost(); got != costAt {
+			t.Fatalf("trial %d: cost %v after restore, want %v", trial, got, costAt)
+		}
+		if !samePlacement(pack(), plAt) {
+			t.Fatalf("trial %d: placement changed after restore", trial)
+		}
+		// The snapshot must stay restorable after further drift (the
+		// annealer re-restores its best-so-far at the end of a run).
+		for i := 0; i < 5; i++ {
+			s.Perturb(rng)
+		}
+		s.Restore(snap)
+		if got := s.Cost(); got != costAt {
+			t.Fatalf("trial %d: second restore cost %v, want %v", trial, got, costAt)
+		}
 	}
 }

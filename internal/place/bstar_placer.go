@@ -6,107 +6,63 @@ import (
 	"repro/internal/anneal"
 	"repro/internal/bstar"
 	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/geom"
 )
 
-// runAnneal dispatches a placer's search: a single in-place annealing
-// chain by default, or parallel multi-start when opt.Workers > 1. The
-// serial path builds its solution from the same derived seed as
-// ParallelAnneal's worker 0, so -workers=1 and the serial path are the
-// same run.
-func runAnneal(newSol func(seed int64) anneal.Solution, opt anneal.Options) (anneal.Solution, anneal.Stats) {
-	if opt.Workers > 1 {
-		return anneal.ParallelAnneal(newSol, opt.Workers, opt)
-	}
-	return anneal.Anneal(newSol(opt.Seed), opt)
+// btRep wraps a B*-tree as an engine.Representation: the classic
+// perturbations (rotate, move, swap) with exact undo through a
+// reusable tree-state buffer, and workspace packing so a proposed move
+// allocates nothing.
+type btRep struct {
+	prob  *Problem
+	tree  *bstar.Tree
+	ws    bstar.PackWorkspace
+	saved bstar.TreeState
 }
 
-// btSolution wraps a B*-tree for the annealer. It implements both the
-// cloning Solution protocol (Neighbor, used by the evolutionary
-// engine) and the in-place MutableSolution protocol: packing runs
-// through a per-solution workspace, the objective through a
-// solution-owned cost.Model updated over the dirty set of each repack,
-// and a perturbation is reverted by restoring the saved tree state and
-// the model's journal, so a proposed move allocates nothing and
-// reevaluates only what it displaced.
-type btSolution struct {
-	prob       *Problem
-	tree       *bstar.Tree
-	ws         bstar.PackWorkspace
-	saved      bstar.TreeState
-	model      *cost.Model
-	cost       float64
-	prevCost   float64
-	modelMoved bool
-	undo       anneal.Undo
+func newBTRep(p *Problem, tree *bstar.Tree) *btRep {
+	return &btRep{prob: p, tree: tree}
 }
 
-func newBTSolution(p *Problem, tree *bstar.Tree) *btSolution {
-	s := &btSolution{prob: p, tree: tree, model: p.NewModel()}
-	s.undo = func() {
-		s.tree.LoadState(&s.saved)
-		if s.modelMoved {
-			s.model.Undo()
-			s.modelMoved = false
-		}
-		s.cost = s.prevCost
-	}
-	return s
-}
-
-func (s *btSolution) evaluate() {
-	x, y := s.tree.PackInto(&s.ws)
-	if s.prob.FullEval {
-		s.modelMoved = false
-		s.cost = s.model.Eval(x, y, s.tree.W, s.tree.H, s.tree.Rot)
-		return
-	}
-	s.cost = s.model.Update(x, y, s.tree.W, s.tree.H, s.tree.Rot)
-	s.modelMoved = true
-}
-
-// Cost implements anneal.Solution.
-func (s *btSolution) Cost() float64 { return s.cost }
-
-// Moved implements anneal.MoveReporter.
-func (s *btSolution) Moved() []int { return s.model.Moved() }
-
-// Neighbor implements anneal.Solution using the classic B*-tree
+// Perturb implements engine.Representation using the classic B*-tree
 // perturbations (rotate, move, swap).
-func (s *btSolution) Neighbor(rng *rand.Rand) anneal.Solution {
-	next := newBTSolution(s.prob, s.tree.Clone())
-	next.tree.Perturb(rng)
-	next.evaluate()
-	return next
+func (r *btRep) Perturb(rng *rand.Rand) bool {
+	r.tree.SaveState(&r.saved)
+	r.tree.Perturb(rng)
+	return true
 }
 
-// Perturb implements anneal.MutableSolution: the same move set as
-// Neighbor, applied to the receiver with exact undo.
-func (s *btSolution) Perturb(rng *rand.Rand) anneal.Undo {
-	s.tree.SaveState(&s.saved)
-	s.prevCost = s.cost
-	s.tree.Perturb(rng)
-	s.evaluate()
-	return s.undo
+// Undo implements engine.Representation.
+func (r *btRep) Undo() { r.tree.LoadState(&r.saved) }
+
+// Pack implements engine.Representation.
+func (r *btRep) Pack(c *engine.Coords) bool {
+	x, y := r.tree.PackInto(&r.ws)
+	c.X, c.Y, c.W, c.H, c.Rot = x, y, r.tree.W, r.tree.H, r.tree.Rot
+	return true
 }
 
-// btSnapshot is the best-so-far record of a btSolution.
-type btSnapshot struct {
-	state bstar.TreeState
-}
-
-// Snapshot implements anneal.MutableSolution.
-func (s *btSolution) Snapshot() any {
-	sn := &btSnapshot{}
-	s.tree.SaveState(&sn.state)
+// Snapshot implements engine.Representation.
+func (r *btRep) Snapshot() any {
+	sn := &bstar.TreeState{}
+	r.tree.SaveState(sn)
 	return sn
 }
 
-// Restore implements anneal.MutableSolution: the tree is restored and
-// the objective incrementally reevaluated against it.
-func (s *btSolution) Restore(snapshot any) {
-	sn := snapshot.(*btSnapshot)
-	s.tree.LoadState(&sn.state)
-	s.evaluate()
+// Restore implements engine.Representation.
+func (r *btRep) Restore(snapshot any) {
+	r.tree.LoadState(snapshot.(*bstar.TreeState))
+}
+
+// Clone implements engine.Representation.
+func (r *btRep) Clone() engine.Representation {
+	return newBTRep(r.prob, r.tree.Clone())
+}
+
+// Placement implements engine.Representation.
+func (r *btRep) Placement() (geom.Placement, error) {
+	return r.tree.Placement(r.prob.Names)
 }
 
 // BStar runs a plain B*-tree annealing placer. Symmetry groups are not
@@ -119,179 +75,190 @@ func BStar(p *Problem, opt anneal.Options) (*Result, error) {
 	}
 	newSol := func(seed int64) anneal.Solution {
 		rng := rand.New(rand.NewSource(seed + 11))
-		s := newBTSolution(p, bstar.NewRandom(p.W, p.H, rng))
-		s.evaluate()
-		return s
+		return newKernel(p, newBTRep(p, bstar.NewRandom(p.W, p.H, rng)))
 	}
-	best, stats := runAnneal(newSol, opt)
-	sol := best.(*btSolution)
-	pl, err := sol.tree.Placement(p.Names)
-	if err != nil {
-		return nil, err
-	}
-	pl.Normalize()
-	return &Result{Placement: pl, Cost: sol.cost, Stats: stats, Breakdown: sol.model.Breakdown()}, nil
+	best, stats := engine.Run(newSol, opt)
+	return finishResult(best.(*engine.Solution), stats)
 }
 
-// absSolution is the absolute-coordinate baseline state: explicit
-// module positions that may overlap during the search, with overlap
-// penalized through the placer-defined overlapTerm — the exploration
-// style of ILAC/KOAN the paper contrasts with topological
-// representations. Mutations are small records (one translation, swap
-// or rotation), so the moved set is known exactly and the objective
-// updates through Model.UpdateMoved without even a coordinate diff.
-type absSolution struct {
-	prob    *Problem
-	x, y    []int
-	rot     []bool
-	span    int // translation range for moves
-	penalty float64
-	model   *cost.Model
-	cost    float64
+// Absolute-coordinate move kinds (the representation's move table).
+const (
+	absMoveTranslate = iota
+	absMoveSwap
+	absMoveRotate
+	absMoveKinds
+)
 
-	prevCost   float64
+// absRep is the absolute-coordinate baseline Representation: explicit
+// module positions that may overlap during the search — the
+// exploration style of ILAC/KOAN the paper contrasts with topological
+// representations (overlap is penalized by the placer-defined
+// overlapTerm the Absolute entry point adds to the model). Mutations
+// are small records (one translation, swap or rotation), so the moved
+// set is known exactly and the kernel evaluates through
+// Model.UpdateMoved without even a coordinate diff.
+type absRep struct {
+	prob *Problem
+	x, y []int
+	rot  []bool
+	span int // translation range for moves
+
 	op         int // last move: 0 translate, 1 swap, 2 rotate, -1 none
 	ma, mb     int // touched modules
 	oldX, oldY int
 	moved      []int // scratch for UpdateMoved
-	modelMoved bool
-	undo       anneal.Undo
 }
 
-func newAbsSolution(p *Problem, n int, span int, penalty float64) *absSolution {
-	s := &absSolution{
-		prob:    p,
-		x:       make([]int, n),
-		y:       make([]int, n),
-		rot:     make([]bool, n),
-		span:    span,
-		penalty: penalty,
-		model:   p.NewModel().Add(penalty, newOverlapTerm(n)),
+func newAbsRep(p *Problem, span int) *absRep {
+	n := p.N()
+	return &absRep{
+		prob: p,
+		x:    make([]int, n),
+		y:    make([]int, n),
+		rot:  make([]bool, n),
+		span: span,
 	}
-	s.undo = func() {
-		switch s.op {
-		case 0:
-			s.x[s.ma], s.y[s.ma] = s.oldX, s.oldY
-		case 1:
-			s.x[s.ma], s.x[s.mb] = s.x[s.mb], s.x[s.ma]
-			s.y[s.ma], s.y[s.mb] = s.y[s.mb], s.y[s.ma]
-		case 2:
-			s.rot[s.ma] = !s.rot[s.ma]
-		}
-		if s.modelMoved {
-			s.model.Undo()
-			s.modelMoved = false
-		}
-		s.cost = s.prevCost
-	}
-	return s
 }
 
-// evaluate reevaluates the whole objective from scratch (initial
-// placements and snapshot restores).
-func (s *absSolution) evaluate() {
-	s.modelMoved = false
-	s.cost = s.model.Eval(s.x, s.y, s.prob.W, s.prob.H, s.rot)
-}
+// MovedModules implements engine.MovedModules.
+func (r *absRep) MovedModules() []int { return r.moved }
 
-// evaluateMoved incrementally reevaluates after the listed modules
-// moved.
-func (s *absSolution) evaluateMoved() {
-	if s.prob.FullEval {
-		s.evaluate()
-		return
-	}
-	s.cost = s.model.UpdateMoved(s.x, s.y, s.prob.W, s.prob.H, s.rot, s.moved)
-	s.modelMoved = true
-}
-
-// Cost implements anneal.Solution.
-func (s *absSolution) Cost() float64 { return s.cost }
-
-// Moved implements anneal.MoveReporter.
-func (s *absSolution) Moved() []int { return s.model.Moved() }
-
-// mutate applies one random move to the receiver, recording the undo
-// information in s.op/ma/mb/oldX/oldY and the moved set in s.moved.
-func (s *absSolution) mutate(rng *rand.Rand) {
-	n := s.prob.N()
-	s.op = -1
-	s.moved = s.moved[:0]
+// Perturb implements engine.Representation: translate half the time,
+// swap or rotate otherwise.
+func (r *absRep) Perturb(rng *rand.Rand) bool {
 	switch rng.Intn(4) {
-	case 0, 1: // translate
+	case 0, 1:
+		return r.PerturbKind(absMoveTranslate, rng)
+	case 2:
+		return r.PerturbKind(absMoveSwap, rng)
+	default:
+		return r.PerturbKind(absMoveRotate, rng)
+	}
+}
+
+// MoveKinds implements engine.MoveTable.
+func (r *absRep) MoveKinds() int { return absMoveKinds }
+
+// PerturbKind implements engine.MoveTable, recording the undo
+// information in op/ma/mb/oldX/oldY and the moved set in moved.
+func (r *absRep) PerturbKind(kind int, rng *rand.Rand) bool {
+	n := r.prob.N()
+	r.op = -1
+	r.moved = r.moved[:0]
+	switch kind {
+	case absMoveTranslate:
 		m := rng.Intn(n)
-		s.op, s.ma = 0, m
-		s.oldX, s.oldY = s.x[m], s.y[m]
-		s.x[m] += rng.Intn(2*s.span+1) - s.span
-		s.y[m] += rng.Intn(2*s.span+1) - s.span
-		if s.x[m] < 0 {
-			s.x[m] = 0
+		r.op, r.ma = 0, m
+		r.oldX, r.oldY = r.x[m], r.y[m]
+		r.x[m] += rng.Intn(2*r.span+1) - r.span
+		r.y[m] += rng.Intn(2*r.span+1) - r.span
+		if r.x[m] < 0 {
+			r.x[m] = 0
 		}
-		if s.y[m] < 0 {
-			s.y[m] = 0
+		if r.y[m] < 0 {
+			r.y[m] = 0
 		}
-		s.moved = append(s.moved, m)
-	case 2: // swap positions
+		r.moved = append(r.moved, m)
+	case absMoveSwap:
 		if n >= 2 {
 			a, b := rng.Intn(n), rng.Intn(n-1)
 			if b >= a {
 				b++
 			}
-			s.op, s.ma, s.mb = 1, a, b
-			s.x[a], s.x[b] = s.x[b], s.x[a]
-			s.y[a], s.y[b] = s.y[b], s.y[a]
-			s.moved = append(s.moved, a, b)
+			r.op, r.ma, r.mb = 1, a, b
+			r.x[a], r.x[b] = r.x[b], r.x[a]
+			r.y[a], r.y[b] = r.y[b], r.y[a]
+			r.moved = append(r.moved, a, b)
 		}
-	case 3: // rotate
+	case absMoveRotate:
 		m := rng.Intn(n)
-		s.op, s.ma = 2, m
-		s.rot[m] = !s.rot[m]
-		s.moved = append(s.moved, m)
+		r.op, r.ma = 2, m
+		r.rot[m] = !r.rot[m]
+		r.moved = append(r.moved, m)
+	}
+	return true
+}
+
+// Undo implements engine.Representation.
+func (r *absRep) Undo() {
+	switch r.op {
+	case 0:
+		r.x[r.ma], r.y[r.ma] = r.oldX, r.oldY
+	case 1:
+		r.x[r.ma], r.x[r.mb] = r.x[r.mb], r.x[r.ma]
+		r.y[r.ma], r.y[r.mb] = r.y[r.mb], r.y[r.ma]
+	case 2:
+		r.rot[r.ma] = !r.rot[r.ma]
 	}
 }
 
-// Neighbor implements anneal.Solution: translate, swap or rotate on a
-// copy.
-func (s *absSolution) Neighbor(rng *rand.Rand) anneal.Solution {
-	next := newAbsSolution(s.prob, s.prob.N(), s.span, s.penalty)
-	copy(next.x, s.x)
-	copy(next.y, s.y)
-	copy(next.rot, s.rot)
-	next.mutate(rng)
-	next.evaluate()
-	return next
+// Pack implements engine.Representation: the coordinates are the
+// encoding, so packing is the identity.
+func (r *absRep) Pack(c *engine.Coords) bool {
+	c.X, c.Y, c.W, c.H, c.Rot = r.x, r.y, r.prob.W, r.prob.H, r.rot
+	return true
 }
 
-// Perturb implements anneal.MutableSolution.
-func (s *absSolution) Perturb(rng *rand.Rand) anneal.Undo {
-	s.prevCost = s.cost
-	s.mutate(rng)
-	s.evaluateMoved()
-	return s.undo
-}
-
-// absSnapshot is the best-so-far record of an absSolution.
+// absSnapshot is the best-so-far record of an absRep.
 type absSnapshot struct {
 	x, y []int
 	rot  []bool
 }
 
-// Snapshot implements anneal.MutableSolution.
-func (s *absSolution) Snapshot() any {
+// Snapshot implements engine.Representation.
+func (r *absRep) Snapshot() any {
 	return &absSnapshot{
-		x:   append([]int(nil), s.x...),
-		y:   append([]int(nil), s.y...),
-		rot: append([]bool(nil), s.rot...),
+		x:   append([]int(nil), r.x...),
+		y:   append([]int(nil), r.y...),
+		rot: append([]bool(nil), r.rot...),
 	}
 }
 
-// Restore implements anneal.MutableSolution.
-func (s *absSolution) Restore(snapshot any) {
+// Restore implements engine.Representation.
+func (r *absRep) Restore(snapshot any) {
 	sn := snapshot.(*absSnapshot)
-	copy(s.x, sn.x)
-	copy(s.y, sn.y)
-	copy(s.rot, sn.rot)
-	s.evaluate()
+	copy(r.x, sn.x)
+	copy(r.y, sn.y)
+	copy(r.rot, sn.rot)
+}
+
+// Clone implements engine.Representation.
+func (r *absRep) Clone() engine.Representation {
+	n := newAbsRep(r.prob, r.span)
+	copy(n.x, r.x)
+	copy(n.y, r.y)
+	copy(n.rot, r.rot)
+	return n
+}
+
+// Placement implements engine.Representation.
+func (r *absRep) Placement() (geom.Placement, error) {
+	return r.prob.BuildPlacement(r.x, r.y, r.rot), nil
+}
+
+// CrossoverFrom implements engine.Crossover: uniform per-module
+// inheritance of position and rotation from the two parents (always a
+// valid encoding — overlap is already priced by the penalty term).
+func (r *absRep) CrossoverFrom(a, b engine.Representation, rng *rand.Rand) {
+	pb := b.(*absRep)
+	for i := range r.x {
+		if rng.Intn(2) == 0 {
+			r.x[i], r.y[i], r.rot[i] = pb.x[i], pb.y[i], pb.rot[i]
+		}
+	}
+}
+
+// absConfig is the kernel configuration of the absolute placer: its
+// model carries the overlap penalty term on top of the problem's
+// composite objective.
+func absConfig(p *Problem, penalty float64) engine.Config {
+	return engine.Config{
+		NewModel: func(engine.Representation) *cost.Model {
+			return p.NewModel().Add(penalty, newOverlapTerm(p.N()))
+		},
+		FullEval:      p.FullEval,
+		AdaptiveMoves: p.AdaptiveMoves,
+	}
 }
 
 // Absolute runs the absolute-coordinate annealing baseline. The final
@@ -303,6 +270,14 @@ func Absolute(p *Problem, opt anneal.Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	best, stats := engine.Run(newAbsSol(p), opt)
+	return finishResult(best.(*engine.Solution), stats)
+}
+
+// newAbsSol is the absolute-coordinate solution factory shared by the
+// annealing and memetic engines: modules spread on a loose grid in a
+// seed-dependent random order.
+func newAbsSol(p *Problem) func(seed int64) anneal.Solution {
 	n := p.N()
 	// Initial spread: place modules on a loose grid.
 	side := 1
@@ -319,20 +294,14 @@ func Absolute(p *Problem, opt anneal.Options) (*Result, error) {
 		}
 	}
 	pitch := maxDim + 1
-	newSol := func(seed int64) anneal.Solution {
+	return func(seed int64) anneal.Solution {
 		rng := rand.New(rand.NewSource(seed + 13))
-		s := newAbsSolution(p, n, pitch, 10)
+		r := newAbsRep(p, pitch)
 		order := rng.Perm(n)
 		for i, m := range order {
-			s.x[m] = (i % side) * pitch
-			s.y[m] = (i / side) * pitch
+			r.x[m] = (i % side) * pitch
+			r.y[m] = (i / side) * pitch
 		}
-		s.evaluate()
-		return s
+		return engine.New(r, absConfig(p, 10))
 	}
-	best, stats := runAnneal(newSol, opt)
-	sol := best.(*absSolution)
-	pl := sol.prob.BuildPlacement(sol.x, sol.y, sol.rot)
-	pl.Normalize()
-	return &Result{Placement: pl, Cost: sol.cost, Stats: stats, Breakdown: sol.model.Breakdown()}, nil
 }

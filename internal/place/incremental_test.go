@@ -8,69 +8,17 @@ import (
 	"repro/internal/anneal"
 	"repro/internal/bstar"
 	"repro/internal/circuits"
+	"repro/internal/engine"
 	"repro/internal/seqpair"
 	"repro/internal/tcg"
 )
 
-// refCost evaluates a solution's current topology from scratch through
-// a fresh twin solution (new model, full Eval) — the reference the
-// incremental path must match bit for bit.
-
-func (s *spSolution) refCost() float64 {
-	twin := newSPSolution(s.prob, s.sp)
-	copy(twin.rot, s.rot)
-	copy(twin.w, s.w)
-	copy(twin.h, s.h)
-	twin.evaluate()
-	return twin.cost
-}
-
-func (s *spRejectSolution) refCost() float64 {
-	if !s.sp.SymmetricFeasible(s.prob.Groups) {
-		return math.Inf(1)
-	}
-	return s.spSolution.refCost()
-}
-
-func (s *btSolution) refCost() float64 {
-	twin := newBTSolution(s.prob, s.tree)
-	twin.evaluate()
-	return twin.cost
-}
-
-func (s *tcgSolution) refCost() float64 {
-	twin := newTCGSolution(s.prob, s.g)
-	twin.evaluate()
-	return twin.cost
-}
-
-func (s *slSolution) refCost() float64 {
-	twin := newSlSolution(s.prob, append(polish(nil), s.expr...))
-	copy(twin.rot, s.rot)
-	twin.evaluate()
-	return twin.cost
-}
-
-func (s *absSolution) refCost() float64 {
-	twin := newAbsSolution(s.prob, s.prob.N(), s.span, s.penalty)
-	copy(twin.x, s.x)
-	copy(twin.y, s.y)
-	copy(twin.rot, s.rot)
-	twin.evaluate()
-	return twin.cost
-}
-
-// incrementalSolution is a MutableSolution whose incremental cost can
-// be cross-checked against a from-scratch evaluation.
-type incrementalSolution interface {
-	anneal.MutableSolution
-	refCost() float64
-}
-
-// incrementalFixtures builds one solution per placer over a problem
-// with every objective term enabled, so the property test exercises
-// area, HPWL, outline, proximity and thermal caches together.
-func incrementalFixtures(t *testing.T) map[string]incrementalSolution {
+// incrementalFixtures builds one kernel solution per placer over a
+// problem with every objective term enabled, so the property test
+// exercises area, HPWL, outline, proximity and thermal caches
+// together. The from-scratch reference is the kernel's own RefCost
+// (fresh model, full Eval over the current encoding).
+func incrementalFixtures(t *testing.T) map[string]*engine.Solution {
 	t.Helper()
 	bench := circuits.MillerOpAmp()
 	newProb := func(groups bool) *Problem {
@@ -97,33 +45,25 @@ func incrementalFixtures(t *testing.T) map[string]incrementalSolution {
 
 	rng := rand.New(rand.NewSource(17))
 
-	bt := newBTSolution(free, bstar.NewRandom(free.W, free.H, rng))
-	bt.evaluate()
-
-	sps := newSPSolution(prob, seqpair.RandomSF(prob.N(), prob.Groups, rng))
-	sps.evaluate()
-
-	rej := newSPRejectSolution(prob, seqpair.RandomSF(prob.N(), prob.Groups, rng))
-	rej.evaluate()
-
-	tc := newTCGSolution(free, tcg.New(free.W, free.H))
-	tc.evaluate()
+	bt := newKernel(free, newBTRep(free, bstar.NewRandom(free.W, free.H, rng)))
+	sps := newKernel(prob, newSPRep(prob, seqpair.RandomSF(prob.N(), prob.Groups, rng)))
+	rej := newKernel(prob, newSPRejectRep(prob, seqpair.RandomSF(prob.N(), prob.Groups, rng)))
+	tc := newKernel(free, newTCGRep(free, tcg.New(free.W, free.H)))
 
 	n := free.N()
 	expr := polish{0}
 	for i := 1; i < n; i++ {
 		expr = append(expr, i, opV)
 	}
-	sl := newSlSolution(free, expr)
-	sl.evaluate()
+	sl := newKernel(free, newSlRep(free, expr))
 
-	abs := newAbsSolution(free, n, 10, 10)
+	absR := newAbsRep(free, 10)
 	for i := 0; i < n; i++ {
-		abs.x[i], abs.y[i] = (i%3)*15, (i/3)*15
+		absR.x[i], absR.y[i] = (i%3)*15, (i/3)*15
 	}
-	abs.evaluate()
+	abs := engine.New(absR, absConfig(free, 10))
 
-	return map[string]incrementalSolution{
+	return map[string]*engine.Solution{
 		"bstar":          bt,
 		"seqpair":        sps,
 		"seqpair-reject": rej,
@@ -144,7 +84,7 @@ func TestIncrementalCostMatchesFullEval(t *testing.T) {
 			rng := rand.New(rand.NewSource(23))
 			check := func(step int, op string) {
 				t.Helper()
-				got, want := sol.Cost(), sol.refCost()
+				got, want := sol.Cost(), sol.RefCost()
 				if !costsEqual(got, want) {
 					t.Fatalf("step %d (%s): incremental cost %v, from-scratch %v", step, op, got, want)
 				}

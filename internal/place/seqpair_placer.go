@@ -2,11 +2,11 @@ package place
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 
 	"repro/internal/anneal"
 	"repro/internal/cost"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/seqpair"
 )
@@ -22,196 +22,244 @@ type Result struct {
 	Breakdown []cost.TermValue
 }
 
-// spSolution is a symmetric-feasible sequence-pair state for the
-// annealer. Rotations are applied pairwise so symmetric pairs stay
-// dimension-matched. Effective dimensions are maintained incrementally
-// in w/h, packing reuses the SP's cached solver workspaces, and the
-// objective is the solution-owned cost.Model updated over the dirty
-// set of each repack, so a proposed move allocates almost nothing and
-// reevaluates only the nets its move displaced.
-type spSolution struct {
-	prob  *Problem
-	sp    *seqpair.SP
-	rot   []bool
-	w, h  []int // effective dims, kept in sync with rot
-	pws   seqpair.PackWorkspace
-	model *cost.Model
-	cost  float64
+// newKernel wraps a representation in the shared engine kernel over
+// the problem's composite model.
+func newKernel(p *Problem, rep engine.Representation) *engine.Solution {
+	return engine.New(rep, engine.Config{
+		NewModel:      func(engine.Representation) *cost.Model { return p.NewModel() },
+		FullEval:      p.FullEval,
+		AdaptiveMoves: p.AdaptiveMoves,
+	})
+}
 
-	prevCost   float64
+// finishResult assembles a Result from the winning kernel solution:
+// the named placement (normalized) and the per-term cost breakdown
+// from the solution's own model.
+func finishResult(sol *engine.Solution, stats anneal.Stats) (*Result, error) {
+	pl, err := sol.Placement()
+	if err != nil {
+		return nil, err
+	}
+	pl.Normalize()
+	return &Result{Placement: pl, Cost: sol.Cost(), Stats: stats, Breakdown: sol.Breakdown()}, nil
+}
+
+// Sequence-pair move kinds (the representation's move table).
+const (
+	spMoveSequence = iota // S-F-preserving sequence move
+	spMoveRotate          // pairwise rotation
+	spMoveKinds
+)
+
+// spRep is the symmetric-feasible sequence-pair Representation.
+// Rotations are applied pairwise so symmetric pairs stay
+// dimension-matched; effective dimensions are maintained incrementally
+// in w/h and packing reuses the SP's cached solver workspaces, so a
+// proposed move allocates almost nothing.
+type spRep struct {
+	prob *Problem
+	sp   *seqpair.SP
+	rot  []bool
+	w, h []int // effective dims, kept in sync with rot
+	pws  seqpair.PackWorkspace
+
 	saved      seqpair.State
 	spMoved    bool // last move touched the sequences (vs rotation only)
-	modelMoved bool // last move updated the model (vs infeasible pack)
 	rotA, rotB int  // modules whose rotation the last move flipped (-1 none)
-	undo       anneal.Undo
 }
 
-// init populates the receiver in place and binds the undo closure to
-// it. Embedding types must call init on the embedded field of the
-// final struct (never copy an initialized spSolution by value): the
-// closure captures the receiver.
-func (s *spSolution) init(p *Problem, sp *seqpair.SP) {
-	n := p.N()
-	s.prob = p
-	s.sp = sp
-	s.rot = make([]bool, n)
-	s.w = append([]int(nil), p.W...)
-	s.h = append([]int(nil), p.H...)
-	s.model = p.NewModel()
-	s.undo = func() {
-		if s.spMoved {
-			s.sp.LoadState(&s.saved)
-		}
-		if s.rotA >= 0 {
-			s.flip(s.rotA)
-		}
-		if s.rotB >= 0 {
-			s.flip(s.rotB)
-		}
-		if s.modelMoved {
-			s.model.Undo()
-			s.modelMoved = false
-		}
-		s.cost = s.prevCost
+func newSPRep(p *Problem, sp *seqpair.SP) *spRep {
+	return &spRep{
+		prob: p,
+		sp:   sp,
+		rot:  make([]bool, p.N()),
+		w:    append([]int(nil), p.W...),
+		h:    append([]int(nil), p.H...),
 	}
-}
-
-func newSPSolution(p *Problem, sp *seqpair.SP) *spSolution {
-	s := &spSolution{}
-	s.init(p, sp)
-	return s
 }
 
 // flip toggles module m's rotation and its effective dimensions.
-func (s *spSolution) flip(m int) {
-	s.rot[m] = !s.rot[m]
-	s.w[m], s.h[m] = s.h[m], s.w[m]
+func (r *spRep) flip(m int) {
+	r.rot[m] = !r.rot[m]
+	r.w[m], r.h[m] = r.h[m], r.w[m]
 }
 
-// placement packs the code into a named placement for the final
-// result. With symmetry groups the symmetric constructor is used;
-// codes it rejects (cross-group conflicts) get infinite cost so the
-// annealer treats the move as rejected.
-func (s *spSolution) placement() (geom.Placement, error) {
-	if len(s.prob.Groups) > 0 {
-		return s.sp.SymmetricPlacement(s.prob.Names, s.w, s.h, s.prob.Groups)
+// Perturb implements engine.Representation: an S-F-preserving sequence
+// move four times out of five, a pairwise rotation otherwise.
+func (r *spRep) Perturb(rng *rand.Rand) bool {
+	if rng.Intn(5) == 0 {
+		return r.PerturbKind(spMoveRotate, rng)
 	}
-	return s.sp.Placement(s.prob.Names, s.w, s.h)
+	return r.PerturbKind(spMoveSequence, rng)
 }
 
-func (s *spSolution) evaluate() {
-	s.modelMoved = false
-	if len(s.prob.Groups) > 0 {
-		x, y, err := s.sp.PackSymmetric(s.w, s.h, s.prob.Groups)
-		if err != nil {
-			s.cost = math.Inf(1)
-			return
-		}
-		s.updateModel(x, y)
-		return
-	}
-	x, y := s.sp.PackInto(&s.pws, s.w, s.h)
-	s.updateModel(x, y)
-}
+// MoveKinds implements engine.MoveTable.
+func (r *spRep) MoveKinds() int { return spMoveKinds }
 
-// updateModel feeds freshly packed coordinates to the objective:
-// incrementally over the diffed dirty set by default, or from scratch
-// under Problem.FullEval.
-func (s *spSolution) updateModel(x, y []int) {
-	if s.prob.FullEval {
-		s.cost = s.model.Eval(x, y, s.w, s.h, nil)
-		return
-	}
-	s.cost = s.model.Update(x, y, s.w, s.h, nil)
-	s.modelMoved = true
-}
-
-// Cost implements anneal.Solution.
-func (s *spSolution) Cost() float64 { return s.cost }
-
-// Moved implements anneal.MoveReporter.
-func (s *spSolution) Moved() []int { return s.model.Moved() }
-
-// mutate applies one S-F-preserving move or a pairwise rotation to the
-// receiver, recording undo information.
-func (s *spSolution) mutate(rng *rand.Rand) {
-	s.spMoved = false
-	s.rotA, s.rotB = -1, -1
-	if rng.Intn(5) == 0 { // rotation move
-		m := rng.Intn(s.prob.N())
-		s.flip(m)
-		s.rotA = m
+// PerturbKind implements engine.MoveTable.
+func (r *spRep) PerturbKind(kind int, rng *rand.Rand) bool {
+	r.spMoved = false
+	r.rotA, r.rotB = -1, -1
+	if kind == spMoveRotate {
+		m := rng.Intn(r.prob.N())
+		r.flip(m)
+		r.rotA = m
 		// Rotate the symmetric counterpart too, keeping pair dims
 		// matched; self-symmetric modules need even height after
 		// rotation, which we cannot guarantee, so skip them.
-		for _, g := range s.prob.Groups {
+		for _, g := range r.prob.Groups {
 			if sym, ok := g.Sym(m); ok {
 				if sym == m {
-					s.flip(m) // revert: self-symmetric
-					s.rotA = -1
+					r.flip(m) // revert: self-symmetric
+					r.rotA = -1
 					break
 				}
-				s.flip(sym)
-				s.rotB = sym
+				r.flip(sym)
+				r.rotB = sym
 				break
 			}
 		}
-		return
+		return true
 	}
-	s.sp.SaveState(&s.saved)
-	s.spMoved = true
-	s.sp.PerturbSF(rng, s.prob.Groups)
+	r.sp.SaveState(&r.saved)
+	r.spMoved = true
+	r.sp.PerturbSF(rng, r.prob.Groups)
+	return true
 }
 
-// Neighbor implements anneal.Solution: an S-F-preserving sequence move
-// or a pairwise rotation on a copy.
-func (s *spSolution) Neighbor(rng *rand.Rand) anneal.Solution {
-	next := newSPSolution(s.prob, s.sp.Clone())
-	copy(next.rot, s.rot)
-	copy(next.w, s.w)
-	copy(next.h, s.h)
-	next.mutate(rng)
-	next.evaluate()
-	return next
+// Undo implements engine.Representation.
+func (r *spRep) Undo() {
+	if r.spMoved {
+		r.sp.LoadState(&r.saved)
+	}
+	if r.rotA >= 0 {
+		r.flip(r.rotA)
+	}
+	if r.rotB >= 0 {
+		r.flip(r.rotB)
+	}
 }
 
-// Perturb implements anneal.MutableSolution.
-func (s *spSolution) Perturb(rng *rand.Rand) anneal.Undo {
-	s.prevCost = s.cost
-	s.mutate(rng)
-	s.evaluate()
-	return s.undo
+// Pack implements engine.Representation. With symmetry groups the
+// symmetric constructor is used; codes it rejects (cross-group
+// conflicts) are infeasible so the kernel prices the move at +Inf.
+func (r *spRep) Pack(c *engine.Coords) bool {
+	if len(r.prob.Groups) > 0 {
+		x, y, err := r.sp.PackSymmetric(r.w, r.h, r.prob.Groups)
+		if err != nil {
+			return false
+		}
+		c.X, c.Y, c.W, c.H, c.Rot = x, y, r.w, r.h, nil
+		return true
+	}
+	x, y := r.sp.PackInto(&r.pws, r.w, r.h)
+	c.X, c.Y, c.W, c.H, c.Rot = x, y, r.w, r.h, nil
+	return true
 }
 
-// spSnapshot is the best-so-far record of an spSolution.
+// spSnapshot is the best-so-far record of an spRep.
 type spSnapshot struct {
 	state seqpair.State
 	rot   []bool
 	w, h  []int
 }
 
-// Snapshot implements anneal.MutableSolution.
-func (s *spSolution) Snapshot() any {
+// Snapshot implements engine.Representation.
+func (r *spRep) Snapshot() any {
 	sn := &spSnapshot{
-		rot: append([]bool(nil), s.rot...),
-		w:   append([]int(nil), s.w...),
-		h:   append([]int(nil), s.h...),
+		rot: append([]bool(nil), r.rot...),
+		w:   append([]int(nil), r.w...),
+		h:   append([]int(nil), r.h...),
 	}
-	s.sp.SaveState(&sn.state)
+	r.sp.SaveState(&sn.state)
 	return sn
 }
 
-// Restore implements anneal.MutableSolution: the topology is restored
-// and the objective reevaluated against it (the model's diff touches
-// exactly the modules the restore displaced, so the incremental totals
-// stay bit-exact with a from-scratch evaluation).
-func (s *spSolution) Restore(snapshot any) {
+// Restore implements engine.Representation.
+func (r *spRep) Restore(snapshot any) {
 	sn := snapshot.(*spSnapshot)
-	s.sp.LoadState(&sn.state)
-	copy(s.rot, sn.rot)
-	copy(s.w, sn.w)
-	copy(s.h, sn.h)
-	s.evaluate()
+	r.sp.LoadState(&sn.state)
+	copy(r.rot, sn.rot)
+	copy(r.w, sn.w)
+	copy(r.h, sn.h)
+}
+
+// Clone implements engine.Representation.
+func (r *spRep) Clone() engine.Representation {
+	n := newSPRep(r.prob, r.sp.Clone())
+	copy(n.rot, r.rot)
+	copy(n.w, r.w)
+	copy(n.h, r.h)
+	return n
+}
+
+// Placement implements engine.Representation.
+func (r *spRep) Placement() (geom.Placement, error) {
+	if len(r.prob.Groups) > 0 {
+		return r.sp.SymmetricPlacement(r.prob.Names, r.w, r.h, r.prob.Groups)
+	}
+	return r.sp.Placement(r.prob.Names, r.w, r.h)
+}
+
+// CrossoverFrom implements engine.Crossover: order crossover on both
+// sequences. The receiver is a clone of parent a (rotations inherit
+// from it); children that break symmetric feasibility pack to +Inf
+// and die in selection — the rejection strategy.
+func (r *spRep) CrossoverFrom(a, b engine.Representation, rng *rand.Rand) {
+	pb := asSPRep(b)
+	if pb == nil {
+		return
+	}
+	alpha := orderCross(r.sp.Alpha, pb.sp.Alpha, rng)
+	beta := orderCross(r.sp.Beta, pb.sp.Beta, rng)
+	if sp, err := seqpair.FromSequences(alpha, beta); err == nil {
+		r.sp = sp
+	}
+}
+
+// asSPRep unwraps the sequence-pair state behind either sequence-pair
+// representation (the S-F-preserving one or its rejection variant).
+func asSPRep(rep engine.Representation) *spRep {
+	switch v := rep.(type) {
+	case *spRep:
+		return v
+	case *spRejectRep:
+		return &v.spRep
+	}
+	return nil
+}
+
+// orderCross is classic order crossover (OX) over permutations: the
+// child keeps p1's segment [i, j] in place and fills the remaining
+// positions with the other elements in p2's order.
+func orderCross(p1, p2 []int, rng *rand.Rand) []int {
+	n := len(p1)
+	child := make([]int, n)
+	if n < 2 {
+		copy(child, p1)
+		return child
+	}
+	i, j := rng.Intn(n), rng.Intn(n)
+	if i > j {
+		i, j = j, i
+	}
+	inSeg := make(map[int]bool, j-i+1)
+	for k := i; k <= j; k++ {
+		child[k] = p1[k]
+		inSeg[p1[k]] = true
+	}
+	pos := 0
+	for _, m := range p2 {
+		if inSeg[m] {
+			continue
+		}
+		for pos >= i && pos <= j {
+			pos++
+		}
+		child[pos] = m
+		pos++
+	}
+	return child
 }
 
 // SeqPair runs the Section II placer: simulated annealing restricted
@@ -222,41 +270,34 @@ func SeqPair(p *Problem, opt anneal.Options) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	newSol := func(seed int64) anneal.Solution {
-		rng := rand.New(rand.NewSource(seed + 7))
-		// A random initial S-F code may still be cross-group
-		// infeasible; anneal.FeasibleInit retries the shared bound.
-		s, _ := anneal.FeasibleInit(func() anneal.Solution {
-			s := newSPSolution(p, seqpair.RandomSF(p.N(), p.Groups, rng))
-			s.evaluate()
-			return s
-		})
-		return s
-	}
-	var best anneal.Solution
-	var stats anneal.Stats
-	if opt.Workers > 1 {
-		best, stats = anneal.ParallelAnneal(newSol, opt.Workers, opt)
-	} else {
-		probe := newSol(opt.Seed)
-		if math.IsInf(probe.Cost(), 1) {
-			return nil, fmt.Errorf("place: seqpair: no feasible initial solution after %d attempts", anneal.InitRetries)
-		}
-		best, stats = anneal.Anneal(probe, opt)
-	}
-	sol := best.(*spSolution)
-	if math.IsInf(sol.cost, 1) {
-		return nil, fmt.Errorf("place: seqpair: no feasible initial solution after %d attempts", anneal.InitRetries)
-	}
-	pl, err := sol.placement()
+	best, stats, err := engine.RunFeasible("place: seqpair", newSPSol(p), opt)
 	if err != nil {
 		return nil, err
 	}
-	pl.Normalize()
-	if err := p.ConstraintSet().Check(pl); err != nil {
+	res, err := finishResult(best.(*engine.Solution), stats)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.ConstraintSet().Check(res.Placement); err != nil {
 		return nil, fmt.Errorf("place: internal error, result violates constraints: %v", err)
 	}
-	return &Result{Placement: pl, Cost: sol.cost, Stats: stats, Breakdown: sol.model.Breakdown()}, nil
+	return res, nil
+}
+
+// newSPSol is the sequence-pair solution factory shared by the
+// annealing and memetic engines: a random S-F code per attempt, with
+// the kernel's feasible-init retries absorbing cross-group-infeasible
+// draws.
+func newSPSol(p *Problem) func(seed int64) anneal.Solution {
+	return func(seed int64) anneal.Solution {
+		rng := rand.New(rand.NewSource(seed + 7))
+		// A random initial S-F code may still be cross-group
+		// infeasible; engine.FeasibleInit retries the shared bound.
+		s, _ := engine.FeasibleInit(func() anneal.Solution {
+			return newKernel(p, newSPRep(p, seqpair.RandomSF(p.N(), p.Groups, rng)))
+		})
+		return s
+	}
 }
 
 // SeqPairUnconstrainedMoves is the ablation variant of SeqPair: moves
@@ -270,80 +311,70 @@ func SeqPairUnconstrainedMoves(p *Problem, opt anneal.Options) (*Result, error) 
 	}
 	newSol := func(seed int64) anneal.Solution {
 		rng := rand.New(rand.NewSource(seed + 7))
-		s, _ := anneal.FeasibleInit(func() anneal.Solution {
-			s := newSPRejectSolution(p, seqpair.RandomSF(p.N(), p.Groups, rng))
-			s.evaluate()
-			return s
+		s, _ := engine.FeasibleInit(func() anneal.Solution {
+			return newKernel(p, newSPRejectRep(p, seqpair.RandomSF(p.N(), p.Groups, rng)))
 		})
 		return s
 	}
-	best, stats := runAnneal(newSol, opt)
-	sol := best.(*spRejectSolution)
-	pl, err := sol.placement()
-	if err != nil {
-		return nil, err
-	}
-	pl.Normalize()
-	return &Result{Placement: pl, Cost: sol.cost, Stats: stats, Breakdown: sol.model.Breakdown()}, nil
+	best, stats := engine.Run(newSol, opt)
+	return finishResult(best.(*engine.Solution), stats)
 }
 
-// spRejectSolution perturbs without repairing and relies on the S-F
-// predicate to reject infeasible codes. Its moves never touch
-// rotations (rotA/rotB stay -1), so the embedded solution's undo
-// closure reverts them exactly.
-type spRejectSolution struct {
-	spSolution
+// spRejectRep perturbs without repairing and relies on the S-F
+// predicate to reject infeasible codes: its single move kind is an
+// arbitrary sequence swap, and Pack reports non-S-F codes infeasible.
+type spRejectRep struct {
+	spRep
 }
 
-func newSPRejectSolution(p *Problem, sp *seqpair.SP) *spRejectSolution {
-	s := &spRejectSolution{}
-	s.spSolution.init(p, sp)
-	return s
+func newSPRejectRep(p *Problem, sp *seqpair.SP) *spRejectRep {
+	r := &spRejectRep{}
+	r.spRep = *newSPRep(p, sp)
+	return r
 }
 
-// rejectMutate applies one arbitrary sequence move to the receiver.
-func (s *spRejectSolution) rejectMutate(rng *rand.Rand) {
-	s.sp.SaveState(&s.saved)
-	s.spMoved = true
-	s.rotA, s.rotB = -1, -1
-	n := s.prob.N()
+// Perturb implements engine.Representation with the rejection move
+// set.
+func (r *spRejectRep) Perturb(rng *rand.Rand) bool {
+	return r.PerturbKind(0, rng)
+}
+
+// MoveKinds implements engine.MoveTable: the rejection variant has one
+// move kind (an arbitrary sequence swap).
+func (r *spRejectRep) MoveKinds() int { return 1 }
+
+// PerturbKind implements engine.MoveTable.
+func (r *spRejectRep) PerturbKind(_ int, rng *rand.Rand) bool {
+	r.sp.SaveState(&r.saved)
+	r.spMoved = true
+	r.rotA, r.rotB = -1, -1
+	n := r.prob.N()
 	if n >= 2 {
 		i, j := rng.Intn(n), rng.Intn(n-1)
 		if j >= i {
 			j++
 		}
 		if rng.Intn(2) == 0 {
-			s.sp.SwapAlpha(i, j)
+			r.sp.SwapAlpha(i, j)
 		} else {
-			s.sp.SwapBeta(i, j)
+			r.sp.SwapBeta(i, j)
 		}
 	}
+	return true
 }
 
-func (s *spRejectSolution) Neighbor(rng *rand.Rand) anneal.Solution {
-	next := newSPRejectSolution(s.prob, s.sp.Clone())
-	copy(next.rot, s.rot)
-	copy(next.w, s.w)
-	copy(next.h, s.h)
-	next.rejectMutate(rng)
-	if !next.sp.SymmetricFeasible(s.prob.Groups) {
-		next.cost = math.Inf(1)
-		return next
+// Pack implements engine.Representation: non-S-F codes are infeasible
+// before any packing runs (the model never sees the move).
+func (r *spRejectRep) Pack(c *engine.Coords) bool {
+	if !r.sp.SymmetricFeasible(r.prob.Groups) {
+		return false
 	}
-	next.evaluate()
-	return next
+	return r.spRep.Pack(c)
 }
 
-// Perturb implements anneal.MutableSolution with the rejection move
-// set.
-func (s *spRejectSolution) Perturb(rng *rand.Rand) anneal.Undo {
-	s.prevCost = s.cost
-	s.rejectMutate(rng)
-	if !s.sp.SymmetricFeasible(s.prob.Groups) {
-		s.modelMoved = false // the model never saw this move
-		s.cost = math.Inf(1)
-		return s.undo
-	}
-	s.evaluate()
-	return s.undo
+// Clone implements engine.Representation.
+func (r *spRejectRep) Clone() engine.Representation {
+	n := &spRejectRep{}
+	n.spRep = *(r.spRep.Clone().(*spRep))
+	return n
 }

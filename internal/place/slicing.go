@@ -2,11 +2,10 @@ package place
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 
 	"repro/internal/anneal"
-	"repro/internal/cost"
+	"repro/internal/engine"
 	"repro/internal/geom"
 )
 
@@ -60,9 +59,9 @@ type slNode struct {
 	w, h        int
 }
 
-// slDecoder is the reusable scratch of one slicing solution: the node
-// arena, the decode stack, the coordinate assignment stack and the
-// per-module coordinates.
+// slDecoder is the reusable scratch of one slicing representation: the
+// node arena, the decode stack, the coordinate assignment stack and
+// the per-module coordinates.
 type slDecoder struct {
 	nodes  []slNode
 	stack  []int
@@ -73,55 +72,50 @@ type slDecoder struct {
 
 type slFrame struct{ node, x, y int }
 
-// slSolution is the annealer state for the slicing placer.
-type slSolution struct {
-	prob  *Problem
-	expr  polish
-	rot   []bool
-	dec   slDecoder
-	model *cost.Model
-	cost  float64
+// Slicing move kinds (the representation's move table): the classic
+// Wong-Liu set plus module rotation.
+const (
+	slMoveM1 = iota // swap two adjacent operands
+	slMoveM2        // complement one operator
+	slMoveM3        // swap adjacent operand/operator
+	slMoveRotate
+	slMoveKinds
+)
 
-	prevCost   float64
-	savedExpr  polish
-	savedRot   []bool
-	modelMoved bool
-	undo       anneal.Undo
+// slRep is the slicing-tree engine.Representation.
+type slRep struct {
+	prob *Problem
+	expr polish
+	rot  []bool
+	dec  slDecoder
+
+	savedExpr polish
+	savedRot  []bool
 }
 
-func newSlSolution(p *Problem, expr polish) *slSolution {
+func newSlRep(p *Problem, expr polish) *slRep {
 	n := p.N()
-	s := &slSolution{
-		prob:  p,
-		expr:  expr,
-		rot:   make([]bool, n),
-		model: p.NewModel(),
+	r := &slRep{
+		prob: p,
+		expr: expr,
+		rot:  make([]bool, n),
 	}
-	s.dec.x = make([]int, n)
-	s.dec.y = make([]int, n)
-	s.undo = func() {
-		copy(s.expr, s.savedExpr)
-		copy(s.rot, s.savedRot)
-		if s.modelMoved {
-			s.model.Undo()
-			s.modelMoved = false
-		}
-		s.cost = s.prevCost
-	}
-	return s
+	r.dec.x = make([]int, n)
+	r.dec.y = make([]int, n)
+	return r
 }
 
 // decodeCoords builds the slicing tree in the node arena, sizes it
 // bottom-up and assigns lower-left module coordinates into dec.x/y.
 // It reports whether the expression was well-formed.
-func (s *slSolution) decodeCoords() bool {
-	d := &s.dec
+func (r *slRep) decodeCoords() bool {
+	d := &r.dec
 	d.nodes = d.nodes[:0]
 	d.stack = d.stack[:0]
-	for _, t := range s.expr {
+	for _, t := range r.expr {
 		if t >= 0 {
-			w, h := s.prob.W[t], s.prob.H[t]
-			if s.rot[t] {
+			w, h := r.prob.W[t], r.prob.H[t]
+			if r.rot[t] {
 				w, h = h, w
 			}
 			d.nodes = append(d.nodes, slNode{op: t, left: -1, right: -1, w: w, h: h})
@@ -131,16 +125,16 @@ func (s *slSolution) decodeCoords() bool {
 		if len(d.stack) < 2 {
 			return false
 		}
-		r := d.stack[len(d.stack)-1]
+		rr := d.stack[len(d.stack)-1]
 		l := d.stack[len(d.stack)-2]
 		d.stack = d.stack[:len(d.stack)-2]
-		nd := slNode{op: t, left: l, right: r}
+		nd := slNode{op: t, left: l, right: rr}
 		if t == opV {
-			nd.w = d.nodes[l].w + d.nodes[r].w
-			nd.h = max(d.nodes[l].h, d.nodes[r].h)
+			nd.w = d.nodes[l].w + d.nodes[rr].w
+			nd.h = max(d.nodes[l].h, d.nodes[rr].h)
 		} else {
-			nd.w = max(d.nodes[l].w, d.nodes[r].w)
-			nd.h = d.nodes[l].h + d.nodes[r].h
+			nd.w = max(d.nodes[l].w, d.nodes[rr].w)
+			nd.h = d.nodes[l].h + d.nodes[rr].h
 		}
 		d.nodes = append(d.nodes, nd)
 		d.stack = append(d.stack, len(d.nodes)-1)
@@ -167,150 +161,161 @@ func (s *slSolution) decodeCoords() bool {
 	return true
 }
 
-func (s *slSolution) placement() (geom.Placement, error) {
-	if !s.decodeCoords() {
+// Pack implements engine.Representation: malformed expressions are
+// infeasible.
+func (r *slRep) Pack(c *engine.Coords) bool {
+	if !r.decodeCoords() {
+		return false
+	}
+	c.X, c.Y, c.W, c.H, c.Rot = r.dec.x, r.dec.y, r.prob.W, r.prob.H, r.rot
+	return true
+}
+
+// Placement implements engine.Representation.
+func (r *slRep) Placement() (geom.Placement, error) {
+	if !r.decodeCoords() {
 		return nil, fmt.Errorf("place: malformed polish expression")
 	}
 	pl := geom.Placement{}
-	for i := 0; i < s.prob.N(); i++ {
-		w, h := s.prob.W[i], s.prob.H[i]
-		if s.rot[i] {
+	for i := 0; i < r.prob.N(); i++ {
+		w, h := r.prob.W[i], r.prob.H[i]
+		if r.rot[i] {
 			w, h = h, w
 		}
-		pl[s.prob.Names[i]] = geom.NewRect(s.dec.x[i], s.dec.y[i], w, h)
+		pl[r.prob.Names[i]] = geom.NewRect(r.dec.x[i], r.dec.y[i], w, h)
 	}
 	return pl, nil
 }
 
-func (s *slSolution) evaluate() {
-	s.modelMoved = false
-	if !s.decodeCoords() {
-		s.cost = math.Inf(1)
-		return
+// applyMove applies one move of the given kind to the expression in
+// place (without validity checking; callers retry against the saved
+// state).
+func (r *slRep) applyMove(kind int, rng *rand.Rand) {
+	switch kind {
+	case slMoveM1: // M1: swap two adjacent operands
+		pos := r.tokenPositions(true)
+		if len(pos) >= 2 {
+			i := rng.Intn(len(pos) - 1)
+			a, b := pos[i], pos[i+1]
+			r.expr[a], r.expr[b] = r.expr[b], r.expr[a]
+		}
+	case slMoveM2: // M2: complement one operator
+		pos := r.tokenPositions(false)
+		if len(pos) > 0 {
+			i := pos[rng.Intn(len(pos))]
+			if r.expr[i] == opH {
+				r.expr[i] = opV
+			} else {
+				r.expr[i] = opH
+			}
+		}
+	case slMoveM3: // M3: swap adjacent operand/operator
+		i := rng.Intn(len(r.expr) - 1)
+		r.expr[i], r.expr[i+1] = r.expr[i+1], r.expr[i]
+	case slMoveRotate: // rotate a module
+		m := rng.Intn(r.prob.N())
+		r.rot[m] = !r.rot[m]
 	}
-	if s.prob.FullEval {
-		s.cost = s.model.Eval(s.dec.x, s.dec.y, s.prob.W, s.prob.H, s.rot)
-		return
-	}
-	s.cost = s.model.Update(s.dec.x, s.dec.y, s.prob.W, s.prob.H, s.rot)
-	s.modelMoved = true
 }
 
-// Cost implements anneal.Solution.
-func (s *slSolution) Cost() float64 { return s.cost }
-
-// Moved implements anneal.MoveReporter.
-func (s *slSolution) Moved() []int { return s.model.Moved() }
-
-// mutate applies one classic Wong-Liu move to the receiver: M1 swap
-// adjacent operands, M2 complement an operator, M3 swap an adjacent
-// operand/operator pair, plus module rotation. Invalid results are
-// retried a bounded number of times against the saved state; mutate
+// mutate applies one classic Wong-Liu move (M1/M2/M3 or rotation) to
+// the receiver. Invalid results are retried a bounded number of times
+// against the saved state, re-drawing the kind per attempt; mutate
 // reports whether a valid move was found.
-func (s *slSolution) mutate(rng *rand.Rand) bool {
-	n := s.prob.N()
+func (r *slRep) mutate(rng *rand.Rand) bool {
+	n := r.prob.N()
 	for attempt := 0; attempt < 16; attempt++ {
-		copy(s.expr, s.savedExpr)
-		copy(s.rot, s.savedRot)
-		switch rng.Intn(4) {
-		case 0: // M1: swap two adjacent operands
-			pos := s.tokenPositions(true)
-			if len(pos) >= 2 {
-				i := rng.Intn(len(pos) - 1)
-				a, b := pos[i], pos[i+1]
-				s.expr[a], s.expr[b] = s.expr[b], s.expr[a]
-			}
-		case 1: // M2: complement one operator
-			pos := s.tokenPositions(false)
-			if len(pos) > 0 {
-				i := pos[rng.Intn(len(pos))]
-				if s.expr[i] == opH {
-					s.expr[i] = opV
-				} else {
-					s.expr[i] = opH
-				}
-			}
-		case 2: // M3: swap adjacent operand/operator
-			i := rng.Intn(len(s.expr) - 1)
-			s.expr[i], s.expr[i+1] = s.expr[i+1], s.expr[i]
-		case 3: // rotate a module
-			m := rng.Intn(n)
-			s.rot[m] = !s.rot[m]
-		}
-		if validPolish(s.expr, n) {
+		copy(r.expr, r.savedExpr)
+		copy(r.rot, r.savedRot)
+		r.applyMove(rng.Intn(slMoveKinds), rng)
+		if validPolish(r.expr, n) {
 			return true
 		}
 	}
 	// All attempts invalid: restore the saved state.
-	copy(s.expr, s.savedExpr)
-	copy(s.rot, s.savedRot)
+	copy(r.expr, r.savedExpr)
+	copy(r.rot, r.savedRot)
 	return false
 }
 
 // tokenPositions collects the positions of operands (true) or
 // operators (false) into the decoder's scratch slice.
-func (s *slSolution) tokenPositions(operands bool) []int {
-	pos := s.dec.pos[:0]
-	for i, t := range s.expr {
+func (r *slRep) tokenPositions(operands bool) []int {
+	pos := r.dec.pos[:0]
+	for i, t := range r.expr {
 		if (t >= 0) == operands {
 			pos = append(pos, i)
 		}
 	}
-	s.dec.pos = pos
+	r.dec.pos = pos
 	return pos
 }
 
 // save records the current expression and rotations as the undo point.
-// It also clears modelMoved so a failed mutate (which skips evaluate)
-// cannot leave undo pointing at the previous move's model journal.
-func (s *slSolution) save() {
-	s.savedExpr = append(s.savedExpr[:0], s.expr...)
-	s.savedRot = append(s.savedRot[:0], s.rot...)
-	s.prevCost = s.cost
-	s.modelMoved = false
+func (r *slRep) save() {
+	r.savedExpr = append(r.savedExpr[:0], r.expr...)
+	r.savedRot = append(r.savedRot[:0], r.rot...)
 }
 
-// Neighbor implements anneal.Solution: the same move set applied to a
-// copy.
-func (s *slSolution) Neighbor(rng *rand.Rand) anneal.Solution {
-	next := newSlSolution(s.prob, append(polish(nil), s.expr...))
-	copy(next.rot, s.rot)
-	next.save()
-	next.mutate(rng)
-	next.evaluate()
-	return next
+// Perturb implements engine.Representation.
+func (r *slRep) Perturb(rng *rand.Rand) bool {
+	r.save()
+	return r.mutate(rng)
 }
 
-// Perturb implements anneal.MutableSolution.
-func (s *slSolution) Perturb(rng *rand.Rand) anneal.Undo {
-	s.save()
-	if s.mutate(rng) {
-		s.evaluate()
+// MoveKinds implements engine.MoveTable.
+func (r *slRep) MoveKinds() int { return slMoveKinds }
+
+// PerturbKind implements engine.MoveTable: the bounded retry loop
+// restricted to one move kind.
+func (r *slRep) PerturbKind(kind int, rng *rand.Rand) bool {
+	r.save()
+	n := r.prob.N()
+	for attempt := 0; attempt < 16; attempt++ {
+		copy(r.expr, r.savedExpr)
+		copy(r.rot, r.savedRot)
+		r.applyMove(kind, rng)
+		if validPolish(r.expr, n) {
+			return true
+		}
 	}
-	return s.undo
+	copy(r.expr, r.savedExpr)
+	copy(r.rot, r.savedRot)
+	return false
 }
 
-// slSnapshot is the best-so-far record of an slSolution.
+// Undo implements engine.Representation.
+func (r *slRep) Undo() {
+	copy(r.expr, r.savedExpr)
+	copy(r.rot, r.savedRot)
+}
+
+// slSnapshot is the best-so-far record of an slRep.
 type slSnapshot struct {
 	expr polish
 	rot  []bool
 }
 
-// Snapshot implements anneal.MutableSolution.
-func (s *slSolution) Snapshot() any {
+// Snapshot implements engine.Representation.
+func (r *slRep) Snapshot() any {
 	return &slSnapshot{
-		expr: append(polish(nil), s.expr...),
-		rot:  append([]bool(nil), s.rot...),
+		expr: append(polish(nil), r.expr...),
+		rot:  append([]bool(nil), r.rot...),
 	}
 }
 
-// Restore implements anneal.MutableSolution: the expression is
-// restored and the objective incrementally reevaluated against it.
-func (s *slSolution) Restore(snapshot any) {
+// Restore implements engine.Representation.
+func (r *slRep) Restore(snapshot any) {
 	sn := snapshot.(*slSnapshot)
-	copy(s.expr, sn.expr)
-	copy(s.rot, sn.rot)
-	s.evaluate()
+	copy(r.expr, sn.expr)
+	copy(r.rot, sn.rot)
+}
+
+// Clone implements engine.Representation.
+func (r *slRep) Clone() engine.Representation {
+	n := newSlRep(r.prob, append(polish(nil), r.expr...))
+	copy(n.rot, r.rot)
+	return n
 }
 
 // Slicing runs the slicing-tree annealing placer.
@@ -328,17 +333,10 @@ func Slicing(p *Problem, opt anneal.Options) (*Result, error) {
 		for i := 1; i < n; i++ {
 			expr = append(expr, i, opV)
 		}
-		s := newSlSolution(p, expr)
-		s.evaluate()
+		s := newKernel(p, newSlRep(p, expr))
 		_ = seed // the deterministic initial row ignores the seed
 		return s
 	}
-	best, stats := runAnneal(newSol, opt)
-	sol := best.(*slSolution)
-	pl, err := sol.placement()
-	if err != nil {
-		return nil, err
-	}
-	pl.Normalize()
-	return &Result{Placement: pl, Cost: sol.cost, Stats: stats, Breakdown: sol.model.Breakdown()}, nil
+	best, stats := engine.Run(newSol, opt)
+	return finishResult(best.(*engine.Solution), stats)
 }

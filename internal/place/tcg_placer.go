@@ -5,94 +5,65 @@ import (
 
 	"repro/internal/anneal"
 	"repro/internal/bstar"
-	"repro/internal/cost"
+	"repro/internal/engine"
+	"repro/internal/geom"
 	"repro/internal/tcg"
 )
 
-// tcgSolution wraps a transitive closure graph for the annealer,
-// implementing both the cloning and the in-place protocols. A
-// perturbation is undone by restoring the saved matrices — an O(n²)
-// copy, the same order as one packing evaluation — and the objective
-// reverts through the solution-owned model's journal.
-type tcgSolution struct {
-	prob       *Problem
-	g          *tcg.TCG
-	ws         tcg.PackWorkspace
-	saved      tcg.State
-	model      *cost.Model
-	cost       float64
-	prevCost   float64
-	modelMoved bool
-	undo       anneal.Undo
+// tcgRep wraps a transitive closure graph as an
+// engine.Representation. A perturbation is undone by restoring the
+// saved matrices — an O(n²) copy, the same order as one packing
+// evaluation.
+type tcgRep struct {
+	prob  *Problem
+	g     *tcg.TCG
+	ws    tcg.PackWorkspace
+	saved tcg.State
 }
 
-func newTCGSolution(p *Problem, g *tcg.TCG) *tcgSolution {
-	s := &tcgSolution{prob: p, g: g, model: p.NewModel()}
-	s.undo = func() {
-		s.g.LoadState(&s.saved)
-		if s.modelMoved {
-			s.model.Undo()
-			s.modelMoved = false
-		}
-		s.cost = s.prevCost
-	}
-	return s
+func newTCGRep(p *Problem, g *tcg.TCG) *tcgRep {
+	return &tcgRep{prob: p, g: g}
 }
 
-func (s *tcgSolution) evaluate() {
-	x, y := s.g.PackInto(&s.ws)
-	// Rotation swaps W/H in place on the TCG, so rot is nil here.
-	if s.prob.FullEval {
-		s.modelMoved = false
-		s.cost = s.model.Eval(x, y, s.g.W, s.g.H, nil)
-		return
-	}
-	s.cost = s.model.Update(x, y, s.g.W, s.g.H, nil)
-	s.modelMoved = true
-}
-
-// Cost implements anneal.Solution.
-func (s *tcgSolution) Cost() float64 { return s.cost }
-
-// Moved implements anneal.MoveReporter.
-func (s *tcgSolution) Moved() []int { return s.model.Moved() }
-
-// Neighbor implements anneal.Solution with the TCG perturbations
+// Perturb implements engine.Representation with the TCG perturbations
 // (rotate, swap, edge reversal, edge move).
-func (s *tcgSolution) Neighbor(rng *rand.Rand) anneal.Solution {
-	next := newTCGSolution(s.prob, s.g.Clone())
-	next.g.Perturb(rng)
-	next.evaluate()
-	return next
+func (r *tcgRep) Perturb(rng *rand.Rand) bool {
+	r.g.SaveState(&r.saved)
+	r.g.Perturb(rng)
+	return true
 }
 
-// Perturb implements anneal.MutableSolution.
-func (s *tcgSolution) Perturb(rng *rand.Rand) anneal.Undo {
-	s.g.SaveState(&s.saved)
-	s.prevCost = s.cost
-	s.g.Perturb(rng)
-	s.evaluate()
-	return s.undo
+// Undo implements engine.Representation.
+func (r *tcgRep) Undo() { r.g.LoadState(&r.saved) }
+
+// Pack implements engine.Representation. Rotation swaps W/H in place
+// on the TCG, so Rot is nil.
+func (r *tcgRep) Pack(c *engine.Coords) bool {
+	x, y := r.g.PackInto(&r.ws)
+	c.X, c.Y, c.W, c.H, c.Rot = x, y, r.g.W, r.g.H, nil
+	return true
 }
 
-// tcgSnapshot is the best-so-far record of a tcgSolution.
-type tcgSnapshot struct {
-	state tcg.State
-}
-
-// Snapshot implements anneal.MutableSolution.
-func (s *tcgSolution) Snapshot() any {
-	sn := &tcgSnapshot{}
-	s.g.SaveState(&sn.state)
+// Snapshot implements engine.Representation.
+func (r *tcgRep) Snapshot() any {
+	sn := &tcg.State{}
+	r.g.SaveState(sn)
 	return sn
 }
 
-// Restore implements anneal.MutableSolution: the graph is restored and
-// the objective incrementally reevaluated against it.
-func (s *tcgSolution) Restore(snapshot any) {
-	sn := snapshot.(*tcgSnapshot)
-	s.g.LoadState(&sn.state)
-	s.evaluate()
+// Restore implements engine.Representation.
+func (r *tcgRep) Restore(snapshot any) {
+	r.g.LoadState(snapshot.(*tcg.State))
+}
+
+// Clone implements engine.Representation.
+func (r *tcgRep) Clone() engine.Representation {
+	return newTCGRep(r.prob, r.g.Clone())
+}
+
+// Placement implements engine.Representation.
+func (r *tcgRep) Placement() (geom.Placement, error) {
+	return r.g.Placement(r.prob.Names)
 }
 
 // TCG runs a transitive-closure-graph annealing placer — the third
@@ -104,19 +75,12 @@ func TCG(p *Problem, opt anneal.Options) (*Result, error) {
 		return nil, err
 	}
 	newSol := func(seed int64) anneal.Solution {
-		s := newTCGSolution(p, tcg.New(p.W, p.H))
-		s.evaluate()
+		s := newKernel(p, newTCGRep(p, tcg.New(p.W, p.H)))
 		_ = seed // the deterministic initial row ignores the seed
 		return s
 	}
-	best, stats := runAnneal(newSol, opt)
-	sol := best.(*tcgSolution)
-	pl, err := sol.g.Placement(p.Names)
-	if err != nil {
-		return nil, err
-	}
-	pl.Normalize()
-	return &Result{Placement: pl, Cost: sol.cost, Stats: stats, Breakdown: sol.model.Breakdown()}, nil
+	best, stats := engine.Run(newSol, opt)
+	return finishResult(best.(*engine.Solution), stats)
 }
 
 // TwoPhaseBStar runs the GA+SA two-phase strategy of Zhang et al.
@@ -127,14 +91,7 @@ func TwoPhaseBStar(p *Problem, ga anneal.GAOptions, sa anneal.Options) (*Result,
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(sa.Seed + 17))
-	init := newBTSolution(p, bstar.NewRandom(p.W, p.H, rng))
-	init.evaluate()
+	init := newKernel(p, newBTRep(p, bstar.NewRandom(p.W, p.H, rng)))
 	best, stats := anneal.TwoPhase(init, ga, sa)
-	sol := best.(*btSolution)
-	pl, err := sol.tree.Placement(p.Names)
-	if err != nil {
-		return nil, err
-	}
-	pl.Normalize()
-	return &Result{Placement: pl, Cost: sol.cost, Stats: stats, Breakdown: sol.model.Breakdown()}, nil
+	return finishResult(best.(*engine.Solution), stats)
 }

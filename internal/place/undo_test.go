@@ -5,9 +5,9 @@ import (
 	"math/rand"
 	"testing"
 
-	"repro/internal/anneal"
 	"repro/internal/bstar"
 	"repro/internal/circuits"
+	"repro/internal/engine"
 	"repro/internal/geom"
 	"repro/internal/seqpair"
 	"repro/internal/tcg"
@@ -18,7 +18,7 @@ import (
 // current state (or return nil when the state is infeasible).
 type mutableFixture struct {
 	name string
-	sol  anneal.MutableSolution
+	sol  *engine.Solution
 	pl   func() geom.Placement
 }
 
@@ -41,6 +41,18 @@ func costsEqual(a, b float64) bool {
 	return a == b
 }
 
+// fixture wraps a kernel solution with an error-swallowing placement
+// extractor (nil for infeasible states).
+func fixture(name string, sol *engine.Solution) mutableFixture {
+	return mutableFixture{name, sol, func() geom.Placement {
+		pl, err := sol.Placement()
+		if err != nil {
+			return nil
+		}
+		return pl
+	}}
+}
+
 func fixtures(t *testing.T) []mutableFixture {
 	t.Helper()
 	bench := circuits.MillerOpAmp()
@@ -56,49 +68,31 @@ func fixtures(t *testing.T) []mutableFixture {
 
 	rng := rand.New(rand.NewSource(1))
 
-	bt := newBTSolution(free, bstar.NewRandom(free.W, free.H, rng))
-	bt.evaluate()
-
-	sps := newSPSolution(prob, seqpair.RandomSF(prob.N(), prob.Groups, rng))
-	sps.evaluate()
-
-	rej := newSPRejectSolution(prob, seqpair.RandomSF(prob.N(), prob.Groups, rng))
-	rej.evaluate()
-
-	tc := newTCGSolution(free, tcg.New(free.W, free.H))
-	tc.evaluate()
+	bt := newKernel(free, newBTRep(free, bstar.NewRandom(free.W, free.H, rng)))
+	sps := newKernel(prob, newSPRep(prob, seqpair.RandomSF(prob.N(), prob.Groups, rng)))
+	rej := newKernel(prob, newSPRejectRep(prob, seqpair.RandomSF(prob.N(), prob.Groups, rng)))
+	tc := newKernel(free, newTCGRep(free, tcg.New(free.W, free.H)))
 
 	n := free.N()
 	expr := polish{0}
 	for i := 1; i < n; i++ {
 		expr = append(expr, i, opV)
 	}
-	sl := newSlSolution(free, expr)
-	sl.evaluate()
+	sl := newKernel(free, newSlRep(free, expr))
 
-	abs := newAbsSolution(free, n, 10, 10)
+	absR := newAbsRep(free, 10)
 	for i := 0; i < n; i++ {
-		abs.x[i], abs.y[i] = (i%3)*15, (i/3)*15
+		absR.x[i], absR.y[i] = (i%3)*15, (i/3)*15
 	}
-	abs.evaluate()
-
-	mustPl := func(f func() (geom.Placement, error)) func() geom.Placement {
-		return func() geom.Placement {
-			pl, err := f()
-			if err != nil {
-				return nil
-			}
-			return pl
-		}
-	}
+	abs := engine.New(absR, absConfig(free, 10))
 
 	return []mutableFixture{
-		{"bstar", bt, mustPl(func() (geom.Placement, error) { return bt.tree.Placement(free.Names) })},
-		{"seqpair", sps, mustPl(sps.placement)},
-		{"seqpair-reject", rej, mustPl(rej.placement)},
-		{"tcg", tc, mustPl(func() (geom.Placement, error) { return tc.g.Placement(free.Names) })},
-		{"slicing", sl, mustPl(sl.placement)},
-		{"absolute", abs, func() geom.Placement { return free.BuildPlacement(abs.x, abs.y, abs.rot) }},
+		fixture("bstar", bt),
+		fixture("seqpair", sps),
+		fixture("seqpair-reject", rej),
+		fixture("tcg", tc),
+		fixture("slicing", sl),
+		fixture("absolute", abs),
 	}
 }
 

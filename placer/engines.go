@@ -17,9 +17,16 @@ const (
 	Slicing  = "slicing"
 	Absolute = "absolute"
 	HBStar   = "hbstar"
+	// Memetic engines over crossover-capable representations: a
+	// crossover-enabled evolutionary exploration followed by annealing
+	// refinement (the GA+SA scheme of Zhang et al.). The genetic:<repr>
+	// naming is open-ended — any representation implementing
+	// engine.Crossover can register one.
+	GeneticSeqPair  = "genetic:seqpair"
+	GeneticAbsolute = "genetic:absolute"
 )
 
-// init self-registers the six built-in engines. Registration order is
+// init self-registers the built-in engines. Registration order is
 // load-bearing: it is the portfolio racing and tie-break order
 // (seqpair, bstar, tcg) and the display order of every listing.
 func init() {
@@ -47,6 +54,14 @@ func init() {
 		Description: "absolute-coordinate annealing baseline with overlap penalty",
 	}, place.Absolute))
 	Register(HBStar, func() Engine { return hbstarEngine{} })
+	Register(GeneticSeqPair, geneticFactory(Info{
+		Name:        GeneticSeqPair,
+		Description: "memetic search (order-crossover GA + annealing refinement) over symmetric-feasible sequence pairs",
+	}, place.GeneticSeqPair))
+	Register(GeneticAbsolute, geneticFactory(Info{
+		Name:        GeneticAbsolute,
+		Description: "memetic search (uniform-crossover GA + annealing refinement) over absolute coordinates",
+	}, place.GeneticAbsolute))
 }
 
 // flatEngine adapts one of the flat placers to the Engine interface:
@@ -78,7 +93,53 @@ func (e flatEngine) Solve(ctx context.Context, p *Problem, opt EngineOptions) (*
 	if err != nil {
 		return nil, err
 	}
+	prob.AdaptiveMoves = opt.AdaptiveMoves
 	res, err := e.run(prob, opt.annealOptions(ctx, e.info.Name))
+	if err != nil {
+		return nil, err
+	}
+	out := newResult(p, e.info.Name, res.Placement, res.Cost, res.Stats, res.Breakdown)
+	for _, v := range prob.ConstraintSet().Violations(res.Placement) {
+		out.Violations = append(out.Violations, v.Error())
+	}
+	return out, nil
+}
+
+// geneticEngine adapts a memetic placer entry point: the same flat
+// problem view as flatEngine, driven through the two-phase GA+SA
+// search. The GA phase derives its budget from the annealing schedule
+// (one generation per stage bound, offspring per the move bound's
+// scale) so wire-level schedule ceilings bound the genetic work too.
+type geneticEngine struct {
+	info Info
+	run  func(*place.Problem, anneal.GAOptions, anneal.Options) (*place.Result, error)
+}
+
+// geneticFactory wraps a memetic placer entry point as a registry
+// factory.
+func geneticFactory(info Info, run func(*place.Problem, anneal.GAOptions, anneal.Options) (*place.Result, error)) Factory {
+	return func() Engine { return geneticEngine{info: info, run: run} }
+}
+
+// Info implements Engine.
+func (e geneticEngine) Info() Info { return e.info }
+
+// Solve implements Engine.
+func (e geneticEngine) Solve(ctx context.Context, p *Problem, opt EngineOptions) (*Result, error) {
+	prob, err := p.flat()
+	if err != nil {
+		return nil, err
+	}
+	prob.AdaptiveMoves = opt.AdaptiveMoves
+	sa := opt.annealOptions(ctx, e.info.Name)
+	ga := anneal.GAOptions{
+		Seed:             opt.Seed,
+		Generations:      sa.MaxStages,
+		StallGenerations: sa.StallStages,
+		CrossoverRate:    place.DefaultCrossoverRate,
+		Context:          ctx,
+	}
+	res, err := e.run(prob, ga, sa)
 	if err != nil {
 		return nil, err
 	}

@@ -53,7 +53,8 @@ func TestRegisterDuplicatePanics(t *testing.T) {
 // TestRegistryListsBuiltins: the six engines self-register in
 // portfolio tie-break order, and KnownMethod follows the registry.
 func TestRegistryListsBuiltins(t *testing.T) {
-	want := []string{placer.SeqPair, placer.BStar, placer.TCG, placer.Slicing, placer.Absolute, placer.HBStar}
+	want := []string{placer.SeqPair, placer.BStar, placer.TCG, placer.Slicing, placer.Absolute, placer.HBStar,
+		placer.GeneticSeqPair, placer.GeneticAbsolute}
 	var got []string
 	for _, info := range placer.Algorithms() {
 		got = append(got, info.Name)

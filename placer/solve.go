@@ -108,6 +108,9 @@ type EngineOptions struct {
 	Schedule Schedule
 	// Progress, when non-nil, streams per-stage snapshots.
 	Progress func(Progress)
+	// AdaptiveMoves enables the engine kernel's acceptance-rate-
+	// weighted move portfolio (see WithAdaptiveMoves).
+	AdaptiveMoves bool
 }
 
 // annealOptions maps the engine options onto the annealing engine's,
@@ -205,6 +208,7 @@ type config struct {
 	schedule  Schedule
 	progress  func(Progress)
 	deadline  time.Time
+	adaptive  bool
 }
 
 // Option configures Solve.
@@ -263,6 +267,20 @@ func WithProgress(fn func(Progress)) Option {
 // extends) a deadline already on ctx.
 func WithDeadline(t time.Time) Option {
 	return func(c *config) { c.deadline = t }
+}
+
+// WithAdaptiveMoves enables the engine kernel's adaptive move
+// portfolio: move kinds are proposed with probability proportional to
+// their observed acceptance rate instead of the representation's fixed
+// distribution, so the search shifts effort toward moves the current
+// temperature regime still accepts. It applies to flat engines whose
+// representation exposes a move table (seqpair, slicing, absolute and
+// the genetic variants); other engines ignore it. Default off — the
+// fixed distributions are the bit-reproducible historical behavior, so
+// runs with adaptive moves are deterministic for a seed but not
+// comparable to runs without.
+func WithAdaptiveMoves() Option {
+	return func(c *config) { c.adaptive = true }
 }
 
 // Solve places the problem. The problem is validated and a normalized
@@ -326,10 +344,11 @@ func solveConfigured(ctx context.Context, p *Problem, cfg config) (*Result, erro
 
 func (c config) engineOptions() EngineOptions {
 	return EngineOptions{
-		Seed:     c.seed,
-		Workers:  c.workers,
-		Schedule: c.schedule,
-		Progress: c.progress,
+		Seed:          c.seed,
+		Workers:       c.workers,
+		Schedule:      c.schedule,
+		Progress:      c.progress,
+		AdaptiveMoves: c.adaptive,
 	}
 }
 
