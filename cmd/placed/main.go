@@ -24,7 +24,19 @@
 //	GET    /healthz       liveness probe.
 //	GET    /metrics       Prometheus text metrics (jobs by state,
 //	                      queue/running gauges, cache hit/miss,
-//	                      solve-latency histogram).
+//	                      solve-latency histogram, worker crash and
+//	                      restart counters, checkpoint and load-shed
+//	                      gauges).
+//
+// Fault tolerance: a full queue sheds load with 429 plus a Retry-After
+// computed from the backlog; a deep queue shortens annealing schedules
+// (results marked "degraded", never cached); interrupted jobs leave a
+// checkpoint so identical resubmissions resume annealing warm; worker
+// panics are supervised — the job retries or quarantines, the worker
+// slot restarts with backoff. For chaos testing, PLACED_FAULTPOINTS
+// (e.g. "scheduler/worker-panic=0.1,solve/slow=0.05") arms failpoints
+// with per-evaluation probabilities and PLACED_FAULT_SEED makes the
+// firing sequence deterministic; see internal/fault.
 //
 // Try it:
 //
@@ -45,13 +57,14 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/service"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	solvers := flag.Int("solvers", 2, "solver worker pool size (concurrent jobs)")
-	queue := flag.Int("queue", 64, "queued-job bound; beyond it POST returns 503")
+	queue := flag.Int("queue", 64, "queued-job bound; beyond it POST sheds load with 429 + Retry-After")
 	cache := flag.Int("cache", 128, "result cache entries (0 disables caching)")
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -61,6 +74,15 @@ func main() {
 	if *solvers < 1 || *queue < 1 {
 		fmt.Fprintln(os.Stderr, "placed: -solvers and -queue must be at least 1")
 		os.Exit(2)
+	}
+
+	armed, err := fault.EnableFromEnv()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "placed: %s: %v\n", fault.EnvVar, err)
+		os.Exit(2)
+	}
+	if len(armed) > 0 {
+		log.Printf("placed: CHAOS MODE — failpoints armed: %v", armed)
 	}
 
 	cacheSize := *cache

@@ -186,4 +186,35 @@
 // placer package double as compile-checked documentation; see
 // PERFORMANCE.md's "Public API" section for migration notes from
 // internal/place.
+//
+// # Fault tolerance
+//
+// The service layer assumes it will be interrupted and plans for it
+// in four layers. internal/fault is a failpoint registry: named
+// injection sites (scheduler/worker-panic, solve/slow, solve/error,
+// wire/decode-err) compiled into the hot paths but costing one
+// atomic load when disarmed, armed via PLACED_FAULTPOINTS with
+// deterministic per-point seeding (PLACED_FAULT_SEED) so a chaos run
+// replays. Annealing jobs checkpoint their best snapshot into a
+// store keyed by the request's content hash: a job killed by
+// deadline, cancellation or crash still returns its best-so-far
+// placement, and resubmitting the identical request resumes the
+// anneal warm from the checkpoint instead of cold from a random
+// state (the checkpoint is dropped once a canonical run completes
+// and the result cache takes over). Workers are supervised: a panic
+// in a solve is caught, the job is requeued at the front and the
+// worker restarts under exponential backoff with jitter; a job that
+// keeps crashing is quarantined as failed with its captured stack
+// rather than poisoning the pool, and per-worker crash counters
+// surface on /metrics. Finally the daemon sheds load instead of
+// queueing without bound — a full queue answers 429 with a
+// Retry-After estimated from observed solve latency, and under
+// queue-depth pressure new runs start with a shortened schedule,
+// marked "degraded" in the job view and kept out of the result
+// cache so a quieter resubmission re-solves at full quality. The
+// chaos suite (go test -race -run Chaos ./internal/service/...)
+// storms all four failpoints at once through the HTTP surface and
+// pins the contract: no wedged scheduler, every accepted job reaches
+// a terminal state, and with failpoints disarmed results stay
+// bit-identical.
 package repro

@@ -3,8 +3,11 @@
 // act as a client: discover the valid algorithms from
 // GET /v1/algorithms, POST the Miller op amp in the canonical wire
 // format, poll the job to completion, re-POST the identical request
-// to hit the content-addressed result cache, race the portfolio, and
-// cancel a long run to get its best-so-far placement.
+// to hit the content-addressed result cache, race the portfolio,
+// cancel a long run to get its best-so-far placement, and ride out
+// load shedding: when a saturated daemon answers 429 + Retry-After,
+// the client backs off with jitter and resubmits the identical bytes
+// — content addressing makes the retry idempotent.
 //
 //	go run ./examples/serve
 //
@@ -17,8 +20,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"log"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"time"
 
 	"repro/internal/circuits"
@@ -97,6 +102,74 @@ func main() {
 	cancelled := pollDone(base, long.ID)
 	fmt.Printf("DELETE -> %s, best-so-far cost %.0f after %d stages\n",
 		cancelled.State, cancelled.Result.Cost, cancelled.Result.Stages)
+
+	// 5. Load shedding: a deliberately tiny daemon (one worker, queue
+	// depth one) refuses the overflow POST with 429 + Retry-After
+	// instead of queueing without bound. postRetry backs off with
+	// jitter, honours the server's hint, and resubmits the identical
+	// bytes — the content hash names the job, so a retry can only
+	// coalesce with the in-flight copy or hit the cache, never
+	// double-solve.
+	tiny := service.New(service.Config{Workers: 1, QueueDepth: 1})
+	defer tiny.Close()
+	tsrv := httptest.NewServer(service.NewHandler(tiny))
+	defer tsrv.Close()
+
+	slow := req
+	slow.Options = wire.Options{Method: wire.MethodSeqPair, Seed: 7, MovesPerStage: 150,
+		MaxStages: 100000, StallStages: 100000, Cooling: 0.9999, TimeoutMS: 1500}
+	blocker := post(tsrv.URL, slow, false) // occupies the only worker...
+	for get(tsrv.URL, blocker.ID).State != service.StateRunning {
+		time.Sleep(2 * time.Millisecond)
+	}
+	slow.Options.Seed = 8
+	post(tsrv.URL, slow, false) // ...and this one fills the queue,
+	slow.Options.Seed = 9
+	shed := postRetry(tsrv.URL, slow) // so this POST is shed with 429.
+	fmt.Printf("shed POST accepted after backoff as job %s (%s)\n", shed.ID, shed.State)
+}
+
+// postRetry POSTs a request, treating 429 (load shed) and 5xx
+// (drain, transient failure) as retryable: exponential backoff with
+// jitter, capped, preferring the server's Retry-After hint when one
+// is sent. Safe to call blindly because submission is idempotent —
+// identical request bytes hash to the same content address.
+func postRetry(base string, req wire.Request) service.JobView {
+	body, err := json.Marshal(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	backoff := 100 * time.Millisecond
+	for attempt := 1; ; attempt++ {
+		resp, err := http.Post(base+"/v1/place", "application/json", bytes.NewReader(body))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusTooManyRequests && resp.StatusCode < 500 {
+			defer resp.Body.Close()
+			var v service.JobView
+			if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+				log.Fatal(err)
+			}
+			return v
+		}
+		delay := backoff/2 + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs > 0 {
+				delay = time.Duration(secs) * time.Second
+			}
+		}
+		resp.Body.Close()
+		fmt.Printf("  POST -> %d, backing off %s (attempt %d)\n",
+			resp.StatusCode, delay.Round(time.Millisecond), attempt)
+		if attempt >= 20 {
+			log.Fatalf("gave up after %d attempts", attempt)
+		}
+		time.Sleep(delay)
+		if backoff < 2*time.Second {
+			backoff *= 2
+		}
+	}
 }
 
 func post(base string, req wire.Request, wait bool) service.JobView {

@@ -116,6 +116,27 @@ type Options struct {
 	// for concurrent use. Observing progress never perturbs the
 	// search: the callback sees a copy.
 	Progress func(Stats)
+	// Checkpoint, when non-nil, receives the best-so-far snapshot
+	// (the same opaque value MutableSolution.Snapshot returns, which
+	// the engine never mutates) every CheckpointEvery stages in which
+	// the best improved, and once more when the run ends — including
+	// a cancelled run, where the final capture is the whole point.
+	// It runs on the annealing goroutine; ParallelAnneal calls it
+	// concurrently from every chain. Only the in-place engine
+	// checkpoints: the cloning protocol has no snapshot to hand out.
+	Checkpoint func(snapshot any, cost float64, stage int)
+	// CheckpointEvery is the stage period of Checkpoint captures.
+	// Zero or negative means every 5 stages.
+	CheckpointEvery int
+	// Resume, when non-nil, is consulted once at the start of an
+	// in-place run: if it returns ok, the engine restores the
+	// snapshot — a value a previous run's Checkpoint captured from
+	// the same solution type on the same problem — and anneals from
+	// that state instead of the initial solution, so an interrupted
+	// run's progress is never repeated. The returned best is then
+	// never worse than the checkpoint. ParallelAnneal resumes only
+	// worker 0, keeping the other chains' multi-start diversity.
+	Resume func() (snapshot any, ok bool)
 }
 
 func (o Options) withDefaults() Options {
@@ -130,6 +151,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.StallStages <= 0 {
 		o.StallStages = 50
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = 5
 	}
 	return o
 }
@@ -252,10 +276,22 @@ func annealInPlace(cur MutableSolution, opt Options) (MutableSolution, Stats) {
 	opt = opt.withDefaults()
 	rng := rand.New(rand.NewSource(opt.Seed + 1))
 
+	// A warm start replaces the initial state before anything observes
+	// it: the run proceeds exactly as if the checkpoint were the
+	// (re-evaluated) initial solution, so the returned best can never
+	// be worse than the checkpoint it resumed from.
+	if opt.Resume != nil {
+		if snap, ok := opt.Resume(); ok {
+			cur.Restore(snap)
+		}
+	}
 	curCost := cur.Cost()
 	bestSnap := cur.Snapshot()
 	bestCost := curCost
 	stats := Stats{InitCost: curCost}
+	// The initial best is capture-worthy: a run cancelled before any
+	// improvement still checkpoints a resumable state.
+	newSinceCapture := true
 
 	temp := opt.InitialTemp
 	if temp <= 0 {
@@ -290,6 +326,7 @@ func annealInPlace(cur MutableSolution, opt Options) (MutableSolution, Stats) {
 					bestCost = curCost
 					bestSnap = cur.Snapshot()
 					improvedThisStage = true
+					newSinceCapture = true
 				}
 			} else {
 				undo()
@@ -303,8 +340,17 @@ func annealInPlace(cur MutableSolution, opt Options) (MutableSolution, Stats) {
 		temp *= opt.Cooling
 		stats.FinalTemp = temp
 		opt.report(stats, bestCost)
+		if opt.Checkpoint != nil && newSinceCapture && stats.Stages%opt.CheckpointEvery == 0 {
+			opt.Checkpoint(bestSnap, bestCost, stats.Stages)
+			newSinceCapture = false
+		}
 	}
 	stats.BestCost = bestCost
+	// Final capture, so an interruption between periodic captures (a
+	// cancelled run in particular) never loses the latest best.
+	if opt.Checkpoint != nil && newSinceCapture {
+		opt.Checkpoint(bestSnap, bestCost, stats.Stages)
+	}
 	cur.Restore(bestSnap)
 	return cur, stats
 }

@@ -79,6 +79,13 @@ func ParallelAnneal(newSolution func(seed int64) Solution, workers int, opt Opti
 					prog(st)
 				}
 			}
+			// Only worker 0 — the chain that replicates a serial run —
+			// resumes from a checkpoint; the other chains keep their
+			// independent multi-start starts, so a resumed run still
+			// explores while never losing the checkpointed best.
+			if i != 0 {
+				wopt.Resume = nil
+			}
 			best, stats := Anneal(newSolution(seed), wopt)
 			stats.Worker = i
 			results[i] = chain{best, stats}

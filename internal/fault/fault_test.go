@@ -1,0 +1,134 @@
+package fault
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestDisabledNeverFires(t *testing.T) {
+	Reset()
+	for i := 0; i < 1000; i++ {
+		if Point("never/armed") {
+			t.Fatal("disarmed point fired")
+		}
+	}
+	if Count("never/armed") != 0 || Evals("never/armed") != 0 {
+		t.Fatal("disarmed point has counters")
+	}
+}
+
+func TestAlwaysAndNever(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("t/always", 1)
+	Enable("t/never", 0)
+	for i := 0; i < 100; i++ {
+		if !Point("t/always") {
+			t.Fatal("prob=1 point did not fire")
+		}
+		if Point("t/never") {
+			t.Fatal("prob=0 point fired")
+		}
+	}
+	if Count("t/always") != 100 || Count("t/never") != 0 {
+		t.Fatalf("counts: always=%d never=%d", Count("t/always"), Count("t/never"))
+	}
+	if Evals("t/never") != 100 {
+		t.Fatalf("evals: never=%d", Evals("t/never"))
+	}
+}
+
+func TestDeterministicSequence(t *testing.T) {
+	run := func() []bool {
+		Reset()
+		SetSeed(42)
+		Enable("t/half", 0.5)
+		seq := make([]bool, 64)
+		for i := range seq {
+			seq[i] = Point("t/half")
+		}
+		return seq
+	}
+	a, b := run(), run()
+	Reset()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("draw %d differs across identically-seeded runs", i)
+		}
+	}
+	fired := false
+	for _, f := range a {
+		fired = fired || f
+	}
+	if !fired {
+		t.Fatal("p=0.5 point never fired in 64 draws")
+	}
+}
+
+func TestSeedIndependentOfArmingOrder(t *testing.T) {
+	draw := func(first, second string) []bool {
+		Reset()
+		SetSeed(7)
+		Enable(first, 0.5)
+		Enable(second, 0.5)
+		seq := make([]bool, 32)
+		for i := range seq {
+			seq[i] = Point("t/a")
+		}
+		return seq
+	}
+	a := draw("t/a", "t/b")
+	b := draw("t/b", "t/a")
+	Reset()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arming order changed point t/a's draw %d", i)
+		}
+	}
+}
+
+func TestConcurrentPointsRace(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("t/conc", 0.5)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				Point("t/conc")
+			}
+		}()
+	}
+	wg.Wait()
+	if Evals("t/conc") != 8*200 {
+		t.Fatalf("evals = %d, want %d", Evals("t/conc"), 8*200)
+	}
+}
+
+func TestEnableFromEnv(t *testing.T) {
+	Reset()
+	defer Reset()
+	t.Setenv(EnvVar, "a/b=0.25, c/d=1")
+	t.Setenv(EnvSeedVar, "99")
+	names, err := EnableFromEnv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a/b" || names[1] != "c/d" {
+		t.Fatalf("armed %v", names)
+	}
+	if !Point("c/d") {
+		t.Fatal("c/d armed at 1 did not fire")
+	}
+
+	t.Setenv(EnvVar, "broken")
+	if _, err := EnableFromEnv(); err == nil {
+		t.Fatal("malformed spec accepted")
+	}
+	t.Setenv(EnvVar, "a/b=2")
+	if _, err := EnableFromEnv(); err == nil {
+		t.Fatal("out-of-range probability accepted")
+	}
+}

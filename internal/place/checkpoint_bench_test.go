@@ -1,0 +1,46 @@
+package place
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"repro/internal/seqpair"
+)
+
+// BenchmarkCheckpointSnapshot prices the checkpoint/resume hook at
+// n=1000: Snapshot is the state the service's checkpoint store keeps
+// per interrupted job (both sequence-pair permutations plus rotation
+// and dimension vectors), captured on improved stages; Restore is the
+// warm-start cost a resumed job pays once. This bounds the overhead
+// resumability adds to an annealing run.
+func BenchmarkCheckpointSnapshot(b *testing.B) {
+	const n = 1000
+	rng := rand.New(rand.NewSource(1))
+	prob := &Problem{
+		Names: make([]string, n),
+		W:     make([]int, n),
+		H:     make([]int, n),
+	}
+	for i := 0; i < n; i++ {
+		prob.Names[i] = "m" + strconv.Itoa(i)
+		prob.W[i] = 1 + rng.Intn(50)
+		prob.H[i] = 1 + rng.Intn(50)
+	}
+	rep := newSPRep(prob, seqpair.RandomSF(n, nil, rng))
+
+	b.Run("capture", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_ = rep.Snapshot()
+		}
+	})
+	b.Run("restore", func(b *testing.B) {
+		snap := rep.Snapshot()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep.Restore(snap)
+		}
+	})
+}

@@ -1,0 +1,233 @@
+// Chaos suite: randomized failpoint storms against the full HTTP
+// surface. CI runs it under -race (go test -race -run Chaos); the
+// assertions are the fault-tolerance contract — no wedged scheduler,
+// no lost jobs (every accepted submission reaches a terminal state),
+// and bit-identical results once the failpoints are disarmed.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/wire"
+)
+
+// chaosRequest is a deliberately tiny solve so a storm of them runs in
+// test time; the deadline bounds injected stalls.
+func chaosRequest(t *testing.T, seed int64) *wire.Request {
+	t.Helper()
+	req := millerRequest(t, wire.MethodSeqPair)
+	req.Options.Seed = seed
+	req.Options.MovesPerStage = 20
+	req.Options.MaxStages = 10
+	req.Options.StallStages = 10
+	req.Options.TimeoutMS = 400
+	return req
+}
+
+// chaosSubmit POSTs one request, retrying injected 400s, shed 429s and
+// drain 503s with a small backoff until the daemon accepts it — the
+// content hash makes every retry idempotent. Returns the job id. It
+// runs on client goroutines, so failures are errors, not t.Fatal.
+func chaosSubmit(base string, req *wire.Request) (string, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return "", err
+	}
+	backoff := 5 * time.Millisecond
+	for attempt := 0; ; attempt++ {
+		resp, err := http.Post(base+"/v1/place", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return "", err
+		}
+		var v JobView
+		decErr := json.NewDecoder(resp.Body).Decode(&v)
+		resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK, http.StatusAccepted:
+			if decErr != nil {
+				return "", decErr
+			}
+			return v.ID, nil
+		case http.StatusBadRequest, http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			if attempt > 200 {
+				return "", fmt.Errorf("request never accepted after %d attempts (last status %d)", attempt, resp.StatusCode)
+			}
+			time.Sleep(backoff)
+			if backoff < 100*time.Millisecond {
+				backoff *= 2
+			}
+		default:
+			return "", fmt.Errorf("unexpected status %d", resp.StatusCode)
+		}
+	}
+}
+
+// TestChaosStorm arms every failpoint at once and drives concurrent
+// clients through the HTTP API until each fault has fired at least
+// ten times. Afterwards: every job is terminal, the scheduler drains
+// cleanly, and the counters balance.
+func TestChaosStorm(t *testing.T) {
+	defer fault.Reset()
+	fault.SetSeed(20260808)
+	fault.Enable("scheduler/worker-panic", 0.25)
+	fault.Enable("solve/slow", 0.25)
+	fault.Enable("solve/error", 0.2)
+	fault.Enable("wire/decode-err", 0.25)
+
+	s := New(Config{Workers: 4, QueueDepth: 128, PressureDepth: 8})
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	points := []string{"scheduler/worker-panic", "solve/slow", "solve/error", "wire/decode-err"}
+	const wantFires = 10
+	var (
+		mu  sync.Mutex
+		ids []string
+	)
+	seed := int64(0)
+	deadline := time.Now().Add(3 * time.Minute)
+	for round := 0; ; round++ {
+		if time.Now().After(deadline) {
+			for _, p := range points {
+				t.Logf("%s: %d fires / %d evals", p, fault.Count(p), fault.Evals(p))
+			}
+			t.Fatal("storm deadline passed before every failpoint fired 10 times")
+		}
+		var wg sync.WaitGroup
+		errc := make(chan error, 3)
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			base := seed + int64(g)*10
+			reqs := make([]*wire.Request, 10)
+			for k := range reqs {
+				reqs[k] = chaosRequest(t, base+int64(k))
+			}
+			go func() {
+				defer wg.Done()
+				for _, r := range reqs {
+					id, err := chaosSubmit(srv.URL, r)
+					if err != nil {
+						errc <- err
+						return
+					}
+					mu.Lock()
+					ids = append(ids, id)
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			t.Fatal(err)
+		}
+		seed += 30
+		done := true
+		for _, p := range points {
+			if fault.Count(p) < wantFires {
+				done = false
+			}
+		}
+		if done {
+			break
+		}
+	}
+
+	// No lost jobs: every accepted submission reaches a terminal state.
+	// (Retention may forget old terminal jobs; a forgotten job *was*
+	// terminal — only live jobs are never evicted.)
+	jobDeadline := time.Now().Add(2 * time.Minute)
+	for _, id := range ids {
+		for {
+			j, ok := s.Job(id)
+			if !ok || j.State().Terminal() {
+				break
+			}
+			if time.Now().After(jobDeadline) {
+				t.Fatalf("job %s wedged in state %s under the storm", id, j.State())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	for _, p := range points {
+		if fault.Count(p) < wantFires {
+			t.Errorf("failpoint %s fired %d times, want >= %d", p, fault.Count(p), wantFires)
+		}
+	}
+
+	// No wedged scheduler: a storm-battered pool still drains.
+	closed := make(chan struct{})
+	go func() { s.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(60 * time.Second):
+		t.Fatal("scheduler wedged: Close did not return")
+	}
+
+	m := s.Metrics()
+	if m.JobsRunning != 0 || m.JobsQueued != 0 {
+		t.Fatalf("gauges nonzero after drain: %+v", m)
+	}
+	if m.WorkerCrashes < wantFires {
+		t.Fatalf("worker crash counter %d below the panic fire count", m.WorkerCrashes)
+	}
+	t.Logf("storm: %d submissions, done=%d failed=%d cancelled=%d quarantined=%d degraded=%d shed=%d crashes=%d restarts=%d",
+		len(ids), m.JobsDone, m.JobsFailed, m.JobsCancelled, m.JobsQuarantined, m.JobsDegraded, m.Shed, m.WorkerCrashes, m.WorkerRestarts)
+}
+
+// TestChaosDeterminismFaultsOff pins the zero-cost-when-disabled
+// claim end to end: with every failpoint disarmed, two fresh
+// schedulers produce bit-identical placements for the same request.
+func TestChaosDeterminismFaultsOff(t *testing.T) {
+	fault.Reset()
+	solve := func() *wire.Result {
+		s := New(Config{Workers: 2})
+		defer s.Close()
+		req := millerRequest(t, wire.MethodSeqPair)
+		req.Options.Seed = 1234
+		j, err := s.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := waitJob(t, j)
+		if j.State() != StateDone {
+			t.Fatalf("faults-off solve ended %s: %s", j.State(), j.Err())
+		}
+		return res
+	}
+	a, b := solve(), solve()
+	if a.Cost != b.Cost || len(a.Placement) != len(b.Placement) {
+		t.Fatalf("faults-off solves diverged: cost %v vs %v", a.Cost, b.Cost)
+	}
+	for i := range a.Placement {
+		if a.Placement[i] != b.Placement[i] {
+			t.Fatalf("placement differs at %d: %+v vs %+v — disarmed failpoints must cost nothing and change nothing",
+				i, a.Placement[i], b.Placement[i])
+		}
+	}
+	// Byte-identical modulo wall-clock: RuntimeMS is elapsed time, the
+	// one legitimately nondeterministic field on the wire result.
+	a.RuntimeMS, b.RuntimeMS = 0, 0
+	ja, jb := mustJSON(t, a), mustJSON(t, b)
+	if !bytes.Equal(ja, jb) {
+		t.Fatalf("wire results not byte-identical with faults off:\n%s\n%s", ja, jb)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -4,8 +4,10 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 
+	"repro/internal/fault"
 	"repro/internal/wire"
 )
 
@@ -14,11 +16,15 @@ const maxRequestBytes = 16 << 20
 
 // JobView is the JSON shape of a job on the HTTP API.
 type JobView struct {
-	ID       string       `json:"id"`
-	State    State        `json:"state"`
-	Hash     string       `json:"hash"`
-	CacheHit bool         `json:"cache_hit,omitempty"`
-	Progress *Progress    `json:"progress,omitempty"`
+	ID       string    `json:"id"`
+	State    State     `json:"state"`
+	Hash     string    `json:"hash"`
+	CacheHit bool      `json:"cache_hit,omitempty"`
+	Progress *Progress `json:"progress,omitempty"`
+	// Degraded marks a result produced under deadline pressure with a
+	// shortened annealing schedule; resubmit the identical request
+	// when the service is quieter for the canonical placement.
+	Degraded bool         `json:"degraded,omitempty"`
 	Result   *wire.Result `json:"result,omitempty"`
 	Error    string       `json:"error,omitempty"`
 }
@@ -29,7 +35,7 @@ type JobView struct {
 func (j *Job) View() JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	v := JobView{ID: j.ID, Hash: j.Hash, State: j.state, CacheHit: j.cacheHit}
+	v := JobView{ID: j.ID, Hash: j.Hash, State: j.state, CacheHit: j.cacheHit, Degraded: j.degraded}
 	if p, ok := j.progressLocked(); ok {
 		v.Progress = &p
 	}
@@ -45,6 +51,8 @@ func (j *Job) View() JobView {
 // NewHandler exposes a scheduler over HTTP:
 //
 //	POST   /v1/place       submit a wire.Request; ?wait=1 blocks until done
+//	                       (429 + Retry-After when the queue sheds load,
+//	                       503 once the scheduler is draining)
 //	GET    /v1/algorithms  the placer registry: valid algorithm strings
 //	GET    /v1/jobs/{id}   job status, live progress, result
 //	DELETE /v1/jobs/{id}   cancel (returns promptly; best-so-far kept)
@@ -67,11 +75,22 @@ func NewHandler(s *Scheduler) http.Handler {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
+		// Failpoint: a decode that succeeded is reported as failed, so
+		// chaos tests can exercise client-side retry on 400s without
+		// crafting actually-corrupt bodies.
+		if fault.Point("wire/decode-err") {
+			httpError(w, http.StatusBadRequest, "injected decode error (failpoint wire/decode-err)")
+			return
+		}
 		job, err := s.Submit(req)
 		switch err {
 		case nil:
 		case ErrQueueFull:
-			httpError(w, http.StatusServiceUnavailable, "%v", err)
+			// Load shedding: 429 plus a Retry-After computed from the
+			// backlog and the smoothed solve latency. The content hash
+			// makes the client's later resubmission idempotent.
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", int64(math.Ceil(s.RetryAfter().Seconds()))))
+			httpError(w, http.StatusTooManyRequests, "%v", err)
 			return
 		case ErrClosed:
 			httpError(w, http.StatusServiceUnavailable, "%v", err)

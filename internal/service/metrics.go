@@ -23,14 +23,30 @@ type metrics struct {
 	cacheMisses   int64
 	coalesced     int64
 
+	// Fault-tolerance counters.
+	shed            int64 // submissions rejected with ErrQueueFull
+	jobsDegraded    int64 // jobs solved with a pressure-shortened schedule
+	jobsQuarantined int64 // jobs failed after repeated worker crashes
+	workerCrashes   int64 // worker panics caught by supervisors (all slots)
+	workerRestarts  int64 // worker slots restarted after backoff
+
 	latencyCount   int64
 	latencySum     float64
 	latencyBuckets [len(latencyBuckets) + 1]int64 // one per bound + +Inf
+	// ewmaLatency is an exponentially weighted moving average of solve
+	// latency (seconds) feeding Retry-After estimates; recent solves
+	// dominate so the estimate tracks load shifts.
+	ewmaLatency float64
 }
 
 func (m *metrics) observeLatency(seconds float64) {
 	m.latencyCount++
 	m.latencySum += seconds
+	if m.latencyCount == 1 {
+		m.ewmaLatency = seconds
+	} else {
+		m.ewmaLatency = 0.7*m.ewmaLatency + 0.3*seconds
+	}
 	for i, bound := range latencyBuckets {
 		if seconds <= bound {
 			m.latencyBuckets[i]++
@@ -52,12 +68,20 @@ type Metrics struct {
 	CacheEntries  int64
 	SolveCount    int64
 	SolveSum      float64
+
+	Shed               int64
+	JobsDegraded       int64
+	JobsQuarantined    int64
+	WorkerCrashes      int64
+	WorkerRestarts     int64
+	CheckpointsSaved   int64
+	CheckpointsResumed int64
+	CheckpointEntries  int64
 }
 
 // Metrics returns a snapshot of the scheduler's counters.
 func (s *Scheduler) Metrics() Metrics {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	snap := Metrics{
 		JobsQueued:    s.metrics.jobsQueued,
 		JobsRunning:   s.metrics.jobsRunning,
@@ -69,9 +93,20 @@ func (s *Scheduler) Metrics() Metrics {
 		Coalesced:     s.metrics.coalesced,
 		SolveCount:    s.metrics.latencyCount,
 		SolveSum:      s.metrics.latencySum,
+
+		Shed:            s.metrics.shed,
+		JobsDegraded:    s.metrics.jobsDegraded,
+		JobsQuarantined: s.metrics.jobsQuarantined,
+		WorkerCrashes:   s.metrics.workerCrashes,
+		WorkerRestarts:  s.metrics.workerRestarts,
 	}
 	if s.cache != nil {
 		snap.CacheEntries = int64(s.cache.len())
+	}
+	s.mu.Unlock()
+	// s.checkpoints is set once in New and the store has its own lock.
+	if s.checkpoints != nil {
+		snap.CheckpointsSaved, snap.CheckpointsResumed, snap.CheckpointEntries = s.checkpoints.counters()
 	}
 	return snap
 }
@@ -85,7 +120,14 @@ func (s *Scheduler) WriteMetrics(w io.Writer) error {
 	if s.cache != nil {
 		entries = s.cache.len()
 	}
+	perWorker := make([]int64, len(s.workerCrashes))
+	copy(perWorker, s.workerCrashes)
 	s.mu.Unlock()
+	retryAfter := s.RetryAfter()
+	var ckptSaved, ckptResumed, ckptEntries int64
+	if s.checkpoints != nil {
+		ckptSaved, ckptResumed, ckptEntries = s.checkpoints.counters()
+	}
 
 	var err error
 	p := func(format string, args ...any) {
@@ -116,6 +158,35 @@ func (s *Scheduler) WriteMetrics(w io.Writer) error {
 	p("# HELP placed_cache_entries Results currently cached.\n")
 	p("# TYPE placed_cache_entries gauge\n")
 	p("placed_cache_entries %d\n", entries)
+	p("# HELP placed_shed_total Submissions rejected with queue-full load shedding (HTTP 429).\n")
+	p("# TYPE placed_shed_total counter\n")
+	p("placed_shed_total %d\n", m.shed)
+	p("# HELP placed_jobs_degraded_total Jobs solved under deadline pressure with a shortened schedule.\n")
+	p("# TYPE placed_jobs_degraded_total counter\n")
+	p("placed_jobs_degraded_total %d\n", m.jobsDegraded)
+	p("# HELP placed_jobs_quarantined_total Jobs failed after exceeding the worker-crash limit.\n")
+	p("# TYPE placed_jobs_quarantined_total counter\n")
+	p("placed_jobs_quarantined_total %d\n", m.jobsQuarantined)
+	p("# HELP placed_worker_crashes_total Worker panics caught by the supervisors, per worker slot.\n")
+	p("# TYPE placed_worker_crashes_total counter\n")
+	for slot, n := range perWorker {
+		p("placed_worker_crashes_total{worker=\"%d\"} %d\n", slot, n)
+	}
+	p("# HELP placed_worker_restarts_total Worker slots restarted after crash backoff.\n")
+	p("# TYPE placed_worker_restarts_total counter\n")
+	p("placed_worker_restarts_total %d\n", m.workerRestarts)
+	p("# HELP placed_checkpoints_saved_total Best-so-far solver snapshots accepted into the checkpoint store.\n")
+	p("# TYPE placed_checkpoints_saved_total counter\n")
+	p("placed_checkpoints_saved_total %d\n", ckptSaved)
+	p("# HELP placed_checkpoints_resumed_total Solves warm-started from a stored checkpoint.\n")
+	p("# TYPE placed_checkpoints_resumed_total counter\n")
+	p("placed_checkpoints_resumed_total %d\n", ckptResumed)
+	p("# HELP placed_checkpoint_entries Content hashes with stored checkpoints.\n")
+	p("# TYPE placed_checkpoint_entries gauge\n")
+	p("placed_checkpoint_entries %d\n", ckptEntries)
+	p("# HELP placed_retry_after_seconds Current Retry-After estimate handed to shed clients.\n")
+	p("# TYPE placed_retry_after_seconds gauge\n")
+	p("placed_retry_after_seconds %g\n", retryAfter.Seconds())
 	p("# HELP placed_solve_seconds Solve wall-clock latency.\n")
 	p("# TYPE placed_solve_seconds histogram\n")
 	for i, bound := range latencyBuckets {

@@ -11,9 +11,12 @@ import (
 	"container/list"
 	"context"
 	"fmt"
+	"math/rand"
+	"runtime/debug"
 	"sync"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/wire"
 	"repro/placer"
 )
@@ -82,6 +85,15 @@ type Job struct {
 	cancel context.CancelFunc
 	done   chan struct{}
 
+	// crashes counts worker panics this job caused (injected or
+	// real); past Config.MaxJobCrashes the job is quarantined as
+	// failed instead of wedging the pool with retries.
+	crashes int
+	// degraded marks a job solved under deadline pressure: the
+	// schedule was shortened to shed load, so the result is not the
+	// canonical one for the content hash and is never cached.
+	degraded bool
+
 	// qelem is the job's slot in the scheduler's queue list, guarded
 	// by the scheduler's mutex (not j.mu); nil once popped or removed.
 	qelem *list.Element
@@ -122,6 +134,21 @@ func (j *Job) Err() string {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.errMsg
+}
+
+// Degraded reports whether the job was solved under deadline
+// pressure with a shortened annealing schedule.
+func (j *Job) Degraded() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.degraded
+}
+
+// Crashes reports how many worker panics the job has caused.
+func (j *Job) Crashes() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.crashes
 }
 
 // Done returns a channel closed when the job reaches a terminal
@@ -219,6 +246,25 @@ type Config struct {
 	// next stage boundary, keeping best-so-far. Default 10 minutes;
 	// negative disables the ceiling.
 	MaxSolve time.Duration
+	// MaxJobCrashes is how many worker panics (panics escaping the
+	// contained solver path — scheduler bugs or injected faults) one
+	// job may cause before it is quarantined as failed with the
+	// captured stack; below the limit the job is requeued for retry.
+	// Default 2; negative quarantines on the first crash.
+	MaxJobCrashes int
+	// RetainCheckpoints bounds the checkpoint store (distinct content
+	// hashes with saved best-so-far solver state). Interrupted jobs —
+	// cancelled, deadline-expired, crashed — leave a checkpoint
+	// behind, and a resubmission of the identical request resumes
+	// annealing from it instead of restarting cold. 0 means the
+	// default of 64; negative disables checkpoint/resume.
+	RetainCheckpoints int
+	// PressureDepth is the queued-job depth at or beyond which new
+	// solves enter deadline-pressure mode: the annealing schedule is
+	// shortened (stage and stall bounds quartered) so the queue
+	// drains instead of rejecting, and the degraded results are not
+	// cached. 0 means half of QueueDepth; negative disables.
+	PressureDepth int
 }
 
 // ErrQueueFull is returned by Submit when the job queue is at
@@ -248,8 +294,12 @@ type Scheduler struct {
 	qcond *sync.Cond
 	wg    sync.WaitGroup
 
-	cache   *lruCache
-	metrics metrics
+	cache       *lruCache
+	checkpoints *ckptStore
+	metrics     metrics
+	// workerCrashes counts panics per worker slot (the supervisor
+	// restarts the slot; the counter survives restarts), guarded by mu.
+	workerCrashes []int64
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -269,26 +319,45 @@ func New(cfg Config) *Scheduler {
 	if cfg.MaxSolve == 0 {
 		cfg.MaxSolve = 10 * time.Minute
 	}
+	switch {
+	case cfg.MaxJobCrashes == 0:
+		cfg.MaxJobCrashes = 2
+	case cfg.MaxJobCrashes < 0:
+		cfg.MaxJobCrashes = 0 // quarantine on the first crash
+	}
+	if cfg.RetainCheckpoints == 0 {
+		cfg.RetainCheckpoints = 64
+	}
+	switch {
+	case cfg.PressureDepth == 0:
+		cfg.PressureDepth = max(1, cfg.QueueDepth/2)
+	case cfg.PressureDepth < 0:
+		cfg.PressureDepth = 0 // disabled
+	}
 	size := cfg.CacheSize
 	if size == 0 {
 		size = 128
 	}
 	s := &Scheduler{
-		cfg:      cfg,
-		jobs:     make(map[string]*Job),
-		inflight: make(map[string]*Job),
-		retired:  list.New(),
-		hits:     list.New(),
-		queue:    list.New(),
+		cfg:           cfg,
+		jobs:          make(map[string]*Job),
+		inflight:      make(map[string]*Job),
+		retired:       list.New(),
+		hits:          list.New(),
+		queue:         list.New(),
+		workerCrashes: make([]int64, cfg.Workers),
 	}
 	s.qcond = sync.NewCond(&s.mu)
 	if size > 0 {
 		s.cache = newLRUCache(size)
 	}
+	if cfg.RetainCheckpoints > 0 {
+		s.checkpoints = newCkptStore(cfg.RetainCheckpoints)
+	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
-		go s.worker()
+		go s.supervise(i)
 	}
 	return s
 }
@@ -354,6 +423,10 @@ func (s *Scheduler) Submit(req *wire.Request) (*Job, error) {
 		// to a fresh solve — nobody wants to share a cancelled run.
 	}
 	if s.queue.Len() >= s.cfg.QueueDepth {
+		// Explicit load shedding: the client gets ErrQueueFull (HTTP
+		// 429 with a Retry-After derived from RetryAfterLocked) and
+		// resubmits later; the content hash makes the retry idempotent.
+		s.metrics.shed++
 		return nil, ErrQueueFull
 	}
 	j := s.newJobLocked(hash, req)
@@ -466,9 +539,70 @@ func (s *Scheduler) Close() {
 	s.wg.Wait()
 }
 
-// worker pops and runs queued jobs until the scheduler closes.
-func (s *Scheduler) worker() {
+// Worker supervision backoff: a crashed worker slot restarts after an
+// exponentially growing, jittered delay, so a hot crash loop (a
+// poisoned queue, a scheduler bug) cannot spin the pool at 100% CPU.
+const (
+	workerRestartBase = 25 * time.Millisecond
+	workerRestartMax  = 5 * time.Second
+)
+
+// supervise owns one worker slot: it runs the worker loop and, when
+// the worker dies from a panic (real or injected), restarts it after
+// a jittered exponential backoff. Crash and restart counters feed
+// /metrics per slot. The supervisor exits when the worker returns
+// cleanly (scheduler closed and drained) or the scheduler closes
+// during backoff.
+func (s *Scheduler) supervise(slot int) {
 	defer s.wg.Done()
+	rng := rand.New(rand.NewSource(int64(slot)*7919 + 1)) // jitter only; not part of any reproducible run
+	backoff := workerRestartBase
+	for {
+		started := time.Now()
+		crashed := s.workerLoop()
+		if !crashed {
+			return // clean exit: closed and drained
+		}
+		s.mu.Lock()
+		s.metrics.workerCrashes++
+		s.workerCrashes[slot]++
+		closed := s.closed
+		s.mu.Unlock()
+		if closed {
+			return // Close already cancels and drains; no restart needed
+		}
+		if time.Since(started) > 4*workerRestartMax {
+			// The worker ran healthily for a while before this crash;
+			// treat it as fresh rather than part of a crash loop.
+			backoff = workerRestartBase
+		}
+		delay := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)+1))
+		t := time.NewTimer(delay)
+		select {
+		case <-s.baseCtx.Done():
+			t.Stop()
+			return
+		case <-t.C:
+		}
+		backoff = min(2*backoff, workerRestartMax)
+		s.mu.Lock()
+		s.metrics.workerRestarts++
+		s.mu.Unlock()
+	}
+}
+
+// workerLoop pops and runs queued jobs until the scheduler closes,
+// reporting whether it exited by panic. A panic mid-job is accounted
+// to that job by handleCrash — requeued for retry, or quarantined
+// after repeated crashes — so one poisoned job cannot wedge the pool.
+func (s *Scheduler) workerLoop() (crashed bool) {
+	var cur *Job
+	defer func() {
+		if r := recover(); r != nil {
+			crashed = true
+			s.handleCrash(cur, r, debug.Stack())
+		}
+	}()
 	s.mu.Lock()
 	for {
 		for s.queue.Len() == 0 && !s.closed {
@@ -476,16 +610,63 @@ func (s *Scheduler) worker() {
 		}
 		if s.queue.Len() == 0 {
 			s.mu.Unlock()
-			return // closed and drained
+			return false // closed and drained
 		}
 		front := s.queue.Front()
 		s.queue.Remove(front)
 		j := front.Value.(*Job)
 		j.qelem = nil
 		s.mu.Unlock()
+		cur = j
 		s.run(j)
+		cur = nil
 		s.mu.Lock()
 	}
+}
+
+// handleCrash rolls back a job whose worker died mid-run: early
+// crashes requeue it at the queue head for a prompt retry; past
+// Config.MaxJobCrashes (or during shutdown) it is quarantined as
+// failed, carrying the panic value and the captured stack, so a
+// reliably-crashing job reaches a terminal state instead of cycling
+// through worker restarts forever.
+func (s *Scheduler) handleCrash(j *Job, cause any, stack []byte) {
+	if j == nil {
+		return // crash outside a job (pop/bookkeeping); nothing to roll back
+	}
+	// Lock order s.mu → j.mu, same as Submit (which inspects a job's
+	// state while holding the scheduler lock) and Close.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateRunning {
+		return // already terminal (e.g. crash after the job finished)
+	}
+	if j.cancel != nil {
+		j.cancel()
+		j.cancel = nil
+	}
+	j.crashes++
+	s.metrics.jobsRunning--
+	if j.crashes <= s.cfg.MaxJobCrashes && !s.closed {
+		j.state = StateQueued
+		j.qelem = s.queue.PushFront(j) // head of the line: it already waited once
+		s.metrics.jobsQueued++
+		s.qcond.Signal()
+		return
+	}
+	j.state = StateFailed
+	j.finished = time.Now()
+	j.errMsg = fmt.Sprintf("service: worker panic (crash %d, quarantined): %v\n%s", j.crashes, cause, stack)
+	j.req = nil
+	close(j.done)
+	s.metrics.jobsFailed++
+	s.metrics.jobsQuarantined++
+	if s.inflight[j.ikey] == j {
+		delete(s.inflight, j.ikey)
+	}
+	s.retireLocked(j)
 }
 
 // run executes one job.
@@ -514,7 +695,43 @@ func (s *Scheduler) run(j *Job) {
 	s.mu.Lock()
 	s.metrics.jobsQueued--
 	s.metrics.jobsRunning++
+	depth := s.queue.Len()
 	s.mu.Unlock()
+
+	// Deadline-pressure mode: with the queue deep, shorten the
+	// annealing schedule instead of shedding — every waiting client
+	// gets a (degraded, uncached) placement sooner and the queue
+	// drains. The content hash was computed from the original options,
+	// and degraded results never enter the cache under it.
+	var extra []placer.Option
+	if s.cfg.PressureDepth > 0 && depth >= s.cfg.PressureDepth {
+		sched := req.Options.Schedule()
+		sched.MaxStages = max(1, sched.MaxStages/4)
+		sched.StallStages = max(1, sched.StallStages/4)
+		extra = append(extra, placer.WithSchedule(sched))
+		j.mu.Lock()
+		firstDegrade := !j.degraded // a requeued crash retry counts once
+		j.degraded = true
+		j.mu.Unlock()
+		if firstDegrade {
+			s.mu.Lock()
+			s.metrics.jobsDegraded++
+			s.mu.Unlock()
+		}
+	}
+	// Checkpoint/resume: the engines periodically save their best
+	// snapshot under the job's content hash, and an identical
+	// resubmission after an interruption resumes annealing from it.
+	if s.checkpoints != nil {
+		extra = append(extra, placer.WithCheckpoint(&jobCheckpointer{s: s, hash: j.Hash}))
+	}
+
+	// Worker-crash failpoint: fires outside the contained solver
+	// recover below (and outside any lock), so chaos tests exercise
+	// the supervision path — handleCrash, backoff restart, quarantine.
+	if fault.Point("scheduler/worker-panic") {
+		panic(fmt.Sprintf("fault: injected worker panic running %s", j.ID))
+	}
 
 	res, err := func() (res *wire.Result, err error) {
 		// The solver stack is reached by untrusted wire requests; a
@@ -525,12 +742,13 @@ func (s *Scheduler) run(j *Job) {
 				res, err = nil, fmt.Errorf("service: solver panic: %v", r)
 			}
 		}()
-		return Solve(ctx, req, j.report)
+		return Solve(ctx, req, j.report, extra...)
 	}()
 
 	j.mu.Lock()
 	j.finished = time.Now()
 	latency := j.finished.Sub(j.started)
+	degraded := j.degraded
 	var final State
 	switch {
 	case err != nil:
@@ -562,7 +780,9 @@ func (s *Scheduler) run(j *Job) {
 	switch final {
 	case StateDone:
 		s.metrics.jobsDone++
-		s.cachePut(j.Hash, res)
+		if !degraded {
+			s.cachePut(j.Hash, res)
+		}
 	case StateFailed:
 		s.metrics.jobsFailed++
 	case StateCancelled:
@@ -571,6 +791,13 @@ func (s *Scheduler) run(j *Job) {
 	s.metrics.observeLatency(latency.Seconds())
 	s.retireLocked(j)
 	s.mu.Unlock()
+
+	// A completed canonical solve retires its checkpoint — the result
+	// cache answers future resubmissions. Interrupted (and degraded)
+	// runs keep theirs, so the next identical request warm-starts.
+	if final == StateDone && !degraded && s.checkpoints != nil {
+		s.checkpoints.drop(j.Hash)
+	}
 }
 
 // retireLocked records a solved job that just reached a terminal
@@ -645,3 +872,136 @@ func (c *lruCache) put(key string, res *wire.Result) {
 }
 
 func (c *lruCache) len() int { return c.order.Len() }
+
+// RetryAfter estimates how long a shed client should wait before
+// resubmitting: the smoothed solve latency times the current backlog,
+// divided over the worker pool — i.e. roughly when the queue will have
+// drained a slot. Clamped to [1s, 5m] so the Retry-After header is
+// always sane even before any latency sample exists.
+func (s *Scheduler) RetryAfter() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ew := s.metrics.ewmaLatency
+	if ew <= 0 {
+		ew = 1 // no completed solve yet; assume a second each
+	}
+	backlog := s.queue.Len() + int(s.metrics.jobsRunning)
+	d := time.Duration(ew * float64(backlog) / float64(s.cfg.Workers) * float64(time.Second))
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 5*time.Minute {
+		d = 5 * time.Minute
+	}
+	return d
+}
+
+// ckptStore holds best-so-far solver snapshots for interrupted jobs,
+// keyed by content hash and, inside a hash, by algorithm (a portfolio
+// run checkpoints every racer; a resumed racer warm-starts from its
+// own representation only — snapshots are not portable across
+// representations). It is bounded LRU by hash. The store has its own
+// mutex because saves arrive from annealing goroutines mid-solve,
+// not from under the scheduler's lock.
+type ckptStore struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent hash; values are *ckptSet
+	byKey map[string]*list.Element
+
+	saved   int64 // snapshots accepted (improved on the stored cost)
+	resumed int64 // loads that handed a snapshot to a warm start
+}
+
+type ckptSet struct {
+	hash  string
+	algos map[string]ckptEntry
+}
+
+type ckptEntry struct {
+	snapshot any
+	cost     float64
+	stage    int
+}
+
+func newCkptStore(capacity int) *ckptStore {
+	return &ckptStore{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// save records a snapshot if it improves on (or first establishes)
+// the stored cost for (hash, algorithm); stale saves from a slower
+// chain never overwrite a better checkpoint. Reports acceptance.
+func (c *ckptStore) save(hash, algorithm string, snapshot any, cost float64, stage int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[hash]
+	if !ok {
+		el = c.order.PushFront(&ckptSet{hash: hash, algos: make(map[string]ckptEntry)})
+		c.byKey[hash] = el
+		for c.order.Len() > c.cap {
+			last := c.order.Back()
+			c.order.Remove(last)
+			delete(c.byKey, last.Value.(*ckptSet).hash)
+		}
+	} else {
+		c.order.MoveToFront(el)
+	}
+	set := el.Value.(*ckptSet)
+	if prev, ok := set.algos[algorithm]; ok && prev.cost <= cost {
+		return false
+	}
+	set.algos[algorithm] = ckptEntry{snapshot: snapshot, cost: cost, stage: stage}
+	c.saved++
+	return true
+}
+
+// load returns the stored snapshot for (hash, algorithm), if any.
+func (c *ckptStore) load(hash, algorithm string) (any, float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[hash]
+	if !ok {
+		return nil, 0, false
+	}
+	c.order.MoveToFront(el)
+	entry, ok := el.Value.(*ckptSet).algos[algorithm]
+	if !ok {
+		return nil, 0, false
+	}
+	c.resumed++
+	return entry.snapshot, entry.cost, true
+}
+
+// drop discards every checkpoint under a hash (the canonical solve
+// completed; the result cache takes over).
+func (c *ckptStore) drop(hash string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[hash]; ok {
+		c.order.Remove(el)
+		delete(c.byKey, hash)
+	}
+}
+
+// counters returns the save/resume totals for /metrics.
+func (c *ckptStore) counters() (saved, resumed, entries int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.saved, c.resumed, int64(c.order.Len())
+}
+
+// jobCheckpointer adapts the scheduler's checkpoint store to
+// placer.Checkpointer for one job: saves and loads are keyed by the
+// job's content hash plus the algorithm the engine reports.
+type jobCheckpointer struct {
+	s    *Scheduler
+	hash string
+}
+
+func (c *jobCheckpointer) Save(algorithm string, snapshot any, cost float64, stage int) {
+	c.s.checkpoints.save(c.hash, algorithm, snapshot, cost, stage)
+}
+
+func (c *jobCheckpointer) Load(algorithm string) (any, float64, bool) {
+	return c.s.checkpoints.load(c.hash, algorithm)
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/wire"
 	"repro/placer"
 )
@@ -19,8 +20,14 @@ import (
 // placer registry does all algorithm dispatch — the service carries
 // no algorithm switch of its own. The progress callback (may be nil)
 // receives every annealing stage snapshot tagged with the algorithm
-// that produced it.
-func Solve(ctx context.Context, req *wire.Request, progress func(placer.Progress)) (*wire.Result, error) {
+// that produced it. Extra placer options (the scheduler's checkpoint
+// wiring, a shortened pressure-mode schedule) are appended after the
+// request-derived ones, so they win where they overlap.
+//
+// Failpoints (chaos testing, see internal/fault): "solve/error" fails
+// the solve with an injected error; "solve/slow" stalls it — bounded
+// by ctx, so deadlines and cancellation still cut a stuck solve loose.
+func Solve(ctx context.Context, req *wire.Request, progress func(placer.Progress), extra ...placer.Option) (*wire.Result, error) {
 	// Always solve the canonical form, whatever the caller's spelling:
 	// content-addressed caching is only sound if the normalized
 	// encoding is also the one that runs. Normalize never masks
@@ -48,6 +55,10 @@ func Solve(ctx context.Context, req *wire.Request, progress func(placer.Progress
 	if progress != nil {
 		opts = append(opts, placer.WithProgress(progress))
 	}
+	opts = append(opts, extra...)
+	if err := injectSolveFaults(ctx); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	res, err := placer.Solve(ctx, req.Problem.ToCanon(), opts...)
 	if err != nil {
@@ -59,6 +70,30 @@ func Solve(ctx context.Context, req *wire.Request, progress func(placer.Progress
 	out := wireResult(&req.Problem, res.Algorithm, res)
 	out.RuntimeMS = time.Since(start).Milliseconds()
 	return out, nil
+}
+
+// maxInjectedStall bounds the "solve/slow" failpoint's stall on a
+// context with no deadline, so an injected hang can prove the
+// MaxSolve/timeout machinery cuts stuck solves loose without being
+// able to wedge a deadline-free caller forever.
+const maxInjectedStall = 30 * time.Second
+
+// injectSolveFaults applies the solve-path failpoints: a stall
+// ("solve/slow", bounded by ctx) and an error return ("solve/error").
+// With no failpoint armed it costs one atomic load per name.
+func injectSolveFaults(ctx context.Context) error {
+	if fault.Point("solve/slow") {
+		t := time.NewTimer(maxInjectedStall)
+		select {
+		case <-ctx.Done():
+		case <-t.C:
+		}
+		t.Stop()
+	}
+	if fault.Point("solve/error") {
+		return fmt.Errorf("service: injected solve error (failpoint solve/error)")
+	}
+	return nil
 }
 
 // wireResult encodes a placer result onto the wire.

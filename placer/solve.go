@@ -100,6 +100,22 @@ type Progress struct {
 	Best float64
 }
 
+// Checkpointer persists best-so-far solver state across solve
+// attempts: Save receives the engine's opaque best-state snapshot
+// (periodically during the run and at the end, cancelled runs
+// included) and Load hands a previously saved snapshot back to warm-
+// start the next solve of the same problem. Snapshots are only
+// meaningful to the algorithm that produced them — both methods carry
+// the algorithm name, and under WithPortfolio every racer checkpoints
+// under its own — and to the same problem; the service keys stores by
+// the wire content hash, which pins both. Implementations must be
+// safe for concurrent use: multi-start chains and portfolio racers
+// save concurrently.
+type Checkpointer interface {
+	Save(algorithm string, snapshot any, cost float64, stage int)
+	Load(algorithm string) (snapshot any, cost float64, ok bool)
+}
+
 // EngineOptions are the resolved solver knobs an Engine receives from
 // Solve: defaults already applied, never nil-ambiguous.
 type EngineOptions struct {
@@ -111,6 +127,9 @@ type EngineOptions struct {
 	// AdaptiveMoves enables the engine kernel's acceptance-rate-
 	// weighted move portfolio (see WithAdaptiveMoves).
 	AdaptiveMoves bool
+	// Checkpoint, when non-nil, saves and resumes best-so-far solver
+	// state (see WithCheckpoint).
+	Checkpoint Checkpointer
 }
 
 // annealOptions maps the engine options onto the annealing engine's,
@@ -132,7 +151,7 @@ func (o EngineOptions) annealOptions(ctx context.Context, algorithm string) anne
 			})
 		}
 	}
-	return anneal.Options{
+	aopt := anneal.Options{
 		Seed:          o.Seed,
 		Workers:       o.Workers,
 		MovesPerStage: o.Schedule.MovesPerStage,
@@ -144,6 +163,16 @@ func (o EngineOptions) annealOptions(ctx context.Context, algorithm string) anne
 		Context:       ctx,
 		Progress:      sink,
 	}
+	if cp := o.Checkpoint; cp != nil {
+		aopt.Checkpoint = func(snapshot any, cost float64, stage int) {
+			cp.Save(algorithm, snapshot, cost, stage)
+		}
+		aopt.Resume = func() (any, bool) {
+			snapshot, _, ok := cp.Load(algorithm)
+			return snapshot, ok
+		}
+	}
+	return aopt
 }
 
 // Placed is one module of a solved placement.
@@ -201,14 +230,15 @@ type Result struct {
 
 // config is the resolved option set.
 type config struct {
-	algorithm string
-	portfolio bool
-	workers   int
-	seed      int64
-	schedule  Schedule
-	progress  func(Progress)
-	deadline  time.Time
-	adaptive  bool
+	algorithm  string
+	portfolio  bool
+	workers    int
+	seed       int64
+	schedule   Schedule
+	progress   func(Progress)
+	deadline   time.Time
+	adaptive   bool
+	checkpoint Checkpointer
 }
 
 // Option configures Solve.
@@ -283,6 +313,18 @@ func WithAdaptiveMoves() Option {
 	return func(c *config) { c.adaptive = true }
 }
 
+// WithCheckpoint persists best-so-far solver state through cp: the
+// engines periodically save their best snapshot while annealing (and
+// always at the end, so a run cancelled by ctx or WithDeadline leaves
+// its latest best behind), and a later Solve of the same problem with
+// the same cp warm-starts from the saved state instead of a cold
+// random placement — under multi-start, on the serial-equivalent
+// chain, so the resumed run is never worse than the checkpoint.
+// Engines without an in-place annealing phase ignore it.
+func WithCheckpoint(cp Checkpointer) Option {
+	return func(c *config) { c.checkpoint = cp }
+}
+
 // Solve places the problem. The problem is validated and a normalized
 // copy is solved (the caller's struct is never modified), so any two
 // spellings of one semantic problem solve identically. Cancellation —
@@ -349,6 +391,7 @@ func (c config) engineOptions() EngineOptions {
 		Schedule:      c.schedule,
 		Progress:      c.progress,
 		AdaptiveMoves: c.adaptive,
+		Checkpoint:    c.checkpoint,
 	}
 }
 
