@@ -99,6 +99,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 	bench := fs.String("bench", "miller", "benchmark: miller, folded, or a Table I name (miller_v2, comparator_v2, folded_casc, buffer, biasynth, lnamixbias)")
 	seed := fs.Int64("seed", 1, "random seed for stochastic methods")
 	workers := fs.Int("workers", 1, "parallel multi-start annealing chains (1 = serial)")
+	temperChains := fs.Int("temper-chains", 0, "parallel-tempering replica chains on a temperature ladder (0 = off; takes precedence over -workers)")
+	exchangeEvery := fs.Int("exchange-every", 0, "stages between replica-exchange sweeps (0 with -temper-chains = independent multi-start)")
 	outline := fs.String("outline", "", "fixed outline as WxH (e.g. 400x300); adds a quadratic excess penalty")
 	outlineWeight := fs.Float64("outline-weight", 0, "fixed-outline penalty weight (0 = heuristic default)")
 	thermalWeight := fs.Float64("thermal", 0, "thermal-mismatch weight over symmetry pairs (0 = off)")
@@ -128,6 +130,9 @@ func run(args []string, stdout, stderr io.Writer) error {
 
 	if *workers < 1 {
 		return fmt.Errorf("-workers must be at least 1 (got %d)", *workers)
+	}
+	if *temperChains < 0 || *exchangeEvery < 0 {
+		return fmt.Errorf("-temper-chains and -exchange-every must be non-negative")
 	}
 	for name, v := range map[string]float64{
 		"-outline-weight": *outlineWeight, "-thermal": *thermalWeight,
@@ -174,6 +179,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 			method: *method, methodSet: set["method"],
 			seed: *seed, seedSet: set["seed"],
 			workers: *workers, workersSet: set["workers"],
+			temperChains: *temperChains, temperChainsSet: set["temper-chains"],
+			exchangeEvery: *exchangeEvery, exchangeEverySet: set["exchange-every"],
 			jsonIn: *jsonIn, jsonOut: *jsonOut, jsonReq: *jsonReq,
 			objective: wire.Objective{
 				AreaWeight:    *areaWeight,
@@ -227,6 +234,8 @@ func run(args []string, stdout, stderr io.Writer) error {
 		MaxStages:     wire.DefaultMaxStages,
 		StallStages:   wire.DefaultStallStages,
 		Workers:       *workers,
+		TemperChains:  *temperChains,
+		ExchangeEvery: *exchangeEvery,
 	}
 	res, err := core.PlaceBenchObjective(b, m, opt, obj)
 	if err != nil {
@@ -278,20 +287,24 @@ func printAlgorithms(w io.Writer) {
 
 // wireArgs carries the flag state into the wire-format path.
 type wireArgs struct {
-	method       string
-	methodSet    bool
-	seed         int64
-	seedSet      bool
-	workers      int
-	workersSet   bool
-	jsonIn       string
-	jsonOut      string
-	jsonReq      string
-	objective    wire.Objective
-	objectiveSet bool
-	bench        string
-	verbose      bool
-	svgPath      string
+	method           string
+	methodSet        bool
+	seed             int64
+	seedSet          bool
+	workers          int
+	workersSet       bool
+	temperChains     int
+	temperChainsSet  bool
+	exchangeEvery    int
+	exchangeEverySet bool
+	jsonIn           string
+	jsonOut          string
+	jsonReq          string
+	objective        wire.Objective
+	objectiveSet     bool
+	bench            string
+	verbose          bool
+	svgPath          string
 }
 
 // runWire is the CLI end of the wire format: assemble a wire.Request
@@ -346,6 +359,12 @@ func runWire(a wireArgs, stdout, stderr io.Writer) error {
 	}
 	if a.workersSet {
 		req.Options.Workers = a.workers
+	}
+	if a.temperChainsSet {
+		req.Options.TemperChains = a.temperChains
+	}
+	if a.exchangeEverySet {
+		req.Options.ExchangeEvery = a.exchangeEvery
 	}
 	if !fromFile {
 		req.Options.MovesPerStage = wire.DefaultMovesPerStage

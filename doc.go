@@ -217,4 +217,30 @@
 // pins the contract: no wedged scheduler, every accepted job reaches
 // a terminal state, and with failpoints disarmed results stay
 // bit-identical.
+//
+// # Scaling past n=1000
+//
+// The paper's benchmarks stop at tens of modules; the solve path here
+// is built to hold up to 10⁴–10⁵. placer.Synthetic generates seeded,
+// deterministic instances at that scale (log-uniform module areas, a
+// truncated power-law net-degree distribution in the spirit of Rent's
+// rule, optional symmetry-pair density), and three mechanisms keep
+// them tractable. First, incremental packing: sequence-pair repacks
+// reuse the unchanged prefix and suffix of the previous longest-
+// common-subsequence evaluation (seqpair.IncPack, exact to the bit
+// against a full pack, ~14× per move at n=10⁴), and B*-tree repacks
+// replay the unchanged pre-order prefix from per-step records
+// (bstar.IncPackWorkspace). Second, range-limited moves: above
+// n≈2000 the sequence-pair placer draws TimberWolf-style local
+// window moves so a perturbation disturbs a bounded alpha range
+// instead of the whole pair. Third, parallel tempering
+// (placer.WithTempering(chains, exchangeEvery)): chains anneal on a
+// top-anchored geometric temperature ladder and periodically exchange
+// states under the Metropolis rule, which tolerates a 3× faster
+// cooling schedule than independent multi-start needs — measured
+// time-to-matched-cost ratios are in PERFORMANCE.md, and with
+// exchanges disabled the run is bit-identical to
+// anneal.ParallelAnneal. cmd/benchtrend enforces the packing and
+// time-to-target trajectories in CI against the checked-in
+// BENCH_PR7.json baseline.
 package repro

@@ -137,6 +137,22 @@ type Options struct {
 	// never worse than the checkpoint. ParallelAnneal resumes only
 	// worker 0, keeping the other chains' multi-start diversity.
 	Resume func() (snapshot any, ok bool)
+	// TemperChains selects parallel tempering (replica exchange):
+	// values above 1 run that many chains at a geometric temperature
+	// ladder with periodic Metropolis state exchanges between
+	// neighboring rungs (TemperAnneal). 0 and 1 mean no tempering.
+	// Placers honor it through engine.Run; when both Workers and
+	// TemperChains are set, tempering wins.
+	TemperChains int
+	// ExchangeEvery is the stage period of replica-exchange sweeps.
+	// Zero or negative disables exchanges, which makes TemperAnneal
+	// bit-identical to ParallelAnneal with TemperChains workers.
+	ExchangeEvery int
+	// TemperLadder is the geometric spacing between neighboring rungs
+	// of the tempering temperature ladder (rung k runs at
+	// TemperLadder^k times the base temperature). Values ≤ 1 mean the
+	// default, 1.6.
+	TemperLadder float64
 }
 
 func (o Options) withDefaults() Options {
@@ -175,6 +191,11 @@ type Stats struct {
 	// Cancelled reports that Options.Context was cancelled and the run
 	// stopped early, returning the best solution seen so far.
 	Cancelled bool
+	// Exchanges and ExchangeAccepted count replica-exchange attempts
+	// and Metropolis-accepted swaps. Only TemperAnneal with exchanges
+	// enabled sets them; all other engines leave them 0.
+	Exchanges        int
+	ExchangeAccepted int
 }
 
 // String implements fmt.Stringer.

@@ -1,0 +1,126 @@
+package bstar
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// checkIncPack packs t both ways and demands bit-identical
+// coordinates — the incremental-vs-full contract, tolerance zero.
+func checkIncPack(t_ *testing.T, tr *Tree, iws *IncPackWorkspace, ws *PackWorkspace, tag string) {
+	t_.Helper()
+	ix, iy := tr.PackIncInto(iws)
+	fx, fy := tr.PackInto(ws)
+	for m := 0; m < tr.N(); m++ {
+		if ix[m] != fx[m] || iy[m] != fy[m] {
+			t_.Fatalf("%s: module %d incremental (%d,%d) != full (%d,%d)", tag, m, ix[m], iy[m], fx[m], fy[m])
+		}
+	}
+}
+
+// TestIncPackMatchesFull storms a tree with the placer's full move
+// repertoire — rotate/move/swap perturbations, save/undo cycles,
+// wholesale invalidation — packing incrementally after each move and
+// comparing against the from-scratch contour pack.
+func TestIncPackMatchesFull(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8, 40, 200} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(500 + n)))
+			w := make([]int, n)
+			h := make([]int, n)
+			for i := range w {
+				w[i] = 1 + rng.Intn(30)
+				h[i] = 1 + rng.Intn(30)
+			}
+			tr := NewRandom(w, h, rng)
+			iws := &IncPackWorkspace{}
+			ws := &PackWorkspace{}
+			var saved TreeState
+			checkIncPack(t, tr, iws, ws, "initial")
+			iters := 300
+			if n >= 200 {
+				iters = 120
+			}
+			for it := 0; it < iters; it++ {
+				switch rng.Intn(4) {
+				case 0, 1:
+					tr.Perturb(rng)
+				case 2: // save → move → pack → undo: compare-based, no re-disturb needed
+					tr.SaveState(&saved)
+					tr.Perturb(rng)
+					checkIncPack(t, tr, iws, ws, fmt.Sprintf("iter %d pre-undo", it))
+					tr.LoadState(&saved)
+				case 3:
+					iws.Invalidate()
+					tr.Perturb(rng)
+				}
+				checkIncPack(t, tr, iws, ws, fmt.Sprintf("iter %d", it))
+			}
+		})
+	}
+}
+
+// TestIncPackCleanCacheReturnsSame pins that packing an undisturbed
+// tree returns the cached buffers untouched.
+func TestIncPackCleanCacheReturnsSame(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const n = 50
+	w := make([]int, n)
+	h := make([]int, n)
+	for i := range w {
+		w[i] = 1 + rng.Intn(20)
+		h[i] = 1 + rng.Intn(20)
+	}
+	tr := NewRandom(w, h, rng)
+	iws := &IncPackWorkspace{}
+	x1, y1 := tr.PackIncInto(iws)
+	c0, c1 := x1[0], y1[0]
+	x2, y2 := tr.PackIncInto(iws)
+	if &x2[0] != &x1[0] || &y2[0] != &y1[0] {
+		t.Fatal("clean-cache pack rebuilt the coordinate buffers")
+	}
+	if x2[0] != c0 || y2[0] != c1 {
+		t.Fatal("clean-cache pack changed coordinates")
+	}
+}
+
+// BenchmarkBStarIncrementalPack measures per-move pack cost under the
+// annealer's move distribution: prefix-reuse incremental vs full
+// contour pack.
+func BenchmarkBStarIncrementalPack(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		build := func() (*Tree, *rand.Rand) {
+			rng := rand.New(rand.NewSource(77))
+			w := make([]int, n)
+			h := make([]int, n)
+			for i := range w {
+				w[i] = 1 + rng.Intn(40)
+				h[i] = 1 + rng.Intn(40)
+			}
+			return NewRandom(w, h, rng), rng
+		}
+		b.Run(fmt.Sprintf("incremental/n=%d", n), func(b *testing.B) {
+			tr, rng := build()
+			iws := &IncPackWorkspace{}
+			tr.PackIncInto(iws)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Perturb(rng)
+				tr.PackIncInto(iws)
+			}
+		})
+		b.Run(fmt.Sprintf("full/n=%d", n), func(b *testing.B) {
+			tr, rng := build()
+			ws := &PackWorkspace{}
+			tr.PackInto(ws)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tr.Perturb(rng)
+				tr.PackInto(ws)
+			}
+		})
+	}
+}

@@ -29,11 +29,16 @@ func FeasibleInit(gen func() anneal.Solution) (anneal.Solution, error) {
 }
 
 // Run dispatches a placer's search: a single in-place annealing chain
-// by default, or parallel multi-start when opt.Workers > 1. The serial
-// path builds its solution from the same derived seed as
-// ParallelAnneal's worker 0, so -workers=1 and the serial path are the
-// same run.
+// by default, parallel multi-start when opt.Workers > 1, or parallel
+// tempering when opt.TemperChains > 1 (which wins over Workers — the
+// chains are the parallelism). The serial path builds its solution
+// from the same derived seed as ParallelAnneal's worker 0, so
+// -workers=1 and the serial path are the same run, and TemperAnneal
+// with exchanges disabled degrades to exactly ParallelAnneal.
 func Run(newSol func(seed int64) anneal.Solution, opt anneal.Options) (anneal.Solution, anneal.Stats) {
+	if opt.TemperChains > 1 {
+		return anneal.TemperAnneal(newSol, opt.TemperChains, opt)
+	}
 	if opt.Workers > 1 {
 		return anneal.ParallelAnneal(newSol, opt.Workers, opt)
 	}
@@ -52,7 +57,9 @@ func RunFeasible(name string, newSol func(seed int64) anneal.Solution, opt annea
 	}
 	var best anneal.Solution
 	var stats anneal.Stats
-	if opt.Workers > 1 {
+	if opt.TemperChains > 1 {
+		best, stats = anneal.TemperAnneal(newSol, opt.TemperChains, opt)
+	} else if opt.Workers > 1 {
 		best, stats = anneal.ParallelAnneal(newSol, opt.Workers, opt)
 	} else {
 		probe := newSol(opt.Seed)

@@ -202,17 +202,54 @@ func (p Placement) AreaUsage() float64 {
 }
 
 // Overlaps returns the pairs of module names whose rectangles overlap
-// with positive area. A legal placement returns an empty slice.
+// with positive area, each pair in sorted name order and the list
+// sorted lexicographically. A legal placement returns an empty slice.
+//
+// The check is a plane sweep over the left edges with an active set
+// pruned by right edge: near-linear on legal and almost-legal
+// placements instead of the naive n²/2 pairs of map lookups, which
+// profiling showed dominating whole solves from n ≈ 10⁴ up.
 func (p Placement) Overlaps() [][2]string {
 	names := p.Names()
+	n := len(names)
+	rects := make([]Rect, n)
+	for i, nm := range names {
+		rects[i] = p[nm]
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return rects[order[a]].X < rects[order[b]].X })
 	var out [][2]string
-	for i := 0; i < len(names); i++ {
-		for j := i + 1; j < len(names); j++ {
-			if p[names[i]].Intersects(p[names[j]]) {
-				out = append(out, [2]string{names[i], names[j]})
+	active := make([]int, 0, 16)
+	for _, i := range order {
+		r := rects[i]
+		keep := active[:0]
+		for _, j := range active {
+			if rects[j].X2() <= r.X {
+				continue // ended before the sweep line; drop
+			}
+			keep = append(keep, j)
+			// The prune above only discards definite non-overlaps, so
+			// the full Intersects keeps degenerate-rectangle semantics
+			// identical to the pairwise check.
+			if r.Intersects(rects[j]) {
+				a, b := i, j
+				if a > b {
+					a, b = b, a
+				}
+				out = append(out, [2]string{names[a], names[b]})
 			}
 		}
+		active = append(keep, i)
 	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
 	return out
 }
 

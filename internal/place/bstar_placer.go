@@ -12,12 +12,14 @@ import (
 
 // btRep wraps a B*-tree as an engine.Representation: the classic
 // perturbations (rotate, move, swap) with exact undo through a
-// reusable tree-state buffer, and workspace packing so a proposed move
-// allocates nothing.
+// reusable tree-state buffer, and incremental workspace packing —
+// prefix reuse against the previous traversal, bit-identical to the
+// full contour pack — so a proposed move allocates nothing and only
+// re-packs from the first disturbed traversal step.
 type btRep struct {
 	prob  *Problem
 	tree  *bstar.Tree
-	ws    bstar.PackWorkspace
+	ws    bstar.IncPackWorkspace
 	saved bstar.TreeState
 }
 
@@ -38,7 +40,7 @@ func (r *btRep) Undo() { r.tree.LoadState(&r.saved) }
 
 // Pack implements engine.Representation.
 func (r *btRep) Pack(c *engine.Coords) bool {
-	x, y := r.tree.PackInto(&r.ws)
+	x, y := r.tree.PackIncInto(&r.ws)
 	c.X, c.Y, c.W, c.H, c.Rot = x, y, r.tree.W, r.tree.H, r.tree.Rot
 	return true
 }

@@ -51,30 +51,66 @@ const (
 	spMoveKinds
 )
 
+// spLocalMoveMinN is the module count above which group-free sequence
+// moves switch from global swaps to range-limited PerturbLocal windows.
+// Bounded windows keep the incremental packer's re-scan short — the
+// TimberWolf-style move discipline that makes 10⁴–10⁵-module walks
+// affordable. The threshold sits above every pinned golden instance,
+// so the RNG draw sequence (and thus the goldens) is unchanged below
+// it.
+const spLocalMoveMinN = 2048
+
 // spRep is the symmetric-feasible sequence-pair Representation.
 // Rotations are applied pairwise so symmetric pairs stay
 // dimension-matched; effective dimensions are maintained incrementally
 // in w/h and packing reuses the SP's cached solver workspaces, so a
-// proposed move allocates almost nothing.
+// proposed move allocates almost nothing. On problems without symmetry
+// groups, packing is incremental: each move records its disturbed
+// alpha window and Pack re-scans only that region (bit-identical to
+// the full FAST-SP scan by the incpack property tests).
 type spRep struct {
 	prob *Problem
 	sp   *seqpair.SP
 	rot  []bool
 	w, h []int // effective dims, kept in sync with rot
 	pws  seqpair.PackWorkspace
+	ip   seqpair.IncPack
 
-	saved      seqpair.State
-	spMoved    bool // last move touched the sequences (vs rotation only)
-	rotA, rotB int  // modules whose rotation the last move flipped (-1 none)
+	saved          seqpair.State
+	spMoved        bool // last move touched the sequences (vs rotation only)
+	rotA, rotB     int  // modules whose rotation the last move flipped (-1 none)
+	pendLo, pendHi int  // dirty alpha window not yet handed to ip (empty when lo > hi)
+	moveLo, moveHi int  // window of the in-flight move, re-disturbed on Undo
 }
 
 func newSPRep(p *Problem, sp *seqpair.SP) *spRep {
 	return &spRep{
-		prob: p,
-		sp:   sp,
-		rot:  make([]bool, p.N()),
-		w:    append([]int(nil), p.W...),
-		h:    append([]int(nil), p.H...),
+		prob:   p,
+		sp:     sp,
+		rot:    make([]bool, p.N()),
+		w:      append([]int(nil), p.W...),
+		h:      append([]int(nil), p.H...),
+		pendLo: 1, pendHi: 0,
+		moveLo: 1, moveHi: 0,
+	}
+}
+
+// markMove records [lo, hi] (any order) as disturbed by the in-flight
+// move: merged into the pending window for the next incremental pack
+// and remembered so Undo can re-disturb it.
+func (r *spRep) markMove(lo, hi int) {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if r.moveHi < r.moveLo {
+		r.moveLo, r.moveHi = lo, hi
+	} else {
+		r.moveLo, r.moveHi = min(r.moveLo, lo), max(r.moveHi, hi)
+	}
+	if r.pendHi < r.pendLo {
+		r.pendLo, r.pendHi = lo, hi
+	} else {
+		r.pendLo, r.pendHi = min(r.pendLo, lo), max(r.pendHi, hi)
 	}
 }
 
@@ -100,6 +136,7 @@ func (r *spRep) MoveKinds() int { return spMoveKinds }
 func (r *spRep) PerturbKind(kind int, rng *rand.Rand) bool {
 	r.spMoved = false
 	r.rotA, r.rotB = -1, -1
+	r.moveLo, r.moveHi = 1, 0
 	if kind == spMoveRotate {
 		m := rng.Intn(r.prob.N())
 		r.flip(m)
@@ -119,11 +156,30 @@ func (r *spRep) PerturbKind(kind int, rng *rand.Rand) bool {
 				break
 			}
 		}
+		if r.rotA >= 0 {
+			r.markMove(r.sp.PosAlpha(r.rotA), r.sp.PosAlpha(r.rotA))
+		}
+		if r.rotB >= 0 {
+			r.markMove(r.sp.PosAlpha(r.rotB), r.sp.PosAlpha(r.rotB))
+		}
 		return true
 	}
 	r.sp.SaveState(&r.saved)
 	r.spMoved = true
-	r.sp.PerturbSF(rng, r.prob.Groups)
+	n := r.prob.N()
+	if len(r.prob.Groups) == 0 && n >= spLocalMoveMinN {
+		lo, hi := r.sp.PerturbLocal(rng, max(32, n/64))
+		r.markMove(lo, hi)
+		return true
+	}
+	_, a, b := r.sp.PerturbSFTouched(rng, r.prob.Groups)
+	if a >= 0 {
+		r.markMove(r.sp.PosAlpha(a), r.sp.PosAlpha(b))
+	} else if n > 0 {
+		// Group move (paired swap / rotation / repair): the repair can
+		// reorder members anywhere in beta, so the whole range is dirty.
+		r.markMove(0, n-1)
+	}
 	return true
 }
 
@@ -137,6 +193,12 @@ func (r *spRep) Undo() {
 	}
 	if r.rotB >= 0 {
 		r.flip(r.rotB)
+	}
+	// Reverting re-dirties the move's window: a pack may have consumed
+	// it between Perturb and Undo.
+	if r.moveHi >= r.moveLo {
+		lo, hi := r.moveLo, r.moveHi
+		r.markMove(lo, hi)
 	}
 }
 
@@ -152,7 +214,11 @@ func (r *spRep) Pack(c *engine.Coords) bool {
 		c.X, c.Y, c.W, c.H, c.Rot = x, y, r.w, r.h, nil
 		return true
 	}
-	x, y := r.sp.PackInto(&r.pws, r.w, r.h)
+	if r.pendHi >= r.pendLo {
+		r.ip.Disturb(r.pendLo, r.pendHi)
+		r.pendLo, r.pendHi = 1, 0
+	}
+	x, y := r.sp.PackIncrementalInto(&r.ip, r.w, r.h)
 	c.X, c.Y, c.W, c.H, c.Rot = x, y, r.w, r.h, nil
 	return true
 }
@@ -175,13 +241,17 @@ func (r *spRep) Snapshot() any {
 	return sn
 }
 
-// Restore implements engine.Representation.
+// Restore implements engine.Representation. Restores happen at stage
+// granularity (checkpoints, replica exchanges), so a full re-scan on
+// the next pack is cheap relative to tracking the restored delta.
 func (r *spRep) Restore(snapshot any) {
 	sn := snapshot.(*spSnapshot)
 	r.sp.LoadState(&sn.state)
 	copy(r.rot, sn.rot)
 	copy(r.w, sn.w)
 	copy(r.h, sn.h)
+	r.ip.Invalidate()
+	r.pendLo, r.pendHi = 1, 0
 }
 
 // Clone implements engine.Representation.
@@ -214,6 +284,8 @@ func (r *spRep) CrossoverFrom(a, b engine.Representation, rng *rand.Rand) {
 	beta := orderCross(r.sp.Beta, pb.sp.Beta, rng)
 	if sp, err := seqpair.FromSequences(alpha, beta); err == nil {
 		r.sp = sp
+		r.ip.Invalidate()
+		r.pendLo, r.pendHi = 1, 0
 	}
 }
 
@@ -348,6 +420,7 @@ func (r *spRejectRep) PerturbKind(_ int, rng *rand.Rand) bool {
 	r.sp.SaveState(&r.saved)
 	r.spMoved = true
 	r.rotA, r.rotB = -1, -1
+	r.moveLo, r.moveHi = 1, 0
 	n := r.prob.N()
 	if n >= 2 {
 		i, j := rng.Intn(n), rng.Intn(n-1)
@@ -356,8 +429,11 @@ func (r *spRejectRep) PerturbKind(_ int, rng *rand.Rand) bool {
 		}
 		if rng.Intn(2) == 0 {
 			r.sp.SwapAlpha(i, j)
+			r.markMove(i, j)
 		} else {
+			a, b := r.sp.Beta[i], r.sp.Beta[j]
 			r.sp.SwapBeta(i, j)
+			r.markMove(r.sp.PosAlpha(a), r.sp.PosAlpha(b))
 		}
 	}
 	return true

@@ -1,0 +1,375 @@
+package seqpair
+
+import "sort"
+
+// Incremental packing. The FAST-SP scan (packLCSInto) is a fold over
+// the alpha sequence whose only carried state is the "staircase" — the
+// Pareto frontier of (beta position, edge value) pairs with values
+// strictly increasing in key. A local sequence move disturbs the
+// inputs of only a few scan steps, so the whole pack can be replayed
+// from a checkpointed staircase just before the disturbed window and
+// terminated as soon as the staircase provably re-converges with the
+// previous pack's:
+//
+//   - every pack journals, per scan step, the inserted (key, value)
+//     and the dominated keys it deleted;
+//   - staircase snapshots are checkpointed on a fixed step grid and
+//     refreshed in passing, so by induction each checkpoint always
+//     equals the state of the most recent pack just before its step;
+//   - an incremental pack loads the nearest checkpoint at or below the
+//     window, replays the journal up to the window (cheap: no
+//     predecessor queries, just recorded splices), then re-scans
+//     for real while maintaining, against a shadow copy evolved by the
+//     old journal, a count of keys on which the two staircases
+//     disagree — when the scan has passed the window and the count is
+//     zero, every remaining step would reproduce the cached
+//     coordinates exactly, so the scan stops.
+//
+// The early exit is exact, not approximate: the scan step is a
+// deterministic function of (staircase, module, key, dimension), so
+// agreeing staircases and undisturbed inputs imply identical suffixes.
+// The property tests in incpack_test.go hold PackIncrementalInto
+// bit-identical to PackInto under randomized move/undo/disturb storms.
+//
+// The staircase here is a sorted key slice with epoch-stamped
+// value/membership arrays indexed by beta position, not the vEB queue
+// of the full packer: the incremental scan touches few steps, so the
+// O(log s) binary search and small memmoves beat re-Clearing a vEB
+// universe every pack.
+
+// incCkStride returns the checkpoint grid stride for n modules: dense
+// enough that journal replay to the window stays cheap, sparse enough
+// that checkpoint refreshes and memory stay bounded at n = 10⁵.
+func incCkStride(n int) int {
+	const minStride = 64
+	if s := n / 64; s > minStride {
+		return s
+	}
+	return minStride
+}
+
+// incAxis is the per-axis incremental scan state (x: forward alpha
+// scan over widths; y: reverse alpha scan over heights).
+type incAxis struct {
+	reverse bool
+	ck      int
+	// coord is the cached coordinate per module id — the output.
+	coord []int
+	// Journal of the most recent trajectory, per scan step.
+	insKey, insVal []int
+	delKeys        [][]int
+	// Working staircase: sorted keys, plus value/membership indexed by
+	// key (beta position). A key is live iff stamp[key] == epoch.
+	keys  []int
+	val   []int
+	stamp []uint32
+	epoch uint32
+	// Shadow staircase evolved by the old journal during an
+	// incremental re-scan, for the agreement count.
+	oldVal   []int
+	oldStamp []uint32
+	oldEpoch uint32
+	// Checkpoints: staircase state just before step g*ck.
+	ckKeys, ckVals [][]int
+	odScratch      []int
+}
+
+func (a *incAxis) ensure(n int) {
+	a.ck = incCkStride(n)
+	if cap(a.coord) < n {
+		a.coord = make([]int, n)
+		a.insKey = make([]int, n)
+		a.insVal = make([]int, n)
+		a.delKeys = make([][]int, n)
+		a.val = make([]int, n)
+		a.stamp = make([]uint32, n)
+		a.oldVal = make([]int, n)
+		a.oldStamp = make([]uint32, n)
+	}
+	a.coord = a.coord[:n]
+	a.insKey, a.insVal = a.insKey[:n], a.insVal[:n]
+	a.delKeys = a.delKeys[:n]
+	a.val, a.stamp = a.val[:n], a.stamp[:n]
+	a.oldVal, a.oldStamp = a.oldVal[:n], a.oldStamp[:n]
+	nck := (n-1)/a.ck + 1
+	if n == 0 {
+		nck = 0
+	}
+	for len(a.ckKeys) < nck {
+		a.ckKeys = append(a.ckKeys, nil)
+		a.ckVals = append(a.ckVals, nil)
+	}
+	a.ckKeys = a.ckKeys[:nck]
+	a.ckVals = a.ckVals[:nck]
+}
+
+// agree reports whether the working and shadow staircases agree on
+// key k (same membership and, if live, same value).
+func (a *incAxis) agree(k int) bool {
+	live := a.stamp[k] == a.epoch
+	if live != (a.oldStamp[k] == a.oldEpoch) {
+		return false
+	}
+	return !live || a.val[k] == a.oldVal[k]
+}
+
+// splice replaces keys[i:i+nd] with the single key p.
+func (a *incAxis) splice(i, nd, p int) {
+	switch {
+	case nd == 0:
+		a.keys = append(a.keys, 0)
+		copy(a.keys[i+1:], a.keys[i:])
+		a.keys[i] = p
+	default:
+		a.keys[i] = p
+		if nd > 1 {
+			copy(a.keys[i+1:], a.keys[i+nd:])
+			a.keys = a.keys[:len(a.keys)-nd+1]
+		}
+	}
+}
+
+func (a *incAxis) saveCk(g int) {
+	a.ckKeys[g] = append(a.ckKeys[g][:0], a.keys...)
+	vals := a.ckVals[g][:0]
+	for _, k := range a.keys {
+		vals = append(vals, a.val[k])
+	}
+	a.ckVals[g] = vals
+}
+
+func (a *incAxis) loadCk(g int) {
+	a.epoch++
+	a.keys = append(a.keys[:0], a.ckKeys[g]...)
+	for i, k := range a.keys {
+		a.val[k] = a.ckVals[g][i]
+		a.stamp[k] = a.epoch
+	}
+}
+
+// step runs one scan step on the working staircase, overwriting the
+// journal entry for s. With diff non-nil it maintains the
+// working-vs-shadow agreement count across every mutation.
+func (a *incAxis) step(sp *SP, dim []int, s int, diff *int) {
+	var m int
+	if a.reverse {
+		m = sp.Alpha[len(sp.Alpha)-1-s]
+	} else {
+		m = sp.Alpha[s]
+	}
+	p := sp.posB[m]
+	i := sort.SearchInts(a.keys, p)
+	c := 0
+	if i > 0 {
+		c = a.val[a.keys[i-1]]
+	}
+	a.coord[m] = c
+	end := c + dim[m]
+	// Dominated successors: larger keys whose value does not exceed
+	// the new entry's, exactly as the vEB packer deletes them.
+	dl := a.delKeys[s][:0]
+	j := i
+	for j < len(a.keys) {
+		q := a.keys[j]
+		if a.val[q] > end {
+			break
+		}
+		dl = append(dl, q)
+		if diff != nil {
+			eq := a.agree(q)
+			a.stamp[q] = 0
+			if eq != a.agree(q) {
+				if eq {
+					*diff++
+				} else {
+					*diff--
+				}
+			}
+		} else {
+			a.stamp[q] = 0
+		}
+		j++
+	}
+	a.delKeys[s] = dl
+	a.splice(i, j-i, p)
+	a.insKey[s], a.insVal[s] = p, end
+	if diff != nil {
+		eq := a.agree(p)
+		a.val[p] = end
+		a.stamp[p] = a.epoch
+		if eq != a.agree(p) {
+			if eq {
+				*diff++
+			} else {
+				*diff--
+			}
+		}
+	} else {
+		a.val[p] = end
+		a.stamp[p] = a.epoch
+	}
+}
+
+// replay applies the journaled step s to the working staircase
+// without recomputation: recorded deletions, recorded insertion.
+func (a *incAxis) replay(s int) {
+	p, v := a.insKey[s], a.insVal[s]
+	i := sort.SearchInts(a.keys, p)
+	nd := len(a.delKeys[s])
+	for _, q := range a.delKeys[s] {
+		a.stamp[q] = 0
+	}
+	a.splice(i, nd, p)
+	a.val[p] = v
+	a.stamp[p] = a.epoch
+}
+
+// oldStep evolves the shadow staircase by the stashed old journal
+// entry for one step, maintaining the agreement count.
+func (a *incAxis) oldStep(okey, oval int, odels []int, diff *int) {
+	for _, q := range odels {
+		eq := a.agree(q)
+		a.oldStamp[q] = 0
+		if eq != a.agree(q) {
+			if eq {
+				*diff++
+			} else {
+				*diff--
+			}
+		}
+	}
+	eq := a.agree(okey)
+	a.oldVal[okey] = oval
+	a.oldStamp[okey] = a.oldEpoch
+	if eq != a.agree(okey) {
+		if eq {
+			*diff++
+		} else {
+			*diff--
+		}
+	}
+}
+
+// full runs a complete scan, establishing coord, journal and
+// checkpoints from scratch.
+func (a *incAxis) full(sp *SP, dim []int) {
+	n := sp.N()
+	a.epoch++
+	a.keys = a.keys[:0]
+	for s := 0; s < n; s++ {
+		if s%a.ck == 0 {
+			a.saveCk(s / a.ck)
+		}
+		a.step(sp, dim, s, nil)
+	}
+}
+
+// incremental re-scans with the disturbed scan-step window [lo, hi]:
+// checkpoint load, cheap journal replay to lo, then live steps with
+// the shadow staircase until past hi with zero disagreements.
+func (a *incAxis) incremental(sp *SP, dim []int, lo, hi int) {
+	n := sp.N()
+	g := lo / a.ck
+	a.loadCk(g)
+	for s := g * a.ck; s < lo; s++ {
+		a.replay(s)
+	}
+	// Shadow := snapshot of the working staircase (they agree on every
+	// key here, by checkpoint validity).
+	a.oldEpoch++
+	for _, k := range a.keys {
+		a.oldVal[k] = a.val[k]
+		a.oldStamp[k] = a.oldEpoch
+	}
+	diff := 0
+	for s := lo; s < n; s++ {
+		if s > hi && diff == 0 {
+			return // exact convergence: the suffix replays the cache
+		}
+		// Stash the old journal entry before step overwrites it.
+		okey, oval := a.insKey[s], a.insVal[s]
+		odels := append(a.odScratch[:0], a.delKeys[s]...)
+		a.odScratch = odels
+		if s%a.ck == 0 {
+			a.saveCk(s / a.ck)
+		}
+		a.step(sp, dim, s, &diff)
+		a.oldStep(okey, oval, odels, &diff)
+	}
+}
+
+// IncPack is the reusable incremental packing state of one SP walk:
+// cached coordinates, per-axis scan journals and staircase
+// checkpoints. The zero value is ready to use (the first pack is a
+// full scan). Like PackWorkspace it must not be shared between
+// concurrent packings, and it caches the trajectory of one evolving
+// SP: callers must Disturb it with every alpha-position window whose
+// scan inputs changed since the last pack (sequence moves, undos,
+// rotations) and Invalidate it on wholesale state replacement
+// (Restore, crossover).
+type IncPack struct {
+	n                int
+	valid            bool
+	dirtyLo, dirtyHi int
+	x, y             incAxis
+}
+
+// Invalidate drops the cache; the next pack is a full scan.
+func (ip *IncPack) Invalidate() { ip.valid = false }
+
+// Disturb widens the pending dirty window to cover alpha positions
+// [lo, hi] (inclusive), in any order. Windows accumulate until the
+// next PackIncrementalInto consumes them.
+func (ip *IncPack) Disturb(lo, hi int) {
+	if hi < lo {
+		lo, hi = hi, lo
+	}
+	if ip.dirtyHi < ip.dirtyLo { // empty
+		ip.dirtyLo, ip.dirtyHi = lo, hi
+		return
+	}
+	if lo < ip.dirtyLo {
+		ip.dirtyLo = lo
+	}
+	if hi > ip.dirtyHi {
+		ip.dirtyHi = hi
+	}
+}
+
+func (ip *IncPack) clearDirty() { ip.dirtyLo, ip.dirtyHi = 1, 0 }
+
+// PackIncrementalInto packs like PackInto but reuses the cached
+// trajectory outside the accumulated dirty window. The returned
+// slices are owned by ip and overwritten by the next pack; results
+// are bit-identical to PackInto for every correctly disturbed move
+// sequence (see the property tests).
+func (sp *SP) PackIncrementalInto(ip *IncPack, w, h []int) (x, y []int) {
+	n := sp.N()
+	if !ip.valid || ip.n != n {
+		ip.n = n
+		ip.x.reverse, ip.y.reverse = false, true
+		ip.x.ensure(n)
+		ip.y.ensure(n)
+		ip.x.full(sp, w)
+		ip.y.full(sp, h)
+		ip.valid = true
+		ip.clearDirty()
+		return ip.x.coord, ip.y.coord
+	}
+	if ip.dirtyHi < ip.dirtyLo {
+		return ip.x.coord, ip.y.coord // clean cache
+	}
+	lo, hi := ip.dirtyLo, ip.dirtyHi
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > n-1 {
+		hi = n - 1
+	}
+	// Alpha-position window [lo,hi] maps to scan steps [lo,hi] on the
+	// forward x scan and [n-1-hi, n-1-lo] on the reverse y scan.
+	ip.x.incremental(sp, w, lo, hi)
+	ip.y.incremental(sp, h, n-1-hi, n-1-lo)
+	ip.clearDirty()
+	return ip.x.coord, ip.y.coord
+}

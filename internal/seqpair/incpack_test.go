@@ -1,0 +1,239 @@
+package seqpair
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randDims returns random module dimensions in [1, 40].
+func randDims(n int, rng *rand.Rand) (w, h []int) {
+	w = make([]int, n)
+	h = make([]int, n)
+	for i := range w {
+		w[i] = 1 + rng.Intn(40)
+		h[i] = 1 + rng.Intn(40)
+	}
+	return w, h
+}
+
+// checkIncremental packs sp both ways and fails on any coordinate
+// mismatch — tolerance zero, the incremental-vs-full contract.
+func checkIncremental(t *testing.T, sp *SP, ip *IncPack, ws *PackWorkspace, w, h []int, tag string) {
+	t.Helper()
+	ix, iy := sp.PackIncrementalInto(ip, w, h)
+	fx, fy := sp.PackInto(ws, w, h)
+	for m := 0; m < sp.N(); m++ {
+		if ix[m] != fx[m] || iy[m] != fy[m] {
+			t.Fatalf("%s: module %d incremental (%d,%d) != full (%d,%d)", tag, m, ix[m], iy[m], fx[m], fy[m])
+		}
+	}
+}
+
+// TestIncrementalPackMatchesFullRandomStorm storms one evolving SP
+// with every disturbance the placer adapters generate — alpha swaps,
+// beta swaps, both-sequence swaps, rotations, save/undo cycles,
+// wholesale invalidation — packing incrementally after each batch and
+// demanding bit-identity with the from-scratch packer.
+func TestIncrementalPackMatchesFullRandomStorm(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 25, 120, 400} {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(1000 + n)))
+			sp := New(n)
+			sp.Shuffle(rng)
+			w, h := randDims(n, rng)
+			ip := &IncPack{}
+			ws := &PackWorkspace{}
+			var saved State
+			savedValid := false
+			undoLo, undoHi := 1, 0 // alpha window covering every move since the save
+			touch := func(lo, hi int) {
+				if hi < lo {
+					lo, hi = hi, lo
+				}
+				ip.Disturb(lo, hi)
+				if !savedValid {
+					return
+				}
+				if undoHi < undoLo {
+					undoLo, undoHi = lo, hi
+					return
+				}
+				undoLo, undoHi = min(undoLo, lo), max(undoHi, hi)
+			}
+			checkIncremental(t, sp, ip, ws, w, h, "initial")
+			iters := 300
+			if n >= 120 {
+				iters = 120
+			}
+			for it := 0; it < iters; it++ {
+				// A batch of 1–3 moves accumulates dirty windows before
+				// the next pack, like rejected-move runs in the annealer.
+				batch := 1 + rng.Intn(3)
+				for b := 0; b < batch; b++ {
+					switch op := rng.Intn(6); {
+					case op == 0 && n >= 2: // alpha swap
+						i, j := rng.Intn(n), rng.Intn(n)
+						sp.SwapAlpha(i, j)
+						touch(i, j)
+					case op == 1 && n >= 2: // beta swap
+						i, j := rng.Intn(n), rng.Intn(n)
+						a, b := sp.Beta[i], sp.Beta[j]
+						sp.SwapBeta(i, j)
+						touch(sp.PosAlpha(a), sp.PosAlpha(b))
+					case op == 2 && n >= 2: // both sequences
+						a, b := rng.Intn(n), rng.Intn(n)
+						touch(sp.PosAlpha(a), sp.PosAlpha(b))
+						sp.SwapModulesAlpha(a, b)
+						sp.SwapModulesBeta(a, b)
+						touch(sp.PosAlpha(a), sp.PosAlpha(b))
+					case op == 3: // rotation: dimension change only
+						m := rng.Intn(n)
+						w[m], h[m] = h[m], w[m]
+						touch(sp.PosAlpha(m), sp.PosAlpha(m))
+					case op == 4 && n >= 2: // save → move(s) → pack → undo
+						sp.SaveState(&saved)
+						savedValid = true
+						undoLo, undoHi = 1, 0
+						i, j := rng.Intn(n), rng.Intn(n)
+						sp.SwapAlpha(i, j)
+						touch(i, j)
+					case op == 5:
+						ip.Invalidate()
+					}
+				}
+				checkIncremental(t, sp, ip, ws, w, h, fmt.Sprintf("iter %d", it))
+				if savedValid {
+					// Undo after a pack: restore and re-disturb the window
+					// covering every move made since the save, exactly the
+					// placer adapters' pending-window protocol.
+					sp.LoadState(&saved)
+					if undoHi >= undoLo {
+						ip.Disturb(undoLo, undoHi)
+					}
+					savedValid = false
+					checkIncremental(t, sp, ip, ws, w, h, fmt.Sprintf("iter %d undo", it))
+				}
+			}
+		})
+	}
+}
+
+// TestIncrementalPackMatchesNaive cross-checks the whole chain against
+// the O(n²) longest-path reference on a mid-size storm.
+func TestIncrementalPackMatchesNaive(t *testing.T) {
+	const n = 60
+	rng := rand.New(rand.NewSource(7))
+	sp := New(n)
+	sp.Shuffle(rng)
+	w, h := randDims(n, rng)
+	ip := &IncPack{}
+	for it := 0; it < 60; it++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		sp.SwapAlpha(i, j)
+		ip.Disturb(i, j)
+		if it%3 == 0 {
+			a, b := sp.Beta[rng.Intn(n)], sp.Beta[rng.Intn(n)]
+			ip.Disturb(sp.PosAlpha(a), sp.PosAlpha(b))
+			sp.SwapModulesBeta(a, b)
+		}
+		ix, iy := sp.PackIncrementalInto(ip, w, h)
+		nx, ny := sp.PackNaive(w, h)
+		for m := 0; m < n; m++ {
+			if ix[m] != nx[m] || iy[m] != ny[m] {
+				t.Fatalf("iter %d module %d: incremental (%d,%d) != naive (%d,%d)", it, m, ix[m], iy[m], nx[m], ny[m])
+			}
+		}
+	}
+}
+
+// TestIncrementalPackCleanCacheReturnsSame pins that a pack with no
+// pending disturbance returns the cached coordinates without
+// rescanning (same backing arrays, same values).
+func TestIncrementalPackCleanCacheReturnsSame(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const n = 50
+	sp := New(n)
+	sp.Shuffle(rng)
+	w, h := randDims(n, rng)
+	ip := &IncPack{}
+	x1, y1 := sp.PackIncrementalInto(ip, w, h)
+	c0, c1 := x1[0], y1[0]
+	x2, y2 := sp.PackIncrementalInto(ip, w, h)
+	if &x2[0] != &x1[0] || &y2[0] != &y1[0] {
+		t.Fatal("clean-cache pack rebuilt the coordinate buffers")
+	}
+	if x2[0] != c0 || y2[0] != c1 {
+		t.Fatal("clean-cache pack changed coordinates")
+	}
+}
+
+// localMove applies one window-limited sequence move (the large-n
+// move distribution of the seq-pair placer) and returns its dirty
+// window.
+func localMove(sp *SP, rng *rand.Rand, window int) (lo, hi int) {
+	return sp.PerturbLocal(rng, window)
+}
+
+// TestIncrementalPackLocalMoves storms with the range-limited move
+// set used at large n.
+func TestIncrementalPackLocalMoves(t *testing.T) {
+	const n = 500
+	rng := rand.New(rand.NewSource(11))
+	sp := New(n)
+	sp.Shuffle(rng)
+	w, h := randDims(n, rng)
+	ip := &IncPack{}
+	ws := &PackWorkspace{}
+	for it := 0; it < 200; it++ {
+		lo, hi := localMove(sp, rng, 16)
+		ip.Disturb(lo, hi)
+		checkIncremental(t, sp, ip, ws, w, h, fmt.Sprintf("local iter %d", it))
+	}
+}
+
+// benchSP builds a shuffled n-module instance for the packing
+// benchmarks.
+func benchSP(n int, seed int64) (*SP, []int, []int, *rand.Rand) {
+	rng := rand.New(rand.NewSource(seed))
+	sp := New(n)
+	sp.Shuffle(rng)
+	w, h := randDims(n, rng)
+	return sp, w, h, rng
+}
+
+// BenchmarkSeqPairIncrementalPack measures per-move pack cost at
+// large n under the placer's range-limited move distribution:
+// incremental (windowed re-scan) vs full (complete FAST-SP scan).
+// The ratio is the PR 7 acceptance number recorded in BENCH_PR7.json.
+func BenchmarkSeqPairIncrementalPack(b *testing.B) {
+	for _, n := range []int{1000, 10000, 100000} {
+		window := n / 64
+		if window < 16 {
+			window = 16
+		}
+		b.Run(fmt.Sprintf("incremental/n=%d", n), func(b *testing.B) {
+			sp, w, h, rng := benchSP(n, 42)
+			ip := &IncPack{}
+			sp.PackIncrementalInto(ip, w, h)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				lo, hi := sp.PerturbLocal(rng, window)
+				ip.Disturb(lo, hi)
+				sp.PackIncrementalInto(ip, w, h)
+			}
+		})
+		b.Run(fmt.Sprintf("full/n=%d", n), func(b *testing.B) {
+			sp, w, h, rng := benchSP(n, 42)
+			ws := &PackWorkspace{}
+			sp.PackInto(ws, w, h)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sp.PerturbLocal(rng, window)
+				sp.PackInto(ws, w, h)
+			}
+		})
+	}
+}

@@ -173,9 +173,47 @@ const (
 // free modules), PerturbSF falls back to a paired swap; with fewer than
 // two modules it is a no-op.
 func (sp *SP) PerturbSF(rng *rand.Rand, groups []Group) MoveKind {
+	kind, _, _ := sp.PerturbSFTouched(rng, groups)
+	return kind
+}
+
+// PerturbSFTouched is PerturbSF reporting which modules the move
+// touched: for the free-module kinds the swapped pair (a, b); for the
+// group kinds (paired swap, rotation, and their repair) a = b = -1,
+// meaning the caller must treat the whole sequence as disturbed. The
+// RNG draw sequence is identical to PerturbSF's for every input —
+// including the allocation-free fast path taken when groups is empty,
+// where the free pool is all of 0..n-1 and never needs materializing
+// (profiling the n ≥ 10⁴ walks showed the pool allocations dominating
+// move cost).
+func (sp *SP) PerturbSFTouched(rng *rand.Rand, groups []Group) (MoveKind, int, int) {
 	n := sp.N()
 	if n < 2 {
-		return SwapBothFree
+		return SwapBothFree, -1, -1
+	}
+	if len(groups) == 0 {
+		// Fast path: every module is free, pool[i] == i, so the draws
+		// (kind, i, j) below replicate the general path bit for bit
+		// without building inGroup/free.
+		kind := MoveKind(rng.Intn(5))
+		if kind >= SwapAlphaPaired {
+			kind = SwapBothFree
+		}
+		a := rng.Intn(n)
+		b := rng.Intn(n - 1)
+		if b >= a {
+			b++
+		}
+		switch kind {
+		case SwapAlphaFree:
+			sp.SwapModulesAlpha(a, b)
+		case SwapBetaFree:
+			sp.SwapModulesBeta(a, b)
+		default:
+			sp.SwapModulesAlpha(a, b)
+			sp.SwapModulesBeta(a, b)
+		}
+		return kind, a, b
 	}
 	inGroup := make([]bool, n)
 	var members []int
@@ -197,7 +235,7 @@ func (sp *SP) PerturbSF(rng *rand.Rand, groups []Group) MoveKind {
 	}
 	if len(members) < 2 && kind >= SwapAlphaPaired {
 		if len(free) < 2 {
-			return SwapBothFree
+			return SwapBothFree, -1, -1
 		}
 		kind = SwapBothFree
 	}
@@ -213,13 +251,16 @@ func (sp *SP) PerturbSF(rng *rand.Rand, groups []Group) MoveKind {
 	case SwapAlphaFree:
 		a, b := pick2(free)
 		sp.SwapModulesAlpha(a, b)
+		return kind, a, b
 	case SwapBetaFree:
 		a, b := pick2(free)
 		sp.SwapModulesBeta(a, b)
+		return kind, a, b
 	case SwapBothFree:
 		a, b := pick2(free)
 		sp.SwapModulesAlpha(a, b)
 		sp.SwapModulesBeta(a, b)
+		return kind, a, b
 	case SwapAlphaPaired:
 		a, b := pick2(members)
 		sp.SwapModulesAlpha(a, b)
@@ -229,7 +270,7 @@ func (sp *SP) PerturbSF(rng *rand.Rand, groups []Group) MoveKind {
 			a, b := pick2(members)
 			sp.SwapModulesAlpha(a, b)
 			sp.RepairSF(groups)
-			return SwapAlphaPaired
+			return SwapAlphaPaired, -1, -1
 		}
 		i := rng.Intn(len(members))
 		j := rng.Intn(len(members))
@@ -246,7 +287,48 @@ func (sp *SP) PerturbSF(rng *rand.Rand, groups []Group) MoveKind {
 		}
 		sp.RepairSF(groups)
 	}
-	return kind
+	return kind, -1, -1
+}
+
+// PerturbLocal applies one range-limited sequence move — a swap of
+// alpha positions i and j with |i−j| ≤ window, a beta swap of the
+// modules at those alpha positions, or both — and returns the
+// disturbed alpha-position window [lo, hi]. Range limiting is the
+// classic TimberWolf-style large-instance move discipline: a bounded
+// window keeps the incremental packer's re-scan short, which is what
+// makes n ≥ 10⁴ walks affordable. It does not preserve symmetric
+// feasibility and is only used on problems without symmetry groups.
+func (sp *SP) PerturbLocal(rng *rand.Rand, window int) (lo, hi int) {
+	n := sp.N()
+	if n < 2 {
+		return 0, 0
+	}
+	if window < 1 {
+		window = 1
+	}
+	if window > n/2 {
+		window = n / 2
+	}
+	kind := rng.Intn(3)
+	i := rng.Intn(n)
+	d := 1 + rng.Intn(window)
+	j := i + d
+	if j >= n {
+		j = i - d // in range: i ≥ n−d and d ≤ n/2 imply i−d ≥ n−2d ≥ 0
+	}
+	switch kind {
+	case 0:
+		sp.SwapAlpha(i, j)
+	case 1:
+		sp.SwapModulesBeta(sp.Alpha[i], sp.Alpha[j])
+	default:
+		sp.SwapAlpha(i, j)
+		sp.SwapModulesBeta(sp.Alpha[i], sp.Alpha[j])
+	}
+	if i > j {
+		i, j = j, i
+	}
+	return i, j
 }
 
 // RandomSF returns a random symmetric-feasible sequence-pair over n

@@ -184,6 +184,75 @@ func TestChaosStorm(t *testing.T) {
 		len(ids), m.JobsDone, m.JobsFailed, m.JobsCancelled, m.JobsQuarantined, m.JobsDegraded, m.Shed, m.WorkerCrashes, m.WorkerRestarts)
 }
 
+// TestChaosTemperingStorm drives parallel-tempering jobs — exchanges
+// every stage, so cancellation and injected faults land between
+// exchange sweeps — through armed failpoints, cancelling half of them
+// mid-flight. The contract: no wedged replica barrier (every job goes
+// terminal), and the battered scheduler still drains.
+func TestChaosTemperingStorm(t *testing.T) {
+	defer fault.Reset()
+	fault.SetSeed(7072026)
+	fault.Enable("scheduler/worker-panic", 0.2)
+	fault.Enable("solve/slow", 0.25)
+	fault.Enable("solve/error", 0.15)
+
+	s := New(Config{Workers: 4, QueueDepth: 128})
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+
+	client := srv.Client()
+	var ids []string
+	for k := 0; k < 24; k++ {
+		req := chaosRequest(t, int64(9000+k))
+		req.Options.TemperChains = 2 + k%3
+		req.Options.ExchangeEvery = 1
+		id, err := chaosSubmit(srv.URL, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+		if k%2 == 0 {
+			del, err := http.NewRequest(http.MethodDelete, srv.URL+"/v1/jobs/"+id, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := client.Do(del)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+		}
+	}
+
+	jobDeadline := time.Now().Add(2 * time.Minute)
+	for _, id := range ids {
+		for {
+			j, ok := s.Job(id)
+			if !ok || j.State().Terminal() {
+				break
+			}
+			if time.Now().After(jobDeadline) {
+				t.Fatalf("tempering job %s wedged in state %s", id, j.State())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	closed := make(chan struct{})
+	go func() { s.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(60 * time.Second):
+		t.Fatal("scheduler wedged after tempering storm: Close did not return")
+	}
+	m := s.Metrics()
+	if m.JobsRunning != 0 || m.JobsQueued != 0 {
+		t.Fatalf("gauges nonzero after drain: %+v", m)
+	}
+	t.Logf("tempering storm: %d submissions, done=%d failed=%d cancelled=%d crashes=%d",
+		len(ids), m.JobsDone, m.JobsFailed, m.JobsCancelled, m.WorkerCrashes)
+}
+
 // TestChaosDeterminismFaultsOff pins the zero-cost-when-disabled
 // claim end to end: with every failpoint disarmed, two fresh
 // schedulers produce bit-identical placements for the same request.

@@ -47,6 +47,9 @@ func Solve(ctx context.Context, req *wire.Request, progress func(placer.Progress
 		placer.WithWorkers(req.Options.Workers),
 		placer.WithSchedule(req.Options.Schedule()),
 	}
+	if req.Options.TemperChains > 0 {
+		opts = append(opts, placer.WithTempering(req.Options.TemperChains, req.Options.ExchangeEvery))
+	}
 	if req.Options.Method == wire.MethodPortfolio {
 		opts = append(opts, placer.WithPortfolio())
 	} else {

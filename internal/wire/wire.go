@@ -129,6 +129,15 @@ type Options struct {
 	Cooling       float64 `json:"cooling,omitempty"`
 	InitialTemp   float64 `json:"initial_temp,omitempty"`
 	MinTemp       float64 `json:"min_temp,omitempty"`
+	// TemperChains enables parallel tempering with that many replica
+	// chains on a temperature ladder (0 or 1 disables; tempering takes
+	// precedence over Workers). ExchangeEvery is the stage period of
+	// replica-exchange sweeps; 0 with chains set degrades to an
+	// independent multi-start identical to Workers=chains. Both are
+	// omitted from the canonical encoding when zero, so pre-existing
+	// request hashes are unchanged.
+	TemperChains  int `json:"temper_chains,omitempty"`
+	ExchangeEvery int `json:"exchange_every,omitempty"`
 	// TimeoutMS bounds the solve wall-clock; an expired deadline
 	// cancels the run at the next stage boundary and returns the
 	// best-so-far placement flagged as cancelled.
@@ -279,11 +288,20 @@ func (o *Options) Validate() error {
 	if o.Method != "" && !KnownMethod(o.Method) {
 		return placer.ErrUnknownAlgorithm(o.Method)
 	}
-	if o.Workers < 0 || o.MovesPerStage < 0 || o.MaxStages < 0 || o.StallStages < 0 || o.TimeoutMS < 0 {
+	if o.Workers < 0 || o.MovesPerStage < 0 || o.MaxStages < 0 || o.StallStages < 0 || o.TimeoutMS < 0 ||
+		o.TemperChains < 0 || o.ExchangeEvery < 0 {
 		return fmt.Errorf("wire: negative solver option")
 	}
 	if o.Workers > MaxWorkers {
 		return fmt.Errorf("wire: workers %d over the limit of %d", o.Workers, MaxWorkers)
+	}
+	if o.TemperChains > MaxWorkers {
+		// Every chain is a live goroutine, so chains share the worker
+		// ceiling.
+		return fmt.Errorf("wire: temper_chains %d over the limit of %d", o.TemperChains, MaxWorkers)
+	}
+	if o.ExchangeEvery > MaxStagesBound {
+		return fmt.Errorf("wire: exchange_every %d over the limit of %d", o.ExchangeEvery, MaxStagesBound)
 	}
 	if o.MovesPerStage > MaxMovesPerStage {
 		return fmt.Errorf("wire: moves_per_stage %d over the limit of %d", o.MovesPerStage, MaxMovesPerStage)
@@ -364,8 +382,14 @@ func (r *Request) Validate() error {
 	if moves == 0 {
 		moves = DefaultMovesPerStage // what Normalize will make it
 	}
-	if work := int64(moves) * int64(len(r.Problem.Modules)); work > MaxStageWork {
-		return fmt.Errorf("wire: moves_per_stage × modules = %d over the limit of %d", work, MaxStageWork)
+	// Tempering chains run their stages concurrently, so a stage's
+	// work scales with the chain count too.
+	chains := r.Options.TemperChains
+	if chains < 1 {
+		chains = 1
+	}
+	if work := int64(moves) * int64(len(r.Problem.Modules)) * int64(chains); work > MaxStageWork {
+		return fmt.Errorf("wire: moves_per_stage × modules × chains = %d over the limit of %d", work, MaxStageWork)
 	}
 	return nil
 }

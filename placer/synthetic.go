@@ -1,0 +1,210 @@
+package placer
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// SyntheticSpec parameterizes a generated placement instance. The
+// zero value of every field selects a sensible default, so
+// Synthetic(SyntheticSpec{N: 10000, Seed: 1}) is a complete
+// specification. Generation is deterministic: the same spec yields a
+// bit-identical Problem on every call and platform.
+type SyntheticSpec struct {
+	// N is the module count (required, 1..MaxModules).
+	N int
+	// Seed selects the instance; all randomness derives from it.
+	Seed int64
+	// NetsPerModule scales the net count to ~N·NetsPerModule
+	// (default 1.25, the sparse-netlist regime of analog blocks).
+	NetsPerModule float64
+	// MaxNetDegree caps net fan-out (default 16).
+	MaxNetDegree int
+	// DegreeExponent shapes the net-degree distribution: degrees
+	// d ∈ [2, MaxNetDegree] are drawn with P(d) ∝ d^(−exponent), the
+	// Rent-style heavy-tailed mix of many two-pin nets and few buses
+	// (default 2.0).
+	DegreeExponent float64
+	// SymmetryDensity is the fraction of modules committed to
+	// symmetric pairs (default 0; pairs get identical dimensions and
+	// are grouped up to four pairs per symmetry group).
+	SymmetryDensity float64
+	// AspectMin/AspectMax bound module aspect ratios (default
+	// 0.5–2.0).
+	AspectMin, AspectMax float64
+	// MinArea/MaxArea bound module areas, drawn log-uniformly
+	// (default 40–4000).
+	MinArea, MaxArea int
+}
+
+// withDefaults fills zero fields.
+func (s SyntheticSpec) withDefaults() SyntheticSpec {
+	if s.NetsPerModule == 0 {
+		s.NetsPerModule = 1.25
+	}
+	if s.MaxNetDegree == 0 {
+		s.MaxNetDegree = 16
+	}
+	if s.MaxNetDegree < 2 {
+		s.MaxNetDegree = 2
+	}
+	if s.DegreeExponent == 0 {
+		s.DegreeExponent = 2.0
+	}
+	if s.AspectMin == 0 {
+		s.AspectMin = 0.5
+	}
+	if s.AspectMax == 0 {
+		s.AspectMax = 2.0
+	}
+	if s.MinArea == 0 {
+		s.MinArea = 40
+	}
+	if s.MaxArea == 0 {
+		s.MaxArea = 4000
+	}
+	return s
+}
+
+// Synthetic generates a deterministic placement instance at the
+// spec's scale: log-uniform module areas with bounded aspect ratios,
+// a heavy-tailed net-degree distribution with id-local connectivity,
+// and optional symmetric-pair density. The result passes Validate
+// for any spec with 1 ≤ N ≤ MaxModules; it is the instance family
+// behind the 10⁴–10⁵-module scaling benchmarks.
+func Synthetic(spec SyntheticSpec) (*Problem, error) {
+	spec = spec.withDefaults()
+	n := spec.N
+	if n < 1 || n > MaxModules {
+		return nil, fmt.Errorf("placer: synthetic N %d outside [1, %d]", n, MaxModules)
+	}
+	if spec.AspectMin <= 0 || spec.AspectMax < spec.AspectMin {
+		return nil, fmt.Errorf("placer: synthetic aspect range [%v, %v] invalid", spec.AspectMin, spec.AspectMax)
+	}
+	if spec.MinArea < 1 || spec.MaxArea < spec.MinArea {
+		return nil, fmt.Errorf("placer: synthetic area range [%d, %d] invalid", spec.MinArea, spec.MaxArea)
+	}
+	if spec.SymmetryDensity < 0 || spec.SymmetryDensity > 1 {
+		return nil, fmt.Errorf("placer: synthetic symmetry density %v outside [0, 1]", spec.SymmetryDensity)
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	p := &Problem{Name: fmt.Sprintf("synthetic-n%d-seed%d", n, spec.Seed)}
+
+	// Modules: log-uniform area, uniform aspect, clamped to the
+	// geometry ceilings.
+	logLo, logHi := math.Log(float64(spec.MinArea)), math.Log(float64(spec.MaxArea))
+	p.Modules = make([]Module, n)
+	for i := range p.Modules {
+		area := math.Exp(logLo + rng.Float64()*(logHi-logLo))
+		aspect := spec.AspectMin + rng.Float64()*(spec.AspectMax-spec.AspectMin)
+		w := int(math.Round(math.Sqrt(area * aspect)))
+		h := int(math.Round(math.Sqrt(area / aspect)))
+		p.Modules[i] = Module{
+			Name: fmt.Sprintf("m%06d", i),
+			W:    clampDim(w),
+			H:    clampDim(h),
+		}
+	}
+
+	// Symmetry: commit the requested module fraction to pairs with
+	// matched dimensions, up to four pairs per group.
+	pairs := int(float64(n) * spec.SymmetryDensity / 2)
+	if pairs > 0 {
+		perm := rng.Perm(n)
+		var group SymGroup
+		for k := 0; k < pairs; k++ {
+			a, b := perm[2*k], perm[2*k+1]
+			p.Modules[b].W, p.Modules[b].H = p.Modules[a].W, p.Modules[a].H
+			group.Pairs = append(group.Pairs, [2]int{a, b})
+			if len(group.Pairs) == 4 {
+				p.Symmetry = append(p.Symmetry, group)
+				group = SymGroup{}
+			}
+		}
+		if len(group.Pairs) > 0 {
+			p.Symmetry = append(p.Symmetry, group)
+		}
+	}
+
+	// Nets: heavy-tailed degree, id-local membership windows (nearby
+	// ids are "nearby" in the netlist, the locality real designs
+	// exhibit and a placer can exploit).
+	if n >= 2 {
+		maxDeg := spec.MaxNetDegree
+		if maxDeg > n {
+			maxDeg = n
+		}
+		cum := degreeCDF(maxDeg, spec.DegreeExponent)
+		nets := int(math.Round(float64(n) * spec.NetsPerModule))
+		p.Nets = make([][]int, 0, nets)
+		seen := make(map[int]bool, maxDeg)
+		for len(p.Nets) < nets {
+			deg := 2 + sort.SearchFloat64s(cum, rng.Float64())
+			if deg > maxDeg {
+				deg = maxDeg
+			}
+			center := rng.Intn(n)
+			window := 8 * deg
+			if window < 32 {
+				window = 32
+			}
+			lo := center - window/2
+			if lo < 0 {
+				lo = 0
+			}
+			hi := lo + window
+			if hi > n {
+				hi = n
+				lo = hi - window
+				if lo < 0 {
+					lo = 0
+				}
+			}
+			net := make([]int, 0, deg)
+			for len(seen) < deg && len(seen) < hi-lo {
+				m := lo + rng.Intn(hi-lo)
+				if !seen[m] {
+					seen[m] = true
+					net = append(net, m)
+				}
+			}
+			for m := range seen {
+				delete(seen, m)
+			}
+			if len(net) >= 2 {
+				p.Nets = append(p.Nets, net)
+			}
+		}
+	}
+	p.Normalize()
+	return p, nil
+}
+
+// clampDim bounds a module dimension to [1, MaxDim].
+func clampDim(d int) int {
+	if d < 1 {
+		return 1
+	}
+	if d > MaxDim {
+		return MaxDim
+	}
+	return d
+}
+
+// degreeCDF returns the cumulative distribution of the truncated
+// power law over degrees 2..maxDeg: cum[k] is P(degree ≤ k+2), so a
+// uniform draw u maps to degree 2 + SearchFloat64s(cum, u).
+func degreeCDF(maxDeg int, exponent float64) []float64 {
+	cum := make([]float64, maxDeg-1)
+	total := 0.0
+	for d := 2; d <= maxDeg; d++ {
+		total += math.Pow(float64(d), -exponent)
+		cum[d-2] = total
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return cum
+}

@@ -1,0 +1,125 @@
+package placer
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSyntheticDeterministic pins the generator contract: the same
+// spec yields a bit-identical Problem on every call.
+func TestSyntheticDeterministic(t *testing.T) {
+	spec := SyntheticSpec{N: 2000, Seed: 42, SymmetryDensity: 0.1}
+	a, err := Synthetic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same spec generated different problems")
+	}
+	c, err := Synthetic(SyntheticSpec{N: 2000, Seed: 43, SymmetryDensity: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Nets, c.Nets) {
+		t.Fatal("different seeds generated identical netlists")
+	}
+}
+
+// TestSyntheticWellFormed checks structural bounds on a mid-size
+// instance: net degrees within [2, MaxNetDegree], aspect ratios and
+// areas in range, symmetric pairs dimension-matched.
+func TestSyntheticWellFormed(t *testing.T) {
+	spec := SyntheticSpec{N: 5000, Seed: 7, SymmetryDensity: 0.2}
+	p, err := Synthetic(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	def := spec.withDefaults()
+	for i, net := range p.Nets {
+		if len(net) < 2 || len(net) > def.MaxNetDegree {
+			t.Fatalf("net %d has degree %d outside [2, %d]", i, len(net), def.MaxNetDegree)
+		}
+	}
+	wantNets := int(float64(spec.N) * def.NetsPerModule)
+	if len(p.Nets) != wantNets {
+		t.Fatalf("%d nets, want %d", len(p.Nets), wantNets)
+	}
+	// P(degree=2) ≈ 0.43 for the default exponent 2.0 over 2..16;
+	// the distribution must stay heavy-tailed with two-pin nets modal.
+	byDeg := make(map[int]int)
+	for _, net := range p.Nets {
+		byDeg[len(net)]++
+	}
+	for d, c := range byDeg {
+		if d != 2 && c >= byDeg[2] {
+			t.Fatalf("degree %d (%d nets) outnumbers two-pin nets (%d)", d, c, byDeg[2])
+		}
+	}
+	if byDeg[2] < len(p.Nets)/3 {
+		t.Fatalf("degree distribution not heavy on two-pin nets: %d of %d", byDeg[2], len(p.Nets))
+	}
+	for i, m := range p.Modules {
+		area := m.W * m.H
+		// Rounding can push the realized area slightly past the spec
+		// bounds; a 2× guard band catches real violations.
+		if area < def.MinArea/2 || area > def.MaxArea*2 {
+			t.Fatalf("module %d area %d far outside [%d, %d]", i, area, def.MinArea, def.MaxArea)
+		}
+	}
+	paired := 0
+	for _, g := range p.Symmetry {
+		for _, pr := range g.Pairs {
+			a, b := p.Modules[pr[0]], p.Modules[pr[1]]
+			if a.W != b.W || a.H != b.H {
+				t.Fatalf("pair (%d,%d) dims (%d,%d) vs (%d,%d) not matched", pr[0], pr[1], a.W, a.H, b.W, b.H)
+			}
+			paired += 2
+		}
+		if len(g.Pairs) > 4 {
+			t.Fatalf("group has %d pairs, want at most 4", len(g.Pairs))
+		}
+	}
+	wantPaired := 2 * int(float64(spec.N)*spec.SymmetryDensity/2)
+	if paired != wantPaired {
+		t.Fatalf("%d paired modules, want %d", paired, wantPaired)
+	}
+}
+
+// TestSyntheticAtCeiling generates the largest supported instance and
+// requires it valid and normalized — the n=10⁵ scaling benchmarks
+// depend on this path.
+func TestSyntheticAtCeiling(t *testing.T) {
+	p, err := Synthetic(SyntheticSpec{N: MaxModules, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != MaxModules {
+		t.Fatalf("N = %d, want %d", p.N(), MaxModules)
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSyntheticRejectsBadSpecs pins input validation.
+func TestSyntheticRejectsBadSpecs(t *testing.T) {
+	bad := []SyntheticSpec{
+		{N: 0},
+		{N: MaxModules + 1},
+		{N: 10, AspectMin: 2, AspectMax: 1},
+		{N: 10, MinArea: 100, MaxArea: 10},
+		{N: 10, SymmetryDensity: 1.5},
+	}
+	for i, spec := range bad {
+		if _, err := Synthetic(spec); err == nil {
+			t.Fatalf("spec %d accepted: %+v", i, spec)
+		}
+	}
+}

@@ -1,0 +1,51 @@
+package placer_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/placer"
+)
+
+// TestWithTemperingDisabledMatchesWorkers pins the public delegation
+// contract: WithTempering(k, 0) — exchanges off — produces the exact
+// result WithWorkers(k) does, placement and statistics included.
+func TestWithTemperingDisabledMatchesWorkers(t *testing.T) {
+	p := miller(t)
+	opts := []placer.Option{quick, placer.WithSeed(3), placer.WithAlgorithm(placer.SeqPair)}
+	a, err := placer.Solve(t.Context(), p, append(opts, placer.WithTempering(4, 0))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := placer.Solve(t.Context(), p, append(opts, placer.WithWorkers(4))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cost != b.Cost || !reflect.DeepEqual(a.Placement, b.Placement) {
+		t.Fatalf("exchange-disabled tempering diverged from multi-start: cost %v vs %v", a.Cost, b.Cost)
+	}
+	if a.Stages != b.Stages || a.Moves != b.Moves {
+		t.Fatalf("stats diverged: %d/%d stages, %d/%d moves", a.Stages, b.Stages, a.Moves, b.Moves)
+	}
+}
+
+// TestWithTemperingSolves runs live replica exchange end to end on a
+// real benchmark and requires a legal, deterministic result.
+func TestWithTemperingSolves(t *testing.T) {
+	p := miller(t)
+	run := func() *placer.Result {
+		res, err := placer.Solve(t.Context(), p, quick, placer.WithSeed(5),
+			placer.WithAlgorithm(placer.SeqPair), placer.WithTempering(4, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !a.Legal {
+		t.Fatalf("tempering produced an illegal placement: %+v", a.Violations)
+	}
+	if a.Cost != b.Cost || !reflect.DeepEqual(a.Placement, b.Placement) {
+		t.Fatalf("tempering not deterministic: cost %v vs %v", a.Cost, b.Cost)
+	}
+}

