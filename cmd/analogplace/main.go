@@ -113,6 +113,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 	jsonIn := fs.String("json", "", "read a wire-format Problem or Request from this file ('-' = stdin) instead of -bench")
 	jsonOut := fs.String("json-out", "", "write the wire-format Result to this file ('-' = stdout)")
 	jsonReq := fs.String("json-req", "", "write the assembled wire-format Request to this file ('-' = stdout) without solving; POST it to placed verbatim")
+	traceOut := fs.String("trace-out", "", "record the solve's flight telemetry and write it as wire trace JSON to this file ('-' = stdout); feed it to placetrace for a chart")
 	algorithms := fs.Bool("algorithms", false, "list the placer algorithm registry and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -161,17 +162,20 @@ func run(args []string, stdout, stderr io.Writer) error {
 	// esf/rsf are deterministic Section IV methods with no wire
 	// representation: always the classic path, never -json.
 	classicOnly := *method == "esf" || *method == "rsf"
-	wireMode := set["json"] || set["json-out"] || set["json-req"]
+	wireMode := set["json"] || set["json-out"] || set["json-req"] || set["trace-out"]
 	if classicOnly && wireMode {
-		return fmt.Errorf("method %q is deterministic and has no wire representation; drop -json/-json-out/-json-req", *method)
+		return fmt.Errorf("method %q is deterministic and has no wire representation; drop -json/-json-out/-json-req/-trace-out", *method)
 	}
-	if set["json-req"] && (set["json-out"] || set["svg"]) {
-		return fmt.Errorf("-json-req emits the request without solving; it conflicts with -json-out/-svg")
+	if set["json-req"] && (set["json-out"] || set["svg"] || set["trace-out"]) {
+		return fmt.Errorf("-json-req emits the request without solving; it conflicts with -json-out/-svg/-trace-out")
 	}
-	for name, v := range map[string]string{"json": *jsonIn, "json-out": *jsonOut, "json-req": *jsonReq} {
+	for name, v := range map[string]string{"json": *jsonIn, "json-out": *jsonOut, "json-req": *jsonReq, "trace-out": *traceOut} {
 		if set[name] && v == "" {
 			return fmt.Errorf("-%s needs a file path ('-' for stdin/stdout)", name)
 		}
+	}
+	if *jsonOut == "-" && *traceOut == "-" {
+		return fmt.Errorf("-json-out and -trace-out cannot both write to stdout")
 	}
 
 	if wireMode {
@@ -181,7 +185,7 @@ func run(args []string, stdout, stderr io.Writer) error {
 			workers: *workers, workersSet: set["workers"],
 			temperChains: *temperChains, temperChainsSet: set["temper-chains"],
 			exchangeEvery: *exchangeEvery, exchangeEverySet: set["exchange-every"],
-			jsonIn: *jsonIn, jsonOut: *jsonOut, jsonReq: *jsonReq,
+			jsonIn: *jsonIn, jsonOut: *jsonOut, jsonReq: *jsonReq, traceOut: *traceOut,
 			objective: wire.Objective{
 				AreaWeight:    *areaWeight,
 				WireWeight:    *wireWeight,
@@ -300,6 +304,7 @@ type wireArgs struct {
 	jsonIn           string
 	jsonOut          string
 	jsonReq          string
+	traceOut         string
 	objective        wire.Objective
 	objectiveSet     bool
 	bench            string
@@ -390,13 +395,19 @@ func runWire(a wireArgs, stdout, stderr io.Writer) error {
 	}
 
 	// Solve honors the request's own timeout_ms, same as the daemon.
-	res, err := service.Solve(context.Background(), req, nil)
+	// -trace-out rides as an extra placer option, exactly how the
+	// scheduler attaches its per-job recorder.
+	var extra []placer.Option
+	if a.traceOut != "" {
+		extra = append(extra, placer.WithTrace(0))
+	}
+	res, err := service.Solve(context.Background(), req, nil, extra...)
 	if err != nil {
 		return err
 	}
 
 	humanOut := stdout
-	if a.jsonOut == "-" {
+	if a.jsonOut == "-" || a.traceOut == "-" {
 		humanOut = stderr // keep stdout pure JSON for piping
 	}
 	name := res.Name
@@ -425,6 +436,21 @@ func runWire(a wireArgs, stdout, stderr io.Writer) error {
 		}
 		if a.jsonOut != "-" {
 			fmt.Fprintln(humanOut, "wrote", a.jsonOut)
+		}
+	}
+	if a.traceOut != "" {
+		if res.Trace == nil {
+			return fmt.Errorf("solve recorded no trace (external engines do not record)")
+		}
+		enc, err := json.MarshalIndent(res.Trace, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := writeOutput(a.traceOut, append(enc, '\n'), stdout); err != nil {
+			return err
+		}
+		if a.traceOut != "-" {
+			fmt.Fprintf(humanOut, "wrote %s (%d trace events)\n", a.traceOut, len(res.Trace.Events))
 		}
 	}
 	if a.svgPath != "" {

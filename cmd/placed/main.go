@@ -5,28 +5,45 @@
 // Usage:
 //
 //	placed [-addr :8080] [-solvers N] [-queue N] [-cache N]
+//	       [-trace-events N] [-obs] [-pprof]
 //
 // Endpoints:
 //
-//	POST   /v1/place      submit a wire.Request (JSON). Returns 202
-//	                      with a job id; ?wait=1 blocks and returns
-//	                      the finished job. Identical requests are
-//	                      answered from the content-addressed result
-//	                      cache, or coalesced onto the in-flight job.
-//	GET    /v1/algorithms the placer registry: every valid algorithm
-//	                      string with its kind (flat/hierarchical)
-//	                      and portfolio eligibility.
-//	GET    /v1/jobs/{id}  job state, live progress (best cost, stage,
-//	                      moves/sec) and, once terminal, the result.
-//	DELETE /v1/jobs/{id}  cancel: the job stops at the next annealing
-//	                      stage boundary and keeps its best-so-far
-//	                      placement, flagged as cancelled.
-//	GET    /healthz       liveness probe.
-//	GET    /metrics       Prometheus text metrics (jobs by state,
-//	                      queue/running gauges, cache hit/miss,
-//	                      solve-latency histogram, worker crash and
-//	                      restart counters, checkpoint and load-shed
-//	                      gauges).
+//	POST   /v1/place            submit a wire.Request (JSON). Returns 202
+//	                            with a job id; ?wait=1 blocks and returns
+//	                            the finished job. Identical requests are
+//	                            answered from the content-addressed result
+//	                            cache, or coalesced onto the in-flight job.
+//	GET    /v1/algorithms       the placer registry: every valid algorithm
+//	                            string with its kind (flat/hierarchical)
+//	                            and portfolio eligibility.
+//	GET    /v1/jobs/{id}        job state, live progress (best cost, stage,
+//	                            moves/sec) and, once terminal, the result.
+//	GET    /v1/jobs/{id}/trace  the solve's flight recording: per-stage
+//	                            annealing telemetry, replica exchanges,
+//	                            checkpoint and failpoint events (409 until
+//	                            the job is terminal; feed it to placetrace
+//	                            for an SVG chart).
+//	DELETE /v1/jobs/{id}        cancel: the job stops at the next annealing
+//	                            stage boundary and keeps its best-so-far
+//	                            placement, flagged as cancelled.
+//	GET    /healthz             liveness probe.
+//	GET    /metrics             Prometheus text metrics (jobs by state,
+//	                            queue-depth and latency-EWMA gauges, cache
+//	                            hit/miss, solve-latency histogram, worker
+//	                            crash/restart and checkpoint counters).
+//	GET    /debug/spans         with -obs: the span ring as JSON — timed
+//	                            request → job → engine → anneal → stage
+//	                            tree of recent solves.
+//	GET    /debug/pprof/        with -pprof: the standard Go profiler.
+//
+// Observability: every solve carries a flight recorder (-trace-events
+// sizes it; negative disables) whose recording is deterministic for a
+// fixed seed and never perturbs the search. -obs additionally arms the
+// span tracer, which timestamps the request/job/engine/anneal/stage
+// hierarchy into a process-wide ring at nanosecond resolution; it is
+// off by default so the annealing hot loop pays exactly one atomic
+// load per stage.
 //
 // Fault tolerance: a full queue sheds load with 429 plus a Retry-After
 // computed from the backlog; a deep queue shortens annealing schedules
@@ -47,17 +64,20 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/service"
 )
 
@@ -66,7 +86,11 @@ func main() {
 	solvers := flag.Int("solvers", 2, "solver worker pool size (concurrent jobs)")
 	queue := flag.Int("queue", 64, "queued-job bound; beyond it POST sheds load with 429 + Retry-After")
 	cache := flag.Int("cache", 128, "result cache entries (0 disables caching)")
+	traceEvents := flag.Int("trace-events", 0, "per-job flight-recorder capacity in events (0 = default 2048, negative disables tracing)")
+	obsOn := flag.Bool("obs", false, "arm the span tracer and serve /debug/spans")
+	pprofOn := flag.Bool("pprof", false, "serve the Go profiler under /debug/pprof/")
 	flag.Parse()
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "placed: unexpected argument %q\n", flag.Arg(0))
 		os.Exit(2)
@@ -82,25 +106,50 @@ func main() {
 		os.Exit(2)
 	}
 	if len(armed) > 0 {
-		log.Printf("placed: CHAOS MODE — failpoints armed: %v", armed)
+		logger.Warn("CHAOS MODE — failpoints armed", "points", armed)
+	}
+	if *obsOn {
+		obs.Enable()
 	}
 
 	cacheSize := *cache
 	if cacheSize <= 0 {
 		cacheSize = -1 // flag 0 means off; Config 0 would mean the default
 	}
-	sched := service.New(service.Config{Workers: *solvers, QueueDepth: *queue, CacheSize: cacheSize})
-	srv := &http.Server{Addr: *addr, Handler: service.NewHandler(sched)}
+	sched := service.New(service.Config{
+		Workers:     *solvers,
+		QueueDepth:  *queue,
+		CacheSize:   cacheSize,
+		TraceEvents: *traceEvents,
+	})
+
+	mux := http.NewServeMux()
+	mux.Handle("/", service.NewHandler(sched))
+	if *obsOn {
+		mux.HandleFunc("GET /debug/spans", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(obs.Spans())
+		})
+	}
+	if *pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	srv := &http.Server{Addr: *addr, Handler: accessLog(logger, mux)}
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("placed: listening on %s (solvers=%d queue=%d cache=%d)", *addr, *solvers, *queue, *cache)
+	logger.Info("listening", "addr", *addr, "solvers", *solvers, "queue", *queue,
+		"cache", *cache, "trace_events", *traceEvents, "obs", *obsOn, "pprof", *pprofOn)
 
 	select {
 	case sig := <-stop:
-		log.Printf("placed: %v, shutting down", sig)
+		logger.Info("shutting down", "signal", sig.String())
 		// Close the scheduler first: it cancels running jobs, which
 		// unblocks ?wait=1 handlers with best-so-far results, so
 		// Shutdown can actually drain them inside its window.
@@ -108,11 +157,36 @@ func main() {
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("placed: shutdown: %v", err)
+			logger.Error("shutdown", "err", err)
 		}
 	case err := <-errc:
 		if !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("placed: %v", err)
+			logger.Error("serve", "err", err)
+			os.Exit(1)
 		}
 	}
+}
+
+// statusWriter captures the response status for the access log.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// accessLog wraps the API with structured per-request logging: method,
+// path, status and wall-clock, through the same slog logger as the
+// daemon's lifecycle messages.
+func accessLog(logger *slog.Logger, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		logger.Info("request", "method", r.Method, "path", r.URL.Path,
+			"status", sw.status, "dur", time.Since(start).Round(time.Microsecond).String())
+	})
 }

@@ -243,4 +243,38 @@
 // anneal.ParallelAnneal. cmd/benchtrend enforces the packing and
 // time-to-target trajectories in CI against the checked-in
 // BENCH_PR7.json baseline.
+//
+// # Observability
+//
+// Every layer of a solve can be seen without perturbing it. The
+// internal/obs package provides two zero-dependency primitives.
+// Hierarchical spans (request → job → engine → anneal → stage) are
+// threaded through context and cost one atomic load when disarmed;
+// arming them (placed -obs, or obs.Enable) records into a fixed
+// in-memory ring served at /debug/spans. The flight recorder
+// (obs.Flight) is an allocation-bounded ring of per-stage annealing
+// telemetry — temperature, cost, cumulative acceptance counters,
+// move-kind histograms, replica-exchange attempts — recorded at
+// stage boundaries, never inside the move loop. Recording draws
+// nothing from the annealer's RNG and events carry no wall-clock, so
+// traced solves are bit-identical to untraced ones and a trace is a
+// deterministic function of (problem, seed, schedule): the pin suite
+// replays a pre-instrumentation golden against the traced path, and
+// placer/trace_test.go pins byte-equal trace JSON across runs.
+//
+// Tracing is on by default in the daemon (placed -trace-events,
+// negative disables; service.Config.TraceEvents). A finished job's
+// recording — including failpoint and worker-crash provenance from
+// the fault-tolerance layer — is served as versioned, schema-checked
+// JSON (wire.Trace.Validate) at GET /v1/jobs/{id}/trace; 409 until
+// the job is terminal. The CLI writes the same JSON via analogplace
+// -trace-out, and cmd/placetrace renders it as an SVG chart of
+// per-rung cost trajectories, acceptance rates and exchange markers.
+// placed also logs structured slog lines for every request and job
+// transition, exports placed_queue_depth and
+// placed_solve_latency_ewma_seconds gauges on /metrics, and mounts
+// net/http/pprof under /debug/pprof/ behind -pprof. The disabled
+// path is benchmark-enforced: BenchmarkAnnealObsOverhead/off gates
+// within 1% of the pre-observability baseline in CI, and the
+// measured off/ring/export overhead table is in PERFORMANCE.md.
 package repro

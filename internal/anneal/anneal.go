@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"repro/internal/obs"
 )
 
 // Solution is one point of a search space. Neighbor must return a new
@@ -68,6 +70,18 @@ type MutableSolution interface {
 // incremental evaluation against a from-scratch one.
 type MoveReporter interface {
 	Moved() []int
+}
+
+// MoveKindReporter is an optional extension of MutableSolution for
+// solutions that track per-move-kind proposal/acceptance counters (the
+// engine kernel's adaptive move portfolio). The flight recorder reads
+// the counters at stage boundaries; the engines never require the
+// interface, and implementations may return nil slices when the
+// counters are off. The returned slices are read without copying, so
+// they must only be mutated from the solution's own annealing
+// goroutine (which is where the engines call this).
+type MoveKindReporter interface {
+	MoveKindCounts() (proposed, accepted []int)
 }
 
 // Options configure a simulated-annealing run. The zero value is
@@ -153,6 +167,20 @@ type Options struct {
 	// TemperLadder^k times the base temperature). Values ≤ 1 mean the
 	// default, 1.6.
 	TemperLadder float64
+	// Flight, when non-nil, receives per-stage flight-recorder events
+	// (temperature, best/current cost, cumulative move counters,
+	// per-move-kind acceptance for MoveKindReporter solutions, replica
+	// exchanges, checkpoint captures and resumes). Recording never
+	// consumes randomness and never perturbs the search — a solve with
+	// a recorder attached is bit-identical to one without. A nil
+	// Flight costs one pointer test per temperature stage; see
+	// internal/obs. ParallelAnneal and TemperAnneal share one recorder
+	// across all chains (obs.Flight is concurrency-safe).
+	Flight *obs.Flight
+	// chain is the multi-start chain / tempering rung id stamped on
+	// flight events and stage spans. ParallelAnneal sets it per
+	// worker; direct Anneal calls record as chain 0.
+	chain int
 }
 
 func (o Options) withDefaults() Options {
@@ -183,10 +211,15 @@ type Stats struct {
 	FinalTemp float64
 	BestCost  float64
 	InitCost  float64
-	// Worker identifies the multi-start chain that produced these
-	// statistics: ParallelAnneal stamps it on every Progress snapshot
-	// and, in the aggregate it returns, records the winning chain.
-	// Serial runs leave it 0.
+	// Worker identifies the chain that produced these statistics.
+	// ParallelAnneal stamps it on every Progress snapshot with the
+	// multi-start chain id and, in the aggregate it returns, records
+	// the winning chain. TemperAnneal stamps it with the tempering
+	// rung (0 the coldest): replicas are pinned to their rung — an
+	// accepted exchange swaps states between rungs, never the chains
+	// themselves — so a rung's Progress stream tracks one temperature
+	// level across the whole run, and the aggregate records the
+	// winning rung. Serial runs leave it 0.
 	Worker int
 	// Cancelled reports that Options.Context was cancelled and the run
 	// stopped early, returning the best solution seen so far.
@@ -222,6 +255,36 @@ func (o *Options) report(stats Stats, bestCost float64) {
 	}
 	stats.BestCost = bestCost
 	o.Progress(stats)
+}
+
+// recordStage writes one completed temperature stage into the flight
+// recorder: the post-cooling temperature, current and best cost,
+// cumulative counters, and — when the solution reports them — the
+// per-move-kind proposal/acceptance table. Callers guard with a nil
+// test on the recorder so the disabled path builds no event.
+func recordStage(f *obs.Flight, worker int, st *Stats, cur, best float64, kinds MoveKindReporter) {
+	e := obs.Event{
+		Kind:     obs.EventStage,
+		Worker:   int32(worker),
+		Stage:    int32(st.Stages),
+		Temp:     st.FinalTemp,
+		Best:     best,
+		Cur:      cur,
+		Moves:    int64(st.Moves),
+		Accepted: int64(st.Accepted),
+		Improved: int64(st.Improved),
+		Peer:     -1,
+	}
+	if kinds != nil {
+		prop, acc := kinds.MoveKindCounts()
+		n := min(len(prop), obs.MaxMoveKinds)
+		e.NKinds = uint8(n)
+		for i := 0; i < n; i++ {
+			e.KindProposed[i] = uint32(prop[i])
+			e.KindAccepted[i] = uint32(acc[i])
+		}
+	}
+	f.Record(e)
 }
 
 // Anneal runs simulated annealing from the initial solution and
@@ -284,6 +347,9 @@ func Anneal(initial Solution, opt Options) (Solution, Stats) {
 		temp *= opt.Cooling
 		stats.FinalTemp = temp
 		opt.report(stats, bestCost)
+		if opt.Flight != nil {
+			recordStage(opt.Flight, opt.chain, &stats, curCost, bestCost, nil)
+		}
 	}
 	stats.BestCost = bestCost
 	return best, stats
@@ -296,17 +362,25 @@ func Anneal(initial Solution, opt Options) (Solution, Stats) {
 func annealInPlace(cur MutableSolution, opt Options) (MutableSolution, Stats) {
 	opt = opt.withDefaults()
 	rng := rand.New(rand.NewSource(opt.Seed + 1))
+	kinds, _ := cur.(MoveKindReporter)
+	sctx, runSpan := obs.StartSpan(opt.Context, "anneal", obs.Int("chain", opt.chain))
+	defer runSpan.End()
 
 	// A warm start replaces the initial state before anything observes
 	// it: the run proceeds exactly as if the checkpoint were the
 	// (re-evaluated) initial solution, so the returned best can never
 	// be worse than the checkpoint it resumed from.
+	resumed := false
 	if opt.Resume != nil {
 		if snap, ok := opt.Resume(); ok {
 			cur.Restore(snap)
+			resumed = true
 		}
 	}
 	curCost := cur.Cost()
+	if resumed && opt.Flight != nil {
+		opt.Flight.Record(obs.Event{Kind: obs.EventResume, Worker: int32(opt.chain), Cur: curCost, Best: curCost, Peer: -1})
+	}
 	bestSnap := cur.Snapshot()
 	bestCost := curCost
 	stats := Stats{InitCost: curCost}
@@ -330,6 +404,11 @@ func annealInPlace(cur MutableSolution, opt Options) (MutableSolution, Stats) {
 			stats.Cancelled = true
 			break
 		}
+		// With observability off this stage boundary costs exactly one
+		// atomic load (the disarmed span tracer) and one pointer test
+		// (the nil flight recorder) — the contract
+		// BenchmarkAnnealObsOverhead pins.
+		stageSpan := obs.ChildSpan(sctx, "stage", obs.Int("chain", opt.chain), obs.Int("stage", stats.Stages+1))
 		stats.Stages++
 		improvedThisStage := false
 		for move := 0; move < opt.MovesPerStage; move++ {
@@ -361,16 +440,22 @@ func annealInPlace(cur MutableSolution, opt Options) (MutableSolution, Stats) {
 		temp *= opt.Cooling
 		stats.FinalTemp = temp
 		opt.report(stats, bestCost)
+		if opt.Flight != nil {
+			recordStage(opt.Flight, opt.chain, &stats, curCost, bestCost, kinds)
+		}
 		if opt.Checkpoint != nil && newSinceCapture && stats.Stages%opt.CheckpointEvery == 0 {
 			opt.Checkpoint(bestSnap, bestCost, stats.Stages)
+			opt.Flight.Record(obs.Event{Kind: obs.EventCheckpoint, Worker: int32(opt.chain), Stage: int32(stats.Stages), Best: bestCost, Peer: -1})
 			newSinceCapture = false
 		}
+		stageSpan.End()
 	}
 	stats.BestCost = bestCost
 	// Final capture, so an interruption between periodic captures (a
 	// cancelled run in particular) never loses the latest best.
 	if opt.Checkpoint != nil && newSinceCapture {
 		opt.Checkpoint(bestSnap, bestCost, stats.Stages)
+		opt.Flight.Record(obs.Event{Kind: obs.EventCheckpoint, Worker: int32(opt.chain), Stage: int32(stats.Stages), Best: bestCost, Peer: -1})
 	}
 	cur.Restore(bestSnap)
 	return cur, stats

@@ -73,6 +73,9 @@ func ParallelAnneal(newSolution func(seed int64) Solution, workers int, opt Opti
 			wopt := opt
 			wopt.Seed = seed
 			wopt.Workers = 1
+			// Flight events and stage spans carry the chain id; the
+			// recorder itself is shared (it is concurrency-safe).
+			wopt.chain = i
 			if prog := opt.Progress; prog != nil {
 				wopt.Progress = func(st Stats) {
 					st.Worker = i

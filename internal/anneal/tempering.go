@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"runtime/debug"
 	"sync"
+
+	"repro/internal/obs"
 )
 
 // defaultTemperLadder is the geometric spacing between neighboring
@@ -42,6 +44,7 @@ type replica struct {
 	bestSnap any
 	bestCost float64
 	stats    Stats
+	kinds    MoveKindReporter // non-nil when sol reports per-kind counters
 }
 
 // noteBest records the current state as the replica's best if it
@@ -57,8 +60,12 @@ func (r *replica) noteBest() {
 // runStage advances the replica by one temperature stage. The move
 // loop, acceptance rule, statistics and RNG discipline are exactly
 // annealInPlace's, so a replica with exchanges disabled walks the
-// same trajectory a serial chain with the same seed would.
+// same trajectory a serial chain with the same seed would. Progress
+// snapshots and flight events carry the replica's rung in Worker:
+// replicas are pinned to their rung (exchanges swap states, not
+// chains), so the stream tracks one temperature level.
 func (r *replica) runStage(opt *Options) {
+	stageSpan := obs.ChildSpan(opt.Context, "stage", obs.Int("chain", r.stats.Worker), obs.Int("stage", r.stats.Stages+1))
 	r.stats.Stages++
 	for move := 0; move < opt.MovesPerStage; move++ {
 		r.stats.Moves++
@@ -82,6 +89,10 @@ func (r *replica) runStage(opt *Options) {
 	r.temp *= opt.Cooling
 	r.stats.FinalTemp = r.temp
 	opt.report(r.stats, r.bestCost)
+	if opt.Flight != nil {
+		recordStage(opt.Flight, r.stats.Worker, &r.stats, r.cost, r.bestCost, r.kinds)
+	}
+	stageSpan.End()
 }
 
 // TemperAnneal runs parallel tempering (replica exchange): chains
@@ -125,6 +136,11 @@ func TemperAnneal(newSolution func(seed int64) Solution, chains int, opt Options
 	if ladder <= 1 {
 		ladder = defaultTemperLadder
 	}
+	// One span for the whole ladder; the replicas' stage spans parent
+	// to it through the derived context.
+	var ladderSpan *obs.ActiveSpan
+	opt.Context, ladderSpan = obs.StartSpan(opt.Context, "anneal", obs.Int("chains", chains))
+	defer ladderSpan.End()
 
 	var panicMu sync.Mutex
 	var panicked any
@@ -153,12 +169,18 @@ func TemperAnneal(newSolution func(seed int64) Solution, chains int, opt Options
 			r := &replica{rng: rand.New(rand.NewSource(seed + 1))}
 			r.stats.Worker = k
 			r.sol, _ = newSolution(seed).(MutableSolution)
+			r.kinds, _ = r.sol.(MoveKindReporter)
+			resumed := false
 			if k == 0 && opt.Resume != nil {
 				if snap, ok := opt.Resume(); ok {
 					r.sol.Restore(snap)
+					resumed = true
 				}
 			}
 			r.cost = r.sol.Cost()
+			if resumed && opt.Flight != nil {
+				opt.Flight.Record(obs.Event{Kind: obs.EventResume, Worker: int32(k), Cur: r.cost, Best: r.cost, Peer: -1})
+			}
 			r.stats.InitCost = r.cost
 			r.bestSnap = r.sol.Snapshot()
 			r.bestCost = r.cost
@@ -233,6 +255,9 @@ func TemperAnneal(newSolution func(seed int64) Solution, chains int, opt Options
 		}
 		if opt.Checkpoint != nil && newSinceCapture && stages%opt.CheckpointEvery == 0 {
 			opt.Checkpoint(globalBestSnap, globalBestCost, stages)
+			// Worker -1: the capture is of the ladder-wide best, not any
+			// one rung's.
+			opt.Flight.Record(obs.Event{Kind: obs.EventCheckpoint, Worker: -1, Stage: int32(stages), Best: globalBestCost, Peer: -1})
 			newSinceCapture = false
 		}
 		// Replica-exchange sweep over neighboring rungs, on the
@@ -247,7 +272,18 @@ func TemperAnneal(newSolution func(seed int64) Solution, chains int, opt Options
 				// βa > βb (a is colder); swapping states changes the
 				// joint Boltzmann weight by exp((βa−βb)(Ea−Eb)).
 				delta := (1/a.temp - 1/b.temp) * (a.cost - b.cost)
-				if delta >= 0 || xrng.Float64() < math.Exp(delta) {
+				accept := delta >= 0 || xrng.Float64() < math.Exp(delta)
+				if opt.Flight != nil {
+					// Recorded with the pre-swap costs: the decision's
+					// inputs, whichever way it went.
+					opt.Flight.Record(obs.Event{
+						Kind: obs.EventExchange, Stage: int32(stages),
+						Worker: int32(k), Temp: a.temp, Cur: a.cost,
+						Peer: int32(k + 1), PeerTemp: b.temp, PeerCost: b.cost,
+						Accept: accept,
+					})
+				}
+				if accept {
 					agg.ExchangeAccepted++
 					sa := a.sol.Snapshot()
 					a.sol.Restore(b.sol.Snapshot())
@@ -276,6 +312,7 @@ func TemperAnneal(newSolution func(seed int64) Solution, chains int, opt Options
 	agg.Worker = win
 	if opt.Checkpoint != nil && newSinceCapture {
 		opt.Checkpoint(globalBestSnap, globalBestCost, stages)
+		opt.Flight.Record(obs.Event{Kind: obs.EventCheckpoint, Worker: -1, Stage: int32(stages), Best: globalBestCost, Peer: -1})
 	}
 	winner := reps[win]
 	winner.sol.Restore(winner.bestSnap)

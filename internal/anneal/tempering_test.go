@@ -3,6 +3,7 @@ package anneal
 import (
 	"context"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -178,5 +179,67 @@ func TestTemperFindsOptimum(t *testing.T) {
 	}
 	if clones.Load() != 0 {
 		t.Fatalf("tempering cloned %d times via Neighbor", clones.Load())
+	}
+}
+
+// TestTemperProgressWorkerStamp pins Stats.Worker's contract on the
+// tempering path: every Progress snapshot identifies its rung, every
+// rung reports, and at any completed stage rung k runs strictly colder
+// than rung k+1. Replicas are pinned to rungs — an accepted exchange
+// swaps states, never the chains — so the rung order must match the
+// temperature ladder for the whole run, not just the first stage.
+func TestTemperProgressWorkerStamp(t *testing.T) {
+	const chains = 4
+	var clones atomic.Int64
+	newSol := func(seed int64) Solution {
+		rng := rand.New(rand.NewSource(seed))
+		return newQuad(rng.Intn(200), &clones)
+	}
+	var mu sync.Mutex
+	temps := map[int]map[int]float64{} // stage → rung → temperature
+	// InitialTemp is fixed so the ladder is exactly geometric:
+	// auto-calibration is per-replica (each rung calibrates on its own
+	// random start), which can produce base temperatures far enough
+	// apart that rung temperatures cross.
+	opt := Options{
+		Seed: 17, MovesPerStage: 20, MaxStages: 20, StallStages: 20, ExchangeEvery: 2,
+		InitialTemp: 200,
+		Progress: func(st Stats) {
+			mu.Lock()
+			defer mu.Unlock()
+			if st.Worker < 0 || st.Worker >= chains {
+				t.Errorf("progress snapshot from rung %d, ladder has %d", st.Worker, chains)
+				return
+			}
+			byRung := temps[st.Stages]
+			if byRung == nil {
+				byRung = map[int]float64{}
+				temps[st.Stages] = byRung
+			}
+			byRung[st.Worker] = st.FinalTemp
+		},
+	}
+	TemperAnneal(newSol, chains, opt)
+
+	mu.Lock()
+	defer mu.Unlock()
+	seen := map[int]bool{}
+	for stage, byRung := range temps {
+		for k := range byRung {
+			seen[k] = true
+		}
+		for k := 0; k < chains-1; k++ {
+			a, oka := byRung[k]
+			b, okb := byRung[k+1]
+			if oka && okb && a >= b {
+				t.Fatalf("stage %d: rung %d at %g not colder than rung %d at %g",
+					stage, k, a, k+1, b)
+			}
+		}
+	}
+	for k := 0; k < chains; k++ {
+		if !seen[k] {
+			t.Errorf("rung %d produced no progress snapshots", k)
+		}
 	}
 }

@@ -236,6 +236,21 @@ func (s *Solution) Moved() []int {
 	return s.model.Moved()
 }
 
+// MoveKindCounts implements anneal.MoveKindReporter: the adaptive move
+// portfolio's cumulative per-kind proposal and acceptance counters,
+// nil when adaptive moves are off. The slices alias the live counters
+// — callers read them on the annealing goroutine at stage boundaries
+// (the flight recorder copies; see internal/obs). The portfolio
+// settles a move's outcome lazily at the next proposal, so a stage-
+// boundary read can be one acceptance behind the aggregate Stats; the
+// recorded trajectory is still exact per proposal.
+func (s *Solution) MoveKindCounts() (proposed, accepted []int) {
+	if s.adaptive == nil {
+		return nil, nil
+	}
+	return s.adaptive.proposed, s.adaptive.accepted
+}
+
 // Perturb implements anneal.MutableSolution: one random move through
 // the representation (or the adaptive portfolio), evaluated
 // incrementally, with the shared exact-undo closure.

@@ -1,0 +1,191 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+func TestDisarmedSpanIsNil(t *testing.T) {
+	Disable()
+	ResetSpans()
+	ctx := context.Background()
+	c2, sp := StartSpan(ctx, "request")
+	if sp != nil {
+		t.Fatal("disarmed StartSpan returned a span")
+	}
+	if c2 != ctx {
+		t.Fatal("disarmed StartSpan derived a new context")
+	}
+	// Every method must be nil-safe.
+	sp.SetAttr("k", "v")
+	sp.End()
+	if ChildSpan(ctx, "stage") != nil {
+		t.Fatal("disarmed ChildSpan returned a span")
+	}
+	if got := Spans(); len(got) != 0 {
+		t.Fatalf("disarmed tracer recorded %d spans", len(got))
+	}
+}
+
+func TestSpanHierarchy(t *testing.T) {
+	Enable()
+	defer Disable()
+	ResetSpans()
+	ctx, root := StartSpan(context.Background(), "request", KV("hash", "abc"))
+	ctx2, job := StartSpan(ctx, "job")
+	stage := ChildSpan(ctx2, "stage", Int("stage", 3))
+	stage.End()
+	job.End()
+	root.SetAttr("status", "done")
+	root.End()
+
+	spans := Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]Span{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["job"].Parent != byName["request"].ID {
+		t.Errorf("job parented to %d, want request %d", byName["job"].Parent, byName["request"].ID)
+	}
+	if byName["stage"].Parent != byName["job"].ID {
+		t.Errorf("stage parented to %d, want job %d", byName["stage"].Parent, byName["job"].ID)
+	}
+	if byName["request"].Parent != 0 {
+		t.Errorf("request has parent %d, want root", byName["request"].Parent)
+	}
+	var gotStatus bool
+	for _, a := range byName["request"].Attrs {
+		if a.Key == "status" && a.Value == "done" {
+			gotStatus = true
+		}
+	}
+	if !gotStatus {
+		t.Error("SetAttr lost the status attribute")
+	}
+}
+
+func TestContextWithSpanHandoff(t *testing.T) {
+	Enable()
+	defer Disable()
+	ResetSpans()
+	_, req := StartSpan(context.Background(), "request")
+	id := req.ID()
+	req.End()
+	// A worker goroutine resumes under the request's span by id.
+	ctx := ContextWithSpan(context.Background(), id)
+	_, job := StartSpan(ctx, "job")
+	job.End()
+	spans := Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[1].Parent != spans[0].ID {
+		t.Errorf("handed-off job parented to %d, want %d", spans[1].Parent, spans[0].ID)
+	}
+}
+
+func TestSpanRingOverwrite(t *testing.T) {
+	Enable()
+	defer func() { Disable(); SetSpanRingCapacity(0) }()
+	SetSpanRingCapacity(4)
+	for i := 0; i < 10; i++ {
+		_, sp := StartSpan(context.Background(), "s")
+		sp.End()
+	}
+	spans := Spans()
+	if len(spans) != 4 {
+		t.Fatalf("ring holds %d spans, want 4", len(spans))
+	}
+	for i := 1; i < len(spans); i++ {
+		if spans[i].ID <= spans[i-1].ID {
+			t.Fatal("snapshot not ordered by id")
+		}
+	}
+}
+
+func TestFlightNilSafe(t *testing.T) {
+	var f *Flight
+	f.Record(Event{Kind: EventStage})
+	if f.Len() != 0 || f.Dropped() != 0 || f.Capacity() != 0 || f.Snapshot() != nil {
+		t.Fatal("nil flight not inert")
+	}
+}
+
+func TestFlightRingOverwrite(t *testing.T) {
+	f := NewFlight(4)
+	for i := 0; i < 10; i++ {
+		f.Record(Event{Kind: EventStage, Stage: int32(i)})
+	}
+	if f.Len() != 4 {
+		t.Fatalf("len %d, want 4", f.Len())
+	}
+	if f.Dropped() != 6 {
+		t.Fatalf("dropped %d, want 6", f.Dropped())
+	}
+	ev := f.Snapshot()
+	if len(ev) != 4 {
+		t.Fatalf("snapshot %d events, want 4", len(ev))
+	}
+	for i, e := range ev {
+		if int(e.Stage) != 6+i {
+			t.Fatalf("event %d has stage %d, want %d (oldest overwritten first)", i, e.Stage, 6+i)
+		}
+	}
+}
+
+func TestFlightRecordNoAlloc(t *testing.T) {
+	f := NewFlight(64)
+	e := Event{Kind: EventStage, Temp: 1.5, NKinds: 3}
+	allocs := testing.AllocsPerRun(100, func() {
+		f.Record(e)
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %v per call, want 0", allocs)
+	}
+}
+
+// TestFlightCanonicalOrder: concurrent recorders interleave
+// nondeterministically, but Snapshot's canonical order depends only on
+// the recorded values.
+func TestFlightCanonicalOrder(t *testing.T) {
+	snapshot := func() []Event {
+		f := NewFlight(256)
+		var wg sync.WaitGroup
+		for w := 0; w < 4; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for s := 0; s < 10; s++ {
+					f.Record(Event{Kind: EventStage, Worker: int32(w), Stage: int32(s), Peer: -1, Best: float64(w*100 + s)})
+				}
+			}(w)
+		}
+		wg.Wait()
+		f.Record(Event{Kind: EventExchange, Worker: 0, Peer: 1, Stage: 5})
+		return f.Snapshot()
+	}
+	a, b := snapshot(), snapshot()
+	if len(a) != len(b) || len(a) != 41 {
+		t.Fatalf("snapshots have %d and %d events, want 41", len(a), len(b))
+	}
+	for i := range a {
+		ea, eb := a[i], b[i]
+		ea.Seq, eb.Seq = 0, 0 // arrival index is scheduler-dependent
+		if ea != eb {
+			t.Fatalf("event %d differs across runs: %+v vs %+v", i, ea, eb)
+		}
+	}
+}
+
+func TestFlightCapacityClamp(t *testing.T) {
+	if got := NewFlight(0).Capacity(); got != DefaultFlightEvents {
+		t.Errorf("NewFlight(0) capacity %d, want default %d", got, DefaultFlightEvents)
+	}
+	if got := NewFlight(1 << 30).Capacity(); got != maxFlightEvents {
+		t.Errorf("NewFlight(1<<30) capacity %d, want clamp %d", got, maxFlightEvents)
+	}
+}

@@ -1,7 +1,9 @@
 // Package render draws placements (and optionally routed nets) as
 // standalone SVG documents, for inspecting the layouts the placers
 // produce. Colors are assigned per module deterministically; symmetry
-// axes can be overlaid as dashed lines.
+// axes can be overlaid as dashed lines. ChartSVG (chart.go) renders a
+// solve's flight recording — cost trajectories, acceptance rates and
+// replica exchanges — for cmd/placetrace.
 package render
 
 import (

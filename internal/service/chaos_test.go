@@ -177,6 +177,15 @@ func TestChaosStorm(t *testing.T) {
 	if m.JobsRunning != 0 || m.JobsQueued != 0 {
 		t.Fatalf("gauges nonzero after drain: %+v", m)
 	}
+	// The sampled queue gauge must agree with the counter-arithmetic
+	// one — a storm of crashes, requeues and cancellations is exactly
+	// when the two bookkeeping paths would drift apart.
+	if m.QueueDepth != m.JobsQueued {
+		t.Fatalf("queue depth gauge %d disagrees with jobs-queued counter %d after drain", m.QueueDepth, m.JobsQueued)
+	}
+	if m.SolveCount > 0 && m.SolveLatencyEWMA <= 0 {
+		t.Fatalf("latency EWMA %g not positive after %d completed solves", m.SolveLatencyEWMA, m.SolveCount)
+	}
 	if m.WorkerCrashes < wantFires {
 		t.Fatalf("worker crash counter %d below the panic fire count", m.WorkerCrashes)
 	}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -50,17 +51,23 @@ func (j *Job) View() JobView {
 
 // NewHandler exposes a scheduler over HTTP:
 //
-//	POST   /v1/place       submit a wire.Request; ?wait=1 blocks until done
-//	                       (429 + Retry-After when the queue sheds load,
-//	                       503 once the scheduler is draining)
-//	GET    /v1/algorithms  the placer registry: valid algorithm strings
-//	GET    /v1/jobs/{id}   job status, live progress, result
-//	DELETE /v1/jobs/{id}   cancel (returns promptly; best-so-far kept)
-//	GET    /healthz        liveness
-//	GET    /metrics        Prometheus text metrics
+//	POST   /v1/place            submit a wire.Request; ?wait=1 blocks until
+//	                            done (429 + Retry-After when the queue sheds
+//	                            load, 503 once the scheduler is draining)
+//	GET    /v1/algorithms       the placer registry: valid algorithm strings
+//	GET    /v1/jobs/{id}        job status, live progress, result
+//	GET    /v1/jobs/{id}/trace  the solve's flight recording (wire.Trace);
+//	                            409 until the job is terminal
+//	DELETE /v1/jobs/{id}        cancel (returns promptly; best-so-far kept)
+//	GET    /healthz             liveness
+//	GET    /metrics             Prometheus text metrics
 func NewHandler(s *Scheduler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/place", func(w http.ResponseWriter, r *http.Request) {
+		// The request span roots the trace tree; the job span parents
+		// under it across the queue via SubmitCtx.
+		ctx, span := obs.StartSpan(r.Context(), "request", obs.KV("path", "/v1/place"))
+		defer span.End()
 		body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "reading body: %v", err)
@@ -82,7 +89,7 @@ func NewHandler(s *Scheduler) http.Handler {
 			httpError(w, http.StatusBadRequest, "injected decode error (failpoint wire/decode-err)")
 			return
 		}
-		job, err := s.Submit(req)
+		job, err := s.SubmitCtx(ctx, req)
 		switch err {
 		case nil:
 		case ErrQueueFull:
@@ -127,6 +134,23 @@ func NewHandler(s *Scheduler) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, job.View())
+	})
+
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		job, ok := s.Job(r.PathValue("id"))
+		if !ok {
+			httpError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		tr, ready := job.Trace()
+		switch {
+		case !ready:
+			httpError(w, http.StatusConflict, "job %s not terminal; its trace is served once it finishes", job.ID)
+		case tr == nil:
+			httpError(w, http.StatusNotFound, "no trace recorded for job %s", job.ID)
+		default:
+			writeJSON(w, http.StatusOK, tr)
+		}
 	})
 
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {

@@ -77,6 +77,14 @@ type Metrics struct {
 	CheckpointsSaved   int64
 	CheckpointsResumed int64
 	CheckpointEntries  int64
+
+	// QueueDepth samples the scheduler's queue list directly (the
+	// jobsQueued gauge tracks the same population through its counter
+	// arithmetic; the two must agree when the scheduler is idle).
+	QueueDepth int64
+	// SolveLatencyEWMA is the smoothed solve latency (seconds) feeding
+	// Retry-After estimates; 0 until a solve completes.
+	SolveLatencyEWMA float64
 }
 
 // Metrics returns a snapshot of the scheduler's counters.
@@ -99,6 +107,9 @@ func (s *Scheduler) Metrics() Metrics {
 		JobsQuarantined: s.metrics.jobsQuarantined,
 		WorkerCrashes:   s.metrics.workerCrashes,
 		WorkerRestarts:  s.metrics.workerRestarts,
+
+		QueueDepth:       int64(s.queue.Len()),
+		SolveLatencyEWMA: s.metrics.ewmaLatency,
 	}
 	if s.cache != nil {
 		snap.CacheEntries = int64(s.cache.len())
@@ -116,6 +127,7 @@ func (s *Scheduler) Metrics() Metrics {
 func (s *Scheduler) WriteMetrics(w io.Writer) error {
 	s.mu.Lock()
 	m := s.metrics // counters copy by value
+	qdepth := s.queue.Len()
 	entries := 0
 	if s.cache != nil {
 		entries = s.cache.len()
@@ -184,6 +196,12 @@ func (s *Scheduler) WriteMetrics(w io.Writer) error {
 	p("# HELP placed_checkpoint_entries Content hashes with stored checkpoints.\n")
 	p("# TYPE placed_checkpoint_entries gauge\n")
 	p("placed_checkpoint_entries %d\n", ckptEntries)
+	p("# HELP placed_queue_depth Jobs waiting in the scheduler's queue, sampled from the queue list itself (cross-check against placed_jobs_queued).\n")
+	p("# TYPE placed_queue_depth gauge\n")
+	p("placed_queue_depth %d\n", qdepth)
+	p("# HELP placed_solve_latency_ewma_seconds Exponentially weighted moving average of solve wall-clock latency, the smoothing behind Retry-After.\n")
+	p("# TYPE placed_solve_latency_ewma_seconds gauge\n")
+	p("placed_solve_latency_ewma_seconds %g\n", m.ewmaLatency)
 	p("# HELP placed_retry_after_seconds Current Retry-After estimate handed to shed clients.\n")
 	p("# TYPE placed_retry_after_seconds gauge\n")
 	p("placed_retry_after_seconds %g\n", retryAfter.Seconds())

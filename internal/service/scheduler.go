@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/wire"
 	"repro/placer"
 )
@@ -93,6 +94,15 @@ type Job struct {
 	// schedule was shortened to shed load, so the result is not the
 	// canonical one for the content hash and is never cached.
 	degraded bool
+	// faults names scheduler-level failpoints this job survived (or
+	// died of) — worker panics, injected or real. They lead the served
+	// flight recording as failpoint events, so the trace of a retried
+	// job explains the retry.
+	faults []string
+	// span is the submitting request's span id (0 when the submitter
+	// carried no span); the worker parents the job's solve spans under
+	// it, bridging the trace across the queue.
+	span uint64
 
 	// qelem is the job's slot in the scheduler's queue list, guarded
 	// by the scheduler's mutex (not j.mu); nil once popped or removed.
@@ -127,6 +137,38 @@ func (j *Job) Result() *wire.Result {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.result
+}
+
+// Trace returns the job's flight recording. The boolean is false
+// while the job is queued or running — recordings are served only for
+// terminal jobs, whose traces are complete. A terminal job may still
+// return (nil, true) when nothing was recorded (tracing disabled, a
+// cache hit whose stored result predates tracing, an external
+// engine). Worker crashes the job caused are prepended as failpoint
+// events, so the trace of a retried job explains the retry.
+func (j *Job) Trace() (*wire.Trace, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if !j.state.Terminal() {
+		return nil, false
+	}
+	var tr *wire.Trace
+	if j.result != nil {
+		tr = j.result.Trace
+	}
+	if len(j.faults) == 0 {
+		return tr, true
+	}
+	merged := &wire.Trace{Version: wire.Version}
+	if tr != nil {
+		*merged = *tr
+	}
+	events := make([]wire.TraceEvent, 0, len(j.faults)+len(merged.Events))
+	for _, point := range j.faults {
+		events = append(events, wire.TraceEvent{Kind: wire.TraceKindFailpoint, Worker: -1, Stage: -1, Point: point})
+	}
+	merged.Events = append(events, merged.Events...)
+	return merged, true
 }
 
 // Err returns the failure message of a failed job.
@@ -265,6 +307,13 @@ type Config struct {
 	// drains instead of rejecting, and the degraded results are not
 	// cached. 0 means half of QueueDepth; negative disables.
 	PressureDepth int
+	// TraceEvents is the per-job flight-recorder capacity handed to
+	// the engines (see placer.WithTrace); a completed job serves its
+	// recording on GET /v1/jobs/{id}/trace. Recording never changes
+	// placements, so traced and untraced solves stay cache-compatible.
+	// 0 means the placer default of 2048 events; negative disables
+	// per-job tracing.
+	TraceEvents int
 }
 
 // ErrQueueFull is returned by Submit when the job queue is at
@@ -369,6 +418,15 @@ func New(cfg Config) *Scheduler {
 // the job's whole fate — including a Cancel issued by any holder of
 // its id — the same way they would share its cached result.
 func (s *Scheduler) Submit(req *wire.Request) (*Job, error) {
+	return s.SubmitCtx(context.Background(), req)
+}
+
+// SubmitCtx is Submit with a caller context used only for span
+// parenting: when ctx carries an active obs span (the HTTP request's),
+// the job's solve spans are parented under it across the queue. The
+// context neither cancels nor bounds the job — a submitter going away
+// must not kill a content-addressed job other clients may join.
+func (s *Scheduler) SubmitCtx(ctx context.Context, req *wire.Request) (*Job, error) {
 	// The normalized form is both the cache key and what Solve runs,
 	// so two spellings of one problem share a hash and a placement.
 	// Normalize is idempotent, never masks validity (an unsupported
@@ -431,6 +489,7 @@ func (s *Scheduler) Submit(req *wire.Request) (*Job, error) {
 	}
 	j := s.newJobLocked(hash, req)
 	j.ikey = ikey
+	j.span = obs.SpanID(ctx)
 	j.state = StateQueued // must precede enqueue: a worker may pop it immediately
 	j.qelem = s.queue.PushBack(j)
 	s.inflight[ikey] = j
@@ -648,6 +707,7 @@ func (s *Scheduler) handleCrash(j *Job, cause any, stack []byte) {
 		j.cancel = nil
 	}
 	j.crashes++
+	j.faults = append(j.faults, "scheduler/worker-panic")
 	s.metrics.jobsRunning--
 	if j.crashes <= s.cfg.MaxJobCrashes && !s.closed {
 		j.state = StateQueued
@@ -677,20 +737,25 @@ func (s *Scheduler) run(j *Job) {
 		return
 	}
 	// The server-side ceiling only; Solve itself applies the request's
-	// own timeout_ms on top.
+	// own timeout_ms on top. The submitting request's span (if any)
+	// re-parents here, bridging the trace across the queue hand-off.
+	base := obs.ContextWithSpan(s.baseCtx, j.span)
 	var ctx context.Context
 	var cancel context.CancelFunc
 	if s.cfg.MaxSolve > 0 {
-		ctx, cancel = context.WithTimeout(s.baseCtx, s.cfg.MaxSolve)
+		ctx, cancel = context.WithTimeout(base, s.cfg.MaxSolve)
 	} else {
-		ctx, cancel = context.WithCancel(s.baseCtx)
+		ctx, cancel = context.WithCancel(base)
 	}
+	ctx, jobSpan := obs.StartSpan(ctx, "job",
+		obs.KV("id", j.ID), obs.Int("crashes", j.crashes))
 	j.state = StateRunning
 	j.started = time.Now()
 	j.cancel = cancel
 	req := j.req
 	j.mu.Unlock()
 	defer cancel()
+	defer jobSpan.End()
 
 	s.mu.Lock()
 	s.metrics.jobsQueued--
@@ -724,6 +789,12 @@ func (s *Scheduler) run(j *Job) {
 	// resubmission after an interruption resumes annealing from it.
 	if s.checkpoints != nil {
 		extra = append(extra, placer.WithCheckpoint(&jobCheckpointer{s: s, hash: j.Hash}))
+	}
+	// Flight recording: every solve carries a recorder unless the
+	// daemon disabled tracing; the recording rides the wire result and
+	// is served by GET /v1/jobs/{id}/trace once the job is terminal.
+	if s.cfg.TraceEvents >= 0 {
+		extra = append(extra, placer.WithTrace(s.cfg.TraceEvents))
 	}
 
 	// Worker-crash failpoint: fires outside the contained solver

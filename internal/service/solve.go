@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/wire"
 	"repro/placer"
 )
@@ -59,7 +60,11 @@ func Solve(ctx context.Context, req *wire.Request, progress func(placer.Progress
 		opts = append(opts, placer.WithProgress(progress))
 	}
 	opts = append(opts, extra...)
-	if err := injectSolveFaults(ctx); err != nil {
+	ctx, span := obs.StartSpan(ctx, "solve",
+		obs.KV("method", req.Options.Method), obs.KV("problem", req.Problem.Name))
+	defer span.End()
+	fired, err := injectSolveFaults(ctx)
+	if err != nil {
 		return nil, err
 	}
 	start := time.Now()
@@ -72,6 +77,17 @@ func Solve(ctx context.Context, req *wire.Request, progress func(placer.Progress
 	// the placer refactor, so clients learn which representation won.
 	out := wireResult(&req.Problem, res.Algorithm, res)
 	out.RuntimeMS = time.Since(start).Milliseconds()
+	if tr := wire.TraceFromPlacer(res.Trace); tr != nil {
+		// Solve-path failpoints fire before any chain exists; they lead
+		// the recording with worker/stage -1 so chaos runs are visible
+		// in the same trace that explains the solve.
+		for i, point := range fired {
+			tr.Events = append(tr.Events, wire.TraceEvent{})
+			copy(tr.Events[i+1:], tr.Events[i:])
+			tr.Events[i] = wire.TraceEvent{Kind: wire.TraceKindFailpoint, Worker: -1, Stage: -1, Point: point}
+		}
+		out.Trace = tr
+	}
 	return out, nil
 }
 
@@ -83,9 +99,12 @@ const maxInjectedStall = 30 * time.Second
 
 // injectSolveFaults applies the solve-path failpoints: a stall
 // ("solve/slow", bounded by ctx) and an error return ("solve/error").
-// With no failpoint armed it costs one atomic load per name.
-func injectSolveFaults(ctx context.Context) error {
+// With no failpoint armed it costs one atomic load per name. It
+// returns the names of failpoints that fired (for the flight
+// recording) alongside any injected error.
+func injectSolveFaults(ctx context.Context) (fired []string, err error) {
 	if fault.Point("solve/slow") {
+		fired = append(fired, "solve/slow")
 		t := time.NewTimer(maxInjectedStall)
 		select {
 		case <-ctx.Done():
@@ -94,9 +113,10 @@ func injectSolveFaults(ctx context.Context) error {
 		t.Stop()
 	}
 	if fault.Point("solve/error") {
-		return fmt.Errorf("service: injected solve error (failpoint solve/error)")
+		fired = append(fired, "solve/error")
+		return fired, fmt.Errorf("service: injected solve error (failpoint solve/error)")
 	}
-	return nil
+	return fired, nil
 }
 
 // wireResult encodes a placer result onto the wire.

@@ -192,6 +192,9 @@ type Result struct {
 	Moves      int        `json:"moves"`
 	RuntimeMS  int64      `json:"runtime_ms"`
 	Placement  []Placed   `json:"placement"`
+	// Trace is the solve's flight recording (see Trace), present only
+	// when the solve ran with tracing enabled.
+	Trace *Trace `json:"trace,omitempty"`
 }
 
 // Geometry ceilings, shared with the placer package: module

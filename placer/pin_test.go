@@ -16,8 +16,13 @@ import (
 // instance on a short schedule. The request and result fixtures under
 // testdata were produced by the pre-refactor service.Solve path (the
 // dispatch-switch implementation this API replaced), so agreement
-// here proves the registry refactor changed no placement.
-var pinNames = []string{"miller_seqpair", "miller_hbstar", "miller_portfolio", "n1000_seqpair"}
+// here proves the registry refactor changed no placement. The
+// n120_temper fixture was generated immediately before the
+// observability instrumentation landed in the annealing loops, so it
+// additionally pins that recording hooks perturb nothing — the
+// tempered path exercises the exchange sweep, whose instrumented
+// Metropolis test must consume randomness exactly as before.
+var pinNames = []string{"miller_seqpair", "miller_hbstar", "miller_portfolio", "n1000_seqpair", "n120_temper"}
 
 func readPin(t *testing.T, name string) (req *wire.Request, want *wire.Result) {
 	t.Helper()
@@ -90,6 +95,9 @@ func TestPinPublicSolve(t *testing.T) {
 				placer.WithSeed(req.Options.Seed),
 				placer.WithWorkers(req.Options.Workers),
 				placer.WithSchedule(req.Options.Schedule()),
+			}
+			if req.Options.TemperChains > 0 {
+				opts = append(opts, placer.WithTempering(req.Options.TemperChains, req.Options.ExchangeEvery))
 			}
 			if req.Options.Method == wire.MethodPortfolio {
 				opts = append(opts, placer.WithPortfolio())

@@ -12,6 +12,7 @@ import (
 	"repro/internal/anneal"
 	"repro/internal/cost"
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // Default annealing schedule, written explicitly into a zero Schedule
@@ -134,6 +135,13 @@ type EngineOptions struct {
 	// Checkpoint, when non-nil, saves and resumes best-so-far solver
 	// state (see WithCheckpoint).
 	Checkpoint Checkpointer
+
+	// flight is the solve's flight recorder (see WithTrace), threaded
+	// to the annealing engines through annealOptions. It is unexported
+	// so the internal recorder type never leaks into the public API:
+	// Solve owns the recorder's lifecycle, and external engines —
+	// which build no annealOptions — simply record nothing.
+	flight *obs.Flight
 }
 
 // annealOptions maps the engine options onto the annealing engine's,
@@ -168,6 +176,7 @@ func (o EngineOptions) annealOptions(ctx context.Context, algorithm string) anne
 		MinTemp:       o.Schedule.MinTemp,
 		Context:       ctx,
 		Progress:      sink,
+		Flight:        o.flight,
 	}
 	if cp := o.Checkpoint; cp != nil {
 		aopt.Checkpoint = func(snapshot any, cost float64, stage int) {
@@ -229,6 +238,10 @@ type Result struct {
 	Stages, Moves int
 	// Runtime is the solve wall-clock.
 	Runtime time.Duration
+	// Trace is the solve's flight recording (see WithTrace); nil when
+	// tracing was not requested. Under WithPortfolio it is the winning
+	// racer's recording.
+	Trace *Trace
 	// Placement lists modules in problem order, so equal results mean
 	// identical placements.
 	Placement []Placed
@@ -247,6 +260,8 @@ type config struct {
 	checkpoint    Checkpointer
 	temperChains  int
 	exchangeEvery int
+	trace         bool
+	traceEvents   int
 }
 
 // Option configures Solve.
@@ -416,11 +431,18 @@ func solveConfigured(ctx context.Context, p *Problem, cfg config) (*Result, erro
 	if !ok {
 		return nil, ErrUnknownAlgorithm(cfg.algorithm)
 	}
-	return factory().Solve(ctx, p, cfg.engineOptions())
+	eo := cfg.engineOptions()
+	ctx, span := obs.StartSpan(ctx, "engine", obs.KV("algorithm", cfg.algorithm))
+	res, err := factory().Solve(ctx, p, eo)
+	span.End()
+	if err == nil && eo.flight != nil {
+		res.Trace = traceFromFlight(cfg.algorithm, eo.flight)
+	}
+	return res, err
 }
 
 func (c config) engineOptions() EngineOptions {
-	return EngineOptions{
+	eo := EngineOptions{
 		Seed:          c.seed,
 		Workers:       c.workers,
 		Schedule:      c.schedule,
@@ -430,6 +452,10 @@ func (c config) engineOptions() EngineOptions {
 		AdaptiveMoves: c.adaptive,
 		Checkpoint:    c.checkpoint,
 	}
+	if c.trace {
+		eo.flight = obs.NewFlight(c.traceEvents)
+	}
+	return eo
 }
 
 // solvePortfolio races the portfolio-eligible flat engines on the
@@ -468,7 +494,15 @@ func solvePortfolio(ctx context.Context, p *Problem, cfg config) (*Result, error
 				results[i] = entry{nil, ErrUnknownAlgorithm(name)}
 				return
 			}
-			res, err := factory().Solve(ctx, p, racerCfg.engineOptions())
+			// Every racer records into its own ring; the winner's
+			// recording survives on the returned result.
+			eo := racerCfg.engineOptions()
+			rctx, span := obs.StartSpan(ctx, "engine", obs.KV("algorithm", name))
+			res, err := factory().Solve(rctx, p, eo)
+			span.End()
+			if err == nil && eo.flight != nil {
+				res.Trace = traceFromFlight(name, eo.flight)
+			}
 			results[i] = entry{res, err}
 		}(i, name)
 	}

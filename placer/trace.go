@@ -1,0 +1,124 @@
+package placer
+
+import "repro/internal/obs"
+
+// Trace is a solve's flight recording: the per-stage annealing
+// telemetry WithTrace asked the engines to capture. It is attached to
+// Result.Trace; under WithPortfolio it is the winning racer's
+// recording. Recording never perturbs the search — a solve with
+// tracing on places bit-identically to one without — and events carry
+// no wall-clock, so for a fixed seed the trace itself is deterministic
+// byte for byte (as long as no events were dropped).
+type Trace struct {
+	// Algorithm whose run was recorded.
+	Algorithm string
+	// Capacity is the recorder's ring size; Dropped counts events that
+	// were overwritten after the ring filled. A trace with Dropped > 0
+	// kept the newest events.
+	Capacity int
+	Dropped  uint64
+	// Events in canonical order: by stage, then kind, then worker.
+	Events []TraceEvent
+}
+
+// TraceEvent is one flight-recorder record. Kind selects which fields
+// are meaningful:
+//
+//   - "stage": one completed temperature stage of chain Worker — Temp
+//     after cooling, Best/Cur cost, cumulative Moves/Accepted/Improved,
+//     and, when the adaptive move portfolio was active, cumulative
+//     per-move-kind counters in KindProposed/KindAccepted.
+//   - "exchange": one replica-exchange attempt between tempering rungs
+//     Worker (temperature Temp, cost Cur) and Peer (PeerTemp,
+//     PeerCost), with Accept reporting the Metropolis outcome. Costs
+//     are the pre-swap decision inputs.
+//   - "checkpoint": a best-so-far snapshot capture at Best; Worker -1
+//     means the tempering ladder's coordinator (ladder-wide best).
+//   - "resume": the run warm-started from a checkpoint costing Cur.
+//   - "failpoint": an injected fault (chaos testing) named by Point,
+//     observed on the solve path before or during the run.
+type TraceEvent struct {
+	Kind     string
+	Worker   int
+	Stage    int
+	Temp     float64
+	Best     float64
+	Cur      float64
+	Moves    int64
+	Accepted int64
+	Improved int64
+
+	Peer     int
+	PeerTemp float64
+	PeerCost float64
+	Accept   bool
+
+	KindProposed []int64
+	KindAccepted []int64
+
+	Point string
+}
+
+// traceFromFlight converts a recorder's canonical snapshot into the
+// public trace.
+func traceFromFlight(algorithm string, f *obs.Flight) *Trace {
+	if f == nil {
+		return nil
+	}
+	events := f.Snapshot()
+	tr := &Trace{
+		Algorithm: algorithm,
+		Capacity:  f.Capacity(),
+		Dropped:   f.Dropped(),
+		Events:    make([]TraceEvent, 0, len(events)),
+	}
+	for _, e := range events {
+		te := TraceEvent{
+			Kind:     e.Kind.String(),
+			Worker:   int(e.Worker),
+			Stage:    int(e.Stage),
+			Temp:     e.Temp,
+			Best:     e.Best,
+			Cur:      e.Cur,
+			Moves:    e.Moves,
+			Accepted: e.Accepted,
+			Improved: e.Improved,
+			Peer:     int(e.Peer),
+			PeerTemp: e.PeerTemp,
+			PeerCost: e.PeerCost,
+			Accept:   e.Accept,
+			Point:    e.Point,
+		}
+		if n := int(e.NKinds); n > 0 {
+			te.KindProposed = make([]int64, n)
+			te.KindAccepted = make([]int64, n)
+			for i := 0; i < n; i++ {
+				te.KindProposed[i] = int64(e.KindProposed[i])
+				te.KindAccepted[i] = int64(e.KindAccepted[i])
+			}
+		}
+		tr.Events = append(tr.Events, te)
+	}
+	return tr
+}
+
+// WithTrace attaches a flight recorder to the solve: the engines
+// record per-stage annealing telemetry (temperature, costs, move
+// counters, adaptive move-kind acceptance, replica exchanges,
+// checkpoint activity) into a fixed-capacity ring of at most events
+// records (events ≤ 0 means the default of 2048; the ring is
+// allocated once up front). The recording is returned on
+// Result.Trace. Under WithPortfolio every racer records into its own
+// ring and the winner's recording is returned. Tracing never changes
+// the search: placements are bit-identical with and without it, and
+// the trace of a fixed-seed solve is itself deterministic.
+//
+// Tracing is engine cooperation: the built-in engines all record;
+// external engines registered with Register receive no recorder and
+// simply return no trace.
+func WithTrace(events int) Option {
+	return func(c *config) {
+		c.trace = true
+		c.traceEvents = events
+	}
+}
