@@ -5,7 +5,9 @@
 // Usage:
 //
 //	placed [-addr :8080] [-solvers N] [-queue N] [-cache N]
-//	       [-trace-events N] [-obs] [-pprof]
+//	       [-trace-events N] [-log-level info] [-store-dir DIR]
+//	       [-instance NAME] [-tenant-rate R] [-tenant-burst N]
+//	       [-obs] [-pprof]
 //
 // Endpoints:
 //
@@ -14,11 +16,20 @@
 //	                            the finished job. Identical requests are
 //	                            answered from the content-addressed result
 //	                            cache, or coalesced onto the in-flight job.
+//	POST   /v1/place:batch      submit a wire.BatchRequest ({"items": [...]}):
+//	                            decoded and validated as one unit, fanned
+//	                            into jobs with identical items coalesced
+//	                            onto a single solve; ?wait=1 blocks until
+//	                            every item is terminal.
 //	GET    /v1/algorithms       the placer registry: every valid algorithm
 //	                            string with its kind (flat/hierarchical)
 //	                            and portfolio eligibility.
 //	GET    /v1/jobs/{id}        job state, live progress (best cost, stage,
 //	                            moves/sec) and, once terminal, the result.
+//	                            With "Accept: text/event-stream": a live
+//	                            SSE feed — flight-recorder events straight
+//	                            from the solve's ring, progress snapshots,
+//	                            and a final "done" event.
 //	GET    /v1/jobs/{id}/trace  the solve's flight recording: per-stage
 //	                            annealing telemetry, replica exchanges,
 //	                            checkpoint and failpoint events (409 until
@@ -55,6 +66,17 @@
 // with per-evaluation probabilities and PLACED_FAULT_SEED makes the
 // firing sequence deterministic; see internal/fault.
 //
+// Fleet: -store-dir backs the result cache and job records with
+// file-backed stores under DIR (results/ and jobs/), so instances
+// sharing the directory share solves — one daemon's result is the
+// next one's cache hit, and job records survive restarts. -instance
+// prefixes job ids so instances never collide (defaults to host-pid
+// when -store-dir is set). -tenant-rate/-tenant-burst arm per-tenant
+// token-bucket admission: the X-API-Key header names the tenant,
+// over-quota submissions get 429 + Retry-After, and queued work is
+// dequeued weighted-fair across tenants. See internal/store and
+// internal/service.
+//
 // Try it:
 //
 //	placed -addr :8080 &
@@ -73,12 +95,14 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"syscall"
 	"time"
 
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -87,10 +111,20 @@ func main() {
 	queue := flag.Int("queue", 64, "queued-job bound; beyond it POST sheds load with 429 + Retry-After")
 	cache := flag.Int("cache", 128, "result cache entries (0 disables caching)")
 	traceEvents := flag.Int("trace-events", 0, "per-job flight-recorder capacity in events (0 = default 2048, negative disables tracing)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn or error")
+	storeDir := flag.String("store-dir", "", "back the result cache and job records with file stores under this directory (shared between instances)")
+	instance := flag.String("instance", "", "job-id prefix distinguishing instances on a shared -store-dir (default host-pid when -store-dir is set)")
+	tenantRate := flag.Float64("tenant-rate", 0, "per-tenant admission quota in solves/second (X-API-Key names the tenant; 0 disables quotas)")
+	tenantBurst := flag.Int("tenant-burst", 10, "per-tenant token-bucket burst when -tenant-rate is set")
 	obsOn := flag.Bool("obs", false, "arm the span tracer and serve /debug/spans")
 	pprofOn := flag.Bool("pprof", false, "serve the Go profiler under /debug/pprof/")
 	flag.Parse()
-	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fmt.Fprintf(os.Stderr, "placed: -log-level %q: want debug, info, warn or error\n", *logLevel)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "placed: unexpected argument %q\n", flag.Arg(0))
 		os.Exit(2)
@@ -116,12 +150,42 @@ func main() {
 	if cacheSize <= 0 {
 		cacheSize = -1 // flag 0 means off; Config 0 would mean the default
 	}
-	sched := service.New(service.Config{
+	cfg := service.Config{
 		Workers:     *solvers,
 		QueueDepth:  *queue,
 		CacheSize:   cacheSize,
 		TraceEvents: *traceEvents,
-	})
+		Instance:    *instance,
+		TenantRate:  *tenantRate,
+		TenantBurst: *tenantBurst,
+	}
+	if *storeDir != "" {
+		rs, err := store.NewFile(filepath.Join(*storeDir, "results"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "placed: -store-dir: %v\n", err)
+			os.Exit(2)
+		}
+		js, err := store.NewFile(filepath.Join(*storeDir, "jobs"))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "placed: -store-dir: %v\n", err)
+			os.Exit(2)
+		}
+		if cacheSize > 0 {
+			cfg.Results = store.NewResultCache(rs, 0)
+		}
+		cfg.Jobs = store.NewJobStore(js, 0)
+		if cfg.Instance == "" {
+			// Shared stores need distinct job ids per instance; host-pid
+			// is unique enough without coordination.
+			host, _ := os.Hostname()
+			if host == "" {
+				host = "placed"
+			}
+			cfg.Instance = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		logger.Info("file-backed stores", "dir", *storeDir, "instance", cfg.Instance)
+	}
+	sched := service.New(cfg)
 
 	mux := http.NewServeMux()
 	mux.Handle("/", service.NewHandler(sched))
@@ -145,7 +209,8 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
 	logger.Info("listening", "addr", *addr, "solvers", *solvers, "queue", *queue,
-		"cache", *cache, "trace_events", *traceEvents, "obs", *obsOn, "pprof", *pprofOn)
+		"cache", *cache, "trace_events", *traceEvents, "log_level", level.String(),
+		"tenant_rate", *tenantRate, "obs", *obsOn, "pprof", *pprofOn)
 
 	select {
 	case sig := <-stop:
@@ -178,15 +243,32 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+// Flush forwards to the wrapped writer so SSE job streams keep
+// flushing through the access-log wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // accessLog wraps the API with structured per-request logging: method,
 // path, status and wall-clock, through the same slog logger as the
-// daemon's lifecycle messages.
+// daemon's lifecycle messages. Successful requests log at debug (a
+// load test at 64 clients must not drown the terminal at the default
+// info level), client errors at info, server errors at warn.
 func accessLog(logger *slog.Logger, next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(sw, r)
-		logger.Info("request", "method", r.Method, "path", r.URL.Path,
+		level := slog.LevelDebug
+		switch {
+		case sw.status >= 500:
+			level = slog.LevelWarn
+		case sw.status >= 400:
+			level = slog.LevelInfo
+		}
+		logger.Log(r.Context(), level, "request", "method", r.Method, "path", r.URL.Path,
 			"status", sw.status, "dur", time.Since(start).Round(time.Microsecond).String())
 	})
 }

@@ -1,0 +1,382 @@
+// Command placeload is a seeded, deterministic load driver for the
+// placed daemon: it generates synthetic placement instances
+// (placer.Synthetic), fires them at the service as an open-loop
+// arrival process across a mix of tenants, and emits a benchjson
+// report so cmd/benchtrend can gate service-level regressions the
+// same way it gates kernel benchmarks.
+//
+// Usage:
+//
+//	placeload [-addr URL] [-clients 1,8,64] [-requests N] [-rate R]
+//	          [-mix cold,hot] [-n N] [-seed S] [-tenants N]
+//	          [-solvers N] [-queue N] [-cache N]
+//
+// With no -addr, placeload embeds its own daemon (service.New behind
+// an httptest server), so a single process measures the full serve
+// path — HTTP decode, admission, queueing, solve, encode — with zero
+// network noise. Point -addr at a running placed to drive a real
+// deployment instead.
+//
+// Scenarios are the cross product of -clients and -mix:
+//
+//	cold  every request is a distinct synthetic instance — each one
+//	      pays a full solve; measures solver throughput under load.
+//	hot   every request is the same instance — after one solve the
+//	      rest are content-addressed cache hits or coalesced waiters;
+//	      measures the serve path alone.
+//
+// The workload is seeded end to end: -seed fixes the synthetic
+// instances, the per-request solver seeds, and the tenant assignment
+// (X-API-Key round-robins over -tenants keys), so two runs issue
+// bit-identical request bodies in the same order. Arrivals are
+// open-loop: each client fires at -rate requests/second on a fixed
+// schedule whether or not earlier requests have completed, which is
+// what makes queueing visible (a closed loop self-throttles and
+// hides it). Shed requests (429) count as errors, never retried.
+//
+// Per scenario the report carries one benchmark record named
+// PlaceLoad/clients=C/MIX whose ns_per_op — the number benchtrend
+// gates — is the service time per request, best of -reps
+// repetitions, estimated as min(median latency, wall/completed).
+// The two terms own different regimes: below saturation the median
+// end-to-end latency is the serve path itself (and wall/completed is
+// just the arrival schedule); past saturation wall/completed is
+// inverse aggregate throughput (and the latency term is unbounded
+// backlog, useless for a gate). Taking the min self-selects the
+// meaningful one, so a >25% regression in either serve-path latency
+// or saturated throughput fails the same gate, while neither regime
+// flakes on the other's noise. The metrics carry the rest of the
+// shape: rps (completed/wall), latency_ms_mean, latency_ms_p50,
+// latency_ms_p99, errors.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/service"
+	"repro/internal/wire"
+	"repro/placer"
+)
+
+// benchmark and report mirror cmd/benchjson's document shape, so the
+// output feeds cmd/benchtrend unchanged.
+type benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type report struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	addr := flag.String("addr", "", "target daemon base URL (empty: embed an in-process daemon)")
+	clientsFlag := flag.String("clients", "1,8,64", "comma-separated concurrent client counts, one scenario each")
+	requests := flag.Int("requests", 16, "requests per client per scenario")
+	reps := flag.Int("reps", 5, "repetitions per scenario; the report keeps the best (go-bench style)")
+	rate := flag.Float64("rate", 10, "per-client open-loop arrival rate in requests/second")
+	mixFlag := flag.String("mix", "cold,hot", "comma-separated workload mixes: cold (distinct instances) and/or hot (one repeated instance)")
+	n := flag.Int("n", 30, "modules per synthetic instance")
+	seed := flag.Int64("seed", 1, "master seed for instances, solver seeds and tenant assignment")
+	tenants := flag.Int("tenants", 4, "distinct X-API-Key values round-robined across requests")
+	solvers := flag.Int("solvers", runtime.NumCPU(), "embedded daemon: solver workers")
+	queue := flag.Int("queue", 1024, "embedded daemon: queue depth")
+	cache := flag.Int("cache", 4096, "embedded daemon: result cache entries")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "placeload: unexpected argument %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+
+	clientCounts, err := parseClients(*clientsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "placeload:", err)
+		os.Exit(2)
+	}
+	mixes, err := parseMixes(*mixFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "placeload:", err)
+		os.Exit(2)
+	}
+	if *requests < 1 || *rate <= 0 || *n < 1 || *tenants < 1 || *reps < 1 {
+		fmt.Fprintln(os.Stderr, "placeload: -requests, -rate, -n, -tenants and -reps must be positive")
+		os.Exit(2)
+	}
+
+	base := *addr
+	if base == "" {
+		sched := service.New(service.Config{
+			Workers:     *solvers,
+			QueueDepth:  *queue,
+			CacheSize:   *cache,
+			TraceEvents: -1, // load numbers should not include ring recording
+		})
+		srv := httptest.NewServer(service.NewHandler(sched))
+		defer srv.Close()
+		defer sched.Close()
+		base = srv.URL
+	}
+	base = strings.TrimRight(base, "/")
+
+	out := report{Goos: runtime.GOOS, Goarch: runtime.GOARCH, CPU: fmt.Sprintf("%d logical", runtime.NumCPU())}
+	scenarioIdx := 0
+	for _, mix := range mixes {
+		for _, c := range clientCounts {
+			var best benchmark
+			for rep := 0; rep < *reps; rep++ {
+				// Every (scenario, rep) gets a disjoint slot-seed
+				// space: cold instances must never collide with a
+				// previous scenario's, or the shared result cache
+				// turns "cold" into a partial cache-hit run. Hot
+				// deliberately keeps one instance per scenario across
+				// reps — pure cache-hit from the second rep on, so
+				// best-of-reps measures the serve path alone.
+				seedBase := *seed + int64(scenarioIdx)*(1<<32)
+				if mix == "cold" {
+					seedBase += int64(rep) * (1 << 20)
+				}
+				b, err := runScenario(base, scenario{
+					clients:  c,
+					requests: *requests,
+					rate:     *rate,
+					mix:      mix,
+					modules:  *n,
+					seed:     seedBase,
+					tenants:  *tenants,
+				})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "placeload:", err)
+					os.Exit(1)
+				}
+				if rep == 0 || b.NsPerOp < best.NsPerOp {
+					best = b
+				}
+			}
+			scenarioIdx++
+			out.Benchmarks = append(out.Benchmarks, best)
+			fmt.Fprintf(os.Stderr, "placeload: %-28s %8.0f ns/op  %6.1f rps  p99 %.1f ms  errors %.0f\n",
+				best.Name, best.NsPerOp, best.Metrics["rps"], best.Metrics["latency_ms_p99"], best.Metrics["errors"])
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, "placeload:", err)
+		os.Exit(1)
+	}
+}
+
+type scenario struct {
+	clients  int
+	requests int
+	rate     float64
+	mix      string
+	modules  int
+	seed     int64
+	tenants  int
+}
+
+// body builds the wire request for one (client, request) slot. Cold
+// draws a distinct synthetic instance per slot; hot reuses slot zero's
+// instance everywhere, so identical bodies coalesce and cache-hit.
+// Everything derives from the scenario seed — two runs of the same
+// scenario issue byte-identical requests.
+func (sc scenario) body(client, k int) ([]byte, error) {
+	slot := int64(client*sc.requests + k)
+	if sc.mix == "hot" {
+		slot = 0
+	}
+	p, err := placer.Synthetic(placer.SyntheticSpec{N: sc.modules, Seed: sc.seed + slot})
+	if err != nil {
+		return nil, fmt.Errorf("synthetic instance: %w", err)
+	}
+	req := wire.Request{
+		Problem: *wire.FromCanon(p),
+		Options: wire.Options{
+			Seed:          sc.seed + slot,
+			MovesPerStage: 30,
+			MaxStages:     12,
+			StallStages:   12,
+		},
+	}
+	return json.Marshal(&req)
+}
+
+// tenant assigns the API key for one slot, round-robin over the pool.
+func (sc scenario) tenant(client, k int) string {
+	return fmt.Sprintf("load-%d", (client*sc.requests+k)%sc.tenants)
+}
+
+type sample struct {
+	latency time.Duration
+	ok      bool
+}
+
+// runScenario fires clients×requests requests open-loop and folds the
+// samples into one benchmark record.
+func runScenario(base string, sc scenario) (benchmark, error) {
+	total := sc.clients * sc.requests
+	bodies := make([][]byte, total)
+	for c := 0; c < sc.clients; c++ {
+		for k := 0; k < sc.requests; k++ {
+			b, err := sc.body(c, k)
+			if err != nil {
+				return benchmark{}, err
+			}
+			bodies[c*sc.requests+k] = b
+		}
+	}
+
+	client := &http.Client{Timeout: 2 * time.Minute}
+	url := base + "/v1/place?wait=1"
+	interval := time.Duration(float64(time.Second) / sc.rate)
+	samples := make([]sample, total)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for c := 0; c < sc.clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Clients are phase-staggered across one interval so the
+			// aggregate arrival process is uniform at rate×clients.
+			// Without the stagger every client fires at the same
+			// offsets and the "load" is C-way collision bursts —
+			// noisy and unrepresentative.
+			phase := time.Duration(c) * interval / time.Duration(sc.clients)
+			var inner sync.WaitGroup
+			for k := 0; k < sc.requests; k++ {
+				// Open loop: fire on the schedule, not on completion.
+				// Each request runs in its own goroutine so a slow
+				// solve never delays the next arrival.
+				time.Sleep(time.Until(start.Add(phase + time.Duration(k)*interval)))
+				inner.Add(1)
+				go func(k int) {
+					defer inner.Done()
+					idx := c*sc.requests + k
+					t0 := time.Now()
+					ok := fire(client, url, sc.tenant(c, k), bodies[idx])
+					samples[idx] = sample{latency: time.Since(t0), ok: ok}
+				}(k)
+			}
+			inner.Wait()
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	var oks int
+	var latencies []time.Duration
+	var sum time.Duration
+	for _, s := range samples {
+		if s.ok {
+			oks++
+			latencies = append(latencies, s.latency)
+			sum += s.latency
+		}
+	}
+	if oks == 0 {
+		return benchmark{}, fmt.Errorf("%s/clients=%d: every request failed", sc.mix, sc.clients)
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(latencies)-1))
+		return float64(latencies[i]) / float64(time.Millisecond)
+	}
+	// Service time per request: median latency below saturation,
+	// inverse aggregate throughput above it (see the package comment
+	// for why the min is the right statistic in both regimes).
+	nsPerOp := pct(0.50) * float64(time.Millisecond)
+	if inv := float64(wall.Nanoseconds()) / float64(oks); inv < nsPerOp {
+		nsPerOp = inv
+	}
+	return benchmark{
+		Name:       fmt.Sprintf("PlaceLoad/clients=%d/%s", sc.clients, sc.mix),
+		Iterations: int64(oks),
+		NsPerOp:    nsPerOp,
+		Metrics: map[string]float64{
+			"rps":             float64(oks) / wall.Seconds(),
+			"latency_ms_mean": float64(sum.Nanoseconds()) / float64(oks) / float64(time.Millisecond),
+			"latency_ms_p50":  pct(0.50),
+			"latency_ms_p99":  pct(0.99),
+			"errors":          float64(total - oks),
+		},
+	}, nil
+}
+
+// fire posts one request and reports whether it came back as a
+// terminal, successful job. The body is drained either way so the
+// client connection is reusable.
+func fire(client *http.Client, url, tenant string, body []byte) bool {
+	req, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(service.TenantHeader, tenant)
+	resp, err := client.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	var view service.JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		io.Copy(io.Discard, resp.Body)
+		return false
+	}
+	return resp.StatusCode == http.StatusOK && view.State == service.StateDone
+}
+
+func parseClients(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("bad -clients entry %q: want a positive integer", part)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-clients is empty")
+	}
+	return out, nil
+}
+
+func parseMixes(s string) ([]string, error) {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		switch part {
+		case "":
+		case "cold", "hot":
+			out = append(out, part)
+		default:
+			return nil, fmt.Errorf("bad -mix entry %q: want cold or hot", part)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-mix is empty")
+	}
+	return out, nil
+}

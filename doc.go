@@ -277,4 +277,35 @@
 // path is benchmark-enforced: BenchmarkAnnealObsOverhead/off gates
 // within 1% of the pre-observability baseline in CI, and the
 // measured off/ring/export overhead table is in PERFORMANCE.md.
+//
+// # Fleet
+//
+// The daemon scales past one process. internal/store defines the
+// persistence seam: a small blob Store contract (Put/Get/Delete/Keys
+// with TTLs, one shared contract suite) with in-memory LRU and
+// atomic-rename file backends, wrapped by typed adapters — a
+// ResultCache keyed by the content-addressed request hash and a
+// JobStore of terminal job records. The scheduler talks only to the
+// interfaces; placed -store-dir mounts the file backends, so
+// instances sharing a directory share solves (one daemon's result is
+// the next one's cache hit) and job records survive restarts, with
+// -instance prefixing job ids so replicas never collide. POST
+// /v1/place:batch decodes and validates many problems as one unit
+// and fans them into jobs, with identical items coalescing onto a
+// single solve — correct by construction via the same hash. GET
+// /v1/jobs/{id} with Accept: text/event-stream streams the solve
+// live over SSE: flight-recorder events straight from the ring,
+// progress snapshots, a final done event — observation without
+// perturbation, determinism pins hold with streams attached.
+// Admission is per-tenant: the X-API-Key header names the tenant,
+// token buckets (placed -tenant-rate/-tenant-burst) shed over-quota
+// submissions with 429 + Retry-After, queued work is dequeued
+// weighted-fair across tenants, and /metrics breaks admitted,
+// throttled and queue depth out per tenant. cmd/placeload drives the
+// whole serve path with a seeded open-loop workload (synthetic
+// instances, tenant mix, cold and cache-hit scenarios at 1/8/64
+// clients) and emits benchjson, so cmd/benchtrend gates
+// service-level throughput in CI against the checked-in
+// BENCH_PR9.json exactly as it gates kernel benchmarks; the numbers
+// are in PERFORMANCE.md.
 package repro

@@ -174,6 +174,39 @@ func (f *Flight) Capacity() int {
 	return len(f.events)
 }
 
+// Since returns the retained events with Seq ≥ seq in arrival order
+// (ascending Seq) — the live-streaming read: a poller passes the next
+// sequence it has not yet seen and receives only the new tail, so an
+// SSE handler can drain the ring incrementally while the solve is
+// still recording into it. Events already overwritten are simply
+// gone (the caller can detect the gap from the Seq jump). Arrival
+// order of concurrent chains is scheduler-dependent; live streams
+// trade the canonical order of Snapshot for immediacy. Nil recorders
+// return nil.
+func (f *Flight) Since(seq uint64) []Event {
+	if f == nil {
+		return nil
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.count == 0 || f.seq <= seq {
+		return nil
+	}
+	// The retained window is [f.seq-count, f.seq); events are stored in
+	// arrival order around the ring.
+	first := f.seq - uint64(f.count)
+	if seq < first {
+		seq = first
+	}
+	n := int(f.seq - seq)
+	out := make([]Event, 0, n)
+	start := f.next - n
+	for i := 0; i < n; i++ {
+		out = append(out, f.events[(start+i+len(f.events))%len(f.events)])
+	}
+	return out
+}
+
 // Snapshot returns the retained events in canonical order: by stage,
 // then kind, then worker, then peer, then point, then arrival. The
 // arrival order of concurrent chains is scheduler-dependent, but for

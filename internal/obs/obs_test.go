@@ -189,3 +189,46 @@ func TestFlightCapacityClamp(t *testing.T) {
 		t.Errorf("NewFlight(1<<30) capacity %d, want clamp %d", got, maxFlightEvents)
 	}
 }
+
+// TestFlightSince pins the live-streaming read: Since(seq) returns
+// only the arrival-ordered tail at or past seq, clamped to the
+// retained window after overwrites, and nothing once drained.
+func TestFlightSince(t *testing.T) {
+	var nilf *Flight
+	if nilf.Since(0) != nil {
+		t.Fatal("nil flight Since not inert")
+	}
+	f := NewFlight(4)
+	if f.Since(0) != nil {
+		t.Fatal("empty flight returned events")
+	}
+	f.Record(Event{Kind: EventStage, Stage: 0})
+	f.Record(Event{Kind: EventStage, Stage: 1})
+	ev := f.Since(0)
+	if len(ev) != 2 || ev[0].Seq != 0 || ev[1].Seq != 1 {
+		t.Fatalf("Since(0) = %+v, want seqs [0 1]", ev)
+	}
+	next := ev[len(ev)-1].Seq + 1
+	if got := f.Since(next); got != nil {
+		t.Fatalf("drained flight returned %+v", got)
+	}
+	f.Record(Event{Kind: EventStage, Stage: 2})
+	ev = f.Since(next)
+	if len(ev) != 1 || ev[0].Stage != 2 || ev[0].Seq != 2 {
+		t.Fatalf("incremental Since = %+v, want the one new event", ev)
+	}
+	// Overflow the ring: a reader far behind is clamped to the retained
+	// window (oldest events are gone, newest kept, in arrival order).
+	for i := 3; i < 10; i++ {
+		f.Record(Event{Kind: EventStage, Stage: int32(i)})
+	}
+	ev = f.Since(0)
+	if len(ev) != 4 {
+		t.Fatalf("Since(0) after overflow returned %d events, want capacity 4", len(ev))
+	}
+	for i, e := range ev {
+		if int(e.Stage) != 6+i || e.Seq != uint64(6+i) {
+			t.Fatalf("event %d = stage %d seq %d, want %d", i, e.Stage, e.Seq, 6+i)
+		}
+	}
+}

@@ -6,11 +6,14 @@
 package service
 
 import (
+	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -308,4 +311,199 @@ func mustJSON(t *testing.T, v any) []byte {
 		t.Fatal(err)
 	}
 	return b
+}
+
+// TestChaosFleetStorm drives the fleet surface — batch submissions,
+// SSE streams (half disconnected mid-flight), tenant quotas — under
+// armed failpoints. The contract is the same as the plain storm: no
+// wedged scheduler, every admitted job terminal, gauges balanced after
+// drain; plus no SSE reader (connected or torn down mid-stream) may
+// perturb or wedge a solve.
+func TestChaosFleetStorm(t *testing.T) {
+	defer fault.Reset()
+	fault.SetSeed(20260809)
+	fault.Enable("scheduler/worker-panic", 0.2)
+	fault.Enable("solve/slow", 0.2)
+	fault.Enable("solve/error", 0.15)
+
+	s := New(Config{
+		Workers: 4, QueueDepth: 128, PressureDepth: 16,
+		TenantRate: 50, TenantBurst: 20, // high enough to admit the storm, real enough to exercise the bucket path
+	})
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+	client := srv.Client()
+
+	// batchSubmit POSTs one batch under a tenant, retrying whole-batch
+	// 429s; per-item rejections are retried by resubmitting the batch
+	// (identical items coalesce, so retries cost nothing extra).
+	batchSubmit := func(tenant string, seeds []int64) ([]string, error) {
+		var breq wire.BatchRequest
+		for _, seed := range seeds {
+			breq.Items = append(breq.Items, *chaosRequest(t, seed))
+		}
+		body := mustJSON(t, breq)
+		backoff := 5 * time.Millisecond
+		for attempt := 0; ; attempt++ {
+			req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/place:batch", bytes.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set(TenantHeader, tenant)
+			resp, err := client.Do(req)
+			if err != nil {
+				return nil, err
+			}
+			var v BatchView
+			decErr := json.NewDecoder(resp.Body).Decode(&v)
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK, http.StatusAccepted, http.StatusTooManyRequests:
+				if resp.StatusCode == http.StatusTooManyRequests || decErr != nil || anyRejected(v) {
+					if attempt > 200 {
+						return nil, fmt.Errorf("batch never fully admitted after %d attempts", attempt)
+					}
+					time.Sleep(backoff)
+					if backoff < 100*time.Millisecond {
+						backoff *= 2
+					}
+					continue
+				}
+				ids := make([]string, 0, len(v.Jobs))
+				for _, item := range v.Jobs {
+					ids = append(ids, item.Job.ID)
+				}
+				return ids, nil
+			case http.StatusServiceUnavailable:
+				time.Sleep(backoff)
+			default:
+				return nil, fmt.Errorf("batch status %d", resp.StatusCode)
+			}
+		}
+	}
+
+	// streamJob attaches an SSE reader to a job; when tearDown is set it
+	// disconnects after the first event instead of draining to done.
+	streamJob := func(id string, tearDown bool) error {
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL+"/v1/jobs/"+id, nil)
+		if err != nil {
+			return err
+		}
+		req.Header.Set("Accept", "text/event-stream")
+		resp, err := client.Do(req)
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil // job already evicted from memory; nothing to stream
+		}
+		sc := bufio.NewScanner(resp.Body)
+		events := 0
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.HasPrefix(line, "event: ") {
+				events++
+				if tearDown && events >= 1 {
+					cancel() // mid-flight disconnect; the solve must not care
+					return nil
+				}
+				if strings.TrimPrefix(line, "event: ") == "done" {
+					return nil
+				}
+			}
+		}
+		return nil // server closed (job done) or context cancelled
+	}
+
+	var (
+		mu  sync.Mutex
+		ids []string
+	)
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	tenants := []string{"storm-a", "storm-b", "storm-c"}
+	for g := 0; g < 3; g++ {
+		wg.Add(1)
+		tenant := tenants[g]
+		base := int64(40000 + g*1000)
+		go func() {
+			defer wg.Done()
+			for round := int64(0); round < 4; round++ {
+				seeds := []int64{base + round*4, base + round*4 + 1, base + round*4 + 2, base + round*4 + 2} // one duplicate per batch
+				got, err := batchSubmit(tenant, seeds)
+				if err != nil {
+					errc <- err
+					return
+				}
+				mu.Lock()
+				ids = append(ids, got...)
+				mu.Unlock()
+				// Stream every other batch's first job; tear half of the
+				// streams down mid-flight.
+				if err := streamJob(got[0], round%2 == 0); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// Every admitted job reaches a terminal state despite crashes,
+	// stalls, injected errors and torn-down streams.
+	jobDeadline := time.Now().Add(2 * time.Minute)
+	for _, id := range ids {
+		for {
+			j, ok := s.Job(id)
+			if !ok || j.State().Terminal() {
+				break
+			}
+			if time.Now().After(jobDeadline) {
+				t.Fatalf("fleet-storm job %s wedged in state %s", id, j.State())
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	closed := make(chan struct{})
+	go func() { s.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(60 * time.Second):
+		t.Fatal("scheduler wedged after fleet storm: Close did not return")
+	}
+	m := s.Metrics()
+	if m.JobsRunning != 0 || m.JobsQueued != 0 {
+		t.Fatalf("gauges nonzero after drain: %+v", m)
+	}
+	if m.QueueDepth != m.JobsQueued {
+		t.Fatalf("queue depth gauge %d disagrees with jobs-queued counter %d after drain", m.QueueDepth, m.JobsQueued)
+	}
+	admitted := int64(0)
+	for _, tenant := range tenants {
+		admitted += m.TenantAdmitted[tenant]
+	}
+	if admitted == 0 {
+		t.Fatal("no tenant admissions counted under the storm")
+	}
+	t.Logf("fleet storm: %d jobs, done=%d failed=%d cancelled=%d crashes=%d throttled=%v",
+		len(ids), m.JobsDone, m.JobsFailed, m.JobsCancelled, m.WorkerCrashes, m.TenantThrottled)
+}
+
+// anyRejected reports whether a batch view contains a per-item
+// rejection.
+func anyRejected(v BatchView) bool {
+	for _, item := range v.Jobs {
+		if item.Job == nil {
+			return true
+		}
+	}
+	return false
 }

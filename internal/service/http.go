@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/wire"
 )
 
@@ -49,18 +51,62 @@ func (j *Job) View() JobView {
 	return v
 }
 
+// viewFromRecord renders a stored job record in the same JSON shape,
+// so a job answered from the job store (evicted from memory, or solved
+// by another instance sharing a durable store) is indistinguishable
+// from a live terminal job minus the live-only progress.
+func viewFromRecord(rec *store.JobRecord) JobView {
+	return JobView{
+		ID:       rec.ID,
+		State:    State(rec.State),
+		Hash:     rec.Hash,
+		CacheHit: rec.CacheHit,
+		Degraded: rec.Degraded,
+		Result:   rec.Result,
+		Error:    rec.Error,
+	}
+}
+
+// BatchView is the response of POST /v1/place:batch: one entry per
+// submitted item, in request order.
+type BatchView struct {
+	Jobs []BatchItemView `json:"jobs"`
+}
+
+// BatchItemView is one batch item's outcome: a job view on success, or
+// the per-item submission error (queue full, tenant quota) with its
+// retry hint. Identical items in one batch coalesce onto a single
+// solve, so their views share an id and a hash.
+type BatchItemView struct {
+	Job         *JobView `json:"job,omitempty"`
+	Error       string   `json:"error,omitempty"`
+	RetryAfterS int64    `json:"retry_after_s,omitempty"`
+}
+
 // NewHandler exposes a scheduler over HTTP:
 //
 //	POST   /v1/place            submit a wire.Request; ?wait=1 blocks until
 //	                            done (429 + Retry-After when the queue sheds
-//	                            load, 503 once the scheduler is draining)
+//	                            load or the tenant is over quota, 503 once
+//	                            the scheduler is draining)
+//	POST   /v1/place:batch      submit a wire.BatchRequest: N problems
+//	                            decoded and validated together, fanned into
+//	                            jobs with identical items coalesced onto one
+//	                            solve; ?wait=1 blocks until all are done
 //	GET    /v1/algorithms       the placer registry: valid algorithm strings
-//	GET    /v1/jobs/{id}        job status, live progress, result
+//	GET    /v1/jobs/{id}        job status, live progress, result; with
+//	                            Accept: text/event-stream, a live SSE feed
+//	                            of flight-recorder and progress events
 //	GET    /v1/jobs/{id}/trace  the solve's flight recording (wire.Trace);
 //	                            409 until the job is terminal
 //	DELETE /v1/jobs/{id}        cancel (returns promptly; best-so-far kept)
 //	GET    /healthz             liveness
 //	GET    /metrics             Prometheus text metrics
+//
+// Tenancy: the X-API-Key header names the tenant for quota admission
+// and fair queueing; absent means the shared "anonymous" tenant. Jobs
+// evicted from memory (or solved by another instance sharing a durable
+// job store) are answered from the job store.
 func NewHandler(s *Scheduler) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/place", func(w http.ResponseWriter, r *http.Request) {
@@ -68,6 +114,7 @@ func NewHandler(s *Scheduler) http.Handler {
 		// under it across the queue via SubmitCtx.
 		ctx, span := obs.StartSpan(r.Context(), "request", obs.KV("path", "/v1/place"))
 		defer span.End()
+		ctx = WithTenant(ctx, r.Header.Get(TenantHeader))
 		body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "reading body: %v", err)
@@ -90,20 +137,8 @@ func NewHandler(s *Scheduler) http.Handler {
 			return
 		}
 		job, err := s.SubmitCtx(ctx, req)
-		switch err {
-		case nil:
-		case ErrQueueFull:
-			// Load shedding: 429 plus a Retry-After computed from the
-			// backlog and the smoothed solve latency. The content hash
-			// makes the client's later resubmission idempotent.
-			w.Header().Set("Retry-After", fmt.Sprintf("%d", int64(math.Ceil(s.RetryAfter().Seconds()))))
-			httpError(w, http.StatusTooManyRequests, "%v", err)
-			return
-		case ErrClosed:
-			httpError(w, http.StatusServiceUnavailable, "%v", err)
-			return
-		default:
-			httpError(w, http.StatusBadRequest, "%v", err)
+		if err != nil {
+			submitError(w, s, err)
 			return
 		}
 		wait := r.URL.Query().Get("wait")
@@ -127,18 +162,122 @@ func NewHandler(s *Scheduler) http.Handler {
 		writeJSON(w, status, v)
 	})
 
+	mux.HandleFunc("POST /v1/place:batch", func(w http.ResponseWriter, r *http.Request) {
+		ctx, span := obs.StartSpan(r.Context(), "request", obs.KV("path", "/v1/place:batch"))
+		defer span.End()
+		ctx = WithTenant(ctx, r.Header.Get(TenantHeader))
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "reading body: %v", err)
+			return
+		}
+		if len(body) > maxRequestBytes {
+			httpError(w, http.StatusRequestEntityTooLarge, "request over %d bytes", maxRequestBytes)
+			return
+		}
+		// One decode validates every item up front: a batch with any
+		// invalid item is rejected whole, before any job is enqueued.
+		batch, err := wire.DecodeBatchRequest(body)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		if fault.Point("wire/decode-err") {
+			httpError(w, http.StatusBadRequest, "injected decode error (failpoint wire/decode-err)")
+			return
+		}
+		view := BatchView{Jobs: make([]BatchItemView, len(batch.Items))}
+		jobs := make([]*Job, 0, len(batch.Items))
+		rejected := 0
+		var maxRetry int64
+		for i := range batch.Items {
+			// Items are already normalized; SubmitCtx coalesces identical
+			// items (and identical in-flight singles) onto one solve.
+			job, err := s.SubmitCtx(ctx, &batch.Items[i])
+			if err != nil {
+				if errors.Is(err, ErrClosed) {
+					httpError(w, http.StatusServiceUnavailable, "%v", err)
+					return
+				}
+				rejected++
+				item := &view.Jobs[i]
+				item.Error = err.Error()
+				item.RetryAfterS = retrySeconds(s, err)
+				if item.RetryAfterS > maxRetry {
+					maxRetry = item.RetryAfterS
+				}
+				continue
+			}
+			jobs = append(jobs, job)
+			view.Jobs[i].Job = &JobView{} // placeholder; snapshot below
+		}
+		wait := r.URL.Query().Get("wait")
+		if wait == "1" || wait == "true" {
+			for _, job := range jobs {
+				select {
+				case <-job.Done():
+				case <-r.Context().Done():
+					httpError(w, statusClientClosedRequest, "client closed request")
+					return
+				}
+			}
+		}
+		// Snapshot every job after the optional wait, so a waited batch
+		// reports terminal views throughout.
+		ji := 0
+		status := http.StatusOK
+		for i := range view.Jobs {
+			if view.Jobs[i].Job == nil {
+				continue
+			}
+			v := jobs[ji].View()
+			ji++
+			view.Jobs[i].Job = &v
+			if !v.State.Terminal() {
+				status = http.StatusAccepted
+			}
+		}
+		if rejected == len(batch.Items) {
+			// Nothing was admitted: surface the shed as a batch-level 429
+			// so naive clients back off, with the longest per-item hint.
+			w.Header().Set("Retry-After", fmt.Sprintf("%d", maxRetry))
+			status = http.StatusTooManyRequests
+		}
+		writeJSON(w, status, view)
+	})
+
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		job, ok := s.Job(r.PathValue("id"))
+		id := r.PathValue("id")
+		job, ok := s.Job(id)
 		if !ok {
+			// Fall back to the job store: retired past retention, or
+			// solved by another instance sharing a durable store.
+			if rec, ok := s.Record(id); ok {
+				writeJSON(w, http.StatusOK, viewFromRecord(rec))
+				return
+			}
 			httpError(w, http.StatusNotFound, "no such job")
+			return
+		}
+		if wantsEventStream(r) {
+			serveJobStream(w, r, job)
 			return
 		}
 		writeJSON(w, http.StatusOK, job.View())
 	})
 
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
-		job, ok := s.Job(r.PathValue("id"))
+		id := r.PathValue("id")
+		job, ok := s.Job(id)
 		if !ok {
+			if rec, ok := s.Record(id); ok {
+				if tr := TraceFromRecord(rec); tr != nil {
+					writeJSON(w, http.StatusOK, tr)
+					return
+				}
+				httpError(w, http.StatusNotFound, "no trace recorded for job %s", id)
+				return
+			}
 			httpError(w, http.StatusNotFound, "no such job")
 			return
 		}
@@ -156,6 +295,12 @@ func NewHandler(s *Scheduler) http.Handler {
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		id := r.PathValue("id")
 		if !s.Cancel(id) {
+			// Not in memory; a stored record means the job is already
+			// terminal, which is what a cancel wants anyway.
+			if rec, ok := s.Record(id); ok {
+				writeJSON(w, http.StatusOK, viewFromRecord(rec))
+				return
+			}
 			httpError(w, http.StatusNotFound, "no such job")
 			return
 		}
@@ -189,6 +334,43 @@ func NewHandler(s *Scheduler) http.Handler {
 // statusClientClosedRequest is nginx's non-standard 499, the
 // conventional "client went away while we were working" status.
 const statusClientClosedRequest = 499
+
+// submitError maps a SubmitCtx error to its HTTP response: queue-full
+// shedding and tenant quota rejections both answer 429 with a
+// Retry-After (backlog-derived and token-refill-derived respectively),
+// a draining scheduler answers 503, and anything else is the client's
+// 400.
+func submitError(w http.ResponseWriter, s *Scheduler, err error) {
+	var qe *QuotaError
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		// Load shedding: 429 plus a Retry-After computed from the
+		// backlog and the smoothed solve latency. The content hash
+		// makes the client's later resubmission idempotent.
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int64(math.Ceil(s.RetryAfter().Seconds()))))
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.As(err, &qe):
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int64(math.Ceil(qe.RetryAfter.Seconds()))))
+		httpError(w, http.StatusTooManyRequests, "%v", err)
+	case errors.Is(err, ErrClosed):
+		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	default:
+		httpError(w, http.StatusBadRequest, "%v", err)
+	}
+}
+
+// retrySeconds is the Retry-After value for a shed submission, in
+// whole seconds.
+func retrySeconds(s *Scheduler, err error) int64 {
+	var qe *QuotaError
+	switch {
+	case errors.As(err, &qe):
+		return int64(math.Ceil(qe.RetryAfter.Seconds()))
+	case errors.Is(err, ErrQueueFull):
+		return int64(math.Ceil(s.RetryAfter().Seconds()))
+	}
+	return 0
+}
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")

@@ -3,7 +3,21 @@ package service
 import (
 	"fmt"
 	"io"
+	"sort"
+
+	"repro/internal/store"
 )
+
+// sortedKeys returns a map's keys sorted, so /metrics output is
+// stable for tests and diffs.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
 
 // latencyBuckets are the upper bounds (seconds) of the solve-latency
 // histogram, chosen around the spread between a cache hit-adjacent
@@ -37,6 +51,30 @@ type metrics struct {
 	// latency (seconds) feeding Retry-After estimates; recent solves
 	// dominate so the estimate tracks load shifts.
 	ewmaLatency float64
+
+	// Per-tenant admission counters, labelled by tenant id in /metrics.
+	// Lazily allocated; tenantInc bounds the label cardinality.
+	tenantAdmitted  map[string]int64 // solves admitted past the quota
+	tenantThrottled map[string]int64 // submissions rejected with QuotaError
+}
+
+// maxTenantMetricLabels bounds the per-tenant label cardinality in
+// /metrics; past it, new tenants are folded into the "other" label so
+// an API-key scan cannot grow the exposition without bound (the quota
+// buckets themselves have their own, larger bound).
+const maxTenantMetricLabels = 256
+
+// tenantInc bumps one tenant's counter in m (one of the maps above),
+// capping label cardinality. Caller holds the scheduler's mutex.
+func (m *metrics) tenantInc(counters *map[string]int64, tenant string) {
+	if *counters == nil {
+		*counters = make(map[string]int64)
+	}
+	c := *counters
+	if _, ok := c[tenant]; !ok && len(c) >= maxTenantMetricLabels {
+		tenant = "other"
+	}
+	c[tenant]++
 }
 
 func (m *metrics) observeLatency(seconds float64) {
@@ -78,6 +116,11 @@ type Metrics struct {
 	CheckpointsResumed int64
 	CheckpointEntries  int64
 
+	// Per-tenant admission outcomes (nil when no tenant has hit the
+	// path) and throttle rejections; see Config.TenantRate.
+	TenantAdmitted  map[string]int64
+	TenantThrottled map[string]int64
+
 	// QueueDepth samples the scheduler's queue list directly (the
 	// jobsQueued gauge tracks the same population through its counter
 	// arithmetic; the two must agree when the scheduler is idle).
@@ -108,37 +151,61 @@ func (s *Scheduler) Metrics() Metrics {
 		WorkerCrashes:   s.metrics.workerCrashes,
 		WorkerRestarts:  s.metrics.workerRestarts,
 
-		QueueDepth:       int64(s.queue.Len()),
+		QueueDepth:       int64(s.queue.len()),
 		SolveLatencyEWMA: s.metrics.ewmaLatency,
 	}
-	if s.cache != nil {
-		snap.CacheEntries = int64(s.cache.len())
-	}
+	snap.TenantAdmitted = copyCounters(s.metrics.tenantAdmitted)
+	snap.TenantThrottled = copyCounters(s.metrics.tenantThrottled)
 	s.mu.Unlock()
-	// s.checkpoints is set once in New and the store has its own lock.
+	// The stores are set once in New and have their own locks.
+	if s.results != nil {
+		if st, err := s.results.Stats(); err == nil {
+			snap.CacheEntries = st.Entries
+		}
+	}
 	if s.checkpoints != nil {
-		snap.CheckpointsSaved, snap.CheckpointsResumed, snap.CheckpointEntries = s.checkpoints.counters()
+		snap.CheckpointsSaved, snap.CheckpointsResumed, snap.CheckpointEntries = s.checkpoints.Counters()
 	}
 	return snap
+}
+
+// copyCounters snapshots a counter map (nil stays nil) so callers
+// never alias the scheduler's live maps.
+func copyCounters(src map[string]int64) map[string]int64 {
+	if src == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(src))
+	for k, v := range src {
+		out[k] = v
+	}
+	return out
 }
 
 // WriteMetrics renders the scheduler's counters in the Prometheus
 // text exposition format, served by /metrics.
 func (s *Scheduler) WriteMetrics(w io.Writer) error {
 	s.mu.Lock()
-	m := s.metrics // counters copy by value
-	qdepth := s.queue.Len()
-	entries := 0
-	if s.cache != nil {
-		entries = s.cache.len()
-	}
+	m := s.metrics // scalar counters copy by value
+	// The maps inside m alias the live ones; snapshot them.
+	tenantAdmitted := copyCounters(s.metrics.tenantAdmitted)
+	tenantThrottled := copyCounters(s.metrics.tenantThrottled)
+	tenantDepths := s.queue.depths()
+	qdepth := s.queue.len()
 	perWorker := make([]int64, len(s.workerCrashes))
 	copy(perWorker, s.workerCrashes)
 	s.mu.Unlock()
 	retryAfter := s.RetryAfter()
+	var cacheStats, jobStats store.Stats
+	if s.results != nil {
+		cacheStats, _ = s.results.Stats()
+	}
+	if s.jobstore != nil {
+		jobStats, _ = s.jobstore.Stats()
+	}
 	var ckptSaved, ckptResumed, ckptEntries int64
 	if s.checkpoints != nil {
-		ckptSaved, ckptResumed, ckptEntries = s.checkpoints.counters()
+		ckptSaved, ckptResumed, ckptEntries = s.checkpoints.Counters()
 	}
 
 	var err error
@@ -169,7 +236,13 @@ func (s *Scheduler) WriteMetrics(w io.Writer) error {
 	p("placed_coalesced_total %d\n", m.coalesced)
 	p("# HELP placed_cache_entries Results currently cached.\n")
 	p("# TYPE placed_cache_entries gauge\n")
-	p("placed_cache_entries %d\n", entries)
+	p("placed_cache_entries %d\n", cacheStats.Entries)
+	p("# HELP placed_cache_bytes Serialized bytes held by the result cache backend.\n")
+	p("# TYPE placed_cache_bytes gauge\n")
+	p("placed_cache_bytes %d\n", cacheStats.Bytes)
+	p("# HELP placed_job_records Terminal job records held by the job store backend.\n")
+	p("# TYPE placed_job_records gauge\n")
+	p("placed_job_records %d\n", jobStats.Entries)
 	p("# HELP placed_shed_total Submissions rejected with queue-full load shedding (HTTP 429).\n")
 	p("# TYPE placed_shed_total counter\n")
 	p("placed_shed_total %d\n", m.shed)
@@ -199,6 +272,21 @@ func (s *Scheduler) WriteMetrics(w io.Writer) error {
 	p("# HELP placed_queue_depth Jobs waiting in the scheduler's queue, sampled from the queue list itself (cross-check against placed_jobs_queued).\n")
 	p("# TYPE placed_queue_depth gauge\n")
 	p("placed_queue_depth %d\n", qdepth)
+	p("# HELP placed_tenant_admitted_total Solves admitted past the tenant quota, by tenant.\n")
+	p("# TYPE placed_tenant_admitted_total counter\n")
+	for _, t := range sortedKeys(tenantAdmitted) {
+		p("placed_tenant_admitted_total{tenant=%q} %d\n", t, tenantAdmitted[t])
+	}
+	p("# HELP placed_tenant_throttled_total Submissions rejected by the tenant admission quota (HTTP 429), by tenant.\n")
+	p("# TYPE placed_tenant_throttled_total counter\n")
+	for _, t := range sortedKeys(tenantThrottled) {
+		p("placed_tenant_throttled_total{tenant=%q} %d\n", t, tenantThrottled[t])
+	}
+	p("# HELP placed_tenant_queue_depth Queued jobs per fair-queue tenant lane.\n")
+	p("# TYPE placed_tenant_queue_depth gauge\n")
+	for _, t := range sortedKeys(tenantDepths) {
+		p("placed_tenant_queue_depth{tenant=%q} %d\n", t, tenantDepths[t])
+	}
 	p("# HELP placed_solve_latency_ewma_seconds Exponentially weighted moving average of solve wall-clock latency, the smoothing behind Retry-After.\n")
 	p("# TYPE placed_solve_latency_ewma_seconds gauge\n")
 	p("placed_solve_latency_ewma_seconds %g\n", m.ewmaLatency)

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/store"
 	"repro/internal/wire"
 	"repro/placer"
 )
@@ -103,9 +104,18 @@ type Job struct {
 	// carried no span); the worker parents the job's solve spans under
 	// it, bridging the trace across the queue.
 	span uint64
+	// tenant is the submitting tenant (see WithTenant): the fair-queue
+	// lane the job waits in and the quota bucket it was charged to.
+	// Immutable after Submit.
+	tenant string
+	// ring is the job's live flight recorder, replaced at the start of
+	// every run attempt (so a crash retry's trace covers only the
+	// attempt that produced the result, as before). SSE streams stage
+	// events from it while the solve runs; guarded by j.mu.
+	ring *obs.Flight
 
-	// qelem is the job's slot in the scheduler's queue list, guarded
-	// by the scheduler's mutex (not j.mu); nil once popped or removed.
+	// qelem is the job's slot in its fair-queue lane, guarded by the
+	// scheduler's mutex (not j.mu); nil once popped or removed.
 	qelem *list.Element
 }
 
@@ -196,6 +206,24 @@ func (j *Job) Crashes() int {
 // Done returns a channel closed when the job reaches a terminal
 // state.
 func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Ring returns the job's live flight recorder for incremental reads
+// (obs.Flight.Since). It is nil until the job starts running (and
+// with tracing disabled); a crash retry replaces it, so streaming
+// readers must re-fetch and restart their cursor when the identity
+// changes.
+func (j *Job) Ring() *obs.Flight {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.ring
+}
+
+// Tenant reports the tenant the job was submitted under.
+func (j *Job) Tenant() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.tenant
+}
 
 // Progress returns a live aggregate of the job's annealing progress.
 // The boolean is false until the first stage completes.
@@ -314,6 +342,43 @@ type Config struct {
 	// 0 means the placer default of 2048 events; negative disables
 	// per-job tracing.
 	TraceEvents int
+
+	// Results overrides the content-addressed result cache backend.
+	// Nil means an in-memory LRU of CacheSize entries (a file-backed
+	// store shared between instances makes one instance's solve the
+	// next one's cache hit — see internal/store). CacheSize only sizes
+	// the default; an explicit backend brings its own bounds.
+	Results store.ResultCache
+	// Jobs overrides the terminal-job record store. Nil means an
+	// in-memory store of RetainJobs entries. Records persist a job's
+	// HTTP-visible state past the scheduler's in-memory retention, so
+	// GET /v1/jobs/{id} outlives restarts on a durable backend.
+	Jobs store.JobStore
+	// ResultTTL/JobTTL expire store entries (0 = never). They only
+	// apply to the default in-memory stores and to backends the caller
+	// constructs with these TTLs; New passes them through when it
+	// builds the defaults.
+	ResultTTL time.Duration
+	JobTTL    time.Duration
+	// Instance prefixes job ids ("<instance>-job-N") so two daemons
+	// sharing a file-backed job store never collide. Empty keeps the
+	// bare "job-N" (single-instance and test default).
+	Instance string
+
+	// TenantRate enables per-tenant token-bucket admission quotas:
+	// each tenant (X-API-Key header, see WithTenant) may start
+	// TenantRate solves/second sustained, bursting to TenantBurst.
+	// Cache hits and coalesced submissions are free. 0 disables
+	// quotas.
+	TenantRate float64
+	// TenantBurst is the bucket depth when quotas are enabled; values
+	// below 1 mean 1.
+	TenantBurst int
+	// TenantWeights sets per-tenant weights for the fair dequeue
+	// (default weight 1): under contention a tenant drains
+	// proportionally to its weight. Fair queueing is always on — with
+	// a single tenant it degenerates to the plain FIFO it replaced.
+	TenantWeights map[string]float64
 }
 
 // ErrQueueFull is returned by Submit when the job queue is at
@@ -336,15 +401,20 @@ type Scheduler struct {
 	nextID   int
 	closed   bool
 
-	// queue is a list, not a channel, so cancelling a queued job frees
-	// its capacity immediately instead of leaving a dead entry holding
-	// a slot until a worker drains it. qcond (on mu) wakes workers.
-	queue *list.List
+	// queue is a per-tenant fair queue over lists, not a channel, so
+	// cancelling a queued job frees its capacity immediately instead
+	// of leaving a dead entry holding a slot until a worker drains it.
+	// qcond (on mu) wakes workers.
+	queue *fairQueue
 	qcond *sync.Cond
 	wg    sync.WaitGroup
 
-	cache       *lruCache
-	checkpoints *ckptStore
+	// The storage layer, all behind internal/store interfaces: the
+	// scheduler never touches a concrete backend type.
+	results     store.ResultCache
+	jobstore    store.JobStore
+	checkpoints *store.Checkpoints
+	quotas      *quotas
 	metrics     metrics
 	// workerCrashes counts panics per worker slot (the supervisor
 	// restarts the slot; the counter survives restarts), guarded by mu.
@@ -393,16 +463,28 @@ func New(cfg Config) *Scheduler {
 		inflight:      make(map[string]*Job),
 		retired:       list.New(),
 		hits:          list.New(),
-		queue:         list.New(),
+		queue:         newFairQueue(cfg.TenantWeights),
 		workerCrashes: make([]int64, cfg.Workers),
 	}
 	s.qcond = sync.NewCond(&s.mu)
-	if size > 0 {
-		s.cache = newLRUCache(size)
+	// The storage layer: caller-provided backends win; otherwise
+	// in-memory stores sized by the legacy knobs, so the default
+	// scheduler behaves exactly as before the interfaces existed.
+	switch {
+	case cfg.Results != nil:
+		s.results = cfg.Results
+	case size > 0:
+		s.results = store.NewResultCache(store.NewMemory(size), cfg.ResultTTL)
+	}
+	if cfg.Jobs != nil {
+		s.jobstore = cfg.Jobs
+	} else {
+		s.jobstore = store.NewJobStore(store.NewMemory(cfg.RetainJobs), cfg.JobTTL)
 	}
 	if cfg.RetainCheckpoints > 0 {
-		s.checkpoints = newCkptStore(cfg.RetainCheckpoints)
+		s.checkpoints = store.NewCheckpoints(cfg.RetainCheckpoints)
 	}
+	s.quotas = newQuotas(cfg.TenantRate, cfg.TenantBurst)
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
@@ -439,18 +521,35 @@ func (s *Scheduler) SubmitCtx(ctx context.Context, req *wire.Request) (*Job, err
 	if err != nil {
 		return nil, err
 	}
+	tenant := TenantFrom(ctx)
+	j, persist, err := s.submitLocked(ctx, req, hash, tenant)
+	if persist != nil {
+		// A cache hit mints a terminal job; record it outside the lock
+		// (record writes marshal JSON and may touch disk).
+		s.persistJob(persist)
+	}
+	return j, err
+}
+
+// submitLocked is the locked core of SubmitCtx; a non-nil persist is
+// a job that went terminal inside and needs its record written after
+// the lock is released.
+func (s *Scheduler) submitLocked(ctx context.Context, req *wire.Request, hash, tenant string) (j *Job, persist *Job, err error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return nil, ErrClosed
+		return nil, nil, ErrClosed
 	}
 	if cached, ok := s.cacheGet(hash); ok {
 		// Cache hits count only in the cache counters — jobs_total
 		// states tally actual solver outcomes — and retire through
 		// their own bound, so a hot cached problem stays queryable by
-		// id without flushing real jobs out of retention.
+		// id without flushing real jobs out of retention. They are
+		// also quota-free: the bucket protects solver capacity, and a
+		// hit costs none.
 		s.metrics.cacheHits++
 		j := s.newJobLocked(hash, req)
+		j.tenant = tenant
 		j.state = StateDone
 		j.result = cached
 		j.cacheHit = true
@@ -458,7 +557,7 @@ func (s *Scheduler) SubmitCtx(ctx context.Context, req *wire.Request) (*Job, err
 		j.req = nil // terminal jobs answer from result; drop the request body
 		close(j.done)
 		s.retireOnLocked(s.hits, j)
-		return j, nil
+		return j, j, nil
 	}
 	s.metrics.cacheMisses++
 	// Coalesce only onto a live job with the same deadline (the ikey
@@ -469,39 +568,55 @@ func (s *Scheduler) SubmitCtx(ctx context.Context, req *wire.Request) (*Job, err
 		switch {
 		case !running.State().Terminal():
 			s.metrics.coalesced++
-			return running, nil
+			return running, nil, nil
 		case running.State() == StateDone && running.Result() != nil:
 			// Finished in the window before run() scrubs the entry and
 			// caches the result; it is content-addressed, so hand it
 			// back instead of re-solving.
 			s.metrics.coalesced++
-			return running, nil
+			return running, nil, nil
 		}
 		// Cancelled or failed while still in the window: fall through
 		// to a fresh solve — nobody wants to share a cancelled run.
 	}
-	if s.queue.Len() >= s.cfg.QueueDepth {
+	// Tenant admission: charged only for work that would occupy a
+	// solver, after the free paths above, before the queue bound.
+	if s.quotas != nil {
+		if ok, retry := s.quotas.take(tenant); !ok {
+			s.metrics.tenantInc(&s.metrics.tenantThrottled, tenant)
+			return nil, nil, &QuotaError{Tenant: tenant, RetryAfter: retry}
+		}
+	}
+	if s.queue.len() >= s.cfg.QueueDepth {
 		// Explicit load shedding: the client gets ErrQueueFull (HTTP
-		// 429 with a Retry-After derived from RetryAfterLocked) and
+		// 429 with a Retry-After derived from RetryAfter) and
 		// resubmits later; the content hash makes the retry idempotent.
 		s.metrics.shed++
-		return nil, ErrQueueFull
+		return nil, nil, ErrQueueFull
 	}
-	j := s.newJobLocked(hash, req)
+	j = s.newJobLocked(hash, req)
 	j.ikey = ikey
 	j.span = obs.SpanID(ctx)
+	j.tenant = tenant
 	j.state = StateQueued // must precede enqueue: a worker may pop it immediately
-	j.qelem = s.queue.PushBack(j)
+	s.queue.push(j)
 	s.inflight[ikey] = j
 	s.metrics.jobsQueued++
+	s.metrics.tenantInc(&s.metrics.tenantAdmitted, tenant)
 	s.qcond.Signal()
-	return j, nil
+	return j, nil, nil
 }
 
 func (s *Scheduler) newJobLocked(hash string, req *wire.Request) *Job {
 	s.nextID++
+	id := fmt.Sprintf("job-%d", s.nextID)
+	if s.cfg.Instance != "" {
+		// Instance-prefixed ids keep two daemons sharing a job store
+		// from overwriting each other's records.
+		id = s.cfg.Instance + "-" + id
+	}
 	j := &Job{
-		ID:        fmt.Sprintf("job-%d", s.nextID),
+		ID:        id,
 		Hash:      hash,
 		req:       req,
 		submitted: time.Now(),
@@ -543,10 +658,7 @@ func (s *Scheduler) Cancel(id string) bool {
 		close(j.done)
 		j.mu.Unlock()
 		s.mu.Lock()
-		if j.qelem != nil { // free the queue slot right away
-			s.queue.Remove(j.qelem)
-			j.qelem = nil
-		}
+		s.queue.remove(j)            // free the queue slot right away
 		if s.inflight[j.ikey] == j { // a fresh submit may own the slot by now
 			delete(s.inflight, j.ikey)
 		}
@@ -554,6 +666,7 @@ func (s *Scheduler) Cancel(id string) bool {
 		s.metrics.jobsCancelled++
 		s.retireLocked(j)
 		s.mu.Unlock()
+		s.persistJob(j)
 	case StateRunning:
 		if j.cancel != nil {
 			j.cancel()
@@ -574,11 +687,9 @@ func (s *Scheduler) Close() {
 		return
 	}
 	s.closed = true
-	for s.queue.Len() > 0 {
-		front := s.queue.Front()
-		s.queue.Remove(front)
-		j := front.Value.(*Job)
-		j.qelem = nil
+	var drained []*Job
+	for s.queue.len() > 0 {
+		j := s.queue.pop()
 		j.mu.Lock()
 		if j.state == StateQueued {
 			j.state = StateCancelled
@@ -588,12 +699,16 @@ func (s *Scheduler) Close() {
 			s.metrics.jobsQueued--
 			s.metrics.jobsCancelled++
 			s.retireLocked(j)
+			drained = append(drained, j)
 		}
 		j.mu.Unlock()
 		delete(s.inflight, j.ikey)
 	}
 	s.qcond.Broadcast()
 	s.mu.Unlock()
+	for _, j := range drained {
+		s.persistJob(j)
+	}
 	s.baseCancel()
 	s.wg.Wait()
 }
@@ -660,21 +775,23 @@ func (s *Scheduler) workerLoop() (crashed bool) {
 		if r := recover(); r != nil {
 			crashed = true
 			s.handleCrash(cur, r, debug.Stack())
+			if cur != nil && cur.State().Terminal() {
+				// Quarantined by the crash: record it (outside the locks
+				// handleCrash held).
+				s.persistJob(cur)
+			}
 		}
 	}()
 	s.mu.Lock()
 	for {
-		for s.queue.Len() == 0 && !s.closed {
+		for s.queue.len() == 0 && !s.closed {
 			s.qcond.Wait()
 		}
-		if s.queue.Len() == 0 {
+		j := s.queue.pop()
+		if j == nil {
 			s.mu.Unlock()
 			return false // closed and drained
 		}
-		front := s.queue.Front()
-		s.queue.Remove(front)
-		j := front.Value.(*Job)
-		j.qelem = nil
 		s.mu.Unlock()
 		cur = j
 		s.run(j)
@@ -711,7 +828,7 @@ func (s *Scheduler) handleCrash(j *Job, cause any, stack []byte) {
 	s.metrics.jobsRunning--
 	if j.crashes <= s.cfg.MaxJobCrashes && !s.closed {
 		j.state = StateQueued
-		j.qelem = s.queue.PushFront(j) // head of the line: it already waited once
+		s.queue.pushFront(j) // head of its line: it already waited once
 		s.metrics.jobsQueued++
 		s.qcond.Signal()
 		return
@@ -760,7 +877,7 @@ func (s *Scheduler) run(j *Job) {
 	s.mu.Lock()
 	s.metrics.jobsQueued--
 	s.metrics.jobsRunning++
-	depth := s.queue.Len()
+	depth := s.queue.len()
 	s.mu.Unlock()
 
 	// Deadline-pressure mode: with the queue deep, shorten the
@@ -790,11 +907,19 @@ func (s *Scheduler) run(j *Job) {
 	if s.checkpoints != nil {
 		extra = append(extra, placer.WithCheckpoint(&jobCheckpointer{s: s, hash: j.Hash}))
 	}
-	// Flight recording: every solve carries a recorder unless the
-	// daemon disabled tracing; the recording rides the wire result and
-	// is served by GET /v1/jobs/{id}/trace once the job is terminal.
+	// Flight recording: every solve records into a job-owned ring
+	// unless the daemon disabled tracing, so SSE streams can read stage
+	// events live (obs.Flight.Since) while the solve runs. A fresh ring
+	// per run attempt keeps a crash retry's trace scoped to the attempt
+	// that produced the result; streaming readers detect the swap by
+	// ring identity. The recording still rides the wire result and is
+	// served by GET /v1/jobs/{id}/trace once the job is terminal.
 	if s.cfg.TraceEvents >= 0 {
-		extra = append(extra, placer.WithTrace(s.cfg.TraceEvents))
+		ring := obs.NewFlight(s.cfg.TraceEvents)
+		j.mu.Lock()
+		j.ring = ring
+		j.mu.Unlock()
+		extra = append(extra, placer.WithRecorder(ring))
 	}
 
 	// Worker-crash failpoint: fires outside the contained solver
@@ -867,8 +992,78 @@ func (s *Scheduler) run(j *Job) {
 	// cache answers future resubmissions. Interrupted (and degraded)
 	// runs keep theirs, so the next identical request warm-starts.
 	if final == StateDone && !degraded && s.checkpoints != nil {
-		s.checkpoints.drop(j.Hash)
+		s.checkpoints.Drop(j.Hash)
 	}
+	s.persistJob(j)
+}
+
+// persistJob writes a terminal job's record to the job store; on a
+// file-backed store the record outlives the in-memory retention window
+// and the process. Best-effort by design: a failed record write must
+// not fail the job, whose in-memory state already answers queries.
+// Called outside both locks — record writes marshal JSON and may touch
+// disk.
+func (s *Scheduler) persistJob(j *Job) {
+	if s.jobstore == nil {
+		return
+	}
+	j.mu.Lock()
+	if !j.state.Terminal() {
+		j.mu.Unlock()
+		return
+	}
+	rec := &store.JobRecord{
+		ID:          j.ID,
+		Hash:        j.Hash,
+		State:       string(j.state),
+		CacheHit:    j.cacheHit,
+		Degraded:    j.degraded,
+		Error:       j.errMsg,
+		Crashes:     j.crashes,
+		Faults:      append([]string(nil), j.faults...),
+		Result:      j.result,
+		SubmittedMS: j.submitted.UnixMilli(),
+		FinishedMS:  j.finished.UnixMilli(),
+	}
+	j.mu.Unlock()
+	s.jobstore.Put(rec)
+}
+
+// Record returns the stored record of a job that is no longer (or was
+// never) in the in-memory table — retired past retention, or solved by
+// another instance sharing a durable job store.
+func (s *Scheduler) Record(id string) (*store.JobRecord, bool) {
+	if s.jobstore == nil {
+		return nil, false
+	}
+	rec, ok, err := s.jobstore.Get(id)
+	if err != nil || !ok {
+		return nil, false
+	}
+	return rec, true
+}
+
+// TraceFromRecord reconstructs the served trace of a recorded job the
+// way Job.Trace would: worker-crash faults the job survived are
+// prepended as failpoint events.
+func TraceFromRecord(rec *store.JobRecord) *wire.Trace {
+	var tr *wire.Trace
+	if rec.Result != nil {
+		tr = rec.Result.Trace
+	}
+	if len(rec.Faults) == 0 {
+		return tr
+	}
+	merged := &wire.Trace{Version: wire.Version}
+	if tr != nil {
+		*merged = *tr
+	}
+	events := make([]wire.TraceEvent, 0, len(rec.Faults)+len(merged.Events))
+	for _, point := range rec.Faults {
+		events = append(events, wire.TraceEvent{Kind: wire.TraceKindFailpoint, Worker: -1, Stage: -1, Point: point})
+	}
+	merged.Events = append(events, merged.Events...)
+	return merged
 }
 
 // retireLocked records a solved job that just reached a terminal
@@ -887,62 +1082,27 @@ func (s *Scheduler) retireOnLocked(class *list.List, j *Job) {
 	}
 }
 
-// cacheGet/cachePut guard the nil-cache case; callers hold s.mu.
+// cacheGet/cachePut guard the nil-cache case and swallow backend
+// errors — a failing cache degrades to re-solving, never to failing
+// the job. Callers hold s.mu; the stores have their own locking, but
+// the calls stay cheap (the default memory backend) or are accepted
+// as the cost of sharing (a file backend's read).
 func (s *Scheduler) cacheGet(hash string) (*wire.Result, bool) {
-	if s.cache == nil {
+	if s.results == nil {
 		return nil, false
 	}
-	return s.cache.get(hash)
+	res, ok, err := s.results.Get(hash)
+	if err != nil || !ok {
+		return nil, false
+	}
+	return res, true
 }
 
 func (s *Scheduler) cachePut(hash string, res *wire.Result) {
-	if s.cache != nil {
-		s.cache.put(hash, res)
+	if s.results != nil {
+		s.results.Put(hash, res)
 	}
 }
-
-// lruCache is a tiny content-addressed LRU: canonical wire hash →
-// solved result. Results are treated as immutable by everyone who
-// touches them.
-type lruCache struct {
-	cap   int
-	order *list.List // front = most recent; values are *cacheEntry
-	byKey map[string]*list.Element
-}
-
-type cacheEntry struct {
-	key string
-	res *wire.Result
-}
-
-func newLRUCache(capacity int) *lruCache {
-	return &lruCache{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
-}
-
-func (c *lruCache) get(key string) (*wire.Result, bool) {
-	el, ok := c.byKey[key]
-	if !ok {
-		return nil, false
-	}
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
-}
-
-func (c *lruCache) put(key string, res *wire.Result) {
-	if el, ok := c.byKey[key]; ok {
-		el.Value.(*cacheEntry).res = res
-		c.order.MoveToFront(el)
-		return
-	}
-	c.byKey[key] = c.order.PushFront(&cacheEntry{key, res})
-	for c.order.Len() > c.cap {
-		last := c.order.Back()
-		c.order.Remove(last)
-		delete(c.byKey, last.Value.(*cacheEntry).key)
-	}
-}
-
-func (c *lruCache) len() int { return c.order.Len() }
 
 // RetryAfter estimates how long a shed client should wait before
 // resubmitting: the smoothed solve latency times the current backlog,
@@ -956,7 +1116,7 @@ func (s *Scheduler) RetryAfter() time.Duration {
 	if ew <= 0 {
 		ew = 1 // no completed solve yet; assume a second each
 	}
-	backlog := s.queue.Len() + int(s.metrics.jobsRunning)
+	backlog := s.queue.len() + int(s.metrics.jobsRunning)
 	d := time.Duration(ew * float64(backlog) / float64(s.cfg.Workers) * float64(time.Second))
 	if d < time.Second {
 		d = time.Second
@@ -967,112 +1127,19 @@ func (s *Scheduler) RetryAfter() time.Duration {
 	return d
 }
 
-// ckptStore holds best-so-far solver snapshots for interrupted jobs,
-// keyed by content hash and, inside a hash, by algorithm (a portfolio
-// run checkpoints every racer; a resumed racer warm-starts from its
-// own representation only — snapshots are not portable across
-// representations). It is bounded LRU by hash. The store has its own
-// mutex because saves arrive from annealing goroutines mid-solve,
-// not from under the scheduler's lock.
-type ckptStore struct {
-	mu    sync.Mutex
-	cap   int
-	order *list.List // front = most recent hash; values are *ckptSet
-	byKey map[string]*list.Element
-
-	saved   int64 // snapshots accepted (improved on the stored cost)
-	resumed int64 // loads that handed a snapshot to a warm start
-}
-
-type ckptSet struct {
-	hash  string
-	algos map[string]ckptEntry
-}
-
-type ckptEntry struct {
-	snapshot any
-	cost     float64
-	stage    int
-}
-
-func newCkptStore(capacity int) *ckptStore {
-	return &ckptStore{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
-}
-
-// save records a snapshot if it improves on (or first establishes)
-// the stored cost for (hash, algorithm); stale saves from a slower
-// chain never overwrite a better checkpoint. Reports acceptance.
-func (c *ckptStore) save(hash, algorithm string, snapshot any, cost float64, stage int) bool {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.byKey[hash]
-	if !ok {
-		el = c.order.PushFront(&ckptSet{hash: hash, algos: make(map[string]ckptEntry)})
-		c.byKey[hash] = el
-		for c.order.Len() > c.cap {
-			last := c.order.Back()
-			c.order.Remove(last)
-			delete(c.byKey, last.Value.(*ckptSet).hash)
-		}
-	} else {
-		c.order.MoveToFront(el)
-	}
-	set := el.Value.(*ckptSet)
-	if prev, ok := set.algos[algorithm]; ok && prev.cost <= cost {
-		return false
-	}
-	set.algos[algorithm] = ckptEntry{snapshot: snapshot, cost: cost, stage: stage}
-	c.saved++
-	return true
-}
-
-// load returns the stored snapshot for (hash, algorithm), if any.
-func (c *ckptStore) load(hash, algorithm string) (any, float64, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.byKey[hash]
-	if !ok {
-		return nil, 0, false
-	}
-	c.order.MoveToFront(el)
-	entry, ok := el.Value.(*ckptSet).algos[algorithm]
-	if !ok {
-		return nil, 0, false
-	}
-	c.resumed++
-	return entry.snapshot, entry.cost, true
-}
-
-// drop discards every checkpoint under a hash (the canonical solve
-// completed; the result cache takes over).
-func (c *ckptStore) drop(hash string) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.byKey[hash]; ok {
-		c.order.Remove(el)
-		delete(c.byKey, hash)
-	}
-}
-
-// counters returns the save/resume totals for /metrics.
-func (c *ckptStore) counters() (saved, resumed, entries int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.saved, c.resumed, int64(c.order.Len())
-}
-
-// jobCheckpointer adapts the scheduler's checkpoint store to
-// placer.Checkpointer for one job: saves and loads are keyed by the
-// job's content hash plus the algorithm the engine reports.
+// jobCheckpointer adapts the scheduler's checkpoint store
+// (store.Checkpoints) to placer.Checkpointer for one job: saves and
+// loads are keyed by the job's content hash plus the algorithm the
+// engine reports.
 type jobCheckpointer struct {
 	s    *Scheduler
 	hash string
 }
 
 func (c *jobCheckpointer) Save(algorithm string, snapshot any, cost float64, stage int) {
-	c.s.checkpoints.save(c.hash, algorithm, snapshot, cost, stage)
+	c.s.checkpoints.Save(c.hash, algorithm, snapshot, cost, stage)
 }
 
 func (c *jobCheckpointer) Load(algorithm string) (any, float64, bool) {
-	return c.s.checkpoints.load(c.hash, algorithm)
+	return c.s.checkpoints.Load(c.hash, algorithm)
 }

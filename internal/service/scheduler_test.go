@@ -1,6 +1,8 @@
 package service
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 	"time"
 
@@ -56,7 +58,9 @@ func TestSchedulerSolvesAndCaches(t *testing.T) {
 		t.Fatal("first solve cannot be a cache hit")
 	}
 
-	// Identical request → served from cache, same result pointer.
+	// Identical request → served from cache with an equal result. The
+	// cache round-trips entries through its store (possibly through
+	// disk), so equality is by serialized value, not pointer identity.
 	j2, err := s.Submit(millerRequest(t, wire.MethodSeqPair))
 	if err != nil {
 		t.Fatal(err)
@@ -65,7 +69,12 @@ func TestSchedulerSolvesAndCaches(t *testing.T) {
 	if !j2.CacheHit() {
 		t.Fatal("identical request missed the cache")
 	}
-	if res2 != res1 {
+	b1, err1 := json.Marshal(res1)
+	b2, err2 := json.Marshal(res2)
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
+	if !bytes.Equal(b1, b2) {
 		t.Fatal("cache returned a different result value")
 	}
 

@@ -88,6 +88,11 @@ func Solve(ctx context.Context, req *wire.Request, progress func(placer.Progress
 		}
 		out.Trace = tr
 	}
+	// Portfolio races carry every racer's (capped) recording alongside
+	// the winner's full trace.
+	for _, et := range res.EngineTraces {
+		out.EngineTraces = append(out.EngineTraces, wire.TraceFromPlacer(et))
+	}
 	return out, nil
 }
 

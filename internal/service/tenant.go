@@ -1,0 +1,137 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// DefaultTenant is the tenant requests without an API key land in:
+// anonymous traffic shares one bucket and one fair-queue lane instead
+// of bypassing the quota machinery.
+const DefaultTenant = "anonymous"
+
+// TenantHeader is the HTTP header carrying the tenant identity. The
+// service treats the key itself as the tenant id — it does
+// admission accounting, not authentication.
+const TenantHeader = "X-API-Key"
+
+// maxTenantLen bounds a tenant id; longer keys are truncated, so an
+// attacker cannot grow quota-bucket keys or metric labels without
+// bound.
+const maxTenantLen = 64
+
+type tenantCtxKey struct{}
+
+// WithTenant tags ctx with a tenant identity for SubmitCtx: quota
+// admission and fair-queue placement happen under it. Empty means
+// DefaultTenant.
+func WithTenant(ctx context.Context, tenant string) context.Context {
+	return context.WithValue(ctx, tenantCtxKey{}, tenant)
+}
+
+// TenantFrom extracts the tenant identity from ctx, normalized:
+// DefaultTenant when absent or empty, truncated to maxTenantLen.
+func TenantFrom(ctx context.Context) string {
+	t, _ := ctx.Value(tenantCtxKey{}).(string)
+	if t == "" {
+		return DefaultTenant
+	}
+	if len(t) > maxTenantLen {
+		t = t[:maxTenantLen]
+	}
+	return t
+}
+
+// QuotaError reports a submission rejected by the tenant's admission
+// quota; RetryAfter is when the bucket will have refilled one token.
+type QuotaError struct {
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("service: tenant %q over admission quota; retry in %s", e.Tenant, e.RetryAfter)
+}
+
+// quotas is per-tenant token-bucket admission control: each tenant
+// accrues rate tokens/second up to burst, and every admitted solve
+// spends one. Cache hits and coalesced submissions are free — quotas
+// protect solver capacity, and answering from the cache costs none.
+// Buckets have their own lock (takes happen under the scheduler's
+// mutex, but nothing here calls back into the scheduler).
+type quotas struct {
+	mu    sync.Mutex
+	rate  float64 // tokens per second
+	burst float64
+	m     map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// maxQuotaBuckets bounds the tenant map; at the cap, full (stale)
+// buckets are evicted first. Tenants evicted at the cap simply start
+// a fresh (full) bucket on their next request.
+const maxQuotaBuckets = 4096
+
+// newQuotas returns admission quotas at rate tokens/second with the
+// given burst, or nil (quotas disabled) when rate ≤ 0.
+func newQuotas(rate float64, burst int) *quotas {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &quotas{rate: rate, burst: float64(burst), m: make(map[string]*bucket)}
+}
+
+// take spends one token from the tenant's bucket. When the bucket is
+// empty it reports false with the refill wait, clamped to [1s, 5m]
+// like the scheduler's backlog-based Retry-After.
+func (q *quotas) take(tenant string) (bool, time.Duration) {
+	now := time.Now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b, ok := q.m[tenant]
+	if !ok {
+		if len(q.m) >= maxQuotaBuckets {
+			q.evictFullLocked()
+		}
+		b = &bucket{tokens: q.burst, last: now}
+		q.m[tenant] = b
+	}
+	b.tokens += q.rate * now.Sub(b.last).Seconds()
+	if b.tokens > q.burst {
+		b.tokens = q.burst
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / q.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	if wait > 5*time.Minute {
+		wait = 5 * time.Minute
+	}
+	return false, wait
+}
+
+// evictFullLocked removes buckets that have refilled to burst — the
+// tenant has been idle long enough that dropping the bucket changes
+// nothing for them.
+func (q *quotas) evictFullLocked() {
+	now := time.Now()
+	for name, b := range q.m {
+		if b.tokens+q.rate*now.Sub(b.last).Seconds() >= q.burst {
+			delete(q.m, name)
+		}
+	}
+}

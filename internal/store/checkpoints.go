@@ -1,0 +1,108 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Checkpoints holds best-so-far solver snapshots for interrupted
+// jobs, keyed by content hash and, inside a hash, by algorithm (a
+// portfolio run checkpoints every racer; a resumed racer warm-starts
+// from its own representation only — snapshots are not portable
+// across representations). It is bounded LRU by hash.
+//
+// Unlike results and job records, snapshots are live solver state
+// (opaque `any` values holding engine internals), so this store is
+// memory-only — there is nothing meaningful to serialize to a file
+// backend, and a cold instance simply starts cold. It lives in this
+// package so the scheduler's storage dependencies are all behind one
+// door. It has its own mutex because saves arrive from annealing
+// goroutines mid-solve, not from under the scheduler's lock.
+type Checkpoints struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent hash; values are *ckptSet
+	byKey map[string]*list.Element
+
+	saved   int64 // snapshots accepted (improved on the stored cost)
+	resumed int64 // loads that handed a snapshot to a warm start
+}
+
+type ckptSet struct {
+	hash  string
+	algos map[string]ckptEntry
+}
+
+type ckptEntry struct {
+	snapshot any
+	cost     float64
+	stage    int
+}
+
+// NewCheckpoints returns a checkpoint store bounded to capacity
+// distinct content hashes.
+func NewCheckpoints(capacity int) *Checkpoints {
+	return &Checkpoints{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// Save records a snapshot if it improves on (or first establishes)
+// the stored cost for (hash, algorithm); stale saves from a slower
+// chain never overwrite a better checkpoint. Reports acceptance.
+func (c *Checkpoints) Save(hash, algorithm string, snapshot any, cost float64, stage int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[hash]
+	if !ok {
+		el = c.order.PushFront(&ckptSet{hash: hash, algos: make(map[string]ckptEntry)})
+		c.byKey[hash] = el
+		for c.order.Len() > c.cap {
+			last := c.order.Back()
+			c.order.Remove(last)
+			delete(c.byKey, last.Value.(*ckptSet).hash)
+		}
+	} else {
+		c.order.MoveToFront(el)
+	}
+	set := el.Value.(*ckptSet)
+	if prev, ok := set.algos[algorithm]; ok && prev.cost <= cost {
+		return false
+	}
+	set.algos[algorithm] = ckptEntry{snapshot: snapshot, cost: cost, stage: stage}
+	c.saved++
+	return true
+}
+
+// Load returns the stored snapshot for (hash, algorithm), if any.
+func (c *Checkpoints) Load(hash, algorithm string) (any, float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[hash]
+	if !ok {
+		return nil, 0, false
+	}
+	c.order.MoveToFront(el)
+	entry, ok := el.Value.(*ckptSet).algos[algorithm]
+	if !ok {
+		return nil, 0, false
+	}
+	c.resumed++
+	return entry.snapshot, entry.cost, true
+}
+
+// Drop discards every checkpoint under a hash (the canonical solve
+// completed; the result cache takes over).
+func (c *Checkpoints) Drop(hash string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[hash]; ok {
+		c.order.Remove(el)
+		delete(c.byKey, hash)
+	}
+}
+
+// Counters returns the save/resume totals for /metrics.
+func (c *Checkpoints) Counters() (saved, resumed, entries int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.saved, c.resumed, int64(c.order.Len())
+}

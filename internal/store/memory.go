@@ -1,0 +1,144 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+	"time"
+)
+
+// Memory is the in-process Store: a bounded LRU with lazy TTL expiry
+// and byte accounting. It is the extraction of the scheduler's
+// original hard-wired result cache — same recency-ordered eviction,
+// now behind the Store interface so a file or network backend can
+// replace it without touching the scheduler.
+type Memory struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *memEntry
+	byKey map[string]*list.Element
+	bytes int64
+}
+
+type memEntry struct {
+	key string
+	val []byte
+	exp time.Time // zero means no expiry
+}
+
+// NewMemory returns an in-memory Store holding at most capacity
+// entries; the least recently used entry is evicted beyond that.
+func NewMemory(capacity int) *Memory {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Memory{cap: capacity, order: list.New(), byKey: make(map[string]*list.Element)}
+}
+
+// Put stores a copy of value (entries are immutable once in).
+func (m *Memory) Put(key string, value []byte, ttl time.Duration) error {
+	if err := ValidKey(key); err != nil {
+		return err
+	}
+	var exp time.Time
+	if ttl > 0 {
+		exp = time.Now().Add(ttl)
+	}
+	val := make([]byte, len(value))
+	copy(val, value)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.byKey[key]; ok {
+		e := el.Value.(*memEntry)
+		m.bytes += int64(len(val)) - int64(len(e.val))
+		e.val, e.exp = val, exp
+		m.order.MoveToFront(el)
+		return nil
+	}
+	m.byKey[key] = m.order.PushFront(&memEntry{key: key, val: val, exp: exp})
+	m.bytes += int64(len(val))
+	for m.order.Len() > m.cap {
+		m.removeLocked(m.order.Back())
+	}
+	return nil
+}
+
+// Get returns a copy of the stored value; an expired entry is reaped
+// and reported as a miss.
+func (m *Memory) Get(key string) ([]byte, bool, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.byKey[key]
+	if !ok {
+		return nil, false, nil
+	}
+	e := el.Value.(*memEntry)
+	if e.expired(time.Now()) {
+		m.removeLocked(el)
+		return nil, false, nil
+	}
+	m.order.MoveToFront(el)
+	out := make([]byte, len(e.val))
+	copy(out, e.val)
+	return out, true, nil
+}
+
+// Delete removes the entry if present.
+func (m *Memory) Delete(key string) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if el, ok := m.byKey[key]; ok {
+		m.removeLocked(el)
+	}
+	return nil
+}
+
+// Keys lists live keys, reaping expired entries on the way.
+func (m *Memory) Keys() ([]string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reapLocked(time.Now())
+	keys := make([]string, 0, m.order.Len())
+	for el := m.order.Front(); el != nil; el = el.Next() {
+		keys = append(keys, el.Value.(*memEntry).key)
+	}
+	return keys, nil
+}
+
+// Stats reports live entry and byte totals.
+func (m *Memory) Stats() (Stats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.reapLocked(time.Now())
+	return Stats{Entries: int64(m.order.Len()), Bytes: m.bytes}, nil
+}
+
+// Close drops all entries.
+func (m *Memory) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.order.Init()
+	m.byKey = make(map[string]*list.Element)
+	m.bytes = 0
+	return nil
+}
+
+func (e *memEntry) expired(now time.Time) bool {
+	return !e.exp.IsZero() && now.After(e.exp)
+}
+
+func (m *Memory) removeLocked(el *list.Element) {
+	e := el.Value.(*memEntry)
+	m.order.Remove(el)
+	delete(m.byKey, e.key)
+	m.bytes -= int64(len(e.val))
+}
+
+func (m *Memory) reapLocked(now time.Time) {
+	var next *list.Element
+	for el := m.order.Front(); el != nil; el = next {
+		next = el.Next()
+		if el.Value.(*memEntry).expired(now) {
+			m.removeLocked(el)
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package wire
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestDecodeBatchRequest(t *testing.T) {
+	mk := func(items ...Request) []byte {
+		b, err := json.Marshal(BatchRequest{Items: items})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+
+	got, err := DecodeBatchRequest(mk(
+		Request{Problem: *testProblem()},
+		Request{Problem: *testProblem(), Options: Options{Seed: 7}},
+	))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Items) != 2 {
+		t.Fatalf("decoded %d items, want 2", len(got.Items))
+	}
+	// Items come out normalized, same as single-request decoding, so
+	// submission hashes the canonical form.
+	if got.Items[0].Options.Method == "" {
+		t.Fatal("batch item not normalized on decode")
+	}
+
+	if _, err := DecodeBatchRequest(mk()); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+
+	over := make([]Request, MaxBatchItems+1)
+	for i := range over {
+		over[i] = Request{Problem: *testProblem()}
+	}
+	if _, err := DecodeBatchRequest(mk(over...)); err == nil {
+		t.Fatalf("batch of %d items accepted over the %d limit", len(over), MaxBatchItems)
+	}
+
+	bad := *testProblem()
+	bad.Modules[0].W = -1
+	_, err = DecodeBatchRequest(mk(Request{Problem: *testProblem()}, Request{Problem: bad}))
+	if err == nil || !strings.Contains(err.Error(), "item 1") {
+		t.Fatalf("invalid item error %v must name the item index", err)
+	}
+
+	if _, err := DecodeBatchRequest([]byte(`{"items": [], "extra": 1}`)); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}

@@ -195,6 +195,11 @@ type Result struct {
 	// Trace is the solve's flight recording (see Trace), present only
 	// when the solve ran with tracing enabled.
 	Trace *Trace `json:"trace,omitempty"`
+	// EngineTraces holds every portfolio racer's recording — winner
+	// included, in racing order, each bounded to its newest events (see
+	// placer.MaxEngineTraceEvents) — so losing representations stay
+	// inspectable. Absent outside portfolio mode.
+	EngineTraces []*Trace `json:"engine_traces,omitempty"`
 }
 
 // Geometry ceilings, shared with the placer package: module

@@ -242,6 +242,12 @@ type Result struct {
 	// tracing was not requested. Under WithPortfolio it is the winning
 	// racer's recording.
 	Trace *Trace
+	// EngineTraces holds every racer's recording under WithPortfolio —
+	// winner included, in racing order, each bounded to its newest
+	// MaxEngineTraceEvents events — so losing representations remain
+	// inspectable (why did seqpair beat slicing here?). Nil outside
+	// portfolio mode or when tracing was not requested.
+	EngineTraces []*Trace
 	// Placement lists modules in problem order, so equal results mean
 	// identical placements.
 	Placement []Placed
@@ -262,6 +268,7 @@ type config struct {
 	exchangeEvery int
 	trace         bool
 	traceEvents   int
+	recorder      *obs.Flight
 }
 
 // Option configures Solve.
@@ -452,7 +459,10 @@ func (c config) engineOptions() EngineOptions {
 		AdaptiveMoves: c.adaptive,
 		Checkpoint:    c.checkpoint,
 	}
-	if c.trace {
+	switch {
+	case c.recorder != nil:
+		eo.flight = c.recorder
+	case c.trace:
 		eo.flight = obs.NewFlight(c.traceEvents)
 	}
 	return eo
@@ -477,6 +487,11 @@ func solvePortfolio(ctx context.Context, p *Problem, cfg config) (*Result, error
 	// by the racer count.
 	racerCfg := cfg
 	racerCfg.workers = max(1, cfg.workers/len(racers))
+	// A caller-owned recorder is never shared across racers: their
+	// interleaved events would destroy per-racer trace determinism.
+	// Each racer gets a private ring of the same capacity instead (see
+	// WithRecorder); engineOptions allocates it per racer below.
+	racerCfg.recorder = nil
 	var wg sync.WaitGroup
 	wg.Add(len(racers))
 	for i, name := range racers {
@@ -549,6 +564,16 @@ func solvePortfolio(ctx context.Context, p *Problem, cfg config) (*Result, error
 		win.Moves += results[i].res.Moves
 		if results[i].res.Cancelled {
 			win.Cancelled = true
+		}
+	}
+	// Retain every racer's recording (winner included) in racing
+	// order, each capped — the winner's full trace is already on
+	// win.Trace; EngineTraces is the bounded race post-mortem.
+	if cfg.trace {
+		for i := range results {
+			if results[i].err == nil && results[i].res.Trace != nil {
+				win.EngineTraces = append(win.EngineTraces, truncateTrace(results[i].res.Trace, MaxEngineTraceEvents))
+			}
 		}
 	}
 	return win, nil

@@ -102,6 +102,45 @@ func traceFromFlight(algorithm string, f *obs.Flight) *Trace {
 	return tr
 }
 
+// MaxEngineTraceEvents caps each per-racer recording retained on
+// Result.EngineTraces: losers keep their newest events up to this
+// bound (the winner's full recording stays on Result.Trace), so a
+// wide portfolio race cannot multiply the result size by the full
+// ring capacity per racer.
+const MaxEngineTraceEvents = 256
+
+// truncateTrace bounds a trace to its newest maxEvents events,
+// folding the cut into Dropped — the same keep-the-newest semantics
+// as the ring itself overflowing.
+func truncateTrace(tr *Trace, maxEvents int) *Trace {
+	if tr == nil || len(tr.Events) <= maxEvents {
+		return tr
+	}
+	cut := len(tr.Events) - maxEvents
+	out := *tr
+	out.Dropped += uint64(cut)
+	out.Events = tr.Events[cut:]
+	return &out
+}
+
+// WithRecorder attaches a caller-owned flight recorder to the solve:
+// the engines record into f exactly as under WithTrace, but the
+// caller holds the ring and may read it concurrently — Flight.Since
+// is how the service streams stage events to SSE clients while the
+// job is still annealing. The completed recording is still returned
+// on Result.Trace. Under WithPortfolio the shared ring is NOT handed
+// to the racers (their interleaved events would destroy per-racer
+// trace determinism); each racer records into a private ring of the
+// same capacity and the caller's ring stays empty. The last of
+// WithRecorder/WithTrace wins.
+func WithRecorder(f *obs.Flight) Option {
+	return func(c *config) {
+		c.recorder = f
+		c.trace = f != nil
+		c.traceEvents = f.Capacity()
+	}
+}
+
 // WithTrace attaches a flight recorder to the solve: the engines
 // record per-stage annealing telemetry (temperature, costs, move
 // counters, adaptive move-kind acceptance, replica exchanges,
@@ -118,6 +157,7 @@ func traceFromFlight(algorithm string, f *obs.Flight) *Trace {
 // simply return no trace.
 func WithTrace(events int) Option {
 	return func(c *config) {
+		c.recorder = nil
 		c.trace = true
 		c.traceEvents = events
 	}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"testing"
 
+	"repro/internal/obs"
 	"repro/internal/wire"
 	"repro/placer"
 )
@@ -207,5 +208,97 @@ func TestTraceRingDrops(t *testing.T) {
 	}
 	if tr.Dropped == 0 {
 		t.Fatal("overflowing recording reported no drops")
+	}
+}
+
+// TestWithRecorderLive pins the caller-owned-ring contract: the solve
+// records into the provided Flight (readable mid-run via Since — here
+// checked post-run), still returns the full recording on Result.Trace,
+// and places bit-identically to a WithTrace solve of the same seed.
+func TestWithRecorderLive(t *testing.T) {
+	p := traceProblem(t)
+	base := []placer.Option{
+		placer.WithAlgorithm("seqpair"),
+		placer.WithSeed(17),
+		placer.WithSchedule(traceSchedule()),
+	}
+	ring := obs.NewFlight(0)
+	live, err := placer.Solve(context.Background(), p, append(base, placer.WithRecorder(ring))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.Len() == 0 {
+		t.Fatal("solve recorded nothing into the caller's ring")
+	}
+	if live.Trace == nil || len(live.Trace.Events) != ring.Len() {
+		t.Fatalf("result trace has %d events, ring holds %d", len(live.Trace.Events), ring.Len())
+	}
+	if tail := ring.Since(0); len(tail) != ring.Len() {
+		t.Fatalf("Since(0) drained %d of %d events", len(tail), ring.Len())
+	}
+	traced, err := placer.Solve(context.Background(), p, append(base, placer.WithTrace(0))...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Cost != traced.Cost {
+		t.Fatalf("recorder changed the cost: %v vs %v", live.Cost, traced.Cost)
+	}
+	for i := range traced.Placement {
+		if live.Placement[i] != traced.Placement[i] {
+			t.Fatalf("recorder moved module %d", i)
+		}
+	}
+}
+
+// TestPortfolioEngineTraces: a traced portfolio race retains every
+// racer's recording behind the size cap, the winner's full recording
+// stays on Trace, and a caller-owned ring is never shared with racers.
+func TestPortfolioEngineTraces(t *testing.T) {
+	p := traceProblem(t)
+	ring := obs.NewFlight(0)
+	res, err := placer.Solve(context.Background(), p,
+		placer.WithPortfolio(),
+		placer.WithSeed(5),
+		placer.WithSchedule(traceSchedule()),
+		placer.WithRecorder(ring),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ring.Len() != 0 {
+		t.Fatalf("portfolio racers recorded %d events into the shared ring; they must use private rings", ring.Len())
+	}
+	racers := placer.PortfolioAlgorithms()
+	if len(res.EngineTraces) != len(racers) {
+		t.Fatalf("EngineTraces has %d entries, want one per racer (%d)", len(res.EngineTraces), len(racers))
+	}
+	if res.Trace == nil || res.Trace.Algorithm != res.Algorithm {
+		t.Fatalf("winner trace %+v does not match winning algorithm %q", res.Trace, res.Algorithm)
+	}
+	seenWinner := false
+	for i, tr := range res.EngineTraces {
+		if tr.Algorithm != racers[i] {
+			t.Fatalf("EngineTraces[%d] is %q, want racing order %q", i, tr.Algorithm, racers[i])
+		}
+		if len(tr.Events) > placer.MaxEngineTraceEvents {
+			t.Fatalf("racer %q trace has %d events, over the %d cap", tr.Algorithm, len(tr.Events), placer.MaxEngineTraceEvents)
+		}
+		if tr.Algorithm == res.Algorithm {
+			seenWinner = true
+		}
+	}
+	if !seenWinner {
+		t.Fatal("winner missing from EngineTraces")
+	}
+
+	// Single-engine solves keep EngineTraces empty: Trace is complete.
+	single, err := placer.Solve(context.Background(), p,
+		placer.WithAlgorithm("seqpair"), placer.WithSeed(5),
+		placer.WithSchedule(traceSchedule()), placer.WithTrace(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(single.EngineTraces) != 0 {
+		t.Fatalf("single-engine solve grew EngineTraces: %d", len(single.EngineTraces))
 	}
 }
